@@ -1,0 +1,440 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4.3, Appendix B) at CI scale. Each BenchmarkFigN/BenchmarkTableN target
+// measures the operations the corresponding plot times; the full sweeps
+// with the paper's row/series layout are produced by cmd/provbench.
+package provabs_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/bench"
+	"provabs/internal/core"
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/sampling"
+	"provabs/internal/summarize"
+	"provabs/internal/tpch"
+	"provabs/internal/treegen"
+)
+
+var (
+	loadOnce  sync.Once
+	workloads map[string]*bench.Workload
+	loadErr   error
+)
+
+func load(b *testing.B, name string) *bench.Workload {
+	b.Helper()
+	loadOnce.Do(func() {
+		ws, err := bench.LoadWorkloads(bench.DefaultScale())
+		if err != nil {
+			loadErr = err
+			return
+		}
+		workloads = map[string]*bench.Workload{}
+		for _, w := range ws {
+			workloads[w.Name] = w
+		}
+	})
+	if loadErr != nil {
+		b.Fatal(loadErr)
+	}
+	w, ok := workloads[name]
+	if !ok {
+		b.Fatalf("no workload %q", name)
+	}
+	return w
+}
+
+func benchOpt(b *testing.B, w *bench.Workload, shape treegen.Shape) {
+	b.Helper()
+	tree := w.Tree(shape)
+	B := w.Set.Size() / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OptimalVVS(w.Set, tree, B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGreedy(b *testing.B, w *bench.Workload, shape treegen.Shape) {
+	b.Helper()
+	forest := w.Forest(shape)
+	B := w.Set.Size() / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyVVS(w.Set, forest, B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 times Opt, Greedy and Brute-Force on 2-level (type 1)
+// trees for all four workloads — the quantities on Figure 5's y-axes.
+func BenchmarkFig5(b *testing.B) {
+	shape := treegen.SmallestOfType(1)
+	for _, name := range []string{"Q5", "Q10", "Q1", "telco"} {
+		w := load(b, name)
+		b.Run(name+"/opt", func(b *testing.B) { benchOpt(b, w, shape) })
+		b.Run(name+"/greedy", func(b *testing.B) { benchGreedy(b, w, shape) })
+		b.Run(name+"/brute", func(b *testing.B) {
+			forest := w.Forest(shape)
+			B := w.Set.Size() / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := core.BruteForceVVS(w.Set, forest, B, bench.BruteLimit)
+				if err != nil && err != core.ErrNoAdequate {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6 times Opt and Greedy on 3-level trees (types 2–4), Q5.
+func BenchmarkFig6(b *testing.B) {
+	w := load(b, "Q5")
+	for _, typ := range []int{2, 3, 4} {
+		shape := treegen.SmallestOfType(typ)
+		b.Run("type"+itoa(typ)+"/opt", func(b *testing.B) { benchOpt(b, w, shape) })
+		b.Run("type"+itoa(typ)+"/greedy", func(b *testing.B) { benchGreedy(b, w, shape) })
+	}
+}
+
+// BenchmarkFig7 times Opt and Greedy on 4-level trees (types 5–7), Q5.
+func BenchmarkFig7(b *testing.B) {
+	w := load(b, "Q5")
+	for _, typ := range []int{5, 6, 7} {
+		shape := treegen.SmallestOfType(typ)
+		b.Run("type"+itoa(typ)+"/opt", func(b *testing.B) { benchOpt(b, w, shape) })
+		b.Run("type"+itoa(typ)+"/greedy", func(b *testing.B) { benchGreedy(b, w, shape) })
+	}
+}
+
+// BenchmarkFig8 times compression across growing input data sizes (telco).
+func BenchmarkFig8(b *testing.B) {
+	shape := treegen.SmallestOfType(1)
+	sc := bench.DefaultScale()
+	for _, mult := range []int{1, 2, 4} {
+		w, err := bench.LoadWorkload("telco", bench.Scale{
+			TPCHScaleFactor: sc.TPCHScaleFactor,
+			TelcoCustomers:  sc.TelcoCustomers * mult,
+			TelcoZips:       sc.TelcoZips,
+			Seed:            sc.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("x"+itoa(mult)+"/opt", func(b *testing.B) { benchOpt(b, w, shape) })
+	}
+}
+
+// BenchmarkFig9 times Opt and Greedy at tight and loose bounds — the
+// paper's finding is that only the greedy's time depends on the bound.
+func BenchmarkFig9(b *testing.B) {
+	w := load(b, "Q5")
+	shape := treegen.SmallestOfType(1)
+	tree := w.Tree(shape)
+	forest := w.Forest(shape)
+	bounds := bench.BoundSweep(w, shape, 3)
+	for i, B := range bounds {
+		B := B
+		tag := []string{"tight", "mid", "loose"}[i%3]
+		b.Run("opt/"+tag, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.OptimalVVS(w.Set, tree, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("greedy/"+tag, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GreedyVVS(w.Set, forest, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10 times scenario assignment on original vs compressed
+// provenance — the source of Figure 10's speedup percentages.
+func BenchmarkFig10(b *testing.B) {
+	for _, name := range []string{"Q5", "Q10", "Q1", "telco"} {
+		w := load(b, name)
+		res, err := core.OptimalVVS(w.Set, w.Tree(treegen.SmallestOfType(1)), w.Set.Size()/2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		abs := res.VVS.Apply(w.Set)
+		val := func(s *provenance.Set) map[provenance.Var]float64 {
+			m := map[provenance.Var]float64{}
+			for i, v := range s.Vars() {
+				m[v] = 0.5 + float64(i%7)/8
+			}
+			return m
+		}
+		vo, va := val(w.Set), val(abs)
+		b.Run(name+"/original", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Set.Eval(vo)
+			}
+		})
+		b.Run(name+"/compressed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				abs.Eval(va)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11 times the greedy across growing tree counts.
+func BenchmarkFig11(b *testing.B) {
+	w := load(b, "telco")
+	B := w.Set.Size() / 2
+	for _, k := range []int{2, 4, 8} {
+		trees := make([]*abstree.Tree, k)
+		for i := 0; i < k; i++ {
+			base := i * 16
+			trees[i] = treegen.BinaryTree("T"+itoa(i), 4, func(j int) string {
+				return "pl" + itoa(base+j)
+			})
+		}
+		forest, err := abstree.NewForest(trees...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("trees"+itoa(k)+"/greedy", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GreedyVVS(w.Set, forest, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12 times Opt VVS against the Ainy et al. competitor on Q1.
+func BenchmarkFig12(b *testing.B) {
+	w := load(b, "Q1")
+	shape := treegen.SmallestOfType(1)
+	tree := w.Tree(shape)
+	forest := w.Forest(shape)
+	B := w.Set.Size() / 2
+	b.Run("opt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.OptimalVVS(w.Set, tree, B); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prox", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := summarize.Summarize(w.Set, forest, B, summarize.Options{Timeout: time.Minute}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig14 times Opt as the total variable count grows (Appendix B).
+func BenchmarkFig14(b *testing.B) {
+	sc := bench.DefaultScale()
+	for _, groups := range []int{128, 1024} {
+		d, err := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHScaleFactor, Seed: sc.Seed, VarGroups: groups})
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := d.Provenance(tpch.Q1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := &bench.Workload{Name: "Q1", Set: set, LeafPrefix: "s", LeafCount: 128}
+		b.Run("vars"+itoa(groups)+"/opt", func(b *testing.B) {
+			benchOpt(b, w, treegen.SmallestOfType(1))
+		})
+	}
+}
+
+// BenchmarkTable1 times the greedy-vs-optimal quality comparison runs.
+func BenchmarkTable1(b *testing.B) {
+	w := load(b, "Q5")
+	for _, typ := range []int{1, 4, 7} {
+		shape := treegen.SmallestOfType(typ)
+		b.Run("type"+itoa(typ), func(b *testing.B) {
+			tree := w.Tree(shape)
+			forest := w.Forest(shape)
+			B := w.Set.Size() / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.OptimalVVS(w.Set, tree, B); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.GreedyVVS(w.Set, forest, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 times exact VVS counting over the full tree catalog.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range treegen.Table2 {
+			_ = s.CutCount()
+		}
+	}
+}
+
+// BenchmarkAblationML compares the §4.1 residue-table monomial-loss
+// computation against the naive substitute-and-count method (DESIGN.md §6)
+// under Algorithm 1's access pattern: the ML of every internal node of a
+// type-1 tree over the 128 supplier variables (one shared residue table vs
+// one substitution pass per node). A single isolated group query is also
+// measured — there the naive pass wins, which is why the residue table is
+// only built once per tree inside the algorithms.
+func BenchmarkAblationML(b *testing.B) {
+	w := load(b, "Q5")
+	shape := treegen.Shape{Fanouts: []int{16, 8}}
+	tree := w.Tree(shape)
+	var groups [][]provenance.Var
+	for n := 0; n < tree.Len(); n++ {
+		if tree.IsLeaf(n) {
+			continue
+		}
+		var g []provenance.Var
+		for _, l := range tree.LeavesUnder(n) {
+			if v, ok := w.Set.Vocab.Lookup(tree.Label(l)); ok {
+				g = append(g, v)
+			}
+		}
+		groups = append(groups, g)
+	}
+	b.Run("residue-per-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.BatchGroupML(w.Set, groups)
+		}
+	})
+	b.Run("naive-per-tree", func(b *testing.B) {
+		meta := w.Set.Vocab.Var("ABLATION_META")
+		for i := 0; i < b.N; i++ {
+			for _, g := range groups {
+				core.NaiveGroupML(w.Set, g, meta)
+			}
+		}
+	})
+	b.Run("residue-single-group", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GroupML(w.Set, groups[0])
+		}
+	})
+	b.Run("naive-single-group", func(b *testing.B) {
+		meta := w.Set.Vocab.Var("ABLATION_META2")
+		for i := 0; i < b.N; i++ {
+			core.NaiveGroupML(w.Set, groups[0], meta)
+		}
+	})
+}
+
+// BenchmarkAblationStorage reports the byte sizes of shipped provenance
+// before and after abstraction — the communication-cost reading of the
+// compression gain.
+func BenchmarkAblationStorage(b *testing.B) {
+	w := load(b, "Q5")
+	res, err := core.OptimalVVS(w.Set, w.Tree(treegen.SmallestOfType(1)), w.Set.Size()/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	abs := res.VVS.Apply(w.Set)
+	b.Run("encode", func(b *testing.B) {
+		var orig, comp int
+		for i := 0; i < b.N; i++ {
+			orig = provenance.EncodedSize(w.Set)
+			comp = provenance.EncodedSize(abs)
+		}
+		b.ReportMetric(float64(orig), "origBytes")
+		b.ReportMetric(float64(comp), "compressedBytes")
+	})
+}
+
+// BenchmarkAblationOnline compares offline greedy selection against the §6
+// sampling pipeline.
+func BenchmarkAblationOnline(b *testing.B) {
+	w := load(b, "telco")
+	forest := w.Forest(treegen.SmallestOfType(1))
+	B := w.Set.Size() / 2
+	b.Run("offline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.GreedyVVS(w.Set, forest, B); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("online30pct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sampling.OnlineCompress(w.Set, forest, B, sampling.Options{Fraction: 0.3, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGreedyTieBreak compares the Example 15 max-ML tie-break
+// against the pseudocode's arbitrary tie-break, reporting retained
+// granularity alongside time.
+func BenchmarkAblationGreedyTieBreak(b *testing.B) {
+	w := load(b, "telco")
+	forest := w.Forest(treegen.SmallestOfType(5))
+	B := w.Set.Size() / 2
+	for _, mode := range []struct {
+		name string
+		opts core.GreedyOptions
+	}{
+		{"maxML", core.GreedyOptions{TieBreakML: true}},
+		{"arbitrary", core.GreedyOptions{TieBreakML: false}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var vl int
+			for i := 0; i < b.N; i++ {
+				r, err := core.GreedyVVSOpts(w.Set, forest, B, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vl = r.VL
+			}
+			b.ReportMetric(float64(w.Set.Granularity()-vl), "retainedVars")
+		})
+	}
+}
+
+// BenchmarkAblationAssignment isolates hypo.AssignmentTimes overhead.
+func BenchmarkAblationAssignment(b *testing.B) {
+	w := load(b, "Q1")
+	res, err := core.OptimalVVS(w.Set, w.Tree(treegen.SmallestOfType(1)), w.Set.Size()/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	abs := res.VVS.Apply(w.Set)
+	for i := 0; i < b.N; i++ {
+		hypo.AssignmentTimes(w.Set, abs, 1)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}

@@ -1,0 +1,347 @@
+// Command provabs is the command-line front end of the library: generate
+// benchmark provenance, inspect it, compress it with the paper's
+// algorithms, and evaluate hypothetical scenarios.
+//
+// Usage:
+//
+//	provabs generate -dataset telco -customers 1000 -zips 100 -out telco.pvab
+//	provabs generate -dataset tpch -query Q5 -sf 0.002 -out q5.pvab
+//	provabs stats -in q5.pvab
+//	provabs trees
+//	provabs compress -in q5.pvab -algo opt -shape 2,64 -prefix s -ratio 0.5 -out q5c.pvab
+//	provabs compress -in q5.pvab -algo greedy -tree 'Root(A(s0,s1),B(s2,s3))' -bound 100
+//	provabs eval -in q5c.pvab -set SuppRoot_l1_0=0.8,s9=1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/bench"
+	"provabs/internal/core"
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/sampling"
+	"provabs/internal/summarize"
+	"provabs/internal/telco"
+	"provabs/internal/tpch"
+	"provabs/internal/treegen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "trees":
+		err = cmdTrees(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "provabs: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provabs:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `provabs — hypothetical reasoning via provenance abstraction
+
+commands:
+  generate   generate benchmark provenance (telco or tpch)
+  stats      print size statistics of a provenance file
+  compress   select an abstraction and compress a provenance file
+  eval       evaluate a hypothetical scenario over a provenance file
+  trees      print the benchmark abstraction-tree catalog (Table 2)
+
+run 'provabs <command> -h' for command flags`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	dataset := fs.String("dataset", "telco", "telco or tpch")
+	out := fs.String("out", "", "output provenance file (required)")
+	customers := fs.Int("customers", 1000, "telco: number of customers")
+	zips := fs.Int("zips", 100, "telco: number of zip codes")
+	sf := fs.Float64("sf", 0.002, "tpch: scale factor")
+	query := fs.String("query", "Q5", "tpch: Q1, Q5 or Q10")
+	seed := fs.Int64("seed", 1, "generator seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	var set *provenance.Set
+	switch *dataset {
+	case "telco":
+		s, err := telco.SyntheticProvenance(telco.Config{
+			Customers: *customers, Plans: 128, Months: 12, Zips: *zips, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		set = s
+	case "tpch":
+		d, err := tpch.Generate(tpch.Config{ScaleFactor: *sf, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		s, err := d.Provenance(tpch.QueryID(*query))
+		if err != nil {
+			return err
+		}
+		set = s
+	default:
+		return fmt.Errorf("generate: unknown dataset %q", *dataset)
+	}
+	if err := writeSet(*out, set); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d polynomials, %d monomials, %d variables, %d bytes\n",
+		*out, set.Len(), set.Size(), set.Granularity(), provenance.EncodedSize(set))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "provenance file (required)")
+	verbose := fs.Bool("v", false, "print every polynomial's size")
+	fs.Parse(args)
+	set, err := readSet(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("polynomials: %d\n", set.Len())
+	fmt.Printf("|P|_M (monomials): %d\n", set.Size())
+	fmt.Printf("|P|_V (variables): %d\n", set.Granularity())
+	fmt.Printf("min/mean/max polynomial size: %d / %.2f / %d\n",
+		set.MinPolySize(), set.MeanPolySize(), set.MaxPolySize())
+	fmt.Printf("encoded bytes: %d\n", provenance.EncodedSize(set))
+	if *verbose {
+		for i, p := range set.Polys {
+			fmt.Printf("  %-30s %d monomials, %d variables\n", set.Tags[i], p.Size(), p.Granularity())
+		}
+	}
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "provenance file (required)")
+	out := fs.String("out", "", "output file for the compressed provenance (optional)")
+	algo := fs.String("algo", "opt", "opt, greedy, brute, ainy or online")
+	treeSrc := fs.String("tree", "", "abstraction tree(s) in compact format, ';'-separated")
+	shapeSrc := fs.String("shape", "", "build a uniform tree instead: comma-separated fan-outs, e.g. 2,64")
+	prefix := fs.String("prefix", "s", "leaf prefix for -shape trees (s, p, pl)")
+	bound := fs.Int("bound", 0, "monomial bound B (overrides -ratio)")
+	ratio := fs.Float64("ratio", 0.5, "bound as a fraction of |P|_M")
+	fraction := fs.Float64("fraction", 0.3, "online: sample fraction")
+	timeout := fs.Duration("timeout", time.Minute, "ainy: cutoff")
+	fs.Parse(args)
+	set, err := readSet(*in)
+	if err != nil {
+		return err
+	}
+	forest, err := buildForest(*treeSrc, *shapeSrc, *prefix)
+	if err != nil {
+		return err
+	}
+	B := *bound
+	if B <= 0 {
+		B = int(float64(set.Size()) * *ratio)
+		if B < 1 {
+			B = 1
+		}
+	}
+	start := time.Now()
+	var vvs *abstree.VVS
+	var note string
+	switch *algo {
+	case "opt":
+		if forest.Len() != 1 {
+			return fmt.Errorf("compress: opt handles exactly one tree (got %d); use greedy for forests", forest.Len())
+		}
+		res, err := core.OptimalVVS(set, forest.Trees[0], B)
+		if err != nil {
+			return err
+		}
+		vvs, note = res.VVS, adequacy(res.Adequate)
+	case "greedy":
+		res, err := core.GreedyVVS(set, forest, B)
+		if err != nil {
+			return err
+		}
+		vvs, note = res.VVS, adequacy(res.Adequate)
+	case "brute":
+		res, err := core.BruteForceVVS(set, forest, B, 0)
+		if err != nil {
+			return err
+		}
+		vvs, note = res.VVS, adequacy(res.Adequate)
+	case "ainy":
+		res, err := summarize.Summarize(set, forest, B, summarize.Options{Timeout: *timeout})
+		if err != nil {
+			return err
+		}
+		abs := res.Abstracted
+		fmt.Printf("ainy: %s, %d oracle calls, %d merges, %v\n",
+			adequacy(res.Adequate), res.OracleCalls, res.Rounds, res.Elapsed)
+		return finishCompress(set, abs, *out)
+	case "online":
+		res, err := sampling.OnlineCompress(set, forest, B, sampling.Options{Fraction: *fraction, Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("online: sample |P|_M=%d, adapted bound=%d, full %s\n",
+			res.SampleSize, res.SampleBound, adequacy(res.FullAdequate))
+		return finishCompress(set, res.Abstracted, *out)
+	default:
+		return fmt.Errorf("compress: unknown algorithm %q", *algo)
+	}
+	elapsed := time.Since(start)
+	abs := vvs.Apply(set)
+	fmt.Printf("%s: %s in %v\n", *algo, note, elapsed)
+	fmt.Printf("VVS: %s\n", vvs)
+	return finishCompress(set, abs, *out)
+}
+
+func adequacy(ok bool) string {
+	if ok {
+		return "bound met"
+	}
+	return "bound NOT met (best effort)"
+}
+
+func finishCompress(orig, abs *provenance.Set, out string) error {
+	fmt.Printf("monomials: %d -> %d (ML %d)\n", orig.Size(), abs.Size(), orig.Size()-abs.Size())
+	fmt.Printf("variables: %d -> %d (VL %d)\n", orig.Granularity(), abs.Granularity(),
+		orig.Granularity()-abs.Granularity())
+	fmt.Printf("bytes:     %d -> %d\n", provenance.EncodedSize(orig), provenance.EncodedSize(abs))
+	if out != "" {
+		if err := writeSet(out, abs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	in := fs.String("in", "", "provenance file (required)")
+	assign := fs.String("set", "", "comma-separated var=value assignments")
+	top := fs.Int("top", 20, "print at most this many answers (0 = all)")
+	fs.Parse(args)
+	set, err := readSet(*in)
+	if err != nil {
+		return err
+	}
+	sc := hypo.NewScenario()
+	if *assign != "" {
+		for _, kv := range strings.Split(*assign, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("eval: bad assignment %q", kv)
+			}
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return fmt.Errorf("eval: bad value in %q: %v", kv, err)
+			}
+			sc.Set(strings.TrimSpace(parts[0]), v)
+		}
+	}
+	answers, err := sc.Answers(set)
+	if err != nil {
+		return err
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i].Value > answers[j].Value })
+	n := len(answers)
+	if *top > 0 && n > *top {
+		n = *top
+	}
+	for _, a := range answers[:n] {
+		fmt.Printf("%-40s %14.2f\n", a.Tag, a.Value)
+	}
+	if n < len(answers) {
+		fmt.Printf("... (%d more)\n", len(answers)-n)
+	}
+	return nil
+}
+
+func cmdTrees(args []string) error {
+	fs := flag.NewFlagSet("trees", flag.ExitOnError)
+	fs.Parse(args)
+	fmt.Print(bench.TreeCatalog().String())
+	return nil
+}
+
+func buildForest(treeSrc, shapeSrc, prefix string) (*abstree.Forest, error) {
+	switch {
+	case treeSrc != "":
+		var trees []*abstree.Tree
+		for _, src := range strings.Split(treeSrc, ";") {
+			t, err := abstree.ParseTree(strings.TrimSpace(src))
+			if err != nil {
+				return nil, err
+			}
+			trees = append(trees, t)
+		}
+		return abstree.NewForest(trees...)
+	case shapeSrc != "":
+		var fanouts []int
+		for _, f := range strings.Split(shapeSrc, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad fan-out %q", f)
+			}
+			fanouts = append(fanouts, n)
+		}
+		shape := treegen.Shape{Fanouts: fanouts}
+		tree := shape.Build("Root", treegen.NumberedLeaves(prefix))
+		return abstree.NewForest(tree)
+	}
+	return nil, fmt.Errorf("compress: provide -tree or -shape")
+}
+
+func writeSet(path string, s *provenance.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := provenance.Encode(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readSet(path string) (*provenance.Set, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return provenance.Decode(f)
+}

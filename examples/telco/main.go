@@ -1,0 +1,108 @@
+// The paper's running example, end to end: generate a telephony database,
+// run the revenue-per-zip query through the provenance-aware engine, build
+// the plan and quarter abstraction trees, compress with the optimal and
+// greedy algorithms, and compare hypothetical scenarios before and after
+// abstraction (Examples 1–6, 13 and 15 of the paper at benchmark scale).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"provabs"
+	"provabs/internal/core"
+	"provabs/internal/hypo"
+	"provabs/internal/telco"
+	"provabs/internal/treegen"
+)
+
+func main() {
+	// Generate a telco database: customers with plans and zip codes, call
+	// totals per month, plan prices parameterized by 128 plan variables and
+	// 12 month variables (§4.2).
+	cfg := telco.Config{Customers: 2000, Plans: 128, Months: 12, Zips: 50, Seed: 7}
+	ds, err := telco.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d tuples across Cust/Calls/Plans\n", telco.TotalRows(cfg))
+
+	// The running example's query, executed with provenance capture.
+	start := time.Now()
+	set, err := ds.Provenance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query + provenance extraction: %v\n", time.Since(start))
+	fmt.Printf("provenance: %d polynomials, |P|_M=%d, |P|_V=%d, %d bytes\n",
+		set.Len(), set.Size(), set.Granularity(), provabs.EncodedSize(set))
+
+	// Abstraction trees: a 2-level tree over the 128 plan variables and
+	// the quarter tree over the months (Figures 2–3 scaled up).
+	plansTree, err := telco.PlansTree(treegen.SmallestOfType(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	quarterTree := telco.QuarterTree()
+
+	// Optimal single-tree compression at the paper's default bound.
+	B := set.Size() / 2
+	start = time.Now()
+	opt, err := core.OptimalVVS(set, plansTree, B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAlgorithm 1 (plans tree, B=%d): %v\n", B, time.Since(start))
+	fmt.Printf("  ML=%d VL=%d adequate=%v\n", opt.ML, opt.VL, opt.Adequate)
+
+	// Greedy multi-tree compression over both trees.
+	forest, err := provabs.NewForest(plansTree, quarterTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	greedy, err := core.GreedyVVS(set, forest, B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Algorithm 2 (plans + quarters, B=%d): %v\n", B, time.Since(start))
+	fmt.Printf("  ML=%d VL=%d adequate=%v\n", greedy.ML, greedy.VL, greedy.Adequate)
+
+	compressed := greedy.VVS.Apply(set)
+	fmt.Printf("compressed: |P↓S|_M=%d, |P↓S|_V=%d, %d bytes\n",
+		compressed.Size(), compressed.Granularity(), provabs.EncodedSize(compressed))
+
+	// Scenario 1 (Example 1): "what if the ppm of all plans decreased by
+	// 20% in March?" — uniform per quarter once m1..m3 move together, so if
+	// the greedy grouped months by quarter the compressed provenance may
+	// only support it at quarter granularity. Express it on the compressed
+	// variables via projection.
+	scenario := hypo.NewScenario()
+	for m := 1; m <= 3; m++ {
+		scenario.Set(telco.MonthVar(m), 0.8)
+	}
+	uniform, violation := scenario.IsUniformOn(greedy.VVS)
+	fmt.Printf("\nscenario 'Q1 months -20%%': uniform on the abstraction? %v %s\n", uniform, violation)
+
+	origVals, err := scenario.Eval(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	projected := scenario.Project(greedy.VVS)
+	absVals, err := projected.Eval(compressed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relErr, err := hypo.MaxRelError(absVals, origVals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max relative error across %d zips: %.4g\n", len(origVals), relErr)
+
+	// Assignment-time speedup (Figure 10's measure): evaluating scenarios
+	// on the compressed provenance instead of the original.
+	tOrig, tAbs := hypo.AssignmentTimes(set, compressed, 20)
+	fmt.Printf("assignment time: original %v, compressed %v (speedup %.1f%%)\n",
+		tOrig, tAbs, 100*hypo.Speedup(tOrig, tAbs))
+}

@@ -1,0 +1,155 @@
+package abstree
+
+import (
+	"fmt"
+
+	"provabs/internal/provenance"
+)
+
+// Forest is a valid abstraction forest (Def. of §2.3): a set of abstraction
+// trees with pairwise-disjoint label sets.
+type Forest struct {
+	Trees []*Tree
+}
+
+// NewForest validates label disjointness and returns the forest.
+func NewForest(trees ...*Tree) (*Forest, error) {
+	seen := make(map[string]int)
+	for ti, t := range trees {
+		for _, l := range t.labels {
+			if prev, dup := seen[l]; dup {
+				return nil, fmt.Errorf("abstree: label %q appears in trees %d and %d; forest trees must be disjoint", l, prev, ti)
+			}
+			seen[l] = ti
+		}
+	}
+	return &Forest{Trees: trees}, nil
+}
+
+// MustForest is NewForest that panics on error.
+func MustForest(trees ...*Tree) *Forest {
+	f, err := NewForest(trees...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Len returns the number of trees.
+func (f *Forest) Len() int { return len(f.Trees) }
+
+// NodeCount returns the total number of nodes across all trees (the n in the
+// complexity bounds).
+func (f *Forest) NodeCount() int {
+	n := 0
+	for _, t := range f.Trees {
+		n += t.Len()
+	}
+	return n
+}
+
+// TreeOfLabel returns the tree containing the label, if any.
+func (f *Forest) TreeOfLabel(label string) (*Tree, int, bool) {
+	for _, t := range f.Trees {
+		if i, ok := t.NodeByLabel(label); ok {
+			return t, i, ok
+		}
+	}
+	return nil, 0, false
+}
+
+// CompatibleWith checks the paper's compatibility requirements against a
+// polynomial set (§2.2): every tree leaf that occurs in P occurs as a
+// variable (trivially true — leaves *are* names), no internal node label
+// occurs as a polynomial variable, and every monomial contains at most one
+// node of each tree.
+func (f *Forest) CompatibleWith(s *provenance.Set) error {
+	for ti, t := range f.Trees {
+		// Internal labels must not appear in P.
+		inP := make(map[provenance.Var]bool)
+		for v := range s.VarSet() {
+			inP[v] = true
+		}
+		memberVar := make(map[provenance.Var]bool) // vars of P that are nodes of t
+		for i := 0; i < t.Len(); i++ {
+			v, ok := s.Vocab.Lookup(t.Label(i))
+			if !ok {
+				continue
+			}
+			if !inP[v] {
+				continue
+			}
+			if !t.IsLeaf(i) {
+				return fmt.Errorf("abstree: internal node %q of tree %d occurs as a variable in the polynomials; meta-variables must be fresh", t.Label(i), ti)
+			}
+			memberVar[v] = true
+		}
+		// Each monomial contains at most one node from t.
+		for pi, p := range s.Polys {
+			for _, m := range p.Monomials() {
+				count := 0
+				for _, vp := range m.Vars() {
+					if memberVar[vp.Var] {
+						count++
+					}
+				}
+				if count > 1 {
+					return fmt.Errorf("abstree: monomial %s of polynomial %d contains %d nodes of tree %d; compatibility requires at most one", m.String(s.Vocab), pi, count, ti)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Clean returns a copy of the forest with redundant nodes removed (footnote
+// 1 of the paper): leaves whose label does not occur as a variable of s are
+// dropped, internal nodes left with no active descendant leaves are dropped
+// with them, and internal nodes left with exactly one child are contracted
+// to that child (choosing such a node is equivalent to choosing its child,
+// so keeping both only adds no-op abstraction steps — Example 15's cleaned
+// forest exhibits this contraction). Trees whose root becomes empty are
+// removed entirely.
+func (f *Forest) Clean(s *provenance.Set) *Forest {
+	active := make(map[string]bool)
+	for v := range s.VarSet() {
+		active[s.Vocab.Name(v)] = true
+	}
+	var trees []*Tree
+	for _, t := range f.Trees {
+		spec, keep := cleanSpec(t, 0, active)
+		if !keep {
+			continue
+		}
+		nt, err := NewTree(spec)
+		if err != nil {
+			// Labels were unique before cleaning; they stay unique.
+			panic(err)
+		}
+		trees = append(trees, nt)
+	}
+	return &Forest{Trees: trees}
+}
+
+func cleanSpec(t *Tree, n int, active map[string]bool) (Spec, bool) {
+	if t.IsLeaf(n) {
+		if active[t.Label(n)] {
+			return Spec{Label: t.Label(n)}, true
+		}
+		return Spec{}, false
+	}
+	spec := Spec{Label: t.Label(n)}
+	for _, c := range t.children[n] {
+		cs, keep := cleanSpec(t, c, active)
+		if keep {
+			spec.Children = append(spec.Children, cs)
+		}
+	}
+	if len(spec.Children) == 0 {
+		return Spec{}, false
+	}
+	if len(spec.Children) == 1 {
+		return spec.Children[0], true
+	}
+	return spec, true
+}

@@ -1,0 +1,312 @@
+// Package abstree implements the paper's abstraction trees and forests
+// (§2.2–2.3): rooted labeled trees whose leaves are provenance variables and
+// whose internal nodes are meta-variables. An abstraction is a cut (valid
+// variable set, VVS) separating the root from the leaves; choosing a node
+// replaces all its descendant leaves with the node's meta-variable.
+package abstree
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"provabs/internal/provenance"
+)
+
+// Tree is a rooted tree with unique string labels. Nodes are addressed by
+// dense indices; index 0 is always the root. Construct trees with NewTree,
+// ParseTree or a Builder — the zero value is not usable.
+type Tree struct {
+	labels   []string
+	parent   []int   // parent[i]; -1 for the root
+	children [][]int // children[i], in insertion order
+	byLabel  map[string]int
+}
+
+// Spec is a declarative tree description for NewTree.
+type Spec struct {
+	Label    string
+	Children []Spec
+}
+
+// Leaf is a convenience constructor for a leaf Spec.
+func Leaf(label string) Spec { return Spec{Label: label} }
+
+// Node is a convenience constructor for an internal Spec.
+func Node(label string, children ...Spec) Spec {
+	return Spec{Label: label, Children: children}
+}
+
+// NewTree builds a tree from a Spec. It returns an error if any label
+// repeats or the root has no label.
+func NewTree(spec Spec) (*Tree, error) {
+	t := &Tree{byLabel: make(map[string]int)}
+	if err := t.add(spec, -1); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustTree is NewTree that panics on error; intended for tests and examples.
+func MustTree(spec Spec) *Tree {
+	t, err := NewTree(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) add(spec Spec, parent int) error {
+	if spec.Label == "" {
+		return fmt.Errorf("abstree: empty label")
+	}
+	if _, dup := t.byLabel[spec.Label]; dup {
+		return fmt.Errorf("abstree: duplicate label %q", spec.Label)
+	}
+	id := len(t.labels)
+	t.labels = append(t.labels, spec.Label)
+	t.parent = append(t.parent, parent)
+	t.children = append(t.children, nil)
+	t.byLabel[spec.Label] = id
+	if parent >= 0 {
+		t.children[parent] = append(t.children[parent], id)
+	}
+	for _, c := range spec.Children {
+		if err := t.add(c, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.labels) }
+
+// Root returns the root node index (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// Label returns the label of node i.
+func (t *Tree) Label(i int) string { return t.labels[i] }
+
+// Labels returns all labels indexed by node.
+func (t *Tree) Labels() []string { return append([]string(nil), t.labels...) }
+
+// Parent returns the parent of node i (-1 for the root).
+func (t *Tree) Parent(i int) int { return t.parent[i] }
+
+// Children returns the children of node i. The returned slice is owned by
+// the tree and must not be modified.
+func (t *Tree) Children(i int) []int { return t.children[i] }
+
+// IsLeaf reports whether node i has no children.
+func (t *Tree) IsLeaf(i int) bool { return len(t.children[i]) == 0 }
+
+// NodeByLabel returns the index of the node with the given label.
+func (t *Tree) NodeByLabel(label string) (int, bool) {
+	i, ok := t.byLabel[label]
+	return i, ok
+}
+
+// Leaves returns the indices of all leaves in depth-first order.
+func (t *Tree) Leaves() []int {
+	var out []int
+	for i := range t.labels {
+		if t.IsLeaf(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LeafLabels returns the labels of all leaves in depth-first order.
+func (t *Tree) LeafLabels() []string {
+	var out []string
+	for _, l := range t.Leaves() {
+		out = append(out, t.labels[l])
+	}
+	return out
+}
+
+// LeavesUnder returns the leaf indices in the subtree rooted at node i, in
+// depth-first order.
+func (t *Tree) LeavesUnder(i int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(n int) {
+		if t.IsLeaf(n) {
+			out = append(out, n)
+			return
+		}
+		for _, c := range t.children[n] {
+			walk(c)
+		}
+	}
+	walk(i)
+	return out
+}
+
+// IsAncestorOrSelf reports v' <=_T v: anc is an ancestor of n or n itself.
+func (t *Tree) IsAncestorOrSelf(anc, n int) bool {
+	for n >= 0 {
+		if n == anc {
+			return true
+		}
+		n = t.parent[n]
+	}
+	return false
+}
+
+// Height returns the number of edges on the longest root-to-leaf path.
+func (t *Tree) Height() int {
+	var h func(int) int
+	h = func(n int) int {
+		best := 0
+		for _, c := range t.children[n] {
+			if d := h(c) + 1; d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	return h(0)
+}
+
+// Width returns the maximum number of children of any node (the w in the
+// paper's O(n·w·k²·|P|_M) complexity bound for Algorithm 1).
+func (t *Tree) Width() int {
+	w := 0
+	for _, cs := range t.children {
+		if len(cs) > w {
+			w = len(cs)
+		}
+	}
+	return w
+}
+
+// CutCount returns the exact number of valid variable sets (cuts) of the
+// tree: 1 for a leaf and 1 + Π_children CutCount(child) for an internal node.
+// Counts exceed uint64 for the largest Table 2 shapes, hence the big.Int.
+func (t *Tree) CutCount() *big.Int {
+	var count func(int) *big.Int
+	count = func(n int) *big.Int {
+		if t.IsLeaf(n) {
+			return big.NewInt(1)
+		}
+		prod := big.NewInt(1)
+		for _, c := range t.children[n] {
+			prod.Mul(prod, count(c))
+		}
+		return prod.Add(prod, big.NewInt(1))
+	}
+	return count(0)
+}
+
+// String renders the tree in the compact parenthesized format accepted by
+// ParseTree, e.g. "Plans(Standard(p1,p2),Business(SB(b1,b2),e))".
+func (t *Tree) String() string {
+	var sb strings.Builder
+	var walk func(int)
+	walk = func(n int) {
+		sb.WriteString(t.labels[n])
+		if t.IsLeaf(n) {
+			return
+		}
+		sb.WriteByte('(')
+		for i, c := range t.children[n] {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			walk(c)
+		}
+		sb.WriteByte(')')
+	}
+	walk(0)
+	return sb.String()
+}
+
+// ParseTree parses the compact format produced by Tree.String.
+func ParseTree(s string) (*Tree, error) {
+	p := &treeParser{src: s}
+	spec, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("abstree: trailing input at offset %d in %q", p.pos, s)
+	}
+	return NewTree(spec)
+}
+
+// MustParseTree is ParseTree that panics on error.
+func MustParseTree(s string) *Tree {
+	t, err := ParseTree(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type treeParser struct {
+	src string
+	pos int
+}
+
+func (p *treeParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *treeParser) node() (Spec, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune("(),", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	label := strings.TrimSpace(p.src[start:p.pos])
+	if label == "" {
+		return Spec{}, fmt.Errorf("abstree: missing label at offset %d in %q", start, p.src)
+	}
+	spec := Spec{Label: label}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			child, err := p.node()
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Children = append(spec.Children, child)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return Spec{}, fmt.Errorf("abstree: unterminated %q", p.src)
+			}
+			switch p.src[p.pos] {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return spec, nil
+			default:
+				return Spec{}, fmt.Errorf("abstree: unexpected %q at offset %d", p.src[p.pos], p.pos)
+			}
+		}
+	}
+	return spec, nil
+}
+
+// VarOf returns the provenance variable for node i's label, interning it in
+// vb on first use. Leaf labels are polynomial variables; internal labels are
+// meta-variables.
+func (t *Tree) VarOf(vb *provenance.Vocab, i int) provenance.Var {
+	return vb.Var(t.labels[i])
+}
+
+// SortedNodeLabels returns all labels sorted, for deterministic reporting.
+func (t *Tree) SortedNodeLabels() []string {
+	out := append([]string(nil), t.labels...)
+	sort.Strings(out)
+	return out
+}

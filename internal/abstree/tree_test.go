@@ -1,0 +1,400 @@
+package abstree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"provabs/internal/provenance"
+)
+
+// plansTreeSpec is Figure 2 of the paper: the abstraction tree of the plans
+// variables. We use "Sp"/"Std"/"B" shorthands as the paper does in Example 13.
+const plansTreeSpec = "Plans(Std(p1,p2),Sp(Y(y1,y2,y3),F(f1,f2),v),B(SB(b1,b2),e))"
+
+// yearTreeSpec is Figure 3 restricted to the two months of the running
+// example's database fragment (after cleaning).
+const yearTreeSpec = "Year(q1(m1,m3))"
+
+func plansForest(t *testing.T) (*Forest, *Tree) {
+	t.Helper()
+	tree := MustParseTree(plansTreeSpec)
+	return MustForest(tree), tree
+}
+
+func TestParseTreeRoundTrip(t *testing.T) {
+	tree := MustParseTree(plansTreeSpec)
+	if got := tree.String(); got != plansTreeSpec {
+		t.Errorf("String = %q, want %q", got, plansTreeSpec)
+	}
+	if tree.Len() != 18 {
+		t.Errorf("Len = %d, want 18", tree.Len())
+	}
+	if got := len(tree.Leaves()); got != 11 {
+		t.Errorf("leaves = %d, want 11", got)
+	}
+	if tree.Height() != 3 {
+		t.Errorf("Height = %d, want 3", tree.Height())
+	}
+	if tree.Width() != 3 {
+		t.Errorf("Width = %d, want 3", tree.Width())
+	}
+}
+
+func TestParseTreeErrors(t *testing.T) {
+	for _, bad := range []string{"", "a(b", "a(b,,c)", "a(b)x", "a(b,b)", "(x)"} {
+		if _, err := ParseTree(bad); err == nil {
+			t.Errorf("ParseTree(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestLeavesUnder(t *testing.T) {
+	tree := MustParseTree(plansTreeSpec)
+	b, ok := tree.NodeByLabel("B")
+	if !ok {
+		t.Fatal("no node B")
+	}
+	var labels []string
+	for _, l := range tree.LeavesUnder(b) {
+		labels = append(labels, tree.Label(l))
+	}
+	sort.Strings(labels)
+	want := []string{"b1", "b2", "e"}
+	if len(labels) != len(want) {
+		t.Fatalf("LeavesUnder(B) = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("LeavesUnder(B) = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestIsAncestorOrSelf(t *testing.T) {
+	tree := MustParseTree(plansTreeSpec)
+	sp, _ := tree.NodeByLabel("Sp")
+	y1, _ := tree.NodeByLabel("y1")
+	e, _ := tree.NodeByLabel("e")
+	if !tree.IsAncestorOrSelf(sp, y1) {
+		t.Error("Sp should be ancestor of y1")
+	}
+	if tree.IsAncestorOrSelf(sp, e) {
+		t.Error("Sp should not be ancestor of e")
+	}
+	if !tree.IsAncestorOrSelf(y1, y1) {
+		t.Error("y1 <= y1 must hold")
+	}
+	if !tree.IsAncestorOrSelf(tree.Root(), e) {
+		t.Error("root is ancestor of everything")
+	}
+}
+
+// TestExample5ValidVVS checks that the paper's S1..S5 are all valid.
+func TestExample5ValidVVS(t *testing.T) {
+	f, _ := plansForest(t)
+	cases := [][]string{
+		{"B", "Sp", "Std"},
+		{"SB", "e", "f1", "f2", "Y", "v", "Std"},
+		{"b1", "b2", "e", "Sp", "Std"},
+		{"SB", "e", "F", "Y", "v", "p1", "p2"},
+		{"Plans"},
+	}
+	for i, labels := range cases {
+		if _, err := FromLabels(f, labels...); err != nil {
+			t.Errorf("S%d = %v invalid: %v", i+1, labels, err)
+		}
+	}
+}
+
+func TestInvalidVVS(t *testing.T) {
+	f, _ := plansForest(t)
+	cases := [][]string{
+		{"Plans", "B"},                 // comparable pair
+		{"B", "Sp"},                    // Std leaves uncovered
+		{"SB", "e", "Sp"},              // Std uncovered
+		{"b1", "b1", "e", "Sp", "Std"}, // duplicate
+		{},                             // nothing covered
+	}
+	for i, labels := range cases {
+		if _, err := FromLabels(f, labels...); err == nil {
+			t.Errorf("case %d = %v validated, want error", i, labels)
+		}
+	}
+}
+
+func TestCutCountSmall(t *testing.T) {
+	// Figure 2 tree: count cuts bottom-up by hand:
+	// SB: 1+1*1=2; Y: 1+1=2 (3 leaves → 1+1·1·1=2); F: 2; Std: 2
+	// B: 1+2*1=3; Sp: 1+2*2*1=5
+	// Plans: 1+2*3*5=31
+	tree := MustParseTree(plansTreeSpec)
+	if got := tree.CutCount().Int64(); got != 31 {
+		t.Errorf("CutCount = %d, want 31", got)
+	}
+	cuts, err := EnumerateCuts(tree, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 31 {
+		t.Errorf("EnumerateCuts found %d cuts, want 31", len(cuts))
+	}
+	// Every enumerated cut must validate.
+	f := MustForest(tree)
+	for _, c := range cuts {
+		v := &VVS{Forest: f, Nodes: [][]int{c}}
+		if err := v.Validate(); err != nil {
+			t.Errorf("enumerated cut %v invalid: %v", c, err)
+		}
+	}
+}
+
+func TestEnumerateCutsLimit(t *testing.T) {
+	tree := MustParseTree(plansTreeSpec)
+	if _, err := EnumerateCuts(tree, 10); err == nil {
+		t.Error("limit 10 on a 31-cut tree did not error")
+	}
+}
+
+func TestForestDisjointness(t *testing.T) {
+	t1 := MustParseTree("A(x,y)")
+	t2 := MustParseTree("B(y,z)")
+	if _, err := NewForest(t1, t2); err == nil {
+		t.Error("overlapping forests accepted")
+	}
+	t3 := MustParseTree("B(z,w)")
+	if _, err := NewForest(t1, t3); err != nil {
+		t.Errorf("disjoint forest rejected: %v", err)
+	}
+}
+
+func TestForestCutCount(t *testing.T) {
+	f := MustForest(MustParseTree(plansTreeSpec), MustParseTree("Year(q1(m1,m3),q2(m4,m6))"))
+	// Year: q=2 each → 1+2·2=5; total 31·5=155.
+	if got := ForestCutCount(f).Int64(); got != 155 {
+		t.Errorf("ForestCutCount = %d, want 155", got)
+	}
+	vvs, err := EnumerateVVS(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vvs) != 155 {
+		t.Errorf("EnumerateVVS found %d, want 155", len(vvs))
+	}
+}
+
+func TestSubstRunningExample(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("10001", provenance.MustParse(vb,
+		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3"))
+	f := MustForest(MustParseTree(yearTreeSpec))
+	v := MustFromLabels(f, "q1")
+	got := v.Apply(s)
+	if got.Size() != 4 {
+		t.Errorf("|P↓S|_M = %d, want 4 (Example 2)", got.Size())
+	}
+	if got.Granularity() != 5 {
+		t.Errorf("|P↓S|_V = %d, want 5 (p1,f1,y1,v,q1)", got.Granularity())
+	}
+}
+
+// TestExample6 verifies the sizes reported in Example 6 for S1 and S5.
+func TestExample6(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("10001", provenance.MustParse(vb,
+		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3"))
+	f, _ := plansForest(t)
+
+	s1 := MustFromLabels(f, "B", "Sp", "Std")
+	got1 := s1.Apply(s)
+	// Note: in the fragment's zip-10001 polynomial only p1, f1, y1, v occur
+	// (no business plans), so S1 yields vars {Std, Sp, m1, m3} = 4 and
+	// monomials {Std·m1, Std·m3, Sp·m1, Sp·m3} = 4, exactly Example 6.
+	if got1.Granularity() != 4 || got1.Size() != 4 {
+		t.Errorf("S1: |V|=%d |M|=%d, want 4 and 4", got1.Granularity(), got1.Size())
+	}
+
+	s5 := MustFromLabels(f, "Plans")
+	got5 := s5.Apply(s)
+	if got5.Granularity() != 3 || got5.Size() != 2 {
+		t.Errorf("S5: |V|=%d |M|=%d, want 3 and 2", got5.Granularity(), got5.Size())
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "2·p1·m1 + 3·p2·m3"))
+	f := MustForest(MustParseTree(plansTreeSpec), MustParseTree(yearTreeSpec))
+	if err := f.CompatibleWith(s); err != nil {
+		t.Errorf("compatible forest rejected: %v", err)
+	}
+	// Two plan variables in one monomial → incompatible.
+	bad := provenance.NewSet(vb)
+	bad.Add("", provenance.MustParse(vb, "2·p1·p2"))
+	if err := f.CompatibleWith(bad); err == nil {
+		t.Error("monomial with two tree nodes accepted")
+	}
+	// Meta-variable occurring in P → incompatible.
+	bad2 := provenance.NewSet(vb)
+	bad2.Add("", provenance.MustParse(vb, "2·Plans·m1"))
+	if err := f.CompatibleWith(bad2); err == nil {
+		t.Error("internal label used as variable accepted")
+	}
+}
+
+func TestClean(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "2·p1·m1 + 3·y1·m3"))
+	f := MustForest(MustParseTree(plansTreeSpec), MustParseTree("Year(q1(m1,m2,m3),q2(m4,m5,m6))"))
+	cleaned := f.Clean(s)
+	if cleaned.Len() != 2 {
+		t.Fatalf("cleaned forest has %d trees, want 2", cleaned.Len())
+	}
+	plans := cleaned.Trees[0]
+	var leaves []string
+	for _, l := range plans.Leaves() {
+		leaves = append(leaves, plans.Label(l))
+	}
+	sort.Strings(leaves)
+	if len(leaves) != 2 || leaves[0] != "p1" || leaves[1] != "y1" {
+		t.Errorf("cleaned plans leaves = %v, want [p1 y1]", leaves)
+	}
+	// F, SB, B subtrees must be gone entirely.
+	if _, ok := plans.NodeByLabel("F"); ok {
+		t.Error("empty subtree F survived cleaning")
+	}
+	year := cleaned.Trees[1]
+	if _, ok := year.NodeByLabel("q2"); ok {
+		t.Error("empty subtree q2 survived cleaning")
+	}
+	if _, ok := year.NodeByLabel("m2"); ok {
+		t.Error("inactive leaf m2 survived cleaning")
+	}
+}
+
+func TestCleanDropsWholeTree(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "2·x"))
+	f := MustForest(MustParseTree("A(a1,a2)"))
+	if got := f.Clean(s).Len(); got != 0 {
+		t.Errorf("forest with no active leaves kept %d trees", got)
+	}
+}
+
+func TestLeafAndRootVVS(t *testing.T) {
+	f, tree := plansForest(t)
+	lv := LeafVVS(f)
+	if err := lv.Validate(); err != nil {
+		t.Errorf("LeafVVS invalid: %v", err)
+	}
+	if lv.Size() != len(tree.Leaves()) {
+		t.Errorf("LeafVVS size = %d, want %d", lv.Size(), len(tree.Leaves()))
+	}
+	rv := RootVVS(f)
+	if err := rv.Validate(); err != nil {
+		t.Errorf("RootVVS invalid: %v", err)
+	}
+	if rv.Size() != 1 {
+		t.Errorf("RootVVS size = %d, want 1", rv.Size())
+	}
+}
+
+// randomTree builds a random tree with the given number of leaves for
+// property tests.
+func randomTree(rng *rand.Rand, label string, leaves int) *Tree {
+	var build func(prefix string, n int, depth int) Spec
+	id := 0
+	build = func(prefix string, n, depth int) Spec {
+		if n == 1 || depth > 3 {
+			id++
+			return Spec{Label: prefix + "L" + itoa(id)}
+		}
+		k := rng.Intn(min(n, 3)-1) + 2 // 2..min(n,3) children
+		spec := Spec{Label: prefix + "N" + itoa(id)}
+		id++
+		rem := n
+		for i := 0; i < k; i++ {
+			share := rem / (k - i)
+			if i < k-1 && share < rem-(k-i-1) && rng.Intn(2) == 0 {
+				share++
+			}
+			if share < 1 {
+				share = 1
+			}
+			spec.Children = append(spec.Children, build(prefix+itoa(i), share, depth+1))
+			rem -= share
+		}
+		return spec
+	}
+	t, err := NewTree(build(label, leaves, 0))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i%10)) + "x" + string(rune('a'+(i/10)%26)) + string(rune('a'+(i/260)%26))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: CutCount equals the number of enumerated cuts on random trees.
+func TestQuickCutCountMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(rng, "T", rng.Intn(6)+2)
+		cuts, err := EnumerateCuts(tree, 100000)
+		if err != nil {
+			return true // too many cuts; skip
+		}
+		return tree.CutCount().Int64() == int64(len(cuts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated cut validates, and all enumerated cuts are
+// distinct.
+func TestQuickEnumeratedCutsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(rng, "T", rng.Intn(5)+2)
+		cuts, err := EnumerateCuts(tree, 100000)
+		if err != nil {
+			return true
+		}
+		forest := MustForest(tree)
+		seen := map[string]bool{}
+		for _, c := range cuts {
+			v := &VVS{Forest: forest, Nodes: [][]int{c}}
+			if v.Validate() != nil {
+				return false
+			}
+			key := ""
+			for _, n := range c {
+				key += "," + tree.Label(n)
+			}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

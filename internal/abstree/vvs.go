@@ -1,0 +1,273 @@
+package abstree
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"provabs/internal/provenance"
+)
+
+// VVS is a valid variable set (Definition 4): a choice, for every tree of
+// the forest, of a cut separating the root from the leaves. Nodes[ti] holds
+// the chosen node indices of tree ti in ascending order.
+type VVS struct {
+	Forest *Forest
+	Nodes  [][]int
+}
+
+// LeafVVS returns the identity abstraction: every leaf chosen, nothing
+// grouped. It is the greedy algorithm's starting point.
+func LeafVVS(f *Forest) *VVS {
+	nodes := make([][]int, len(f.Trees))
+	for i, t := range f.Trees {
+		nodes[i] = t.Leaves()
+	}
+	return &VVS{Forest: f, Nodes: nodes}
+}
+
+// RootVVS returns the coarsest abstraction: only the roots chosen.
+func RootVVS(f *Forest) *VVS {
+	nodes := make([][]int, len(f.Trees))
+	for i := range f.Trees {
+		nodes[i] = []int{0}
+	}
+	return &VVS{Forest: f, Nodes: nodes}
+}
+
+// FromLabels builds a VVS from node labels spread across the forest's trees
+// and validates it.
+func FromLabels(f *Forest, labels ...string) (*VVS, error) {
+	nodes := make([][]int, len(f.Trees))
+	treeIndex := make(map[*Tree]int, len(f.Trees))
+	for i, t := range f.Trees {
+		treeIndex[t] = i
+	}
+	for _, l := range labels {
+		t, n, ok := f.TreeOfLabel(l)
+		if !ok {
+			return nil, fmt.Errorf("abstree: label %q not in forest", l)
+		}
+		ti := treeIndex[t]
+		nodes[ti] = append(nodes[ti], n)
+	}
+	for _, ns := range nodes {
+		sort.Ints(ns)
+	}
+	s := &VVS{Forest: f, Nodes: nodes}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustFromLabels is FromLabels that panics on error.
+func MustFromLabels(f *Forest, labels ...string) *VVS {
+	s, err := FromLabels(f, labels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks Definition 4: in every tree, (1) each leaf has an ancestor
+// (or itself) in the set and (2) no chosen node is a strict ancestor of
+// another chosen node.
+func (s *VVS) Validate() error {
+	if len(s.Nodes) != len(s.Forest.Trees) {
+		return fmt.Errorf("abstree: VVS covers %d trees, forest has %d", len(s.Nodes), len(s.Forest.Trees))
+	}
+	for ti, t := range s.Forest.Trees {
+		chosen := make(map[int]bool, len(s.Nodes[ti]))
+		for _, n := range s.Nodes[ti] {
+			if n < 0 || n >= t.Len() {
+				return fmt.Errorf("abstree: node %d out of range in tree %d", n, ti)
+			}
+			if chosen[n] {
+				return fmt.Errorf("abstree: node %q chosen twice in tree %d", t.Label(n), ti)
+			}
+			chosen[n] = true
+		}
+		// Antichain: no chosen node has a chosen strict ancestor.
+		for n := range chosen {
+			for a := t.Parent(n); a >= 0; a = t.Parent(a) {
+				if chosen[a] {
+					return fmt.Errorf("abstree: %q and its ancestor %q both chosen in tree %d", t.Label(n), t.Label(a), ti)
+				}
+			}
+		}
+		// Coverage: every leaf has an ancestor-or-self in the set.
+		for _, l := range t.Leaves() {
+			covered := false
+			for a := l; a >= 0; a = t.Parent(a) {
+				if chosen[a] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return fmt.Errorf("abstree: leaf %q of tree %d not covered", t.Label(l), ti)
+			}
+		}
+	}
+	return nil
+}
+
+// Labels returns the labels of all chosen nodes, sorted.
+func (s *VVS) Labels() []string {
+	var out []string
+	for ti, t := range s.Forest.Trees {
+		for _, n := range s.Nodes[ti] {
+			out = append(out, t.Label(n))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of chosen nodes across the forest.
+func (s *VVS) Size() int {
+	n := 0
+	for _, ns := range s.Nodes {
+		n += len(ns)
+	}
+	return n
+}
+
+// Equal reports whether two VVS over the same forest choose the same nodes.
+func (s *VVS) Equal(o *VVS) bool {
+	if s.Forest != o.Forest || len(s.Nodes) != len(o.Nodes) {
+		return false
+	}
+	for i := range s.Nodes {
+		if len(s.Nodes[i]) != len(o.Nodes[i]) {
+			return false
+		}
+		for j := range s.Nodes[i] {
+			if s.Nodes[i][j] != o.Nodes[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the chosen labels, e.g. "{SB, Sp, e, p1}".
+func (s *VVS) String() string {
+	return "{" + strings.Join(s.Labels(), ", ") + "}"
+}
+
+// Subst builds the substitution map P↓S needs: every forest leaf variable
+// that occurs under a chosen internal node maps to that node's
+// meta-variable. Leaves chosen as themselves (and variables outside the
+// forest) are left out — they stay intact under substitution.
+func (s *VVS) Subst(vb *provenance.Vocab) map[provenance.Var]provenance.Var {
+	subst := make(map[provenance.Var]provenance.Var)
+	for ti, t := range s.Forest.Trees {
+		for _, n := range s.Nodes[ti] {
+			if t.IsLeaf(n) {
+				continue
+			}
+			meta := vb.Var(t.Label(n))
+			for _, l := range t.LeavesUnder(n) {
+				if lv, ok := vb.Lookup(t.Label(l)); ok {
+					subst[lv] = meta
+				}
+			}
+		}
+	}
+	return subst
+}
+
+// Apply abstracts the polynomial set under the VVS, returning P↓S.
+func (s *VVS) Apply(ps *provenance.Set) *provenance.Set {
+	return ps.Substitute(s.Subst(ps.Vocab))
+}
+
+// EnumerateCuts returns every valid cut of the tree, each as a sorted slice
+// of node indices. It returns an error once more than limit cuts exist
+// (limit <= 0 means unlimited). Cut counts blow up exponentially — see
+// Tree.CutCount — so brute-force callers must pass a limit.
+func EnumerateCuts(t *Tree, limit int) ([][]int, error) {
+	var enum func(n int) ([][]int, error)
+	enum = func(n int) ([][]int, error) {
+		if t.IsLeaf(n) {
+			return [][]int{{n}}, nil
+		}
+		// Cross product of children's cuts.
+		acc := [][]int{nil}
+		for _, c := range t.children[n] {
+			sub, err := enum(c)
+			if err != nil {
+				return nil, err
+			}
+			var next [][]int
+			for _, a := range acc {
+				for _, s := range sub {
+					merged := make([]int, 0, len(a)+len(s))
+					merged = append(merged, a...)
+					merged = append(merged, s...)
+					next = append(next, merged)
+					if limit > 0 && len(next) > limit {
+						return nil, fmt.Errorf("abstree: more than %d cuts", limit)
+					}
+				}
+			}
+			acc = next
+		}
+		acc = append(acc, []int{n})
+		if limit > 0 && len(acc) > limit {
+			return nil, fmt.Errorf("abstree: more than %d cuts", limit)
+		}
+		return acc, nil
+	}
+	cuts, err := enum(0)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cuts {
+		sort.Ints(c)
+	}
+	return cuts, nil
+}
+
+// EnumerateVVS returns every VVS of the forest (the cartesian product of the
+// trees' cuts), erroring out beyond limit.
+func EnumerateVVS(f *Forest, limit int) ([]*VVS, error) {
+	perTree := make([][][]int, len(f.Trees))
+	for i, t := range f.Trees {
+		cuts, err := EnumerateCuts(t, limit)
+		if err != nil {
+			return nil, err
+		}
+		perTree[i] = cuts
+	}
+	out := []*VVS{{Forest: f, Nodes: make([][]int, len(f.Trees))}}
+	for ti := range f.Trees {
+		var next []*VVS
+		for _, v := range out {
+			for _, cut := range perTree[ti] {
+				nodes := make([][]int, len(f.Trees))
+				copy(nodes, v.Nodes)
+				nodes[ti] = cut
+				next = append(next, &VVS{Forest: f, Nodes: nodes})
+				if limit > 0 && len(next) > limit {
+					return nil, fmt.Errorf("abstree: more than %d VVS", limit)
+				}
+			}
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// ForestCutCount returns the exact number of VVS of the forest (product over
+// trees of per-tree cut counts).
+func ForestCutCount(f *Forest) *big.Int {
+	prod := big.NewInt(1)
+	for _, t := range f.Trees {
+		prod.Mul(prod, t.CutCount())
+	}
+	return prod
+}

@@ -1,0 +1,334 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/core"
+	"provabs/internal/hypo"
+	"provabs/internal/summarize"
+	"provabs/internal/telco"
+	"provabs/internal/tpch"
+	"provabs/internal/treegen"
+)
+
+// BruteLimit caps brute-force VVS enumeration in the figure runners — the
+// paper's brute force "was able to complete the computation only when the
+// number of VVS was less than 80,000" (§4.3).
+const BruteLimit = 80000
+
+// halfBound returns the paper's default bound, 0.5·|P|_M.
+func halfBound(w *Workload) int {
+	b := w.Set.Size() / 2
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// CompressionTimeVsCuts reproduces Figures 5, 6 and 7: compression time as
+// a function of the number of valid variable sets, for all Table 2 shapes
+// of the given tree types, over one workload. Brute force runs only while
+// the cut count stays under BruteLimit ("-" otherwise), matching the
+// paper's observation.
+func CompressionTimeVsCuts(w *Workload, types []int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Compression time vs #cuts — %s", w.Name),
+		Headers: []string{"type", "fanouts", "cuts", "opt", "greedy", "brute"},
+	}
+	B := halfBound(w)
+	for _, typ := range types {
+		for _, shape := range treegen.ShapesOfType(typ) {
+			tree := w.Tree(shape)
+			forest := abstree.MustForest(tree)
+			optT, err := timeIt(func() error {
+				_, err := core.OptimalVVS(w.Set, tree, B)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			greedyT, err := timeIt(func() error {
+				_, err := core.GreedyVVS(w.Set, forest, B)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			bruteCell := "-"
+			if shape.CutCount().IsInt64() && shape.CutCount().Int64() <= BruteLimit {
+				bruteT, err := timeIt(func() error {
+					_, err := core.BruteForceVVS(w.Set, forest, B, BruteLimit)
+					if err == core.ErrNoAdequate {
+						return nil
+					}
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				bruteCell = fmtDuration(bruteT)
+			}
+			t.AddRow(typ, fmt.Sprint(shape.Fanouts), shape.CutCount().String(),
+				optT, greedyT, bruteCell)
+		}
+	}
+	return t, nil
+}
+
+// CompressionTimeVsDataSize reproduces Figure 8: compression time as a
+// function of the input data size (total base tuples), regenerating each
+// workload at growing scale multipliers and compressing with the smallest
+// type-1 tree at bound 0.5·|P|_M.
+func CompressionTimeVsDataSize(name string, sc Scale, multipliers []float64) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Compression time vs input data size — %s", name),
+		Headers: []string{"tuples", "|P|_M", "opt", "greedy"},
+	}
+	shape := treegen.SmallestOfType(1)
+	for _, m := range multipliers {
+		var w *Workload
+		var tuples int
+		switch name {
+		case "telco":
+			cfg := telco.Config{
+				Customers: int(float64(sc.TelcoCustomers) * m), Plans: 128, Months: 12,
+				Zips: sc.TelcoZips, Seed: sc.Seed,
+			}
+			if cfg.Customers < 1 {
+				cfg.Customers = 1
+			}
+			set, err := telco.SyntheticProvenance(cfg)
+			if err != nil {
+				return nil, err
+			}
+			w = &Workload{Name: name, Set: set, LeafPrefix: "pl", LeafCount: 128}
+			tuples = telco.TotalRows(cfg)
+		default:
+			d, err := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHScaleFactor * m, Seed: sc.Seed})
+			if err != nil {
+				return nil, err
+			}
+			set, err := d.Provenance(tpch.QueryID(name))
+			if err != nil {
+				return nil, err
+			}
+			w = &Workload{Name: name, Set: set, LeafPrefix: "s", LeafCount: 128}
+			tuples = d.Catalog.TotalRows()
+		}
+		B := halfBound(w)
+		tree := w.Tree(shape)
+		optT, err := timeIt(func() error {
+			_, err := core.OptimalVVS(w.Set, tree, B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		greedyT, err := timeIt(func() error {
+			_, err := core.GreedyVVS(w.Set, abstree.MustForest(tree), B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tuples, w.Set.Size(), optT, greedyT)
+	}
+	return t, nil
+}
+
+// BoundSweep returns bounds spanning the feasible compression range of the
+// workload under the shape's tree: from just above the coarsest-possible
+// size up to the original size.
+func BoundSweep(w *Workload, shape treegen.Shape, steps int) []int {
+	forest := w.Forest(shape)
+	lo := core.RootBound(w.Set, forest)
+	hi := w.Set.Size()
+	if steps < 2 || hi <= lo {
+		return []int{hi}
+	}
+	var out []int
+	for i := 0; i < steps; i++ {
+		b := lo + (hi-lo)*(i+1)/(steps+1)
+		if len(out) == 0 || b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CompressionTimeVsBound reproduces Figure 9: compression time as a
+// function of the bound. The paper's finding: Opt VVS is insensitive to the
+// bound while the greedy gets faster as the bound loosens.
+func CompressionTimeVsBound(w *Workload, shape treegen.Shape, steps int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Compression time vs bound — %s", w.Name),
+		Headers: []string{"bound", "opt", "greedy"},
+	}
+	tree := w.Tree(shape)
+	forest := abstree.MustForest(tree)
+	for _, B := range BoundSweep(w, shape, steps) {
+		optT, err := timeIt(func() error {
+			_, err := core.OptimalVVS(w.Set, tree, B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		greedyT, err := timeIt(func() error {
+			_, err := core.GreedyVVS(w.Set, forest, B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(B, optT, greedyT)
+	}
+	return t, nil
+}
+
+// SpeedupVsBound reproduces Figure 10: the hypothetical-scenario assignment
+// -time speedup of compressed vs original provenance, as a function of the
+// bound.
+func SpeedupVsBound(w *Workload, shape treegen.Shape, steps, rounds int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Assignment-time speedup vs bound — %s", w.Name),
+		Headers: []string{"bound", "|P↓S|_M", "speedup"},
+	}
+	tree := w.Tree(shape)
+	for _, B := range BoundSweep(w, shape, steps) {
+		res, err := core.OptimalVVS(w.Set, tree, B)
+		if err != nil {
+			return nil, err
+		}
+		abs := res.VVS.Apply(w.Set)
+		tOrig, tAbs := hypo.AssignmentTimes(w.Set, abs, rounds)
+		t.AddRow(B, abs.Size(), fmt.Sprintf("%.1f%%", 100*hypo.Speedup(tOrig, tAbs)))
+	}
+	return t, nil
+}
+
+// TimeVsNumTrees reproduces Figure 11: greedy (and brute-force, while
+// feasible) compression time as a function of the number of abstraction
+// trees — binary trees of 16 leaves each, covering disjoint 16-variable
+// slices of the workload's 128 tree variables.
+func TimeVsNumTrees(w *Workload, maxTrees int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Compression time vs #trees — %s", w.Name),
+		Headers: []string{"trees", "greedy", "brute"},
+	}
+	B := halfBound(w)
+	for k := 2; k <= maxTrees; k++ {
+		trees := make([]*abstree.Tree, k)
+		for i := 0; i < k; i++ {
+			base := i * 16
+			trees[i] = treegen.BinaryTree(fmt.Sprintf("%sT%d", w.Name, i), 4, func(j int) string {
+				return fmt.Sprintf("%s%d", w.LeafPrefix, base+j)
+			})
+		}
+		forest, err := abstree.NewForest(trees...)
+		if err != nil {
+			return nil, err
+		}
+		greedyT, err := timeIt(func() error {
+			_, err := core.GreedyVVS(w.Set, forest, B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		bruteCell := "-"
+		if cc := abstree.ForestCutCount(forest); cc.IsInt64() && cc.Int64() <= BruteLimit {
+			bruteT, err := timeIt(func() error {
+				_, err := core.BruteForceVVS(w.Set, forest, B, BruteLimit)
+				if err == core.ErrNoAdequate {
+					return nil
+				}
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			bruteCell = fmtDuration(bruteT)
+		}
+		t.AddRow(k, greedyT, bruteCell)
+	}
+	return t, nil
+}
+
+// OptVsCompetitor reproduces Figure 12: Opt VVS vs the summarization
+// algorithm of Ainy et al. [3] ("Prox"), compression time as a function of
+// the bound, on Q5 and Q1. The competitor gets a timeout in place of the
+// paper's 24-hour cutoff.
+func OptVsCompetitor(w *Workload, shape treegen.Shape, steps int, timeout time.Duration) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Opt VVS vs Ainy et al. [3] — %s", w.Name),
+		Headers: []string{"bound", "opt", "prox", "prox oracle calls", "prox status"},
+	}
+	tree := w.Tree(shape)
+	forest := abstree.MustForest(tree)
+	for _, B := range BoundSweep(w, shape, steps) {
+		optT, err := timeIt(func() error {
+			_, err := core.OptimalVVS(w.Set, tree, B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := summarize.Summarize(w.Set, forest, B, summarize.Options{Timeout: timeout})
+		if err != nil {
+			return nil, err
+		}
+		status := "ok"
+		switch {
+		case res.TimedOut:
+			status = "timeout"
+		case !res.Adequate:
+			status = "inadequate"
+		}
+		t.AddRow(B, optT, res.Elapsed, res.OracleCalls, status)
+	}
+	return t, nil
+}
+
+// TimeVsNumVariables reproduces Figure 14 (Appendix B): compression time as
+// the total number of provenance variables grows while the tree keeps
+// covering only 128 of them. varCounts are VarGroups moduli (e.g. 128, 1000,
+// 8000).
+func TimeVsNumVariables(name string, sc Scale, varCounts []int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Compression time vs #variables — %s", name),
+		Headers: []string{"variables", "|P|_M", "opt", "greedy"},
+	}
+	shape := treegen.SmallestOfType(1)
+	for _, vc := range varCounts {
+		d, err := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHScaleFactor, Seed: sc.Seed, VarGroups: vc})
+		if err != nil {
+			return nil, err
+		}
+		set, err := d.Provenance(tpch.QueryID(name))
+		if err != nil {
+			return nil, err
+		}
+		w := &Workload{Name: name, Set: set, LeafPrefix: "s", LeafCount: 128}
+		B := halfBound(w)
+		tree := w.Tree(shape)
+		optT, err := timeIt(func() error {
+			_, err := core.OptimalVVS(w.Set, tree, B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		greedyT, err := timeIt(func() error {
+			_, err := core.GreedyVVS(w.Set, abstree.MustForest(tree), B)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(set.Granularity(), set.Size(), optT, greedyT)
+	}
+	return t, nil
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"provabs/internal/abstree"
+	"provabs/internal/core"
+	"provabs/internal/treegen"
+)
+
+// GreedyQuality reproduces Table 1: per tree type (1..7), the greedy
+// algorithm's average accuracy and speedup relative to Opt VVS over the
+// type's Table 2 shapes, on one workload at bound 0.5·|P|_M.
+//
+// Accuracy is the granularity ratio |P↓S_greedy|_V / |P↓S_opt|_V (100% ⇔
+// the greedy retains as many variables as the optimum); speedup is
+// (t_opt − t_greedy)/t_opt.
+func GreedyQuality(w *Workload, types []int) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Greedy accuracy and speedup (Table 1) — %s", w.Name),
+		Headers: []string{"tree type", "accuracy", "speedup"},
+	}
+	B := halfBound(w)
+	for _, typ := range types {
+		var accSum, spSum float64
+		var n int
+		for _, shape := range treegen.ShapesOfType(typ) {
+			tree := w.Tree(shape)
+			forest := abstree.MustForest(tree)
+			var opt *core.Result
+			optDur, err := timeIt(func() error {
+				var e error
+				opt, e = core.OptimalVVS(w.Set, tree, B)
+				return e
+			})
+			if err != nil {
+				return nil, err
+			}
+			var greedy *core.Result
+			greedyDur, err := timeIt(func() error {
+				var e error
+				greedy, e = core.GreedyVVS(w.Set, forest, B)
+				return e
+			})
+			if err != nil {
+				return nil, err
+			}
+			optV := w.Set.Granularity() - opt.VL
+			greedyV := w.Set.Granularity() - greedy.VL
+			if optV > 0 {
+				acc := float64(greedyV) / float64(optV)
+				if acc > 1 {
+					acc = 1 // the greedy cannot beat the single-tree optimum
+				}
+				accSum += acc
+			}
+			if optDur > 0 {
+				sp := 1 - float64(greedyDur)/float64(optDur)
+				if sp < 0 {
+					sp = 0
+				}
+				spSum += sp
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(typ,
+			fmt.Sprintf("%.2f%%", 100*accSum/float64(n)),
+			fmt.Sprintf("%.2f%%", 100*spSum/float64(n)))
+	}
+	return t, nil
+}
+
+// TreeCatalog reproduces Table 2: every benchmark tree shape with its node
+// count, per-level fan-outs, and exact VVS count.
+func TreeCatalog() *Table {
+	t := &Table{
+		Title:   "Abstraction tree types (Table 2)",
+		Headers: []string{"type", "nodes", "fanouts", "VVS"},
+	}
+	for _, s := range treegen.Table2 {
+		t.AddRow(s.Type, s.Nodes(), fmt.Sprint(s.Fanouts), s.CutCount().String())
+	}
+	return t
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+	"provabs/internal/telco"
+	"provabs/internal/tpch"
+	"provabs/internal/treegen"
+)
+
+// Workload is one of the paper's four benchmark provenance sets, together
+// with everything needed to build abstraction trees over it.
+type Workload struct {
+	Name       string // "Q5", "Q10", "Q1", "telco"
+	Set        *provenance.Set
+	LeafPrefix string // variable prefix the trees cover ("s" or "pl")
+	LeafCount  int    // 128 everywhere, as in the paper
+}
+
+// Tree builds an abstraction tree of the given Table 2 shape over the
+// workload's tree variables.
+func (w *Workload) Tree(shape treegen.Shape) *abstree.Tree {
+	return shape.Build(w.Name+"Root", treegen.NumberedLeaves(w.LeafPrefix))
+}
+
+// Forest wraps a single tree in a forest.
+func (w *Workload) Forest(shape treegen.Shape) *abstree.Forest {
+	return abstree.MustForest(w.Tree(shape))
+}
+
+// Scale sizes the benchmark datasets. The paper ran TPC-H at 10 GB and
+// telco at up to 5M customers; the defaults here regenerate the same shapes
+// at CI scale, and cmd/provbench exposes every knob.
+type Scale struct {
+	TPCHScaleFactor float64
+	TelcoCustomers  int
+	TelcoZips       int
+	Seed            int64
+}
+
+// DefaultScale returns the CI-scale configuration.
+func DefaultScale() Scale {
+	return Scale{TPCHScaleFactor: 0.002, TelcoCustomers: 800, TelcoZips: 40, Seed: 1}
+}
+
+// LoadWorkloads generates the four benchmark provenance sets in the paper's
+// panel order: Q5, Q10, Q1, telco.
+func LoadWorkloads(sc Scale) ([]*Workload, error) {
+	d, err := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHScaleFactor, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Workload
+	for _, q := range tpch.AllQueries {
+		set, err := d.Provenance(q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", q, err)
+		}
+		out = append(out, &Workload{Name: string(q), Set: set, LeafPrefix: "s", LeafCount: 128})
+	}
+	tset, err := telco.SyntheticProvenance(telco.Config{
+		Customers: sc.TelcoCustomers, Plans: 128, Months: 12, Zips: sc.TelcoZips, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, &Workload{Name: "telco", Set: tset, LeafPrefix: "pl", LeafCount: 128})
+	return out, nil
+}
+
+// LoadWorkload generates a single workload by name ("Q1", "Q5", "Q10",
+// "telco").
+func LoadWorkload(name string, sc Scale) (*Workload, error) {
+	switch name {
+	case "Q1", "Q5", "Q10":
+		d, err := tpch.Generate(tpch.Config{ScaleFactor: sc.TPCHScaleFactor, Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		set, err := d.Provenance(tpch.QueryID(name))
+		if err != nil {
+			return nil, err
+		}
+		return &Workload{Name: name, Set: set, LeafPrefix: "s", LeafCount: 128}, nil
+	case "telco":
+		set, err := telco.SyntheticProvenance(telco.Config{
+			Customers: sc.TelcoCustomers, Plans: 128, Months: 12, Zips: sc.TelcoZips, Seed: sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Workload{Name: name, Set: set, LeafPrefix: "pl", LeafCount: 128}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown workload %q", name)
+}

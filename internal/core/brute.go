@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// DefaultBruteLimit caps brute-force enumeration. The paper's brute-force
+// baseline "was able to complete the computation only when the number of
+// VVS was less than 80,000" (§4.3); we default to the same order.
+const DefaultBruteLimit = 100000
+
+// BruteForceVVS enumerates every VVS of the (cleaned) forest and returns an
+// optimal one for bound B: among all adequate VVS, it maximizes |P↓S|_V,
+// breaking ties toward smaller |P↓S|_M and then lexicographic labels. It
+// fails once the enumeration exceeds limit (<=0 uses DefaultBruteLimit).
+// If no VVS is adequate it returns ErrNoAdequate.
+//
+// This is the reference solver: Algorithm 1 is validated against it on
+// single trees, and it doubles as the exact solver for small multi-tree
+// instances (where the problem is NP-hard, Proposition 11).
+func BruteForceVVS(s *provenance.Set, forest *abstree.Forest, B, limit int) (*Result, error) {
+	if B < 1 {
+		return nil, fmt.Errorf("core: bound B=%d must be at least 1", B)
+	}
+	if limit <= 0 {
+		limit = DefaultBruteLimit
+	}
+	inst, err := NewInstance(s, forest)
+	if err != nil {
+		return nil, err
+	}
+	all, err := abstree.EnumerateVVS(inst.Forest, limit)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	var bestAbs *provenance.Set
+	for _, v := range all {
+		abs := v.Apply(s)
+		if abs.Size() > B {
+			continue
+		}
+		r := &Result{
+			VVS:      v,
+			ML:       s.Size() - abs.Size(),
+			VL:       s.Granularity() - abs.Granularity(),
+			Adequate: true,
+		}
+		if best == nil || betterBrute(r, abs, best, bestAbs) {
+			best, bestAbs = r, abs
+		}
+	}
+	if best == nil {
+		return nil, ErrNoAdequate
+	}
+	return best, nil
+}
+
+// betterBrute orders candidate results: higher granularity first, then
+// smaller abstracted size, then lexicographically smaller label sets.
+func betterBrute(a *Result, aAbs *provenance.Set, b *Result, bAbs *provenance.Set) bool {
+	av, bv := aAbs.Granularity(), bAbs.Granularity()
+	if av != bv {
+		return av > bv
+	}
+	am, bm := aAbs.Size(), bAbs.Size()
+	if am != bm {
+		return am < bm
+	}
+	al, bl := a.VVS.Labels(), b.VVS.Labels()
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return al[i] < bl[i]
+		}
+	}
+	return len(al) < len(bl)
+}

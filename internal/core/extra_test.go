@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// Deep chain trees exercise the DP's multi-level combination: a path
+// A > B > C over leaves forces nested subtree choices.
+func TestOptimalDeepChainTree(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	// Four leaf variables sharing residues pairwise so each merge level
+	// has a distinct loss.
+	s.Add("", provenance.MustParse(vb,
+		"1·l1·x + 2·l2·x + 3·l3·x + 4·l4·x + 5·l1·y + 6·l2·y"))
+	tree := abstree.MustParseTree("A(B(l1,l2),C(l3,l4))")
+	forest := abstree.MustForest(tree)
+	for B := 1; B <= s.Size(); B++ {
+		res, err := OptimalVVS(s, tree, B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := BruteForceVVS(s, forest, B, 0)
+		if err == ErrNoAdequate {
+			if res.Adequate {
+				t.Errorf("B=%d: DP adequate, brute infeasible", B)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Adequate || res.VL != brute.VL {
+			t.Errorf("B=%d: DP VL=%d adequate=%v, brute VL=%d", B, res.VL, res.Adequate, brute.VL)
+		}
+	}
+}
+
+// Multiple polynomials: losses accumulate per polynomial and never merge
+// across polynomials (the groupKey poly tag).
+func TestOptimalAcrossPolynomials(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	// Same structure in both polynomials: merging l1,l2 loses one monomial
+	// in EACH.
+	s.Add("P1", provenance.MustParse(vb, "1·l1·x + 2·l2·x"))
+	s.Add("P2", provenance.MustParse(vb, "3·l1·y + 4·l2·y"))
+	tree := abstree.MustParseTree("G(l1,l2)")
+	res, err := OptimalVVS(s, tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Adequate || res.ML != 2 || res.VL != 1 {
+		t.Errorf("ML=%d VL=%d adequate=%v, want 2/1/true", res.ML, res.VL, res.Adequate)
+	}
+	// But monomials of different polynomials never merge: sizes drop from
+	// 4 to 2, not to 1.
+	if m, _ := res.Sizes(s); m != 2 {
+		t.Errorf("abstracted size %d, want 2", m)
+	}
+}
+
+// Exponents flow through abstraction: l1² and l2² merge into g², l1² and
+// l2 do not merge.
+func TestOptimalWithExponents(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "1·l1^2 + 2·l2^2 + 3·l3"))
+	tree := abstree.MustParseTree("G(l1,l2,l3)")
+	res, err := OptimalVVS(s, tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Adequate {
+		t.Fatal("expected adequacy: grouping all three still leaves {g², g} = 2 monomials")
+	}
+	abs := res.VVS.Apply(s)
+	if abs.Size() != 2 {
+		t.Errorf("abstracted size = %d, want 2 (g^2 and g stay apart)", abs.Size())
+	}
+}
+
+// A polynomial with variables entirely outside the forest is untouched.
+func TestAbstractionLeavesForeignVariablesAlone(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "1·u·w + 2·w"))
+	tree := abstree.MustParseTree("G(l1,l2)")
+	res, err := OptimalVVS(s, tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ML != 0 || res.VL != 0 {
+		t.Errorf("foreign-variable set lost ML=%d VL=%d", res.ML, res.VL)
+	}
+	if !res.Adequate {
+		t.Error("bound 2 = |P|_M should be adequate")
+	}
+}
+
+// Single-leaf tree (after cleaning, a chain contracts to the leaf): nothing
+// to do, but nothing should break either.
+func TestOptimalDegenerateTree(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "1·l1 + 2·z"))
+	tree := abstree.MustParseTree("A(B(l1))")
+	res, err := OptimalVVS(s, tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Adequate || res.ML != 0 {
+		t.Errorf("degenerate tree: ML=%d adequate=%v", res.ML, res.Adequate)
+	}
+	// Bound 1 is unreachable: l1 and z can never merge.
+	res, err = OptimalVVS(s, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adequate {
+		t.Error("claims adequacy for unreachable bound")
+	}
+}
+
+// The greedy with many trees each of one active leaf terminates without
+// promotions.
+func TestGreedyNoCandidates(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "1·a + 2·b"))
+	f := abstree.MustForest(
+		abstree.MustParseTree("A(a,a2)"),
+		abstree.MustParseTree("B(b,b2)"),
+	)
+	res, err := GreedyVVS(s, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cleaning contracts A(a,a2)→a and B(b,b2)→b (a2, b2 inactive), so no
+	// internal nodes remain and no merge is possible.
+	if res.Adequate || res.ML != 0 {
+		t.Errorf("ML=%d adequate=%v, want no-op", res.ML, res.Adequate)
+	}
+}
+
+// GroupML matches NaiveGroupML on a larger structured instance.
+func TestGroupMLLargeInstance(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	for pi := 0; pi < 5; pi++ {
+		p := provenance.NewPolynomial()
+		for i := 0; i < 20; i++ {
+			p.AddTerm(float64(i+1), vb.Var(fmt.Sprintf("l%d", i%7)), vb.Var(fmt.Sprintf("o%d", i%3)))
+		}
+		s.Add(fmt.Sprintf("P%d", pi), p)
+	}
+	var group []provenance.Var
+	for i := 0; i < 4; i++ {
+		v, _ := vb.Lookup(fmt.Sprintf("l%d", i))
+		group = append(group, v)
+	}
+	fast := GroupML(s, group)
+	naive := NaiveGroupML(s, group, vb.Var("META"))
+	if fast != naive {
+		t.Errorf("GroupML %d != NaiveGroupML %d", fast, naive)
+	}
+}
+
+// Result.Sizes agrees with direct application.
+func TestResultSizes(t *testing.T) {
+	s, plans, _ := example13(t)
+	res, err := OptimalVVS(s, plans, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := res.VVS.Apply(s)
+	m, v := res.Sizes(s)
+	if m != abs.Size() || v != abs.Granularity() {
+		t.Errorf("Sizes = (%d,%d), applied = (%d,%d)", m, v, abs.Size(), abs.Granularity())
+	}
+}
+
+// The VVS labels of the Example 13 optimum read back through the facade
+// formatting.
+func TestVVSStringFormat(t *testing.T) {
+	s, plans, _ := example13(t)
+	res, err := OptimalVVS(s, plans, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := res.VVS.String()
+	if !strings.HasPrefix(str, "{") || !strings.Contains(str, "SB") {
+		t.Errorf("VVS String = %q", str)
+	}
+}
+
+// BatchGroupML agrees with per-group GroupML and NaiveGroupML.
+func TestBatchGroupML(t *testing.T) {
+	s, plans, _ := example13(t)
+	vb := s.Vocab
+	lookup := func(names ...string) []provenance.Var {
+		var out []provenance.Var
+		for _, n := range names {
+			v, ok := vb.Lookup(n)
+			if !ok {
+				t.Fatalf("unknown %s", n)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	_ = plans
+	groups := [][]provenance.Var{
+		lookup("b1", "b2"),
+		lookup("f1", "y1", "v"),
+		lookup("b1", "b2", "e"),
+	}
+	batch := BatchGroupML(s, groups)
+	for i, g := range groups {
+		if single := GroupML(s, g); single != batch[i] {
+			t.Errorf("group %d: batch %d != single %d", i, batch[i], single)
+		}
+		if naive := NaiveGroupML(s, g, vb.Var(fmt.Sprintf("BM%d", i))); naive != batch[i] {
+			t.Errorf("group %d: batch %d != naive %d", i, batch[i], naive)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// GreedyVVS implements Algorithm 2: greedy valid-variable selection over an
+// abstraction forest (the general, NP-hard setting).
+//
+// The selection S starts as the set of all leaves. A node is a *candidate*
+// when all of its children are in S. While the monomial loss is below
+// k = |P|_M − B and candidates remain, the algorithm promotes the candidate
+// whose promotion costs the least variable loss; ties are broken toward the
+// larger monomial loss (Example 15 selects q1 over SB this way), then by
+// label for determinism. Promotion replaces the candidate's children with
+// the candidate and may enable its parent as a new candidate.
+//
+// The monomial loss of each promotion is evaluated against the *currently
+// abstracted* polynomials, which the algorithm maintains incrementally.
+func GreedyVVS(s *provenance.Set, forest *abstree.Forest, B int) (*Result, error) {
+	return GreedyVVSOpts(s, forest, B, GreedyOptions{TieBreakML: true})
+}
+
+// GreedyOptions tunes Algorithm 2. The paper's pseudocode breaks
+// minimal-variable-loss ties "arbitrarily", but its worked Example 15
+// breaks them toward the larger monomial loss; TieBreakML selects between
+// the two (the benchmark suite ablates the difference).
+type GreedyOptions struct {
+	TieBreakML bool
+}
+
+// GreedyVVSOpts is GreedyVVS with explicit options.
+func GreedyVVSOpts(s *provenance.Set, forest *abstree.Forest, B int, opts GreedyOptions) (*Result, error) {
+	if B < 1 {
+		return nil, fmt.Errorf("core: bound B=%d must be at least 1", B)
+	}
+	inst, err := NewInstance(s, forest)
+	if err != nil {
+		return nil, err
+	}
+	return greedyOnInstance(inst, B, opts)
+}
+
+func greedyOnInstance(inst *Instance, B int, opts GreedyOptions) (*Result, error) {
+	s := inst.Set
+	f := inst.Forest
+	k := s.Size() - B
+
+	// chosen[ti][node] — current S, per tree.
+	chosen := make([]map[int]bool, f.Len())
+	for ti, t := range f.Trees {
+		chosen[ti] = make(map[int]bool)
+		for _, l := range t.Leaves() {
+			chosen[ti][l] = true
+		}
+	}
+
+	type cand struct {
+		tree, node int
+	}
+	inCand := make(map[cand]bool)
+	var cands []cand
+	addCand := func(c cand) {
+		if !inCand[c] {
+			inCand[c] = true
+			cands = append(cands, c)
+		}
+	}
+	for ti, t := range f.Trees {
+		for n := 0; n < t.Len(); n++ {
+			if t.IsLeaf(n) {
+				continue
+			}
+			all := true
+			for _, c := range t.Children(n) {
+				if !chosen[ti][c] {
+					all = false
+					break
+				}
+			}
+			if all {
+				addCand(cand{ti, n})
+			}
+		}
+	}
+
+	cur := s.Clone() // current P↓S, updated after each promotion
+	curML := 0
+	totalVL := 0
+
+	// groupVarsOf returns the current variables replaced when promoting c:
+	// the variables of c's children (which are all in S by candidacy).
+	groupVarsOf := func(c cand) []provenance.Var {
+		t := f.Trees[c.tree]
+		var vars []provenance.Var
+		for _, ch := range t.Children(c.node) {
+			if v, ok := s.Vocab.Lookup(t.Label(ch)); ok {
+				vars = append(vars, v)
+			}
+		}
+		return vars
+	}
+
+	for curML < k && len(cands) > 0 {
+		// Pick the candidate with minimal ΔVL; break ties toward larger ΔML,
+		// then lexicographic label.
+		type scored struct {
+			c   cand
+			dvl int
+		}
+		best := make([]scored, 0, len(cands))
+		minDVL := -1
+		for _, c := range cands {
+			dvl := len(f.Trees[c.tree].Children(c.node)) - 1
+			if minDVL < 0 || dvl < minDVL {
+				minDVL = dvl
+				best = best[:0]
+			}
+			if dvl == minDVL {
+				best = append(best, scored{c, dvl})
+			}
+		}
+		pick := best[0].c
+		if len(best) > 1 && !opts.TieBreakML {
+			// Arbitrary (but deterministic) tie-break: smallest label.
+			bestName := f.Trees[pick.tree].Label(pick.node)
+			for _, sc := range best[1:] {
+				if name := f.Trees[sc.c.tree].Label(sc.c.node); name < bestName {
+					bestName, pick = name, sc.c
+				}
+			}
+		}
+		if len(best) > 1 && opts.TieBreakML {
+			// Tie-break on ΔML against the current abstraction, computed
+			// lazily only for the tied candidates.
+			bestML := -1
+			var names []string
+			for range best {
+				names = append(names, "")
+			}
+			for i, sc := range best {
+				names[i] = f.Trees[sc.c.tree].Label(sc.c.node)
+			}
+			order := make([]int, len(best))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return names[order[a]] < names[order[b]] })
+			for _, i := range order {
+				sc := best[i]
+				vars := groupVarsOf(sc.c)
+				rt := newResidueTable(cur, varSet(vars))
+				dml := rt.groupML(vars)
+				if dml > bestML {
+					bestML = dml
+					pick = sc.c
+				}
+			}
+		}
+
+		// Promote pick: S ← (S \ children) ∪ {pick}; abstract cur.
+		t := f.Trees[pick.tree]
+		vars := groupVarsOf(pick)
+		meta := t.VarOf(s.Vocab, pick.node)
+		subst := make(map[provenance.Var]provenance.Var, len(vars))
+		for _, v := range vars {
+			subst[v] = meta
+		}
+		before := cur.Size()
+		cur = cur.Substitute(subst)
+		curML += before - cur.Size()
+		totalVL += len(vars) - 1
+
+		for _, ch := range t.Children(pick.node) {
+			delete(chosen[pick.tree], ch)
+		}
+		chosen[pick.tree][pick.node] = true
+		// Drop pick from candidates.
+		for i, c := range cands {
+			if c == (cand{pick.tree, pick.node}) {
+				cands = append(cands[:i], cands[i+1:]...)
+				break
+			}
+		}
+		delete(inCand, cand{pick.tree, pick.node})
+		// The parent may have become a candidate.
+		if par := t.Parent(pick.node); par >= 0 {
+			all := true
+			for _, ch := range t.Children(par) {
+				if !chosen[pick.tree][ch] {
+					all = false
+					break
+				}
+			}
+			if all {
+				addCand(cand{pick.tree, par})
+			}
+		}
+	}
+
+	nodes := make([][]int, f.Len())
+	for ti := range f.Trees {
+		for n := range chosen[ti] {
+			nodes[ti] = append(nodes[ti], n)
+		}
+		sort.Ints(nodes[ti])
+	}
+	v := &abstree.VVS{Forest: f, Nodes: nodes}
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("core: internal error, greedy VVS invalid: %w", err)
+	}
+	return &Result{VVS: v, ML: curML, VL: totalVL, Adequate: curML >= k}, nil
+}
+
+func varSet(vars []provenance.Var) map[provenance.Var]bool {
+	m := make(map[provenance.Var]bool, len(vars))
+	for _, v := range vars {
+		m[v] = true
+	}
+	return m
+}

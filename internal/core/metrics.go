@@ -1,0 +1,166 @@
+// Package core implements the paper's provenance-abstraction algorithms:
+// applying abstractions (P↓S), the monomial-loss/variable-loss measures,
+// Algorithm 1 (optimal valid-variable selection over a single abstraction
+// tree, PTIME), Algorithm 2 (greedy selection over an abstraction forest),
+// a brute-force reference solver, and the precise/adequate/optimal
+// predicates of Definition 7.
+package core
+
+import (
+	"fmt"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// Instance bundles a polynomial multiset with a compatible abstraction
+// forest. The forest stored here is already cleaned (footnote 1): leaves
+// that do not occur in the polynomials, and internal nodes left without
+// active descendants, are removed.
+type Instance struct {
+	Set    *provenance.Set
+	Forest *abstree.Forest
+}
+
+// NewInstance validates compatibility (each monomial holds at most one node
+// per tree, meta-variables are fresh), cleans the forest against the set,
+// and returns the instance.
+func NewInstance(s *provenance.Set, f *abstree.Forest) (*Instance, error) {
+	if err := f.CompatibleWith(s); err != nil {
+		return nil, err
+	}
+	return &Instance{Set: s, Forest: f.Clean(s)}, nil
+}
+
+// MustInstance is NewInstance that panics on error.
+func MustInstance(s *provenance.Set, f *abstree.Forest) *Instance {
+	in, err := NewInstance(s, f)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// MonomialLoss returns ML_P(S) = |P|_M − |P↓S|_M.
+func MonomialLoss(s *provenance.Set, v *abstree.VVS) int {
+	return s.Size() - v.Apply(s).Size()
+}
+
+// VariableLoss returns VL_P(S) = |P|_V − |P↓S|_V.
+func VariableLoss(s *provenance.Set, v *abstree.VVS) int {
+	return s.Granularity() - v.Apply(s).Granularity()
+}
+
+// Result is the outcome of a VVS-selection algorithm.
+type Result struct {
+	VVS      *abstree.VVS // the selected abstraction (over the cleaned forest)
+	ML       int          // monomial loss of the selection
+	VL       int          // variable loss of the selection
+	Adequate bool         // ML ≥ |P|_M − B, i.e. |P↓S|_M ≤ B
+}
+
+// Sizes returns the abstracted sizes |P↓S|_M and |P↓S|_V implied by the
+// result relative to the original set.
+func (r *Result) Sizes(s *provenance.Set) (m, v int) {
+	return s.Size() - r.ML, s.Granularity() - r.VL
+}
+
+// IsAdequate reports whether the abstraction meets the bound:
+// |P↓S|_M ≤ B (Definition 7).
+func IsAdequate(s *provenance.Set, v *abstree.VVS, B int) bool {
+	return v.Apply(s).Size() <= B
+}
+
+// IsPrecise reports whether the abstraction hits the size and granularity
+// exactly: |P↓S|_M = B and |P↓S|_V = K (Definition 7).
+func IsPrecise(s *provenance.Set, v *abstree.VVS, B, K int) bool {
+	abs := v.Apply(s)
+	return abs.Size() == B && abs.Granularity() == K
+}
+
+// ErrNoAdequate is reported by exact solvers when no VVS meets the bound
+// (possible — Example 8).
+var ErrNoAdequate = fmt.Errorf("core: no valid variable set is adequate for the bound")
+
+// groupKey identifies a residue across the whole multiset: residues of
+// different polynomials must never merge, so keys are tagged by the
+// polynomial index.
+type groupKey struct {
+	poly int32
+	key  provenance.MonomialKey
+}
+
+// residueTable holds, per active leaf variable of one tree, the tagged
+// residue keys of every monomial containing that variable (§4.1 "Efficient
+// ML computation"). Built in a single pass over the polynomials.
+type residueTable struct {
+	byVar map[provenance.Var][]groupKey
+}
+
+// newResidueTable builds the table for the given leaf variables in a
+// single pass over each polynomial (the essence of the §4.1 optimization:
+// the polynomials are traversed once, not once per tree node or variable).
+func newResidueTable(s *provenance.Set, leafVars map[provenance.Var]bool) *residueTable {
+	rt := &residueTable{byVar: make(map[provenance.Var][]groupKey, len(leafVars))}
+	for pi, p := range s.Polys {
+		tag := int32(pi)
+		p.VisitResidues(leafVars, func(v provenance.Var, r provenance.MonomialKey) {
+			rt.byVar[v] = append(rt.byVar[v], groupKey{poly: tag, key: r})
+		})
+	}
+	return rt
+}
+
+// groupML returns the monomial loss of unifying exactly the given variables
+// into one fresh meta-variable: Σ_l |D[l]| − |∪_l D[l]|, per §4.1.
+func (rt *residueTable) groupML(vars []provenance.Var) int {
+	total := 0
+	union := make(map[groupKey]struct{})
+	for _, v := range vars {
+		rs := rt.byVar[v]
+		total += len(rs)
+		for _, r := range rs {
+			union[r] = struct{}{}
+		}
+	}
+	return total - len(union)
+}
+
+// GroupML computes the monomial loss of unifying the given variables into
+// one fresh meta-variable using the §4.1 residue-table method. It is the
+// one-pass counterpart of NaiveGroupML and the primitive both Algorithm 1
+// and Algorithm 2 build on.
+func GroupML(s *provenance.Set, vars []provenance.Var) int {
+	return newResidueTable(s, varSet(vars)).groupML(vars)
+}
+
+// BatchGroupML computes the monomial loss of every group using a single
+// residue table over the union of the groups' variables — the access
+// pattern of Algorithm 1, which queries one table for every node of the
+// tree. This is where the §4.1 optimization pays: the polynomials are
+// scanned once rather than once per group.
+func BatchGroupML(s *provenance.Set, groups [][]provenance.Var) []int {
+	union := make(map[provenance.Var]bool)
+	for _, g := range groups {
+		for _, v := range g {
+			union[v] = true
+		}
+	}
+	rt := newResidueTable(s, union)
+	out := make([]int, len(groups))
+	for i, g := range groups {
+		out[i] = rt.groupML(g)
+	}
+	return out
+}
+
+// NaiveGroupML computes the same quantity by substituting and re-counting;
+// it exists as the reference implementation for the residue-table
+// optimization (ablated in benchmarks, validated in tests).
+func NaiveGroupML(s *provenance.Set, vars []provenance.Var, meta provenance.Var) int {
+	subst := make(map[provenance.Var]provenance.Var, len(vars))
+	for _, v := range vars {
+		subst[v] = meta
+	}
+	return s.Size() - s.Substitute(subst).Size()
+}

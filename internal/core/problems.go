@@ -1,0 +1,91 @@
+package core
+
+import (
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// DecidePrecise solves the paper's decision problem (Definition 10) by
+// enumeration: does a VVS S exist with |P↓S|_M = B and |P↓S|_V = K?
+// The problem is NP-hard in general (Proposition 11 / Appendix A), so this
+// exhaustive solver is intended for small instances — tests, the hardness
+// reduction, and ground truth for heuristics. It fails when the forest has
+// more than limit VVS (<=0 uses DefaultBruteLimit).
+func DecidePrecise(s *provenance.Set, forest *abstree.Forest, B, K, limit int) (bool, *abstree.VVS, error) {
+	if limit <= 0 {
+		limit = DefaultBruteLimit
+	}
+	inst, err := NewInstance(s, forest)
+	if err != nil {
+		return false, nil, err
+	}
+	all, err := abstree.EnumerateVVS(inst.Forest, limit)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, v := range all {
+		abs := v.Apply(s)
+		if abs.Size() == B && abs.Granularity() == K {
+			return true, v, nil
+		}
+	}
+	return false, nil, nil
+}
+
+// IsOptimal checks Definition 7's optimality of a VVS for bound B by
+// exhaustive comparison: the VVS must be adequate, and no adequate VVS may
+// retain strictly more variables.
+func IsOptimal(s *provenance.Set, forest *abstree.Forest, v *abstree.VVS, B, limit int) (bool, error) {
+	if !IsAdequate(s, v, B) {
+		return false, nil
+	}
+	best, err := BruteForceVVS(s, forest, B, limit)
+	if err != nil {
+		return false, err
+	}
+	return v.Apply(s).Granularity() >= best.VVS.Apply(s).Granularity(), nil
+}
+
+// FeasibleBounds returns the tightest and loosest meaningful bounds for an
+// instance: minB is the smallest |P↓S|_M any VVS achieves (the coarsest
+// abstraction is not always the smallest, but the minimum over the
+// enumerated VVS is exact), and maxB = |P|_M. Used by the bound-sweep
+// experiments (Figure 9) to pick bounds spanning the feasible range.
+// It fails when the forest has more than limit VVS; callers with large
+// forests should instead derive minB from RootVVS as an upper estimate.
+func FeasibleBounds(s *provenance.Set, forest *abstree.Forest, limit int) (minB, maxB int, err error) {
+	if limit <= 0 {
+		limit = DefaultBruteLimit
+	}
+	inst, err := NewInstance(s, forest)
+	if err != nil {
+		return 0, 0, err
+	}
+	all, err := abstree.EnumerateVVS(inst.Forest, limit)
+	if err != nil {
+		return 0, 0, err
+	}
+	minB = s.Size()
+	for _, v := range all {
+		if sz := v.Apply(s).Size(); sz < minB {
+			minB = sz
+		}
+	}
+	return minB, s.Size(), nil
+}
+
+// RootBound returns |P↓S|_M for the all-roots abstraction — the natural
+// "maximal compression" estimate usable at any forest size. (With a single
+// tree the root abstraction is the coarsest and achieves the true minimum;
+// with several trees a non-root VVS can occasionally compress further when
+// coefficient cancellation occurs, which our benchmark data excludes.)
+func RootBound(s *provenance.Set, forest *abstree.Forest) int {
+	inst, err := NewInstance(s, forest)
+	if err != nil {
+		return s.Size()
+	}
+	if inst.Forest.Len() == 0 {
+		return s.Size()
+	}
+	return abstree.RootVVS(inst.Forest).Apply(s).Size()
+}

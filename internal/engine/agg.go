@@ -1,0 +1,475 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provabs/internal/provenance"
+)
+
+// project evaluates the SELECT list over a joined chunk, grouping and
+// aggregating when required. Aggregate semantics follow §2.1 model 2:
+// SUM over symbolic cells produces a provenance polynomial per group (the
+// "plus" of the provenance expression is the aggregate), AVG divides that
+// polynomial by the group cardinality, and MIN/MAX/COUNT are numeric-only.
+// With DISTINCT (or a grouped model-1 query), tuple annotations add up per
+// group — the semiring projection rule.
+func (b *binder) project(vb *provenance.Vocab, q *Query, ch *chunk) (*Relation, error) {
+	hasAgg := false
+	for _, it := range q.Select {
+		if it.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+
+	// Compile select expressions.
+	evals := make([]func([]Value) (Value, error), len(q.Select))
+	for i, it := range q.Select {
+		if it.Expr == nil { // COUNT(*)
+			continue
+		}
+		ev, err := b.compile(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = ev
+	}
+
+	out := &Relation{Name: "result"}
+	for i, it := range q.Select {
+		out.Schema = append(out.Schema, Column{Name: it.OutName(i), Type: b.staticType(it)})
+	}
+
+	if !hasAgg && len(q.GroupBy) == 0 {
+		// Plain projection.
+		if ch.annots != nil {
+			out.Annots = []*provenance.Polynomial{}
+		}
+		for ri, row := range ch.rows {
+			vals := make([]Value, len(q.Select))
+			for i := range q.Select {
+				v, err := evals[i](row)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			out.Rows = append(out.Rows, vals)
+			if ch.annots != nil {
+				out.Annots = append(out.Annots, ch.annots[ri])
+			}
+		}
+		if q.Distinct {
+			return distinct(out)
+		}
+		return out, nil
+	}
+
+	// Grouped (or whole-relation) aggregation. Non-aggregate items must be
+	// GROUP BY keys.
+	keyEvals := make([]func([]Value) (Value, error), len(q.GroupBy))
+	for i, col := range q.GroupBy {
+		ev, err := b.compile(col)
+		if err != nil {
+			return nil, err
+		}
+		keyEvals[i] = ev
+	}
+	for _, it := range q.Select {
+		if it.Agg != AggNone {
+			continue
+		}
+		col, ok := it.Expr.(*ColExpr)
+		if !ok {
+			return nil, fmt.Errorf("engine: non-aggregate select item must be a grouping column")
+		}
+		found := false
+		for _, g := range q.GroupBy {
+			if strings.EqualFold(g.Name, col.Name) && (g.Table == col.Table || g.Table == "" || col.Table == "") {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("engine: column %q is not in GROUP BY", col.Name)
+		}
+	}
+
+	type group struct {
+		key    []Value
+		accs   []*aggAcc
+		annot  *provenance.Polynomial
+		anySet bool
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for ri, row := range ch.rows {
+		var kb strings.Builder
+		keyVals := make([]Value, len(q.GroupBy))
+		for i, ev := range keyEvals {
+			v, err := ev(row)
+			if err != nil {
+				return nil, err
+			}
+			k, err := v.Key()
+			if err != nil {
+				return nil, fmt.Errorf("engine: grouping key: %w", err)
+			}
+			kb.WriteString(k)
+			kb.WriteByte(0)
+			keyVals[i] = v
+		}
+		gk := kb.String()
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{key: keyVals, accs: make([]*aggAcc, len(q.Select))}
+			for i, it := range q.Select {
+				if it.Agg != AggNone {
+					g.accs[i] = &aggAcc{kind: it.Agg}
+				}
+			}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for i, it := range q.Select {
+			if it.Agg == AggNone {
+				continue
+			}
+			var v Value
+			if it.Expr != nil {
+				var err error
+				v, err = evals[i](row)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := g.accs[i].add(v, it.Expr == nil); err != nil {
+				return nil, err
+			}
+		}
+		if ch.annots != nil {
+			if g.annot == nil {
+				g.annot = provenance.NewPolynomial()
+			}
+			g.annot = g.annot.Add(ch.annots[ri])
+			g.anySet = true
+		}
+	}
+
+	if ch.annots != nil {
+		out.Annots = []*provenance.Polynomial{}
+	}
+	for _, gk := range order {
+		g := groups[gk]
+		vals := make([]Value, len(q.Select))
+		for i, it := range q.Select {
+			if it.Agg == AggNone {
+				// Find the matching group-by key position.
+				col := it.Expr.(*ColExpr)
+				for gi, gcol := range q.GroupBy {
+					if strings.EqualFold(gcol.Name, col.Name) && (gcol.Table == col.Table || gcol.Table == "" || col.Table == "") {
+						vals[i] = g.key[gi]
+						break
+					}
+				}
+				continue
+			}
+			v, err := g.accs[i].result()
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		out.Rows = append(out.Rows, vals)
+		if ch.annots != nil {
+			out.Annots = append(out.Annots, g.annot)
+		}
+	}
+	return out, nil
+}
+
+// staticType infers the output type of a select item from the expression
+// structure (dates and strings survive projection; arithmetic yields FLOAT
+// unless both sides are INT; symbolic inputs make it SYMBOLIC).
+func (b *binder) staticType(it SelectItem) Type {
+	switch it.Agg {
+	case AggCount:
+		return TInt
+	case AggNone, AggSum, AggMin, AggMax, AggAvg:
+		t := b.exprType(it.Expr)
+		if it.Agg == AggAvg && t == TInt {
+			return TFloat
+		}
+		return t
+	}
+	return TFloat
+}
+
+func (b *binder) exprType(e Expr) Type {
+	switch e := e.(type) {
+	case nil:
+		return TInt
+	case *LitExpr:
+		return e.Val.T
+	case *ColExpr:
+		if _, gi, err := b.resolve(e); err == nil {
+			return b.columnType(gi)
+		}
+		return TFloat
+	case *NegExpr:
+		return b.exprType(e.E)
+	case *BinExpr:
+		lt, rt := b.exprType(e.L), b.exprType(e.R)
+		if lt == TSym || rt == TSym {
+			return TSym
+		}
+		if lt == TInt && rt == TInt && e.Op != '/' {
+			return TInt
+		}
+		return TFloat
+	}
+	return TFloat
+}
+
+// aggAcc accumulates one aggregate.
+type aggAcc struct {
+	kind  AggKind
+	count int64
+	sumF  float64
+	sym   *provenance.Polynomial
+	minV  Value
+	maxV  Value
+	hasMM bool
+}
+
+func (a *aggAcc) add(v Value, countStar bool) error {
+	a.count++
+	if countStar || a.kind == AggCount {
+		return nil
+	}
+	switch a.kind {
+	case AggSum, AggAvg:
+		if v.T == TSym {
+			if a.sym == nil {
+				a.sym = provenance.NewPolynomial()
+			}
+			a.sym = a.sym.Add(v.Sym)
+			return nil
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return fmt.Errorf("engine: SUM/AVG over %s", v.T)
+		}
+		a.sumF += f
+		return nil
+	case AggMin, AggMax:
+		if v.T == TSym {
+			return fmt.Errorf("engine: MIN/MAX over symbolic cells is not supported (only SUM-style aggregates have polynomial provenance)")
+		}
+		if !a.hasMM {
+			a.minV, a.maxV, a.hasMM = v, v, true
+			return nil
+		}
+		c, err := Compare(v, a.minV)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			a.minV = v
+		}
+		c, err = Compare(v, a.maxV)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			a.maxV = v
+		}
+		return nil
+	}
+	return fmt.Errorf("engine: unknown aggregate")
+}
+
+func (a *aggAcc) result() (Value, error) {
+	switch a.kind {
+	case AggCount:
+		return Int(a.count), nil
+	case AggSum:
+		if a.sym != nil {
+			s := a.sym
+			if a.sumF != 0 {
+				c := provenance.NewPolynomial()
+				c.AddTerm(a.sumF)
+				s = s.Add(c)
+			}
+			return Sym(s), nil
+		}
+		return Float(a.sumF), nil
+	case AggAvg:
+		if a.count == 0 {
+			return Float(0), nil
+		}
+		if a.sym != nil {
+			s := a.sym
+			if a.sumF != 0 {
+				c := provenance.NewPolynomial()
+				c.AddTerm(a.sumF)
+				s = s.Add(c)
+			}
+			return Sym(s.Scale(1 / float64(a.count))), nil
+		}
+		return Float(a.sumF / float64(a.count)), nil
+	case AggMin:
+		return a.minV, nil
+	case AggMax:
+		return a.maxV, nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown aggregate")
+}
+
+// distinct removes duplicate rows; model-1 annotations of merged duplicates
+// add up (the semiring projection rule).
+func distinct(r *Relation) (*Relation, error) {
+	out := &Relation{Name: r.Name, Schema: r.Schema}
+	if r.Annots != nil {
+		out.Annots = []*provenance.Polynomial{}
+	}
+	index := map[string]int{}
+	for ri, row := range r.Rows {
+		var kb strings.Builder
+		for _, v := range row {
+			k, err := v.Key()
+			if err != nil {
+				return nil, fmt.Errorf("engine: DISTINCT over symbolic column: %w", err)
+			}
+			kb.WriteString(k)
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		if at, ok := index[k]; ok {
+			if out.Annots != nil {
+				out.Annots[at] = out.Annots[at].Add(r.Annots[ri])
+			}
+			continue
+		}
+		index[k] = len(out.Rows)
+		out.Rows = append(out.Rows, row)
+		if out.Annots != nil {
+			out.Annots = append(out.Annots, r.Annots[ri])
+		}
+	}
+	return out, nil
+}
+
+// orderRelation sorts the projected relation by the ORDER BY keys, which
+// must reference output columns by name.
+func orderRelation(r *Relation, keys []OrderKey) error {
+	type keyed struct {
+		col  int
+		desc bool
+	}
+	var ks []keyed
+	for _, k := range keys {
+		col, ok := k.Expr.(*ColExpr)
+		if !ok {
+			return fmt.Errorf("engine: ORDER BY supports output column references only")
+		}
+		idx := r.Schema.Index(col.Name)
+		if idx < 0 {
+			return fmt.Errorf("engine: ORDER BY column %q not in output", col.Name)
+		}
+		ks = append(ks, keyed{col: idx, desc: k.Desc})
+	}
+	indices := make([]int, len(r.Rows))
+	for i := range indices {
+		indices[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(indices, func(a, b int) bool {
+		for _, k := range ks {
+			c, err := Compare(r.Rows[indices[a]][k.col], r.Rows[indices[b]][k.col])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return indices[a] < indices[b]
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	rows := make([][]Value, len(indices))
+	for i, idx := range indices {
+		rows[i] = r.Rows[idx]
+	}
+	r.Rows = rows
+	if r.Annots != nil {
+		annots := make([]*provenance.Polynomial, len(indices))
+		for i, idx := range indices {
+			annots[i] = r.Annots[idx]
+		}
+		r.Annots = annots
+	}
+	return nil
+}
+
+// GroupProvenance extracts a provenance Set from a query result: symCol
+// names the symbolic (SUM) output column, and the remaining non-symbolic
+// columns form each polynomial's tag. Numeric results (no parameterized
+// cell reached the aggregate) become constant polynomials, so the extraction
+// is total.
+func GroupProvenance(vb *provenance.Vocab, r *Relation, symCol string) (*provenance.Set, error) {
+	idx := r.Schema.Index(symCol)
+	if idx < 0 {
+		return nil, fmt.Errorf("engine: no output column %q", symCol)
+	}
+	s := provenance.NewSet(vb)
+	for _, row := range r.Rows {
+		var tags []string
+		for j, v := range row {
+			if j == idx || v.T == TSym {
+				continue
+			}
+			tags = append(tags, v.Format(vb))
+		}
+		var p *provenance.Polynomial
+		switch row[idx].T {
+		case TSym:
+			p = row[idx].Sym
+		case TFloat, TInt:
+			f, err := row[idx].AsFloat()
+			if err != nil {
+				return nil, err
+			}
+			p = provenance.NewPolynomial()
+			p.AddTerm(f)
+		default:
+			return nil, fmt.Errorf("engine: column %q is %s, not aggregatable", symCol, row[idx].T)
+		}
+		s.Add(strings.Join(tags, "|"), p)
+	}
+	return s, nil
+}
+
+// TupleProvenance extracts the model-1 annotations of a query result as a
+// provenance Set, tagging each polynomial with its tuple's rendered values.
+func TupleProvenance(vb *provenance.Vocab, r *Relation) (*provenance.Set, error) {
+	if r.Annots == nil {
+		return nil, fmt.Errorf("engine: result carries no tuple annotations")
+	}
+	s := provenance.NewSet(vb)
+	for i, row := range r.Rows {
+		var tags []string
+		for _, v := range row {
+			tags = append(tags, v.Format(vb))
+		}
+		s.Add(strings.Join(tags, "|"), r.Annots[i])
+	}
+	return s, nil
+}

@@ -1,0 +1,154 @@
+package engine
+
+import "strings"
+
+// Expr is a parsed scalar expression.
+type Expr interface{ exprNode() }
+
+// ColExpr references a column, optionally qualified by a table alias.
+type ColExpr struct {
+	Table string // alias or table name; empty when unqualified
+	Name  string
+}
+
+// LitExpr is a literal value.
+type LitExpr struct{ Val Value }
+
+// BinExpr applies an arithmetic operator.
+type BinExpr struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// NegExpr is unary minus.
+type NegExpr struct{ E Expr }
+
+func (*ColExpr) exprNode() {}
+func (*LitExpr) exprNode() {}
+func (*BinExpr) exprNode() {}
+func (*NegExpr) exprNode() {}
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+const (
+	AggNone AggKind = iota
+	AggSum
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return "NONE"
+}
+
+// SelectItem is one output column: a plain expression or an aggregate over
+// an expression (Expr is nil for COUNT(*)).
+type SelectItem struct {
+	Agg   AggKind
+	Expr  Expr
+	Alias string
+}
+
+// OutName returns the display name of the item.
+func (it SelectItem) OutName(i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColExpr); ok && it.Agg == AggNone {
+		return c.Name
+	}
+	if it.Agg != AggNone {
+		return strings.ToLower(it.Agg.String())
+	}
+	return "col" + itoa(i)
+}
+
+// TableRef names a FROM-clause table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// Name returns the reference's binding name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// Predicate is one conjunct of the WHERE clause: L op R.
+type Predicate struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableRef
+	Where    []Predicate // conjunctive
+	GroupBy  []*ColExpr
+	OrderBy  []OrderKey
+	Limit    int // 0 = no limit
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [20]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		n--
+		b[n] = '-'
+	}
+	return string(b[n:])
+}

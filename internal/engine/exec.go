@@ -1,0 +1,547 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"provabs/internal/provenance"
+)
+
+// ExecSQL parses and executes a query.
+func (c *Catalog) ExecSQL(src string) (*Relation, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Exec(q)
+}
+
+// Exec executes a parsed query. Joins are left-deep in FROM order using
+// hash joins on available equality predicates (falling back to filtered
+// cartesian products), single-table predicates are pushed below the joins,
+// and grouping/aggregation runs last. Tuple annotations (model 1) multiply
+// across joins and add across duplicate-eliminating projections; symbolic
+// cells (model 2) flow through expressions and SUM/AVG aggregates.
+func (c *Catalog) Exec(q *Query) (*Relation, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("engine: query has no FROM clause")
+	}
+	b, err := c.bind(q.From)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split WHERE into single-table filters, equi-join predicates, and
+	// residuals.
+	var filters [][]Predicate // per table index
+	filters = make([][]Predicate, len(b.refs))
+	var joins []joinPred
+	var residual []Predicate
+	for _, pred := range q.Where {
+		if ti, ok := b.singleTable(pred); ok {
+			filters[ti] = append(filters[ti], pred)
+			continue
+		}
+		if jp, ok := b.equiJoin(pred); ok {
+			joins = append(joins, jp)
+			continue
+		}
+		residual = append(residual, pred)
+	}
+
+	// Scan + filter base tables.
+	parts := make([]*chunk, len(b.refs))
+	for ti := range b.refs {
+		ch, err := b.scan(ti, filters[ti])
+		if err != nil {
+			return nil, err
+		}
+		parts[ti] = ch
+	}
+
+	// Left-deep join.
+	acc := parts[0]
+	joined := map[int]bool{0: true}
+	used := make([]bool, len(joins))
+	for len(joined) < len(parts) {
+		// Prefer a table connected by an unused equi-join predicate.
+		next, preds := -1, []joinPred(nil)
+		for ti := range parts {
+			if joined[ti] {
+				continue
+			}
+			var ps []joinPred
+			for ji, jp := range joins {
+				if used[ji] {
+					continue
+				}
+				if (joined[jp.leftTable] && jp.rightTable == ti) ||
+					(joined[jp.rightTable] && jp.leftTable == ti) {
+					ps = append(ps, jp)
+				}
+			}
+			if len(ps) > 0 {
+				next, preds = ti, ps
+				break
+			}
+		}
+		if next < 0 { // no connection: cartesian with the first unjoined table
+			for ti := range parts {
+				if !joined[ti] {
+					next = ti
+					break
+				}
+			}
+		}
+		var err error
+		acc, err = b.join(acc, parts[next], preds)
+		if err != nil {
+			return nil, err
+		}
+		joined[next] = true
+		for ji, jp := range joins {
+			if !used[ji] && joined[jp.leftTable] && joined[jp.rightTable] {
+				// Predicates between already-joined tables that were not used
+				// for hashing become residual filters.
+				if !jp.applied {
+					residual = append(residual, jp.pred)
+				}
+				used[ji] = true
+			}
+		}
+	}
+
+	// Residual predicates.
+	if len(residual) > 0 {
+		acc, err = b.filter(acc, residual)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Projection / aggregation.
+	out, err := b.project(c.Vocab, q, acc)
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDER BY and LIMIT operate on the projected output.
+	if len(q.OrderBy) > 0 {
+		if err := orderRelation(out, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 && len(out.Rows) > q.Limit {
+		out.Rows = out.Rows[:q.Limit]
+		if out.Annots != nil {
+			out.Annots = out.Annots[:q.Limit]
+		}
+	}
+	return out, nil
+}
+
+// binder resolves column references over the FROM-clause tables.
+type binder struct {
+	refs    []TableRef
+	rels    []*Relation
+	offsets []int
+	total   int
+}
+
+func (c *Catalog) bind(from []TableRef) (*binder, error) {
+	b := &binder{refs: from}
+	seen := map[string]bool{}
+	for _, ref := range from {
+		name := strings.ToLower(ref.Name())
+		if seen[name] {
+			return nil, fmt.Errorf("engine: duplicate table binding %q", ref.Name())
+		}
+		seen[name] = true
+		rel, err := c.Table(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		b.rels = append(b.rels, rel)
+		b.offsets = append(b.offsets, b.total)
+		b.total += len(rel.Schema)
+	}
+	return b, nil
+}
+
+// resolve maps a column reference to (table index, global column index).
+func (b *binder) resolve(col *ColExpr) (int, int, error) {
+	if col.Table != "" {
+		for ti, ref := range b.refs {
+			if strings.EqualFold(ref.Name(), col.Table) {
+				ci := b.rels[ti].Schema.Index(col.Name)
+				if ci < 0 {
+					return 0, 0, fmt.Errorf("engine: table %q has no column %q", col.Table, col.Name)
+				}
+				return ti, b.offsets[ti] + ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("engine: unknown table %q", col.Table)
+	}
+	found := -1
+	gi := -1
+	for ti, rel := range b.rels {
+		if ci := rel.Schema.Index(col.Name); ci >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("engine: ambiguous column %q", col.Name)
+			}
+			found = ti
+			gi = b.offsets[ti] + ci
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("engine: unknown column %q", col.Name)
+	}
+	return found, gi, nil
+}
+
+// columnType returns the declared type at a global index.
+func (b *binder) columnType(gi int) Type {
+	for ti := len(b.offsets) - 1; ti >= 0; ti-- {
+		if gi >= b.offsets[ti] {
+			return b.rels[ti].Schema[gi-b.offsets[ti]].Type
+		}
+	}
+	return TFloat
+}
+
+// compile turns an expression into an evaluator over joined rows.
+func (b *binder) compile(e Expr) (func(row []Value) (Value, error), error) {
+	switch e := e.(type) {
+	case *LitExpr:
+		v := e.Val
+		return func([]Value) (Value, error) { return v, nil }, nil
+	case *ColExpr:
+		_, gi, err := b.resolve(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []Value) (Value, error) { return row[gi], nil }, nil
+	case *NegExpr:
+		inner, err := b.compile(e.E)
+		if err != nil {
+			return nil, err
+		}
+		zero := Int(0)
+		return func(row []Value) (Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return Value{}, err
+			}
+			return arith('-', zero, v)
+		}, nil
+	case *BinExpr:
+		l, err := b.compile(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.compile(e.R)
+		if err != nil {
+			return nil, err
+		}
+		op := e.Op
+		return func(row []Value) (Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return Value{}, err
+			}
+			return arith(op, lv, rv)
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: cannot compile %T", e)
+}
+
+// exprTables collects the table indices an expression touches.
+func (b *binder) exprTables(e Expr, set map[int]bool) error {
+	switch e := e.(type) {
+	case *LitExpr:
+	case *ColExpr:
+		ti, _, err := b.resolve(e)
+		if err != nil {
+			return err
+		}
+		set[ti] = true
+	case *NegExpr:
+		return b.exprTables(e.E, set)
+	case *BinExpr:
+		if err := b.exprTables(e.L, set); err != nil {
+			return err
+		}
+		return b.exprTables(e.R, set)
+	}
+	return nil
+}
+
+// singleTable reports whether the predicate touches exactly one table.
+func (b *binder) singleTable(p Predicate) (int, bool) {
+	set := map[int]bool{}
+	if b.exprTables(p.L, set) != nil || b.exprTables(p.R, set) != nil {
+		return 0, false
+	}
+	if len(set) != 1 {
+		return 0, false
+	}
+	for ti := range set {
+		return ti, true
+	}
+	return 0, false
+}
+
+// joinPred is an equality between single columns of two distinct tables.
+type joinPred struct {
+	pred                 Predicate
+	leftTable, leftCol   int
+	rightTable, rightCol int
+	applied              bool
+}
+
+func (b *binder) equiJoin(p Predicate) (joinPred, bool) {
+	if p.Op != CmpEq {
+		return joinPred{}, false
+	}
+	lc, lok := p.L.(*ColExpr)
+	rc, rok := p.R.(*ColExpr)
+	if !lok || !rok {
+		return joinPred{}, false
+	}
+	lt, lg, err := b.resolve(lc)
+	if err != nil {
+		return joinPred{}, false
+	}
+	rt, rg, err := b.resolve(rc)
+	if err != nil || lt == rt {
+		return joinPred{}, false
+	}
+	return joinPred{pred: p, leftTable: lt, leftCol: lg, rightTable: rt, rightCol: rg}, true
+}
+
+// chunk is an intermediate result: joined rows over the global column space
+// plus optional model-1 annotations.
+type chunk struct {
+	rows   [][]Value
+	annots []*provenance.Polynomial // nil when no input is annotated
+	tables map[int]bool             // which FROM tables are filled in
+}
+
+// scan materializes one base table into the global column space, applying
+// its pushed-down filters.
+func (b *binder) scan(ti int, filters []Predicate) (*chunk, error) {
+	rel := b.rels[ti]
+	ch := &chunk{tables: map[int]bool{ti: true}}
+	var preds []compiledPred
+	for _, p := range filters {
+		cp, err := b.compilePred(p)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, cp)
+	}
+	annotated := rel.Annots != nil
+	for i, row := range rel.Rows {
+		full := make([]Value, b.total)
+		copy(full[b.offsets[ti]:], row)
+		keep := true
+		for _, cp := range preds {
+			ok, err := cp(full)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		ch.rows = append(ch.rows, full)
+		if annotated {
+			ch.annots = append(ch.annots, rel.Annot(i))
+		}
+	}
+	if annotated && ch.annots == nil {
+		ch.annots = []*provenance.Polynomial{}
+	}
+	return ch, nil
+}
+
+type compiledPred func(row []Value) (bool, error)
+
+func (b *binder) compilePred(p Predicate) (compiledPred, error) {
+	l, err := b.compile(p.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.compile(p.R)
+	if err != nil {
+		return nil, err
+	}
+	op := p.Op
+	return func(row []Value) (bool, error) {
+		lv, err := l(row)
+		if err != nil {
+			return false, err
+		}
+		rv, err := r(row)
+		if err != nil {
+			return false, err
+		}
+		c, err := Compare(lv, rv)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case CmpEq:
+			return c == 0, nil
+		case CmpNe:
+			return c != 0, nil
+		case CmpLt:
+			return c < 0, nil
+		case CmpLe:
+			return c <= 0, nil
+		case CmpGt:
+			return c > 0, nil
+		case CmpGe:
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("engine: unknown comparison")
+	}, nil
+}
+
+// join hash-joins two chunks on the given equi-predicates (those whose two
+// sides live in left/right respectively); with no predicates it degrades to
+// a cartesian product. Annotations multiply.
+func (b *binder) join(left, right *chunk, preds []joinPred) (*chunk, error) {
+	out := &chunk{tables: map[int]bool{}}
+	for t := range left.tables {
+		out.tables[t] = true
+	}
+	for t := range right.tables {
+		out.tables[t] = true
+	}
+	annotated := left.annots != nil || right.annots != nil
+	if annotated {
+		out.annots = []*provenance.Polynomial{}
+	}
+	one := provenance.NewPolynomial()
+	one.AddTerm(1)
+	annotOf := func(ch *chunk, i int) *provenance.Polynomial {
+		if ch.annots == nil {
+			return one
+		}
+		return ch.annots[i]
+	}
+	emit := func(l, r int) {
+		merged := make([]Value, b.total)
+		copy(merged, left.rows[l])
+		// Copy only the column spans belonging to right's tables so the
+		// zero Values elsewhere do not clobber left's data.
+		for ti := range right.tables {
+			off := b.offsets[ti]
+			n := len(b.rels[ti].Schema)
+			copy(merged[off:off+n], right.rows[r][off:off+n])
+		}
+		out.rows = append(out.rows, merged)
+		if annotated {
+			out.annots = append(out.annots, annotOf(left, l).Mul(annotOf(right, r)))
+		}
+	}
+
+	if len(preds) == 0 {
+		for l := range left.rows {
+			for r := range right.rows {
+				emit(l, r)
+			}
+		}
+		return out, nil
+	}
+
+	// Orient predicates: probe side = left chunk, build side = right chunk.
+	type pair struct{ probe, build int }
+	var cols []pair
+	for i := range preds {
+		jp := &preds[i]
+		switch {
+		case left.tables[jp.leftTable] && right.tables[jp.rightTable]:
+			cols = append(cols, pair{jp.leftCol, jp.rightCol})
+		case left.tables[jp.rightTable] && right.tables[jp.leftTable]:
+			cols = append(cols, pair{jp.rightCol, jp.leftCol})
+		default:
+			return nil, fmt.Errorf("engine: internal error, join predicate does not connect the chunks")
+		}
+		jp.applied = true
+	}
+	buildKey := func(row []Value, side func(pair) int) (string, error) {
+		var sb strings.Builder
+		for _, c := range cols {
+			k, err := row[side(c)].Key()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(k)
+			sb.WriteByte(0)
+		}
+		return sb.String(), nil
+	}
+	index := make(map[string][]int, len(right.rows))
+	for r, row := range right.rows {
+		k, err := buildKey(row, func(p pair) int { return p.build })
+		if err != nil {
+			return nil, err
+		}
+		index[k] = append(index[k], r)
+	}
+	for l, row := range left.rows {
+		k, err := buildKey(row, func(p pair) int { return p.probe })
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range index[k] {
+			emit(l, r)
+		}
+	}
+	return out, nil
+}
+
+func (b *binder) filter(ch *chunk, preds []Predicate) (*chunk, error) {
+	var cps []compiledPred
+	for _, p := range preds {
+		cp, err := b.compilePred(p)
+		if err != nil {
+			return nil, err
+		}
+		cps = append(cps, cp)
+	}
+	out := &chunk{tables: ch.tables}
+	if ch.annots != nil {
+		out.annots = []*provenance.Polynomial{}
+	}
+	for i, row := range ch.rows {
+		keep := true
+		for _, cp := range cps {
+			ok, err := cp(row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+			if ch.annots != nil {
+				out.annots = append(out.annots, ch.annots[i])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates SQL token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // 'quoted'
+	tokSymbol // punctuation and operators
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "SUM": true, "COUNT": true, "MIN": true, "MAX": true,
+	"AVG": true, "ASC": true, "DESC": true, "DATE": true, "DISTINCT": true,
+	"BETWEEN": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords are upper-cased; identifiers keep their case
+	pos  int
+}
+
+// sqlLexer tokenizes the SQL subset.
+type sqlLexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lexSQL(src string) ([]token, error) {
+	l := &sqlLexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := rune(l.src[l.pos])
+		switch {
+		case unicode.IsLetter(c) || c == '_':
+			for l.pos < len(l.src) && (isWordByte(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(c) || c == '.' && l.pos+1 < len(l.src) && isDigitByte(l.src[l.pos+1]):
+			for l.pos < len(l.src) && (isDigitByte(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("engine: unterminated string at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
+			l.pos++
+		default:
+			// Multi-byte operators first.
+			for _, op := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{kind: tokSymbol, text: op, pos: start})
+					l.pos += 2
+					goto next
+				}
+			}
+			if strings.ContainsRune("(),.*+-/<>=", c) {
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+				l.pos++
+			} else {
+				return nil, fmt.Errorf("engine: unexpected character %q at offset %d", c, start)
+			}
+		next:
+		}
+	}
+}
+
+func (l *sqlLexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+func isDigitByte(b byte) bool { return b >= '0' && b <= '9' }

@@ -1,0 +1,407 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseQuery parses the supported SQL subset:
+//
+//	SELECT [DISTINCT] item [, item]...
+//	FROM table [AS alias] [, table [AS alias]]...
+//	[WHERE cmp [AND cmp]...]
+//	[GROUP BY col [, col]...]
+//	[ORDER BY expr [ASC|DESC] [, ...]]
+//	[LIMIT n]
+//
+// where item is expr [AS name] or AGG(expr) [AS name] (AGG one of SUM,
+// COUNT, MIN, MAX, AVG; COUNT(*) allowed), expressions use + - * / with
+// parentheses, column references (alias.col or col), numeric literals,
+// 'string' literals and DATE 'YYYY-MM-DD', and cmp is expr op expr or expr
+// BETWEEN expr AND expr with op ∈ {=, <>, !=, <, <=, >, >=}.
+func ParseQuery(src string) (*Query, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, src: src}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type sqlParser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *sqlParser) cur() token { return p.toks[p.i] }
+func (p *sqlParser) advance()   { p.i++ }
+func (p *sqlParser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *sqlParser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		t := p.cur()
+		p.advance()
+		return t, nil
+	}
+	return token{}, p.errf("expected %s %q, got %q", kindName(k), text, p.cur().text)
+}
+
+func kindName(k tokKind) string {
+	switch k {
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokSymbol:
+		return "symbol"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	}
+	return "token"
+}
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("engine: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) query() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	q.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: t.text}
+		if p.accept(tokKeyword, "AS") {
+			a, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = a.text
+		} else if p.at(tokIdent, "") {
+			ref.Alias = p.cur().text
+			p.advance()
+		}
+		q.From = append(q.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		for {
+			preds, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, preds...)
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			col, ok := e.(*ColExpr)
+			if !ok {
+				return nil, p.errf("GROUP BY supports column references only")
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *sqlParser) selectItem() (SelectItem, error) {
+	var item SelectItem
+	if t := p.cur(); t.kind == tokKeyword {
+		switch t.text {
+		case "SUM", "COUNT", "MIN", "MAX", "AVG":
+			item.Agg = map[string]AggKind{
+				"SUM": AggSum, "COUNT": AggCount, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+			}[t.text]
+			p.advance()
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return item, err
+			}
+			if item.Agg == AggCount && p.accept(tokSymbol, "*") {
+				// COUNT(*): Expr stays nil.
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return item, err
+				}
+				item.Expr = e
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return item, err
+			}
+		}
+	}
+	if item.Agg == AggNone {
+		e, err := p.expr()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = e
+	}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return item, err
+		}
+		item.Alias = a.text
+	}
+	return item, nil
+}
+
+// predicate parses one WHERE conjunct; BETWEEN expands to two conjuncts.
+func (p *sqlParser) predicate() ([]Predicate, error) {
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return []Predicate{{Op: CmpGe, L: l, R: lo}, {Op: CmpLe, L: l, R: hi}}, nil
+	}
+	t := p.cur()
+	if t.kind != tokSymbol {
+		return nil, p.errf("expected comparison operator, got %q", t.text)
+	}
+	var op CmpOp
+	switch t.text {
+	case "=":
+		op = CmpEq
+	case "<>", "!=":
+		op = CmpNe
+	case "<":
+		op = CmpLt
+	case "<=":
+		op = CmpLe
+	case ">":
+		op = CmpGt
+	case ">=":
+		op = CmpGe
+	default:
+		return nil, p.errf("unknown comparison %q", t.text)
+	}
+	p.advance()
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return []Predicate{{Op: op, L: l, R: r}}, nil
+}
+
+// expr parses additive expressions; term handles * and /.
+func (p *sqlParser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: '+', L: l, R: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: '-', L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *sqlParser) term() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: '*', L: l, R: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: '/', L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *sqlParser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.advance()
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{E: e}, nil
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &LitExpr{Val: Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &LitExpr{Val: Int(n)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &LitExpr{Val: Str(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "DATE":
+		p.advance()
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		d, err := ParseDate(s.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &LitExpr{Val: d}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.accept(tokSymbol, ".") {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColExpr{Table: t.text, Name: c.text}, nil
+		}
+		return &ColExpr{Name: t.text}, nil
+	}
+	return nil, p.errf("unexpected %q in expression", t.text)
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"provabs/internal/provenance"
+)
+
+// Column is a named, typed relation attribute.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Relation is a materialized table. Annots, when non-nil, holds the model-1
+// semiring annotation of each tuple (parallel to Rows).
+type Relation struct {
+	Name   string
+	Schema Schema
+	Rows   [][]Value
+	Annots []*provenance.Polynomial
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Append adds a row after checking arity and types.
+func (r *Relation) Append(row ...Value) error {
+	if len(row) != len(r.Schema) {
+		return fmt.Errorf("engine: %s: row arity %d, schema arity %d", r.Name, len(row), len(r.Schema))
+	}
+	for i, v := range row {
+		if v.T != r.Schema[i].Type && v.T != TSym {
+			return fmt.Errorf("engine: %s.%s: value type %s, column type %s",
+				r.Name, r.Schema[i].Name, v.T, r.Schema[i].Type)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+	return nil
+}
+
+// MustAppend is Append that panics on error; intended for generators whose
+// rows are constructed to match the schema.
+func (r *Relation) MustAppend(row ...Value) {
+	if err := r.Append(row...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// AnnotateTuples attaches model-1 annotations: tuple i gets the polynomial
+// consisting of the single variable produced by mkVar(i) (typically a tuple
+// identifier). Existing annotations are replaced.
+func (r *Relation) AnnotateTuples(vb *provenance.Vocab, mkVar func(i int) string) {
+	r.Annots = make([]*provenance.Polynomial, len(r.Rows))
+	for i := range r.Rows {
+		p := provenance.NewPolynomial()
+		p.AddTerm(1, vb.Var(mkVar(i)))
+		r.Annots[i] = p
+	}
+}
+
+// Annot returns tuple i's annotation; unannotated relations yield the
+// semiring One (constant 1), so mixed queries remain well-defined.
+func (r *Relation) Annot(i int) *provenance.Polynomial {
+	if r.Annots == nil || r.Annots[i] == nil {
+		one := provenance.NewPolynomial()
+		one.AddTerm(1)
+		return one
+	}
+	return r.Annots[i]
+}
+
+// ParameterizeColumn rewrites the named float column into symbolic cells:
+// cell value v of row i becomes v·Πvars(i). This is the paper's
+// cell-variable placement (model 2) — e.g. parameterizing LINEITEM's
+// discount by supplier and part variables, or Plans.Price by plan and month
+// variables.
+func (r *Relation) ParameterizeColumn(col string, vars func(row int) []provenance.Var) error {
+	idx := r.Schema.Index(col)
+	if idx < 0 {
+		return fmt.Errorf("engine: %s has no column %q", r.Name, col)
+	}
+	if r.Schema[idx].Type != TFloat && r.Schema[idx].Type != TInt {
+		return fmt.Errorf("engine: column %q is %s; only numeric columns can be parameterized",
+			col, r.Schema[idx].Type)
+	}
+	for i, row := range r.Rows {
+		vs := vars(i)
+		if len(vs) == 0 {
+			continue
+		}
+		f, err := row[idx].AsFloat()
+		if err != nil {
+			return err
+		}
+		row[idx] = ParamCell(f, vs...)
+	}
+	return nil
+}
+
+// String renders the relation as an aligned text table (up to maxRows rows;
+// maxRows <= 0 prints everything). Symbolic cells need the vocabulary.
+func (r *Relation) String(vb *provenance.Vocab, maxRows int) string {
+	var sb strings.Builder
+	var widths []int
+	header := make([]string, len(r.Schema))
+	for i, c := range r.Schema {
+		header[i] = c.Name
+		widths = append(widths, len(c.Name))
+	}
+	n := len(r.Rows)
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	cells := make([][]string, n)
+	for i := 0; i < n; i++ {
+		cells[i] = make([]string, len(r.Schema))
+		for j, v := range r.Rows[i] {
+			cells[i][j] = v.Format(vb)
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	writeRow := func(cols []string) {
+		for j, c := range cols {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for k := len(c); k < widths[j]; k++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if maxRows > 0 && len(r.Rows) > maxRows {
+		fmt.Fprintf(&sb, "... (%d more rows)\n", len(r.Rows)-maxRows)
+	}
+	return sb.String()
+}
+
+// Catalog maps table names to relations and carries the shared vocabulary
+// for any provenance the tables hold.
+type Catalog struct {
+	Vocab  *provenance.Vocab
+	tables map[string]*Relation
+}
+
+// NewCatalog returns an empty catalog over the vocabulary (a fresh one when
+// vb is nil).
+func NewCatalog(vb *provenance.Vocab) *Catalog {
+	if vb == nil {
+		vb = provenance.NewVocab()
+	}
+	return &Catalog{Vocab: vb, tables: make(map[string]*Relation)}
+}
+
+// AddTable registers a relation under its name.
+func (c *Catalog) AddTable(r *Relation) {
+	c.tables[strings.ToLower(r.Name)] = r
+}
+
+// Table resolves a name.
+func (c *Catalog) Table(name string) (*Relation, error) {
+	r, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return r, nil
+}
+
+// TotalRows sums tuple counts across the catalog (the "input data size"
+// x-axis of Figure 8).
+func (c *Catalog) TotalRows() int {
+	n := 0
+	for _, r := range c.tables {
+		n += r.Len()
+	}
+	return n
+}

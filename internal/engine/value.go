@@ -1,0 +1,297 @@
+// Package engine is a small provenance-aware in-memory relational engine:
+// typed relations, a SQL subset (SELECT-FROM-WHERE-GROUP BY with SUM / COUNT
+// / MIN / MAX / AVG), hash joins, and two provenance modes matching §2.1 of
+// the paper:
+//
+//   - model 1 (SPJU / semiring): every tuple carries a polynomial
+//     annotation; joins multiply annotations and duplicate-eliminating
+//     projections add them, yielding N[X] provenance for the output.
+//   - model 2 (aggregates): individual cells carry variables; expressions
+//     over such cells evaluate symbolically, and SUM produces a provenance
+//     polynomial per output group instead of a number.
+//
+// The engine exists so the compression benchmarks can regenerate provenance
+// with the same *shape* the paper reports for TPC-H Q1/Q5/Q10 and the
+// telephony example; it deliberately supports just the query fragment the
+// paper evaluates (non-nested SPJ with commutative aggregates).
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"provabs/internal/provenance"
+)
+
+// Type enumerates value types.
+type Type uint8
+
+const (
+	TInt Type = iota
+	TFloat
+	TString
+	TBool
+	TDate // days since Unix epoch
+	TSym  // symbolic: a provenance polynomial (parameterized cell or aggregate)
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "STRING"
+	case TBool:
+		return "BOOL"
+	case TDate:
+		return "DATE"
+	case TSym:
+		return "SYMBOLIC"
+	}
+	return fmt.Sprintf("TYPE(%d)", uint8(t))
+}
+
+// Value is a dynamically typed cell value. Symbolic values carry a
+// provenance polynomial and arise from parameterized cells or aggregate
+// provenance; they flow through arithmetic but cannot be compared or used
+// as grouping keys.
+type Value struct {
+	T   Type
+	I   int64
+	F   float64
+	S   string
+	B   bool
+	Sym *provenance.Polynomial
+}
+
+// Int, Float, Str, Bool and Date construct values.
+func Int(i int64) Value      { return Value{T: TInt, I: i} }
+func Float(f float64) Value  { return Value{T: TFloat, F: f} }
+func Str(s string) Value     { return Value{T: TString, S: s} }
+func Bool(b bool) Value      { return Value{T: TBool, B: b} }
+func DateV(days int64) Value { return Value{T: TDate, I: days} }
+
+// Sym constructs a symbolic value.
+func Sym(p *provenance.Polynomial) Value { return Value{T: TSym, Sym: p} }
+
+// ParamCell builds the symbolic value of a parameterized cell: the numeric
+// cell value multiplied by the given variables (the paper's "variables are
+// placed/combined with the values in certain cells").
+func ParamCell(v float64, vars ...provenance.Var) Value {
+	p := provenance.NewPolynomial()
+	p.AddTerm(v, vars...)
+	return Sym(p)
+}
+
+// ParseDate parses "YYYY-MM-DD" into a TDate value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Value{}, fmt.Errorf("engine: bad date %q: %w", s, err)
+	}
+	return DateV(t.Unix() / 86400), nil
+}
+
+// MustDate is ParseDate that panics on error.
+func MustDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsNumeric reports whether the value participates in arithmetic.
+func (v Value) IsNumeric() bool { return v.T == TInt || v.T == TFloat || v.T == TSym }
+
+// AsFloat converts a numeric (non-symbolic) value to float64.
+func (v Value) AsFloat() (float64, error) {
+	switch v.T {
+	case TInt:
+		return float64(v.I), nil
+	case TFloat:
+		return v.F, nil
+	}
+	return 0, fmt.Errorf("engine: %s value is not numeric", v.T)
+}
+
+// asPoly views a numeric value as a polynomial (constants become constant
+// polynomials).
+func (v Value) asPoly() (*provenance.Polynomial, error) {
+	if v.T == TSym {
+		return v.Sym, nil
+	}
+	f, err := v.AsFloat()
+	if err != nil {
+		return nil, err
+	}
+	p := provenance.NewPolynomial()
+	p.AddTerm(f)
+	return p, nil
+}
+
+// arith applies +, -, * or / to two values. Symbolic operands make the
+// result symbolic; division by a symbolic value is rejected (polynomials
+// form a semiring, not a field).
+func arith(op byte, a, b Value) (Value, error) {
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Value{}, fmt.Errorf("engine: arithmetic on non-numeric %s and %s", a.T, b.T)
+	}
+	if a.T == TSym || b.T == TSym {
+		if op == '/' {
+			if b.T == TSym {
+				return Value{}, fmt.Errorf("engine: cannot divide by a symbolic value")
+			}
+			f, err := b.AsFloat()
+			if err != nil {
+				return Value{}, err
+			}
+			if f == 0 {
+				return Value{}, fmt.Errorf("engine: division by zero")
+			}
+			pa, _ := a.asPoly()
+			return Sym(pa.Scale(1 / f)), nil
+		}
+		pa, err := a.asPoly()
+		if err != nil {
+			return Value{}, err
+		}
+		pb, err := b.asPoly()
+		if err != nil {
+			return Value{}, err
+		}
+		switch op {
+		case '+':
+			return Sym(pa.Add(pb)), nil
+		case '-':
+			return Sym(pa.Add(pb.Scale(-1))), nil
+		case '*':
+			return Sym(pa.Mul(pb)), nil
+		}
+		return Value{}, fmt.Errorf("engine: unknown operator %q", op)
+	}
+	// Integer arithmetic stays integral except for division.
+	if a.T == TInt && b.T == TInt && op != '/' {
+		switch op {
+		case '+':
+			return Int(a.I + b.I), nil
+		case '-':
+			return Int(a.I - b.I), nil
+		case '*':
+			return Int(a.I * b.I), nil
+		}
+	}
+	af, _ := a.AsFloat()
+	bf, _ := b.AsFloat()
+	switch op {
+	case '+':
+		return Float(af + bf), nil
+	case '-':
+		return Float(af - bf), nil
+	case '*':
+		return Float(af * bf), nil
+	case '/':
+		if bf == 0 {
+			return Value{}, fmt.Errorf("engine: division by zero")
+		}
+		return Float(af / bf), nil
+	}
+	return Value{}, fmt.Errorf("engine: unknown operator %q", op)
+}
+
+// Compare orders two values of compatible types: -1, 0 or +1. Symbolic
+// values cannot be compared.
+func Compare(a, b Value) (int, error) {
+	if a.T == TSym || b.T == TSym {
+		return 0, fmt.Errorf("engine: cannot compare symbolic values")
+	}
+	switch {
+	case a.T == TString && b.T == TString:
+		switch {
+		case a.S < b.S:
+			return -1, nil
+		case a.S > b.S:
+			return 1, nil
+		}
+		return 0, nil
+	case a.T == TBool && b.T == TBool:
+		switch {
+		case !a.B && b.B:
+			return -1, nil
+		case a.B && !b.B:
+			return 1, nil
+		}
+		return 0, nil
+	case a.T == TDate && b.T == TDate, a.T == TInt && b.T == TInt:
+		switch {
+		case a.I < b.I:
+			return -1, nil
+		case a.I > b.I:
+			return 1, nil
+		}
+		return 0, nil
+	case a.IsNumeric() && b.IsNumeric():
+		af, err := a.AsFloat()
+		if err != nil {
+			return 0, err
+		}
+		bf, err := b.AsFloat()
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("engine: cannot compare %s with %s", a.T, b.T)
+}
+
+// Key returns a hashable string identity for grouping and hash joins.
+// Symbolic values have no key.
+func (v Value) Key() (string, error) {
+	switch v.T {
+	case TInt, TDate:
+		return "i" + strconv.FormatInt(v.I, 10), nil
+	case TFloat:
+		return "f" + strconv.FormatFloat(v.F, 'b', -1, 64), nil
+	case TString:
+		return "s" + v.S, nil
+	case TBool:
+		if v.B {
+			return "b1", nil
+		}
+		return "b0", nil
+	}
+	return "", fmt.Errorf("engine: %s value cannot be a key", v.T)
+}
+
+// Format renders the value for display; symbolic values render through the
+// vocabulary (pass nil to show a placeholder).
+func (v Value) Format(vb *provenance.Vocab) string {
+	switch v.T {
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TString:
+		return v.S
+	case TBool:
+		return strconv.FormatBool(v.B)
+	case TDate:
+		return time.Unix(v.I*86400, 0).UTC().Format("2006-01-02")
+	case TSym:
+		if vb == nil {
+			return "<symbolic>"
+		}
+		return v.Sym.String(vb)
+	}
+	return "<?>"
+}

@@ -1,0 +1,305 @@
+// Package hardness implements the constructions of the paper's Appendix A,
+// which proves the decision problem NP-hard (Proposition 11) by reduction
+// from Vertex Cover: uniformly partitioned polynomials (Definition 16), flat
+// abstractions (Definition 20), the counting claims 18 and 23, and the
+// Lemma 29 reduction. The constructions are executable so the reduction can
+// be validated end-to-end against a brute-force vertex-cover solver.
+package hardness
+
+import (
+	"fmt"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// UPP describes a uniformly partitioned polynomial P⟨X, n, I⟩
+// (Definition 16): for every pair (a, b) ∈ I (with a < b), P contains the
+// n² monomials x^(a)_i · x^(b)_j for i, j ∈ 1..n.
+type UPP struct {
+	X []string // metavariable names x^(1)..x^(|X|)
+	N int      // blowup factor
+	I [][2]int // index pairs into X, 0-based, each with I[k][0] < I[k][1]
+}
+
+// Validate checks the structural requirements of Definition 16.
+func (u UPP) Validate() error {
+	if u.N < 1 {
+		return fmt.Errorf("hardness: blowup factor %d < 1", u.N)
+	}
+	seen := map[string]bool{}
+	for _, x := range u.X {
+		if seen[x] {
+			return fmt.Errorf("hardness: duplicate metavariable %q", x)
+		}
+		seen[x] = true
+	}
+	pairSeen := map[[2]int]bool{}
+	for _, p := range u.I {
+		if p[0] < 0 || p[1] >= len(u.X) || p[0] >= p[1] {
+			return fmt.Errorf("hardness: bad pair %v (need 0 <= a < b < %d)", p, len(u.X))
+		}
+		if pairSeen[p] {
+			return fmt.Errorf("hardness: duplicate pair %v", p)
+		}
+		pairSeen[p] = true
+	}
+	return nil
+}
+
+// varName returns the name of variable x^(a)_i (0-based a, 1-based i).
+func (u UPP) varName(a, i int) string {
+	return fmt.Sprintf("%s_%d", u.X[a], i)
+}
+
+// Build materializes P⟨X, n, I⟩ as a single-polynomial set over vb.
+func (u UPP) Build(vb *provenance.Vocab) (*provenance.Set, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	p := provenance.NewPolynomial()
+	for _, pair := range u.I {
+		a, b := pair[0], pair[1]
+		for i := 1; i <= u.N; i++ {
+			va := vb.Var(u.varName(a, i))
+			for j := 1; j <= u.N; j++ {
+				p.AddTerm(1, va, vb.Var(u.varName(b, j)))
+			}
+		}
+	}
+	s := provenance.NewSet(vb)
+	s.Add("P", p)
+	return s, nil
+}
+
+// FlatForest builds the flat abstraction of the UPP (Definition 20): one
+// tree per metavariable x^(i), with root x^(i) and leaves x^(i)_1..x^(i)_n.
+func (u UPP) FlatForest() (*abstree.Forest, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	trees := make([]*abstree.Tree, len(u.X))
+	for a := range u.X {
+		spec := abstree.Spec{Label: u.X[a]}
+		for i := 1; i <= u.N; i++ {
+			spec.Children = append(spec.Children, abstree.Leaf(u.varName(a, i)))
+		}
+		t, err := abstree.NewTree(spec)
+		if err != nil {
+			return nil, err
+		}
+		trees[a] = t
+	}
+	return abstree.NewForest(trees...)
+}
+
+// Claim18Size returns |P|_M = |I|·n² (Claim 18).
+func (u UPP) Claim18Size() int { return len(u.I) * u.N * u.N }
+
+// Claim18Granularity returns |P|_V = |X'|·n where X' is the set of
+// metavariables that occur in some pair. (The paper states |X|·n under the
+// implicit assumption that every metavariable participates in a pair.)
+func (u UPP) Claim18Granularity() int {
+	used := map[int]bool{}
+	for _, p := range u.I {
+		used[p[0]] = true
+		used[p[1]] = true
+	}
+	return len(used) * u.N
+}
+
+// Claim23Size returns |P↓S|_M as predicted by Claim 23 for the VVS whose
+// chosen metavariables (roots) are exactly Y (indices into X): per pair,
+// 1 if both endpoints are abstracted, n² if neither is, n otherwise.
+func (u UPP) Claim23Size(Y map[int]bool) int {
+	total := 0
+	for _, p := range u.I {
+		switch {
+		case Y[p[0]] && Y[p[1]]:
+			total++
+		case !Y[p[0]] && !Y[p[1]]:
+			total += u.N * u.N
+		default:
+			total += u.N
+		}
+	}
+	return total
+}
+
+// Claim23Granularity returns |P↓S|_V = |Y| + (|X'|−|Y|)·n per Claim 23,
+// restricted to metavariables occurring in pairs.
+func (u UPP) Claim23Granularity(Y map[int]bool) int {
+	used := map[int]bool{}
+	for _, p := range u.I {
+		used[p[0]] = true
+		used[p[1]] = true
+	}
+	y := 0
+	for a := range Y {
+		if used[a] {
+			y++
+		}
+	}
+	return y + (len(used)-y)*u.N
+}
+
+// VVSForRoots builds, over the flat forest, the VVS that chooses the root of
+// every tree in Y and the leaves of every other tree.
+func (u UPP) VVSForRoots(f *abstree.Forest, Y map[int]bool) *abstree.VVS {
+	nodes := make([][]int, len(f.Trees))
+	for ti, t := range f.Trees {
+		if Y[ti] {
+			nodes[ti] = []int{t.Root()}
+		} else {
+			nodes[ti] = append([]int(nil), t.Leaves()...)
+		}
+	}
+	return &abstree.VVS{Forest: f, Nodes: nodes}
+}
+
+// Graph is an undirected graph for the Vertex Cover side of the reduction.
+// The Lemma 29 preconditions (Theorem 28) require at least two nodes, at
+// least one edge, and no self loops.
+type Graph struct {
+	N     int
+	Edges [][2]int // 0-based endpoints, u < v after normalization
+}
+
+// Validate checks the Theorem 28 preconditions and normalizes edges.
+func (g *Graph) Validate() error {
+	if g.N < 2 {
+		return fmt.Errorf("hardness: graph needs at least 2 nodes, has %d", g.N)
+	}
+	if len(g.Edges) == 0 {
+		return fmt.Errorf("hardness: graph needs at least one edge")
+	}
+	seen := map[[2]int]bool{}
+	for i, e := range g.Edges {
+		if e[0] == e[1] {
+			return fmt.Errorf("hardness: self loop at %d", e[0])
+		}
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+			g.Edges[i] = e
+		}
+		if e[0] < 0 || e[1] >= g.N {
+			return fmt.Errorf("hardness: edge %v out of range", e)
+		}
+		if seen[e] {
+			return fmt.Errorf("hardness: duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+	return nil
+}
+
+// IsVertexCover reports whether cover (a set of node indices) covers every
+// edge.
+func (g Graph) IsVertexCover(cover map[int]bool) bool {
+	for _, e := range g.Edges {
+		if !cover[e[0]] && !cover[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasVertexCoverOfSize reports, by exhaustive search, whether g has a vertex
+// cover of size exactly k.
+func (g Graph) HasVertexCoverOfSize(k int) bool {
+	if k < 0 || k > g.N {
+		return false
+	}
+	// Any cover of size <= k extends to size exactly k by padding, so it
+	// suffices to find a cover of size at most k.
+	n := g.N
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) > k {
+			continue
+		}
+		cover := map[int]bool{}
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				cover[v] = true
+			}
+		}
+		if g.IsVertexCover(cover) {
+			return true
+		}
+	}
+	return false
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// Reduce maps a Vertex Cover instance to the UPP of Lemma 29:
+// P⟨X, |V|³, I⟩ with one metavariable per node and one pair per edge.
+// The blowup can be overridden (blowup <= 0 uses the paper's |V|³) so tests
+// can run the construction at tractable sizes. The proof's counting argument
+// requires the blowup n to satisfy n > |E| — then a single uncovered edge
+// contributes n² monomials, overshooting the size ceiling |E|·n, which is
+// what forces every precise abstraction to correspond to a vertex cover.
+// The paper's n = |V|³ satisfies this since |E| ≤ |V|² < |V|³.
+func Reduce(g Graph, blowup int) (UPP, error) {
+	if err := g.Validate(); err != nil {
+		return UPP{}, err
+	}
+	if blowup <= 0 {
+		blowup = g.N * g.N * g.N
+	}
+	if blowup <= len(g.Edges) {
+		return UPP{}, fmt.Errorf("hardness: blowup %d must exceed the edge count %d", blowup, len(g.Edges))
+	}
+	u := UPP{N: blowup}
+	for v := 0; v < g.N; v++ {
+		u.X = append(u.X, fmt.Sprintf("x%d", v))
+	}
+	for _, e := range g.Edges {
+		u.I = append(u.I, e)
+	}
+	return u, nil
+}
+
+// Lemma29K returns the granularity bound K = (|V|−k)·n³+k of Lemma 29 for
+// cover size k (with the UPP's actual blowup in place of n³).
+func Lemma29K(g Graph, u UPP, k int) int {
+	return (g.N-k)*u.N + k
+}
+
+// Lemma29MaxB returns the size-bound ceiling of Lemma 29 adjusted to the
+// UPP's actual blowup: a cover yields |P↓S|_M ≤ |E|·n, and the reduction
+// needs the ceiling below n² so that an uncovered edge overshoots it (the
+// paper's ceiling |V|⁵ = |V|²·|V|³ plays this role for n = |V|³ because
+// |E| ≤ |V|²).
+func Lemma29MaxB(g Graph, u UPP) int {
+	return len(g.Edges) * u.N
+}
+
+// ExistsPreciseForK reports, by exhaustively trying every flat VVS (every
+// subset Y of trees abstracted to their roots), whether the UPP has a
+// precise abstraction with granularity exactly K and size within
+// {2..maxB}. This is the right-hand side of Lemma 29. It uses Claim 23 for
+// the counting — Claims are validated against direct substitution in tests.
+func (u UPP) ExistsPreciseForK(K, maxB int) bool {
+	n := len(u.X)
+	for mask := 0; mask < 1<<n; mask++ {
+		Y := map[int]bool{}
+		for a := 0; a < n; a++ {
+			if mask&(1<<a) != 0 {
+				Y[a] = true
+			}
+		}
+		b := u.Claim23Size(Y)
+		if u.Claim23Granularity(Y) == K && b >= 2 && b <= maxB {
+			return true
+		}
+	}
+	return false
+}

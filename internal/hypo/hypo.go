@@ -1,0 +1,242 @@
+// Package hypo is the hypothetical-reasoning layer: scenarios assign values
+// to provenance variables (or to the meta-variables of an abstraction), and
+// applying a scenario to pre-computed provenance yields the query answers
+// under the hypothetical update without re-running the query (§1).
+//
+// The package also quantifies the two costs the paper trades off:
+// assignment time (Figure 10's speedup of compressed vs original
+// provenance) and accuracy (abstraction is exact for group-uniform
+// scenarios and approximate otherwise).
+package hypo
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// Scenario is a hypothetical update: a multiplicative (or absolute,
+// depending on how the provenance was parameterized) assignment to
+// variables by name. Unassigned variables keep the identity value 1.
+type Scenario struct {
+	Assign map[string]float64
+}
+
+// NewScenario returns an empty scenario.
+func NewScenario() *Scenario { return &Scenario{Assign: map[string]float64{}} }
+
+// Set assigns a value to a variable name and returns the scenario for
+// chaining.
+func (sc *Scenario) Set(name string, v float64) *Scenario {
+	sc.Assign[name] = v
+	return sc
+}
+
+// SetAll assigns the same value to several variables.
+func (sc *Scenario) SetAll(v float64, names ...string) *Scenario {
+	for _, n := range names {
+		sc.Assign[n] = v
+	}
+	return sc
+}
+
+// valuation resolves names against a vocabulary; unknown names are reported
+// so scenario typos do not silently evaluate to the identity.
+func (sc *Scenario) valuation(vb *provenance.Vocab) (map[provenance.Var]float64, error) {
+	val := make(map[provenance.Var]float64, len(sc.Assign))
+	for name, x := range sc.Assign {
+		v, ok := vb.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("hypo: scenario assigns unknown variable %q", name)
+		}
+		val[v] = x
+	}
+	return val, nil
+}
+
+// Eval applies the scenario to every polynomial of the set, returning the
+// hypothetical answers in set order.
+func (sc *Scenario) Eval(s *provenance.Set) ([]float64, error) {
+	val, err := sc.valuation(s.Vocab)
+	if err != nil {
+		return nil, err
+	}
+	return s.Eval(val), nil
+}
+
+// UniformOn lifts a scenario defined on the meta-variables of a VVS to the
+// underlying leaf variables: every leaf below a chosen node receives the
+// node's assigned value. Scenarios of this form are exactly those the
+// abstraction supports losslessly.
+func (sc *Scenario) UniformOn(v *abstree.VVS) *Scenario {
+	out := NewScenario()
+	for ti, t := range v.Forest.Trees {
+		for _, n := range v.Nodes[ti] {
+			x, ok := sc.Assign[t.Label(n)]
+			if !ok {
+				continue
+			}
+			for _, l := range t.LeavesUnder(n) {
+				out.Assign[t.Label(l)] = x
+			}
+		}
+	}
+	// Assignments to variables outside the forest pass through.
+	for name, x := range sc.Assign {
+		if _, _, ok := v.Forest.TreeOfLabel(name); !ok {
+			out.Assign[name] = x
+		}
+	}
+	return out
+}
+
+// Exactness: a scenario on leaf variables is supported by an abstraction
+// exactly when it is uniform on every chosen group. IsUniformOn reports
+// that, listing the first violating group otherwise.
+func (sc *Scenario) IsUniformOn(v *abstree.VVS) (bool, string) {
+	for ti, t := range v.Forest.Trees {
+		for _, n := range v.Nodes[ti] {
+			if t.IsLeaf(n) {
+				continue
+			}
+			var first float64
+			var firstName string
+			seen := false
+			for _, l := range t.LeavesUnder(n) {
+				x, ok := sc.Assign[t.Label(l)]
+				if !ok {
+					x = 1
+				}
+				if !seen {
+					first, firstName, seen = x, t.Label(l), true
+					continue
+				}
+				if x != first {
+					return false, fmt.Sprintf("group %q assigns %v to %s but %v to %s",
+						t.Label(n), first, firstName, x, t.Label(l))
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// Project maps a leaf-variable scenario onto the abstraction's
+// meta-variables: each chosen group receives the mean of its members'
+// assignments (exact when the scenario is uniform, the natural estimate
+// otherwise).
+func (sc *Scenario) Project(v *abstree.VVS) *Scenario {
+	out := NewScenario()
+	covered := map[string]bool{}
+	for ti, t := range v.Forest.Trees {
+		for _, n := range v.Nodes[ti] {
+			leaves := t.LeavesUnder(n)
+			sum := 0.0
+			for _, l := range leaves {
+				covered[t.Label(l)] = true
+				x, ok := sc.Assign[t.Label(l)]
+				if !ok {
+					x = 1
+				}
+				sum += x
+			}
+			if len(leaves) > 0 {
+				out.Assign[t.Label(n)] = sum / float64(len(leaves))
+			}
+		}
+	}
+	for name, x := range sc.Assign {
+		if !covered[name] {
+			out.Assign[name] = x
+		}
+	}
+	return out
+}
+
+// Answer pairs a polynomial's tag with its value under a scenario.
+type Answer struct {
+	Tag   string
+	Value float64
+}
+
+// Answers evaluates and tags the results.
+func (sc *Scenario) Answers(s *provenance.Set) ([]Answer, error) {
+	vals, err := sc.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Answer, len(vals))
+	for i, v := range vals {
+		tag := ""
+		if i < len(s.Tags) {
+			tag = s.Tags[i]
+		}
+		out[i] = Answer{Tag: tag, Value: v}
+	}
+	return out, nil
+}
+
+// MaxRelError returns the maximum relative error between two answer vectors
+// (‖a−b‖ relative to |b|, with an absolute floor to keep zero answers
+// comparable).
+func MaxRelError(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("hypo: answer vectors have lengths %d and %d", len(a), len(b))
+	}
+	worst := 0.0
+	for i := range a {
+		denom := math.Abs(b[i])
+		if denom < 1 {
+			denom = 1
+		}
+		if e := math.Abs(a[i]-b[i]) / denom; e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// AssignmentTimes measures the time to evaluate `rounds` scenarios on the
+// original and on the abstracted provenance (Figure 10's quantities). The
+// scenario values are irrelevant to the timing; a fixed pseudo-random
+// valuation over each set's variables is used.
+func AssignmentTimes(orig, abstracted *provenance.Set, rounds int) (tOrig, tAbs time.Duration) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	mkVal := func(s *provenance.Set) map[provenance.Var]float64 {
+		val := make(map[provenance.Var]float64)
+		for i, v := range s.Vars() {
+			val[v] = 0.5 + float64(i%7)/8
+		}
+		return val
+	}
+	vo, va := mkVal(orig), mkVal(abstracted)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		orig.Eval(vo)
+	}
+	tOrig = time.Since(start)
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		abstracted.Eval(va)
+	}
+	tAbs = time.Since(start)
+	return tOrig, tAbs
+}
+
+// Speedup converts the two assignment times into the paper's speedup
+// percentage (time saved relative to the original).
+func Speedup(tOrig, tAbs time.Duration) float64 {
+	if tOrig <= 0 {
+		return 0
+	}
+	s := 1 - float64(tAbs)/float64(tOrig)
+	if s < 0 {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package provenance
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec for provenance sets. The anticipated use case (§1, "Offline
+// vs. Online Compression") is that provenance is computed once, compressed,
+// and shipped to many analysts; the codec gives the byte size that shipping
+// and local storage would pay, so experiments can report compression in
+// bytes as well as in monomial counts.
+//
+// Format (all integers varint unless noted):
+//
+//	magic "PVAB" | version u8
+//	#vars | each: name len + bytes          (Var i+1 = i'th name)
+//	#polys | each: tag len + bytes, #terms,
+//	    each term: coeff (8-byte LE float), #varpows, each: var zigzag, pow
+const (
+	codecMagic   = "PVAB"
+	codecVersion = 1
+)
+
+// Encode writes the set to w in the binary format.
+func Encode(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(s.Vocab.Len()))
+	for _, name := range s.Vocab.names {
+		writeString(bw, name)
+	}
+	writeUvarint(bw, uint64(len(s.Polys)))
+	for i, p := range s.Polys {
+		tag := ""
+		if i < len(s.Tags) {
+			tag = s.Tags[i]
+		}
+		writeString(bw, tag)
+		writeUvarint(bw, uint64(len(p.terms)))
+		for _, m := range p.Monomials() { // sorted for determinism
+			var fb [8]byte
+			binary.LittleEndian.PutUint64(fb[:], math.Float64bits(m.Coeff))
+			if _, err := bw.Write(fb[:]); err != nil {
+				return err
+			}
+			writeUvarint(bw, uint64(len(m.vars)))
+			for _, vp := range m.vars {
+				writeVarint(bw, int64(vp.Var))
+				writeUvarint(bw, uint64(vp.Pow))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a set from r.
+func Decode(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("provenance: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("provenance: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("provenance: unsupported version %d", ver)
+	}
+	nvars, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	vb := NewVocab()
+	for i := uint64(0); i < nvars; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		vb.Var(name)
+	}
+	npolys, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSet(vb)
+	for i := uint64(0); i < npolys; i++ {
+		tag, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		nterms, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		p := NewPolynomial()
+		for t := uint64(0); t < nterms; t++ {
+			var fb [8]byte
+			if _, err := io.ReadFull(br, fb[:]); err != nil {
+				return nil, err
+			}
+			coeff := math.Float64frombits(binary.LittleEndian.Uint64(fb[:]))
+			nvp, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			pows := make([]VarPow, nvp)
+			for j := range pows {
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, err
+				}
+				pw, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				if v <= 0 || v > int64(vb.Len()) {
+					return nil, fmt.Errorf("provenance: variable %d out of range", v)
+				}
+				if pw == 0 || pw > math.MaxInt32 {
+					return nil, fmt.Errorf("provenance: exponent %d out of range", pw)
+				}
+				pows[j] = VarPow{Var: Var(v), Pow: int32(pw)}
+			}
+			p.AddMonomial(NewMonomialPows(coeff, pows...))
+		}
+		s.Add(tag, p)
+	}
+	return s, nil
+}
+
+// EncodedSize returns the number of bytes Encode would produce. It is the
+// storage/communication-cost measure used in the compression-gain reports.
+func EncodedSize(s *Set) int {
+	cw := &countWriter{}
+	if err := Encode(cw, s); err != nil {
+		// Encoding to a counter cannot fail; a failure indicates a bug.
+		panic(err)
+	}
+	return cw.n
+}
+
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("provenance: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

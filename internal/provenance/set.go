@@ -1,0 +1,131 @@
+package provenance
+
+import "sort"
+
+// Set is a multiset of polynomials — "all polynomials that appear in the
+// provenance-aware result of query evaluation" (§2.1). The paper's size
+// measures lift point-wise: |P|_M sums monomial counts, V(P) unions variable
+// sets.
+//
+// Each polynomial is typically tagged with the output tuple (group) it
+// annotates; tags are carried for presentation and scenario reporting but do
+// not affect the algorithms.
+type Set struct {
+	Vocab *Vocab
+	Polys []*Polynomial
+	Tags  []string // Tags[i] labels Polys[i]; may be empty
+}
+
+// NewSet returns an empty set over the given vocabulary.
+func NewSet(vb *Vocab) *Set {
+	if vb == nil {
+		vb = NewVocab()
+	}
+	return &Set{Vocab: vb}
+}
+
+// Add appends a polynomial with an optional tag.
+func (s *Set) Add(tag string, p *Polynomial) {
+	s.Polys = append(s.Polys, p)
+	s.Tags = append(s.Tags, tag)
+}
+
+// Len returns the number of polynomials.
+func (s *Set) Len() int { return len(s.Polys) }
+
+// Size returns |P|_M — the total number of monomials across all polynomials.
+func (s *Set) Size() int {
+	n := 0
+	for _, p := range s.Polys {
+		n += p.Size()
+	}
+	return n
+}
+
+// VarSet returns V(P) — the union of variable sets — as a map.
+func (s *Set) VarSet() map[Var]bool {
+	seen := make(map[Var]bool)
+	for _, p := range s.Polys {
+		for k := range p.terms {
+			for _, vp := range parseKey(k) {
+				seen[vp.Var] = true
+			}
+		}
+	}
+	return seen
+}
+
+// Vars returns V(P) as a sorted slice.
+func (s *Set) Vars() []Var {
+	set := s.VarSet()
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Granularity returns |P|_V — the number of distinct variables.
+func (s *Set) Granularity() int { return len(s.VarSet()) }
+
+// Substitute returns P↓S applied point-wise, sharing the vocabulary and tags.
+func (s *Set) Substitute(subst map[Var]Var) *Set {
+	out := &Set{Vocab: s.Vocab, Polys: make([]*Polynomial, len(s.Polys)), Tags: s.Tags}
+	for i, p := range s.Polys {
+		out.Polys[i] = p.Substitute(subst)
+	}
+	return out
+}
+
+// Eval evaluates every polynomial under the valuation, returning one value
+// per polynomial in order.
+func (s *Set) Eval(val map[Var]float64) []float64 {
+	out := make([]float64, len(s.Polys))
+	for i, p := range s.Polys {
+		out[i] = p.Eval(val)
+	}
+	return out
+}
+
+// Clone deep-copies the polynomials (the Vocab and tags are shared).
+func (s *Set) Clone() *Set {
+	out := &Set{Vocab: s.Vocab, Polys: make([]*Polynomial, len(s.Polys)), Tags: s.Tags}
+	for i, p := range s.Polys {
+		out.Polys[i] = p.Clone()
+	}
+	return out
+}
+
+// MaxPolySize returns the largest |P|_M of any member (0 for an empty set).
+func (s *Set) MaxPolySize() int {
+	max := 0
+	for _, p := range s.Polys {
+		if p.Size() > max {
+			max = p.Size()
+		}
+	}
+	return max
+}
+
+// MinPolySize returns the smallest |P|_M of any member (0 for an empty set).
+func (s *Set) MinPolySize() int {
+	if len(s.Polys) == 0 {
+		return 0
+	}
+	min := s.Polys[0].Size()
+	for _, p := range s.Polys[1:] {
+		if p.Size() < min {
+			min = p.Size()
+		}
+	}
+	return min
+}
+
+// MeanPolySize returns the average |P|_M per polynomial.
+func (s *Set) MeanPolySize() float64 {
+	if len(s.Polys) == 0 {
+		return 0
+	}
+	return float64(s.Size()) / float64(len(s.Polys))
+}

@@ -1,0 +1,100 @@
+// Package provenance implements provenance polynomials in the style of
+// Green, Karvounarakis and Tannen's provenance semirings, specialized to the
+// needs of hypothetical reasoning: each polynomial is a sum of monomials,
+// each monomial a rational coefficient times a product of variables
+// (possibly with exponents). Variables parameterize hypothetical scenarios;
+// valuating them yields the result of the scenario.
+//
+// The package provides interned variables (Vocab), canonical monomials and
+// polynomials, multisets of polynomials (Set) with the size measures
+// |P|_M (number of monomials) and |P|_V (number of distinct variables) used
+// throughout the paper, substitution under an abstraction (P↓S), evaluation,
+// a text format, and a compact binary codec.
+package provenance
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var is an interned variable identifier. Variables are created and resolved
+// through a Vocab. The zero Var is not a valid variable; valid variables are
+// strictly positive, which lets callers use 0 as "no variable".
+type Var int32
+
+// NoVar is the zero Var, never returned by a Vocab.
+const NoVar Var = 0
+
+// Hole is a reserved variable used internally when computing monomial
+// residues (a monomial with one variable knocked out). It is never returned
+// by a Vocab and never appears in user polynomials.
+const Hole Var = -1
+
+// Vocab interns variable names. It is the single source of truth mapping
+// names to Vars and back; all polynomials sharing a Vocab can be compared
+// and combined. The zero value is ready to use.
+type Vocab struct {
+	names []string // names[i] is the name of Var(i+1)
+	ids   map[string]Var
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab { return &Vocab{} }
+
+// Var interns name and returns its Var, allocating a fresh one on first use.
+func (vb *Vocab) Var(name string) Var {
+	if vb.ids == nil {
+		vb.ids = make(map[string]Var)
+	}
+	if v, ok := vb.ids[name]; ok {
+		return v
+	}
+	vb.names = append(vb.names, name)
+	v := Var(len(vb.names))
+	vb.ids[name] = v
+	return v
+}
+
+// Vars interns every name and returns the corresponding Vars in order.
+func (vb *Vocab) Vars(names ...string) []Var {
+	out := make([]Var, len(names))
+	for i, n := range names {
+		out[i] = vb.Var(n)
+	}
+	return out
+}
+
+// Lookup returns the Var for name without interning. ok is false if the name
+// has never been interned.
+func (vb *Vocab) Lookup(name string) (v Var, ok bool) {
+	v, ok = vb.ids[name]
+	return v, ok
+}
+
+// Name returns the name of v. It panics if v was not produced by this Vocab.
+func (vb *Vocab) Name(v Var) string {
+	if v <= 0 || int(v) > len(vb.names) {
+		panic(fmt.Sprintf("provenance: Var %d not in vocabulary (size %d)", v, len(vb.names)))
+	}
+	return vb.names[v-1]
+}
+
+// Len reports the number of interned variables.
+func (vb *Vocab) Len() int { return len(vb.names) }
+
+// All returns all interned Vars in creation order.
+func (vb *Vocab) All() []Var {
+	out := make([]Var, len(vb.names))
+	for i := range vb.names {
+		out[i] = Var(i + 1)
+	}
+	return out
+}
+
+// SortedNames returns all interned names in lexicographic order. It is used
+// by deterministic printers.
+func (vb *Vocab) SortedNames() []string {
+	out := append([]string(nil), vb.names...)
+	sort.Strings(out)
+	return out
+}

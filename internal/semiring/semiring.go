@@ -1,0 +1,194 @@
+// Package semiring provides commutative semirings and the evaluation of
+// provenance polynomials inside them. This realizes the paper's model 1
+// (§2.1): polynomials over N[X] are the universal provenance semiring, and
+// assigning semiring values to variables specializes them — Boolean values
+// for existence/non-existence hypotheticals, counts for multiplicity,
+// tropical costs, Viterbi confidences, and so on (Green et al., PODS'07).
+package semiring
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"provabs/internal/provenance"
+)
+
+// Semiring is a commutative semiring over T: (T, Add, Zero) is a commutative
+// monoid, (T, Mul, One) is a commutative monoid, Mul distributes over Add,
+// and Zero annihilates Mul. Implementations must be value-semantics-safe
+// (Eval may reuse results).
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+	Equal(a, b T) bool
+}
+
+// Eval evaluates the polynomial in the semiring: coefficients are
+// interpreted as multiplicities (n-fold Add), exponents as n-fold Mul, and
+// variables are valuated through val. Coefficients must be non-negative
+// integers — the N[X] reading — otherwise Eval reports an error.
+func Eval[T any](sr Semiring[T], p *provenance.Polynomial, val func(provenance.Var) T) (T, error) {
+	acc := sr.Zero()
+	for _, m := range p.Monomials() {
+		c := m.Coeff
+		if c != math.Trunc(c) || c < 0 {
+			return acc, fmt.Errorf("semiring: coefficient %v is not a natural multiplicity", c)
+		}
+		term := sr.One()
+		for _, vp := range m.Vars() {
+			x := val(vp.Var)
+			for i := int32(0); i < vp.Pow; i++ {
+				term = sr.Mul(term, x)
+			}
+		}
+		acc = sr.Add(acc, nTimes(sr, int64(c), term))
+	}
+	return acc, nil
+}
+
+// nTimes adds x to itself n times (fast doubling).
+func nTimes[T any](sr Semiring[T], n int64, x T) T {
+	acc := sr.Zero()
+	for n > 0 {
+		if n&1 == 1 {
+			acc = sr.Add(acc, x)
+		}
+		x = sr.Add(x, x)
+		n >>= 1
+	}
+	return acc
+}
+
+// Counting is the counting semiring (N, +, ·, 0, 1): how many derivations
+// produce the tuple.
+type Counting struct{}
+
+func (Counting) Zero() int64           { return 0 }
+func (Counting) One() int64            { return 1 }
+func (Counting) Add(a, b int64) int64  { return a + b }
+func (Counting) Mul(a, b int64) int64  { return a * b }
+func (Counting) Equal(a, b int64) bool { return a == b }
+
+// Boolean is the Boolean semiring ({false,true}, ∨, ∧): does the tuple
+// survive the hypothetical deletion scenario.
+type Boolean struct{}
+
+func (Boolean) Zero() bool           { return false }
+func (Boolean) One() bool            { return true }
+func (Boolean) Add(a, b bool) bool   { return a || b }
+func (Boolean) Mul(a, b bool) bool   { return a && b }
+func (Boolean) Equal(a, b bool) bool { return a == b }
+
+// Tropical is the min-plus semiring (R∪{∞}, min, +, ∞, 0): cheapest
+// derivation cost.
+type Tropical struct{}
+
+func (Tropical) Zero() float64            { return math.Inf(1) }
+func (Tropical) One() float64             { return 0 }
+func (Tropical) Add(a, b float64) float64 { return math.Min(a, b) }
+func (Tropical) Mul(a, b float64) float64 { return a + b }
+func (Tropical) Equal(a, b float64) bool  { return a == b }
+
+// Viterbi is the Viterbi semiring ([0,1], max, ·, 0, 1): most likely
+// derivation.
+type Viterbi struct{}
+
+func (Viterbi) Zero() float64            { return 0 }
+func (Viterbi) One() float64             { return 1 }
+func (Viterbi) Add(a, b float64) float64 { return math.Max(a, b) }
+func (Viterbi) Mul(a, b float64) float64 { return a * b }
+func (Viterbi) Equal(a, b float64) bool  { return a == b }
+
+// Fuzzy is the fuzzy semiring ([0,1], max, min, 0, 1).
+type Fuzzy struct{}
+
+func (Fuzzy) Zero() float64            { return 0 }
+func (Fuzzy) One() float64             { return 1 }
+func (Fuzzy) Add(a, b float64) float64 { return math.Max(a, b) }
+func (Fuzzy) Mul(a, b float64) float64 { return math.Min(a, b) }
+func (Fuzzy) Equal(a, b float64) bool  { return a == b }
+
+// Witnesses is an element of the Why semiring: a set of witness sets, each
+// witness a sorted set of variable names. The canonical encoding keeps sets
+// sorted and deduplicated so Equal is structural.
+type Witnesses [][]string
+
+// Why is the Why-provenance semiring (sets of witness sets; union and
+// pairwise union). Zero is the empty set; One is the set holding the empty
+// witness.
+type Why struct{}
+
+func (Why) Zero() Witnesses { return Witnesses{} }
+func (Why) One() Witnesses  { return Witnesses{{}} }
+
+func (Why) Add(a, b Witnesses) Witnesses {
+	return canonWitnesses(append(append(Witnesses{}, a...), b...))
+}
+
+func (Why) Mul(a, b Witnesses) Witnesses {
+	var out Witnesses
+	for _, wa := range a {
+		for _, wb := range b {
+			merged := map[string]bool{}
+			for _, x := range wa {
+				merged[x] = true
+			}
+			for _, x := range wb {
+				merged[x] = true
+			}
+			var w []string
+			for x := range merged {
+				w = append(w, x)
+			}
+			sort.Strings(w)
+			out = append(out, w)
+		}
+	}
+	return canonWitnesses(out)
+}
+
+func (Why) Equal(a, b Witnesses) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if strings.Join(a[i], ",") != strings.Join(b[i], ",") {
+			return false
+		}
+	}
+	return true
+}
+
+// Singleton returns the Why value of a base tuple annotated with name.
+func Singleton(name string) Witnesses { return Witnesses{{name}} }
+
+func canonWitnesses(ws Witnesses) Witnesses {
+	seen := map[string]bool{}
+	var out Witnesses
+	for _, w := range ws {
+		key := strings.Join(w, ",")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], ",") < strings.Join(out[j], ",")
+	})
+	return out
+}
+
+// Numeric is the standard (R, +, ·) semiring — the aggregate reading of
+// model 2, equivalent to Polynomial.Eval but exposed through the same
+// interface for uniformity.
+type Numeric struct{}
+
+func (Numeric) Zero() float64            { return 0 }
+func (Numeric) One() float64             { return 1 }
+func (Numeric) Add(a, b float64) float64 { return a + b }
+func (Numeric) Mul(a, b float64) float64 { return a * b }
+func (Numeric) Equal(a, b float64) bool  { return a == b }

@@ -1,0 +1,143 @@
+package summarize
+
+import (
+	"testing"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/core"
+	"provabs/internal/provenance"
+)
+
+func example13Set(t testing.TB) (*provenance.Set, *abstree.Forest) {
+	t.Helper()
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("P1", provenance.MustParse(vb,
+		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3"))
+	s.Add("P2", provenance.MustParse(vb,
+		"77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 + 69.7·b2·m1 + 100.65·b2·m3"))
+	plans := abstree.MustParseTree("Plans(Std(p1,p2),Sp(Y(y1,y2,y3),F(f1,f2),v),B(SB(b1,b2),e))")
+	year := abstree.MustParseTree("Year(q1(m1,m2,m3),q2(m4,m5,m6))")
+	return s, abstree.MustForest(plans, year)
+}
+
+func TestSummarizeReachesBound(t *testing.T) {
+	s, f := example13Set(t)
+	res, err := Summarize(s, f, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Adequate {
+		t.Fatalf("did not reach bound 4: ML=%d", res.ML)
+	}
+	if res.Abstracted.Size() > 4 {
+		t.Errorf("abstracted size = %d > 4", res.Abstracted.Size())
+	}
+	if res.ML < 10 {
+		t.Errorf("ML = %d, want >= 10", res.ML)
+	}
+	if res.OracleCalls == 0 || res.Rounds == 0 {
+		t.Error("no oracle calls / rounds recorded")
+	}
+	// Groups never span trees: months and plans stay separate.
+	for _, g := range res.Groups {
+		hasMonth, hasPlan := false, false
+		for _, m := range g {
+			if m[0] == 'm' {
+				hasMonth = true
+			} else {
+				hasPlan = true
+			}
+		}
+		if hasMonth && hasPlan {
+			t.Errorf("group %v mixes trees", g)
+		}
+	}
+}
+
+// TestQualityVersusOptimal mirrors the paper's quality comparison: the
+// competitor's achieved granularity should be close to (and here can even
+// match or exceed) the cut-optimal one, since its search space is larger.
+func TestQualityVersusOptimal(t *testing.T) {
+	s, f := example13Set(t)
+	B := 4
+	opt, err := core.BruteForceVVS(s, f, B, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prox, err := Summarize(s, f, B, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optV := s.Granularity() - opt.VL
+	proxV := s.Granularity() - prox.VL
+	ratio := float64(proxV) / float64(optV)
+	if ratio < 0.6 {
+		t.Errorf("competitor granularity %d far below optimal %d (ratio %.2f)", proxV, optV, ratio)
+	}
+}
+
+func TestSummarizeRespectsTimeout(t *testing.T) {
+	s, f := example13Set(t)
+	res, err := Summarize(s, f, 1, Options{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut && res.Adequate {
+		// With a 1ns budget the run should either time out or stop short;
+		// bound 1 is unreachable anyway (two polynomials).
+		t.Errorf("result claims adequacy for unreachable bound: %+v", res)
+	}
+}
+
+func TestSummarizeMaxRounds(t *testing.T) {
+	s, f := example13Set(t)
+	res, err := Summarize(s, f, 1, Options{MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 2 {
+		t.Errorf("rounds = %d, want <= 2", res.Rounds)
+	}
+}
+
+func TestSummarizeBadBound(t *testing.T) {
+	s, f := example13Set(t)
+	if _, err := Summarize(s, f, 0, Options{}); err == nil {
+		t.Error("B=0 accepted")
+	}
+}
+
+func TestSummarizeStopsWhenNothingMergeable(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "1·a + 2·b"))
+	// Forest covering only variable a: nothing can pair up.
+	f := abstree.MustForest(abstree.MustParseTree("T(a,zz)"))
+	res, err := Summarize(s, f, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adequate {
+		t.Error("claims adequacy with no possible merge")
+	}
+	if res.Rounds != 0 {
+		t.Errorf("rounds = %d, want 0", res.Rounds)
+	}
+}
+
+// The ML accounting must match a recomputation from the returned set.
+func TestSummarizeMLConsistent(t *testing.T) {
+	s, f := example13Set(t)
+	res, err := Summarize(s, f, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Size() - res.Abstracted.Size(); got != res.ML {
+		t.Errorf("reported ML %d, recomputed %d", res.ML, got)
+	}
+	if got := s.Granularity() - res.Abstracted.Granularity(); got != res.VL {
+		t.Errorf("reported VL %d, recomputed %d", res.VL, got)
+	}
+}

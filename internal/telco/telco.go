@@ -1,0 +1,195 @@
+// Package telco implements the paper's Telephony Company benchmark (§4.2):
+// a randomly populated Cust/Calls/Plans database, the revenue-per-zip query
+// of the running example, and its provenance parameterized by 128 plan
+// variables and 12 month variables. It also provides the matching
+// abstraction trees (plan-type trees over the 128 plan variables, and the
+// Figure 3 month/quarter tree).
+package telco
+
+import (
+	"fmt"
+	"math/rand"
+
+	"provabs/internal/abstree"
+	"provabs/internal/engine"
+	"provabs/internal/provenance"
+	"provabs/internal/treegen"
+)
+
+// Config sizes the generated database. The paper varies customers from 10K
+// to 5M over 128 plans and 12 months; defaults here are CI-scale and every
+// knob is public.
+type Config struct {
+	Customers int
+	Plans     int // number of calling plans (paper: 128)
+	Months    int // months with call totals (paper: 12)
+	Zips      int // number of distinct zip codes (output polynomials)
+	Seed      int64
+}
+
+// DefaultConfig returns a laptop-scale configuration with the paper's
+// variable counts.
+func DefaultConfig() Config {
+	return Config{Customers: 1000, Plans: 128, Months: 12, Zips: 100, Seed: 1}
+}
+
+// PlanVar returns the name of the i'th plan variable (0-based).
+func PlanVar(i int) string { return fmt.Sprintf("pl%d", i) }
+
+// MonthVar returns the name of the month variable for month m (1-based).
+func MonthVar(m int) string { return fmt.Sprintf("m%d", m) }
+
+// Dataset is the generated database plus its parameterization.
+type Dataset struct {
+	Config  Config
+	Catalog *engine.Catalog
+}
+
+// Generate populates the three tables deterministically from the seed:
+// every customer gets a random plan and zip plus a call-duration total per
+// month, and every plan gets a per-month price. Plans.Price is parameterized
+// by the plan and month variables (Example 2's p·m scheme, scaled to 128
+// plans).
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Customers < 1 || cfg.Plans < 1 || cfg.Months < 1 || cfg.Months > 12 || cfg.Zips < 1 {
+		return nil, fmt.Errorf("telco: bad config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vb := provenance.NewVocab()
+	cat := engine.NewCatalog(vb)
+
+	cust := engine.NewRelation("Cust", engine.Schema{
+		{Name: "ID", Type: engine.TInt}, {Name: "Plan", Type: engine.TString}, {Name: "Zip", Type: engine.TString},
+	})
+	planOf := make([]int, cfg.Customers)
+	for i := 0; i < cfg.Customers; i++ {
+		planOf[i] = rng.Intn(cfg.Plans)
+		zip := 10000 + rng.Intn(cfg.Zips)
+		cust.MustAppend(engine.Int(int64(i+1)), engine.Str(planName(planOf[i])), engine.Str(fmt.Sprintf("%05d", zip)))
+	}
+	cat.AddTable(cust)
+
+	calls := engine.NewRelation("Calls", engine.Schema{
+		{Name: "CID", Type: engine.TInt}, {Name: "Mo", Type: engine.TInt}, {Name: "Dur", Type: engine.TFloat},
+	})
+	for i := 0; i < cfg.Customers; i++ {
+		for m := 1; m <= cfg.Months; m++ {
+			dur := float64(rng.Intn(1200) + 10)
+			calls.MustAppend(engine.Int(int64(i+1)), engine.Int(int64(m)), engine.Float(dur))
+		}
+	}
+	cat.AddTable(calls)
+
+	plans := engine.NewRelation("Plans", engine.Schema{
+		{Name: "Plan", Type: engine.TString}, {Name: "Mo", Type: engine.TInt}, {Name: "Price", Type: engine.TFloat},
+	})
+	type pm struct{ plan, mo int }
+	var rows []pm
+	for p := 0; p < cfg.Plans; p++ {
+		for m := 1; m <= cfg.Months; m++ {
+			price := 0.05 + float64(rng.Intn(50))/100
+			plans.MustAppend(engine.Str(planName(p)), engine.Int(int64(m)), engine.Float(price))
+			rows = append(rows, pm{p, m})
+		}
+	}
+	if err := plans.ParameterizeColumn("Price", func(i int) []provenance.Var {
+		return []provenance.Var{vb.Var(PlanVar(rows[i].plan)), vb.Var(MonthVar(rows[i].mo))}
+	}); err != nil {
+		return nil, err
+	}
+	cat.AddTable(plans)
+
+	return &Dataset{Config: cfg, Catalog: cat}, nil
+}
+
+func planName(i int) string { return fmt.Sprintf("PLAN%03d", i) }
+
+// RevenueQuery is the running example's SQL (revenues per zip code).
+const RevenueQuery = `
+SELECT Cust.Zip, SUM(Calls.Dur * Plans.Price) AS revenue
+FROM Calls, Cust, Plans
+WHERE Cust.Plan = Plans.Plan AND Cust.ID = Calls.CID AND Calls.Mo = Plans.Mo
+GROUP BY Cust.Zip
+ORDER BY Zip`
+
+// Provenance runs the revenue query through the engine and extracts the
+// per-zip provenance polynomials.
+func (d *Dataset) Provenance() (*provenance.Set, error) {
+	res, err := d.Catalog.ExecSQL(RevenueQuery)
+	if err != nil {
+		return nil, err
+	}
+	return engine.GroupProvenance(d.Catalog.Vocab, res, "revenue")
+}
+
+// SyntheticProvenance emits the provenance the revenue query would produce,
+// without materializing or joining the tables. It exists so size sweeps
+// (Figure 8) can reach row counts far beyond what the in-memory engine
+// comfortably joins; TestSyntheticMatchesEngine pins it to the engine
+// output monomial-for-monomial.
+func SyntheticProvenance(cfg Config) (*provenance.Set, error) {
+	if cfg.Customers < 1 || cfg.Plans < 1 || cfg.Months < 1 || cfg.Months > 12 || cfg.Zips < 1 {
+		return nil, fmt.Errorf("telco: bad config %+v", cfg)
+	}
+	// Re-derive the exact random streams Generate uses, in the same order.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vb := provenance.NewVocab()
+	planOf := make([]int, cfg.Customers)
+	zipOf := make([]int, cfg.Customers)
+	for i := 0; i < cfg.Customers; i++ {
+		planOf[i] = rng.Intn(cfg.Plans)
+		zipOf[i] = 10000 + rng.Intn(cfg.Zips)
+	}
+	dur := make([][]float64, cfg.Customers)
+	for i := 0; i < cfg.Customers; i++ {
+		dur[i] = make([]float64, cfg.Months+1)
+		for m := 1; m <= cfg.Months; m++ {
+			dur[i][m] = float64(rng.Intn(1200) + 10)
+		}
+	}
+	price := make([][]float64, cfg.Plans)
+	for p := 0; p < cfg.Plans; p++ {
+		price[p] = make([]float64, cfg.Months+1)
+		for m := 1; m <= cfg.Months; m++ {
+			price[p][m] = 0.05 + float64(rng.Intn(50))/100
+		}
+	}
+	// Revenue per (zip, plan, month): Σ dur·price · pl_p · m_m.
+	polys := make(map[int]*provenance.Polynomial)
+	for i := 0; i < cfg.Customers; i++ {
+		p := planOf[i]
+		poly, ok := polys[zipOf[i]]
+		if !ok {
+			poly = provenance.NewPolynomial()
+			polys[zipOf[i]] = poly
+		}
+		for m := 1; m <= cfg.Months; m++ {
+			poly.AddTerm(dur[i][m]*price[p][m], vb.Var(PlanVar(p)), vb.Var(MonthVar(m)))
+		}
+	}
+	s := provenance.NewSet(vb)
+	for zip := 10000; zip < 10000+cfg.Zips; zip++ {
+		if poly, ok := polys[zip]; ok {
+			s.Add(fmt.Sprintf("%05d", zip), poly)
+		}
+	}
+	return s, nil
+}
+
+// PlansTree builds an abstraction tree of the given Table 2 shape over the
+// dataset's 128 plan variables.
+func PlansTree(shape treegen.Shape) (*abstree.Tree, error) {
+	if shape.Leaves() > 128 {
+		return nil, fmt.Errorf("telco: shape has %d leaves, dataset has 128 plan variables", shape.Leaves())
+	}
+	return shape.Build("PlansRoot", treegen.NumberedLeaves("pl")), nil
+}
+
+// QuarterTree is the Figure 3 month tree (quarters over m1..m12).
+func QuarterTree() *abstree.Tree { return treegen.QuarterTree() }
+
+// TotalRows reports the number of base tuples the configuration generates
+// (the Figure 8 x-axis).
+func TotalRows(cfg Config) int {
+	return cfg.Customers + cfg.Customers*cfg.Months + cfg.Plans*cfg.Months
+}

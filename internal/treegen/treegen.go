@@ -1,0 +1,150 @@
+// Package treegen builds the benchmark abstraction-tree shapes of the
+// paper's Table 2 (types 1–7 over 128 leaf variables, Figure 4), plus the
+// running example's plan and quarter trees (Figures 2–3). Shapes are uniform
+// leveled trees described by per-level fan-outs; the product of fan-outs is
+// the number of leaves (always 128 in the paper's benchmark).
+package treegen
+
+import (
+	"fmt"
+	"math/big"
+
+	"provabs/internal/abstree"
+)
+
+// Shape is a uniform leveled tree: Fanouts[0] children under the root, each
+// with Fanouts[1] children, and so on; the bottom level nodes' children are
+// the leaves.
+type Shape struct {
+	Type    int // paper tree type 1..7 (0 for ad-hoc shapes)
+	Fanouts []int
+}
+
+// Leaves returns the number of leaves (product of fan-outs).
+func (s Shape) Leaves() int {
+	n := 1
+	for _, f := range s.Fanouts {
+		n *= f
+	}
+	return n
+}
+
+// Nodes returns the total number of nodes (Table 2 "Nodes" column).
+func (s Shape) Nodes() int {
+	total, level := 1, 1
+	for _, f := range s.Fanouts {
+		level *= f
+		total += level
+	}
+	return total
+}
+
+// CutCount returns the exact number of valid variable sets of the shape
+// (Table 2 "VVS" column): c = 1 for a leaf, c = 1 + c_child^fanout per level.
+func (s Shape) CutCount() *big.Int {
+	c := big.NewInt(1)
+	for i := len(s.Fanouts) - 1; i >= 0; i-- {
+		c.Exp(c, big.NewInt(int64(s.Fanouts[i])), nil)
+		c.Add(c, big.NewInt(1))
+	}
+	return c
+}
+
+// Build materializes the shape as an abstraction tree. Internal nodes are
+// labeled name_l<level>_<index>; leaf i is labeled leafName(i). leafName
+// must produce distinct labels for 0..Leaves()-1.
+func (s Shape) Build(name string, leafName func(i int) string) *abstree.Tree {
+	leaf := 0
+	var build func(level, index int) abstree.Spec
+	build = func(level, index int) abstree.Spec {
+		if level == len(s.Fanouts) {
+			sp := abstree.Leaf(leafName(leaf))
+			leaf++
+			return sp
+		}
+		label := name
+		if level > 0 {
+			label = fmt.Sprintf("%s_l%d_%d", name, level, index)
+		}
+		spec := abstree.Spec{Label: label}
+		for i := 0; i < s.Fanouts[level]; i++ {
+			spec.Children = append(spec.Children, build(level+1, index*s.Fanouts[level]+i))
+		}
+		return spec
+	}
+	return abstree.MustTree(build(0, 0))
+}
+
+// NumberedLeaves returns a leafName function producing prefix0, prefix1, ...
+func NumberedLeaves(prefix string) func(int) string {
+	return func(i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+}
+
+// Table2 lists every benchmark shape of the paper's Table 2, in row order.
+// All shapes have 128 leaves. Two type-6 rows are printed garbled in the
+// paper (their listed fan-outs contradict the listed node counts and the
+// invariant of 128 leaves); we use the unique 128-leaf shapes that match the
+// listed node and VVS counts: 155 nodes → 2,4,2,8 and 203 nodes → 2,4,8,2.
+var Table2 = []Shape{
+	// Type 1: 2-level trees (Figure 4a), root fan-out 2..64.
+	{1, []int{2, 64}}, {1, []int{4, 32}}, {1, []int{8, 16}},
+	{1, []int{16, 8}}, {1, []int{32, 4}}, {1, []int{64, 2}},
+	// Type 2: 3-level trees, root fan-out 2 (Figure 4b).
+	{2, []int{2, 2, 32}}, {2, []int{2, 4, 16}}, {2, []int{2, 8, 8}},
+	{2, []int{2, 16, 4}}, {2, []int{2, 32, 2}},
+	// Type 3: 3-level trees, root fan-out 4.
+	{3, []int{4, 2, 16}}, {3, []int{4, 4, 8}}, {3, []int{4, 8, 4}}, {3, []int{4, 16, 2}},
+	// Type 4: 3-level trees, root fan-out 8.
+	{4, []int{8, 2, 8}}, {4, []int{8, 4, 4}}, {4, []int{8, 8, 2}},
+	// Type 5: 4-level trees, root fan-out 2, level-1 fan-out 2 (Figure 4c).
+	{5, []int{2, 2, 2, 16}}, {5, []int{2, 2, 4, 8}}, {5, []int{2, 2, 8, 4}}, {5, []int{2, 2, 16, 2}},
+	// Type 6: 4-level trees, root fan-out 2, level-1 fan-out 4.
+	{6, []int{2, 4, 2, 8}}, {6, []int{2, 4, 4, 4}}, {6, []int{2, 4, 8, 2}},
+	// Type 7: 4-level trees, root fan-out 4, level-1 fan-out 2.
+	{7, []int{4, 2, 2, 8}}, {7, []int{4, 2, 4, 4}}, {7, []int{4, 2, 8, 2}},
+}
+
+// ShapesOfType returns the Table 2 rows of the given type, in row order.
+func ShapesOfType(typ int) []Shape {
+	var out []Shape
+	for _, s := range Table2 {
+		if s.Type == typ {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SmallestOfType returns the first (fewest-cuts) Table 2 shape of the type.
+func SmallestOfType(typ int) Shape { return ShapesOfType(typ)[0] }
+
+// QuarterTree builds the Figure 3 months tree: a root with four quarter
+// nodes q1..q4, each covering three month leaves m1..m12.
+func QuarterTree() *abstree.Tree {
+	spec := abstree.Spec{Label: "Year"}
+	for q := 0; q < 4; q++ {
+		qs := abstree.Spec{Label: fmt.Sprintf("q%d", q+1)}
+		for m := 0; m < 3; m++ {
+			qs.Children = append(qs.Children, abstree.Leaf(fmt.Sprintf("m%d", q*3+m+1)))
+		}
+		spec.Children = append(spec.Children, qs)
+	}
+	return abstree.MustTree(spec)
+}
+
+// PlansTree builds the Figure 2 tree over the running example's small plan
+// vocabulary (p1, p2, y1..y3, f1, f2, v, b1, b2, e).
+func PlansTree() *abstree.Tree {
+	return abstree.MustParseTree(
+		"Plans(Standard(p1,p2),Special(Y(y1,y2,y3),F(f1,f2),v),Business(SB(b1,b2),e))")
+}
+
+// BinaryTree builds a complete binary tree over 2^depth leaves; the paper's
+// Figure 11 experiment uses eight 3-level binary trees with 16 leaves each.
+func BinaryTree(name string, depth int, leafName func(int) string) *abstree.Tree {
+	fan := make([]int, depth)
+	for i := range fan {
+		fan[i] = 2
+	}
+	return Shape{Fanouts: fan}.Build(name, leafName)
+}

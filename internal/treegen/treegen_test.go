@@ -1,0 +1,153 @@
+package treegen
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"provabs/internal/abstree"
+)
+
+// table2Expect mirrors the paper's Table 2: nodes and VVS counts per row.
+// VVS counts beyond float precision in the paper ("1.84467E+19") are checked
+// against the closed form to 6 significant digits.
+var table2Expect = []struct {
+	nodes  int
+	vvs    string // exact when known from the table, else "" (checked approximately)
+	approx float64
+}{
+	{131, "5", 0}, {133, "17", 0}, {137, "257", 0}, {145, "65537", 0},
+	{161, "4294967297", 0}, {193, "", 1.84467e19},
+	{135, "26", 0}, {139, "290", 0}, {147, "66050", 0},
+	{163, "4295098370", 0}, {195, "", 1.84467e19},
+	{141, "626", 0}, {149, "83522", 0}, {165, "4362470402", 0}, {197, "", 1.84479e19},
+	{153, "390626", 0}, {169, "6975757442", 0}, {201, "", 1.90311e19},
+	{143, "677", 0}, {151, "84101", 0}, {167, "4362602501", 0}, {199, "", 1.84479e19},
+	{155, "391877", 0}, {171, "6975924485", 0}, {203, "", 1.90311e19},
+	{157, "456977", 0}, {173, "7072810001", 0}, {205, "", 1.90323e19},
+}
+
+func TestTable2(t *testing.T) {
+	if len(Table2) != len(table2Expect) {
+		t.Fatalf("Table2 has %d rows, expectations %d", len(Table2), len(table2Expect))
+	}
+	for i, s := range Table2 {
+		want := table2Expect[i]
+		if s.Leaves() != 128 {
+			t.Errorf("row %d (%v): leaves = %d, want 128", i, s.Fanouts, s.Leaves())
+		}
+		if got := s.Nodes(); got != want.nodes {
+			t.Errorf("row %d (%v): nodes = %d, want %d", i, s.Fanouts, got, want.nodes)
+		}
+		cc := s.CutCount()
+		if want.vvs != "" {
+			exp, ok := new(big.Int).SetString(want.vvs, 10)
+			if !ok {
+				t.Fatalf("bad expectation %q", want.vvs)
+			}
+			if cc.Cmp(exp) != 0 {
+				t.Errorf("row %d (%v): VVS = %s, want %s", i, s.Fanouts, cc, exp)
+			}
+		} else {
+			got, _ := new(big.Float).SetInt(cc).Float64()
+			if math.Abs(got-want.approx)/want.approx > 1e-4 {
+				t.Errorf("row %d (%v): VVS ≈ %g, want ≈ %g", i, s.Fanouts, got, want.approx)
+			}
+		}
+	}
+}
+
+func TestBuildMatchesShape(t *testing.T) {
+	for _, s := range []Shape{{1, []int{2, 4}}, {2, []int{2, 2, 4}}, {5, []int{2, 2, 2, 2}}} {
+		tree := s.Build("T", NumberedLeaves("s"))
+		if tree.Len() != s.Nodes() {
+			t.Errorf("%v: built %d nodes, want %d", s.Fanouts, tree.Len(), s.Nodes())
+		}
+		if got := len(tree.Leaves()); got != s.Leaves() {
+			t.Errorf("%v: built %d leaves, want %d", s.Fanouts, got, s.Leaves())
+		}
+		if tree.CutCount().Cmp(s.CutCount()) != 0 {
+			t.Errorf("%v: tree CutCount %s != shape CutCount %s", s.Fanouts, tree.CutCount(), s.CutCount())
+		}
+		if tree.Height() != len(s.Fanouts) {
+			t.Errorf("%v: height = %d, want %d", s.Fanouts, tree.Height(), len(s.Fanouts))
+		}
+	}
+}
+
+func TestBuildLeafNames(t *testing.T) {
+	s := Shape{1, []int{2, 2}}
+	tree := s.Build("T", NumberedLeaves("s"))
+	for i := 0; i < 4; i++ {
+		if _, ok := tree.NodeByLabel("s" + string(rune('0'+i))); !ok {
+			t.Errorf("leaf s%d missing", i)
+		}
+	}
+}
+
+func TestQuarterTree(t *testing.T) {
+	qt := QuarterTree()
+	if got := len(qt.Leaves()); got != 12 {
+		t.Errorf("quarter tree leaves = %d, want 12", got)
+	}
+	if got := qt.CutCount().Int64(); got != 17 {
+		// 1 + (1+1)^4 = 17
+		t.Errorf("quarter tree cuts = %d, want 17", got)
+	}
+	q1, ok := qt.NodeByLabel("q1")
+	if !ok {
+		t.Fatal("q1 missing")
+	}
+	ls := qt.LeavesUnder(q1)
+	if len(ls) != 3 || qt.Label(ls[0]) != "m1" || qt.Label(ls[2]) != "m3" {
+		t.Errorf("q1 leaves wrong: %v", ls)
+	}
+}
+
+func TestPlansTree(t *testing.T) {
+	pt := PlansTree()
+	if got := pt.CutCount().Int64(); got != 31 {
+		t.Errorf("plans tree cuts = %d, want 31", got)
+	}
+	if _, ok := pt.NodeByLabel("Business"); !ok {
+		t.Error("Business node missing")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	bt := BinaryTree("B", 4, NumberedLeaves("x"))
+	if got := len(bt.Leaves()); got != 16 {
+		t.Errorf("leaves = %d, want 16", got)
+	}
+	// 3 internal levels above leaves: c(l3)=2, c(l2)=5, c(l1)=26, root=677.
+	if got := bt.CutCount().Int64(); got != 677 {
+		t.Errorf("cuts = %d, want 677", got)
+	}
+}
+
+func TestShapesOfType(t *testing.T) {
+	for typ := 1; typ <= 7; typ++ {
+		shapes := ShapesOfType(typ)
+		if len(shapes) == 0 {
+			t.Errorf("no shapes of type %d", typ)
+		}
+		for _, s := range shapes {
+			if s.Type != typ {
+				t.Errorf("ShapesOfType(%d) returned type %d", typ, s.Type)
+			}
+		}
+	}
+	small := SmallestOfType(1)
+	if small.Fanouts[0] != 2 {
+		t.Errorf("SmallestOfType(1) = %v", small.Fanouts)
+	}
+}
+
+// The built trees must be valid forest members (unique labels).
+func TestBuiltTreesFormForests(t *testing.T) {
+	a := Table2[0].Build("S", NumberedLeaves("s"))
+	b := Table2[6].Build("P", NumberedLeaves("p"))
+	if _, err := abstree.NewForest(a, b); err != nil {
+		t.Errorf("disjoint built trees rejected: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package provabs is a library for hypothetical reasoning over data
+// provenance with provenance abstraction, reproducing Deutch, Moskovitch
+// and Rinetzky, "Hypothetical Reasoning via Provenance Abstraction"
+// (SIGMOD 2019).
+//
+// The workflow mirrors the paper:
+//
+//  1. Obtain provenance polynomials — either from the built-in
+//     provenance-aware SQL engine (see internal/engine and the generators
+//     in internal/telco and internal/tpch), by parsing the text format, or
+//     by constructing them directly.
+//  2. Define abstraction trees over the provenance variables: hierarchies
+//     of meta-variables describing which variables may be grouped for the
+//     anticipated hypothetical scenarios.
+//  3. Compress: pick a valid variable set (a cut in each tree) with
+//     Optimal (single tree, exact, PTIME — the paper's Algorithm 1),
+//     Greedy (any forest — Algorithm 2), or BruteForce (reference).
+//  4. Ask what-ifs: scenarios valuate (meta-)variables; on abstracted
+//     provenance, group-uniform scenarios are exact and the rest are
+//     approximated.
+//
+// A minimal round trip:
+//
+//	vb := provabs.NewVocab()
+//	set := provabs.NewSet(vb)
+//	set.Add("zip 10001", provabs.MustParse(vb, "220.8·p1·m1 + 240·p1·m3"))
+//	tree := provabs.MustParseTree("Year(q1(m1,m3))")
+//	res, _ := provabs.Optimal(set, tree, 1)
+//	compressed := res.VVS.Apply(set)
+//	answers, _ := provabs.NewScenario().Set("q1", 0.8).Eval(compressed)
+package provabs
+
+import (
+	"io"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/core"
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/sampling"
+	"provabs/internal/summarize"
+)
+
+// Provenance model (internal/provenance).
+type (
+	// Var is an interned provenance variable.
+	Var = provenance.Var
+	// Vocab interns variable names.
+	Vocab = provenance.Vocab
+	// Monomial is a coefficient times a product of variables.
+	Monomial = provenance.Monomial
+	// Polynomial is a canonical sum of monomials.
+	Polynomial = provenance.Polynomial
+	// Set is a multiset of tagged polynomials — a query's provenance.
+	Set = provenance.Set
+)
+
+// Abstraction model (internal/abstree).
+type (
+	// Tree is an abstraction tree: leaves are provenance variables,
+	// internal nodes are meta-variables.
+	Tree = abstree.Tree
+	// Spec declaratively describes a Tree.
+	Spec = abstree.Spec
+	// Forest is a set of label-disjoint abstraction trees.
+	Forest = abstree.Forest
+	// VVS is a valid variable set: a cut per tree, i.e. one abstraction.
+	VVS = abstree.VVS
+)
+
+// Algorithms (internal/core).
+type (
+	// Result is a VVS-selection outcome: the chosen abstraction, its
+	// monomial and variable losses, and whether it meets the bound.
+	Result = core.Result
+)
+
+// Hypothetical reasoning (internal/hypo).
+type (
+	// Scenario assigns hypothetical values to variables by name.
+	Scenario = hypo.Scenario
+	// Answer pairs a polynomial tag with its value under a scenario.
+	Answer = hypo.Answer
+)
+
+// NewVocab returns an empty variable vocabulary.
+func NewVocab() *Vocab { return provenance.NewVocab() }
+
+// NewSet returns an empty provenance set over vb (a fresh vocabulary when
+// nil).
+func NewSet(vb *Vocab) *Set { return provenance.NewSet(vb) }
+
+// Parse parses a polynomial in the paper's notation, e.g.
+// "220.8·p1·m1 + 240*p1*m3", interning variables into vb.
+func Parse(vb *Vocab, src string) (*Polynomial, error) { return provenance.Parse(vb, src) }
+
+// MustParse is Parse that panics on error.
+func MustParse(vb *Vocab, src string) *Polynomial { return provenance.MustParse(vb, src) }
+
+// NewTree builds an abstraction tree from a Spec.
+func NewTree(spec Spec) (*Tree, error) { return abstree.NewTree(spec) }
+
+// ParseTree parses the compact tree format, e.g. "Year(q1(m1,m2,m3))".
+func ParseTree(src string) (*Tree, error) { return abstree.ParseTree(src) }
+
+// MustParseTree is ParseTree that panics on error.
+func MustParseTree(src string) *Tree { return abstree.MustParseTree(src) }
+
+// NewForest validates that the trees are label-disjoint and combines them.
+func NewForest(trees ...*Tree) (*Forest, error) { return abstree.NewForest(trees...) }
+
+// FromLabels builds and validates a VVS from chosen node labels.
+func FromLabels(f *Forest, labels ...string) (*VVS, error) {
+	return abstree.FromLabels(f, labels...)
+}
+
+// Optimal selects an optimal abstraction for a single tree and bound B on
+// the number of monomials — the paper's Algorithm 1 (exact, PTIME).
+func Optimal(s *Set, tree *Tree, B int) (*Result, error) {
+	return core.OptimalVVS(s, tree, B)
+}
+
+// Greedy selects an abstraction for an arbitrary forest — the paper's
+// Algorithm 2 (heuristic; the multi-tree problem is NP-hard).
+func Greedy(s *Set, forest *Forest, B int) (*Result, error) {
+	return core.GreedyVVS(s, forest, B)
+}
+
+// BruteForce exhaustively selects an optimal abstraction (reference
+// implementation; fails beyond limit enumerated VVS, 0 = default).
+func BruteForce(s *Set, forest *Forest, B, limit int) (*Result, error) {
+	return core.BruteForceVVS(s, forest, B, limit)
+}
+
+// Summarize runs the pairwise-merge summarization of Ainy et al. (CIKM'15),
+// the paper's experimental competitor, with an optional timeout.
+func Summarize(s *Set, forest *Forest, B int, timeout time.Duration) (*summarize.Result, error) {
+	return summarize.Summarize(s, forest, B, summarize.Options{Timeout: timeout})
+}
+
+// OnlineCompress runs the §6 online pipeline: choose a VVS on a sampled
+// fraction of the polynomials and abstract the full set with it.
+func OnlineCompress(s *Set, forest *Forest, B int, fraction float64, seed int64) (*sampling.Result, error) {
+	return sampling.OnlineCompress(s, forest, B, sampling.Options{Fraction: fraction, Seed: seed})
+}
+
+// MonomialLoss returns ML(S) = |P|_M − |P↓S|_M.
+func MonomialLoss(s *Set, v *VVS) int { return core.MonomialLoss(s, v) }
+
+// VariableLoss returns VL(S) = |P|_V − |P↓S|_V.
+func VariableLoss(s *Set, v *VVS) int { return core.VariableLoss(s, v) }
+
+// NewScenario returns an empty hypothetical scenario.
+func NewScenario() *Scenario { return hypo.NewScenario() }
+
+// Encode writes a provenance set in the compact binary format.
+func Encode(w io.Writer, s *Set) error { return provenance.Encode(w, s) }
+
+// Decode reads a provenance set written by Encode.
+func Decode(r io.Reader) (*Set, error) { return provenance.Decode(r) }
+
+// EncodedSize returns the byte size Encode would produce — the
+// storage/communication cost of shipping the provenance to analysts.
+func EncodedSize(s *Set) int { return provenance.EncodedSize(s) }

@@ -1,0 +1,155 @@
+package provabs_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"provabs"
+)
+
+// The facade must support the complete paper workflow end to end.
+func TestFacadeRoundTrip(t *testing.T) {
+	vb := provabs.NewVocab()
+	set := provabs.NewSet(vb)
+	set.Add("10001", provabs.MustParse(vb,
+		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3"))
+
+	tree := provabs.MustParseTree("Year(q1(m1,m3))")
+	res, err := provabs.Optimal(set, tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Adequate {
+		t.Fatal("expected adequate abstraction at B=4")
+	}
+	compressed := res.VVS.Apply(set)
+	if compressed.Size() != 4 {
+		t.Errorf("compressed size = %d, want 4", compressed.Size())
+	}
+	if got := provabs.MonomialLoss(set, res.VVS); got != 4 {
+		t.Errorf("ML = %d, want 4", got)
+	}
+	if got := provabs.VariableLoss(set, res.VVS); got != 1 {
+		t.Errorf("VL = %d, want 1", got)
+	}
+
+	// Uniform what-if on the meta-variable is exact.
+	got, err := provabs.NewScenario().Set("q1", 0.8).Eval(compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := provabs.NewScenario().Set("m1", 0.8).Set("m3", 0.8).Eval(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-want[0]) > 1e-9 {
+		t.Errorf("compressed scenario %v != original %v", got[0], want[0])
+	}
+
+	// Codec round trip preserves sizes.
+	var buf bytes.Buffer
+	if err := provabs.Encode(&buf, compressed); err != nil {
+		t.Fatal(err)
+	}
+	if provabs.EncodedSize(compressed) != buf.Len() {
+		t.Error("EncodedSize mismatch")
+	}
+	back, err := provabs.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != compressed.Size() || back.Granularity() != compressed.Granularity() {
+		t.Error("decoded sizes differ")
+	}
+}
+
+func TestFacadeGreedyAndBrute(t *testing.T) {
+	vb := provabs.NewVocab()
+	set := provabs.NewSet(vb)
+	set.Add("P1", provabs.MustParse(vb, "2·a1·x + 3·a2·x + 4·b1·x + 5·b2·x"))
+	f, err := provabs.NewForest(
+		provabs.MustParseTree("A(a1,a2)"),
+		provabs.MustParseTree("B(b1,b2)"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := provabs.Greedy(set, f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := provabs.BruteForce(set, f, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Adequate || !bf.Adequate {
+		t.Errorf("greedy adequate=%v brute adequate=%v", g.Adequate, bf.Adequate)
+	}
+	if g.VL != bf.VL {
+		t.Errorf("greedy VL %d != optimal VL %d on this symmetric instance", g.VL, bf.VL)
+	}
+}
+
+func TestFacadeSummarizeAndOnline(t *testing.T) {
+	vb := provabs.NewVocab()
+	set := provabs.NewSet(vb)
+	for i := 0; i < 4; i++ {
+		set.Add(fmt.Sprintf("g%d", i), provabs.MustParse(vb,
+			fmt.Sprintf("%d·a1·x + %d·a2·x + %d·a3·x + %d·a4·x", i+1, i+2, i+3, i+4)))
+	}
+	f, err := provabs.NewForest(provabs.MustParseTree("A(AL(a1,a2),AR(a3,a4))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := provabs.Summarize(set, f, 8, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sres.Adequate {
+		t.Errorf("summarize inadequate: %+v", sres)
+	}
+	ores, err := provabs.OnlineCompress(set, f, 8, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ores.FullAdequate {
+		t.Errorf("online compress missed the bound: %d", ores.Abstracted.Size())
+	}
+}
+
+func TestFromLabels(t *testing.T) {
+	f, err := provabs.NewForest(provabs.MustParseTree("A(a1,a2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := provabs.FromLabels(f, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 1 {
+		t.Errorf("VVS size = %d", v.Size())
+	}
+	if _, err := provabs.FromLabels(f, "nope"); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+// ExampleOptimal demonstrates the quickstart workflow from the package
+// documentation.
+func ExampleOptimal() {
+	vb := provabs.NewVocab()
+	set := provabs.NewSet(vb)
+	set.Add("zip 10001", provabs.MustParse(vb, "220.8·p1·m1 + 240·p1·m3"))
+	tree := provabs.MustParseTree("Year(q1(m1,m3))")
+	res, _ := provabs.Optimal(set, tree, 1)
+	compressed := res.VVS.Apply(set)
+	fmt.Println(compressed.Polys[0].String(vb))
+	answers, _ := provabs.NewScenario().Set("q1", 0.8).Eval(compressed)
+	fmt.Printf("%.2f\n", answers[0])
+	// Output:
+	// 460.8·p1·q1
+	// 368.64
+}
