@@ -1,0 +1,26 @@
+# Standard checks for the provabs repo.
+#
+#   make check   — vet + build + fast race-enabled tests (the CI gate)
+#   make test    — the full (slow) test suite, as tier-1 verify runs it
+#   make bench   — one pass over every benchmark at minimal benchtime
+
+GO ?= go
+
+.PHONY: check vet build test-short test bench
+
+check: vet build test-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test-short:
+	$(GO) test -short -race ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

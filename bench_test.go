@@ -192,6 +192,77 @@ func BenchmarkFig10(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledEval compares the map-based Set.Eval hot path against
+// the compiled dense-array path on the telco and TPC-H workloads, single
+// scenario and 100-scenario batch (sequential and parallel). The compiled
+// batch is the production what-if path; the acceptance target is ≥2× over
+// map-based evaluation on 100 telco scenarios.
+func BenchmarkCompiledEval(b *testing.B) {
+	const nScenarios = 100
+	for _, name := range []string{"telco", "Q5", "Q1"} {
+		w := load(b, name)
+		compiled := w.Set.Compile()
+		val := map[provenance.Var]float64{}
+		for i, v := range w.Set.Vars() {
+			val[v] = 0.5 + float64(i%7)/8
+		}
+		dense := compiled.Valuation(val)
+		scenarios := make([]*hypo.Scenario, nScenarios)
+		for i := range scenarios {
+			sc := hypo.NewScenario()
+			for j, v := range w.Set.Vars() {
+				sc.Set(w.Set.Vocab.Name(v), 0.5+float64((i+j)%9)/8)
+			}
+			scenarios[i] = sc
+		}
+		b.Run(name+"/map", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Set.Eval(val)
+			}
+		})
+		b.Run(name+"/compiled", func(b *testing.B) {
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = compiled.Eval(dense, out)
+			}
+		})
+		b.Run(name+"/map-batch100", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for range scenarios {
+					w.Set.Eval(val)
+				}
+			}
+		})
+		b.Run(name+"/compiled-batch100-serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hypo.EvalBatch(compiled, scenarios, hypo.BatchOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/compiled-batch100-parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hypo.EvalBatch(compiled, scenarios, hypo.BatchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile isolates the one-time compilation cost that the batch
+// path amortizes.
+func BenchmarkCompile(b *testing.B) {
+	for _, name := range []string{"telco", "Q5"} {
+		w := load(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Set.Compile()
+			}
+		})
+	}
+}
+
 // BenchmarkFig11 times the greedy across growing tree counts.
 func BenchmarkFig11(b *testing.B) {
 	w := load(b, "telco")

@@ -11,11 +11,14 @@
 //	provabs compress -in q5.pvab -algo opt -shape 2,64 -prefix s -ratio 0.5 -out q5c.pvab
 //	provabs compress -in q5.pvab -algo greedy -tree 'Root(A(s0,s1),B(s2,s3))' -bound 100
 //	provabs eval -in q5c.pvab -set SuppRoot_l1_0=0.8,s9=1.1
+//	provabs whatif -in q5c.pvab -scenarios 1000 -workers 0
+//	provabs whatif -in q5c.pvab -sets 's9=0.8;s9=1.1,s4=0.5'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strconv"
@@ -49,6 +52,8 @@ func main() {
 		err = cmdCompress(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "whatif":
+		err = cmdWhatif(os.Args[2:])
 	case "trees":
 		err = cmdTrees(os.Args[2:])
 	case "help", "-h", "--help":
@@ -72,6 +77,7 @@ commands:
   stats      print size statistics of a provenance file
   compress   select an abstraction and compress a provenance file
   eval       evaluate a hypothetical scenario over a provenance file
+  whatif     batch-evaluate many scenarios on compiled provenance in parallel
   trees      print the benchmark abstraction-tree catalog (Table 2)
 
 run 'provabs <command> -h' for command flags`)
@@ -257,16 +263,9 @@ func cmdEval(args []string) error {
 	}
 	sc := hypo.NewScenario()
 	if *assign != "" {
-		for _, kv := range strings.Split(*assign, ",") {
-			parts := strings.SplitN(kv, "=", 2)
-			if len(parts) != 2 {
-				return fmt.Errorf("eval: bad assignment %q", kv)
-			}
-			v, err := strconv.ParseFloat(parts[1], 64)
-			if err != nil {
-				return fmt.Errorf("eval: bad value in %q: %v", kv, err)
-			}
-			sc.Set(strings.TrimSpace(parts[0]), v)
+		sc, err = parseScenario(*assign)
+		if err != nil {
+			return err
 		}
 	}
 	answers, err := sc.Answers(set)
@@ -285,6 +284,99 @@ func cmdEval(args []string) error {
 		fmt.Printf("... (%d more)\n", len(answers)-n)
 	}
 	return nil
+}
+
+// cmdWhatif is the batch what-if mode: compile the provenance once, then
+// evaluate many scenarios against it with the parallel batch engine. It is
+// the CLI surface of the paper's core promise — once compressed (and now
+// compiled), hypothetical scenarios are cheap enough to ask in bulk.
+func cmdWhatif(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+	in := fs.String("in", "", "provenance file (required)")
+	scenarios := fs.Int("scenarios", 0, "generate this many pseudo-random scenarios")
+	sets := fs.String("sets", "", "';'-separated explicit scenarios, each comma-separated var=value")
+	seed := fs.Int64("seed", 1, "seed for -scenarios generation")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	top := fs.Int("top", 5, "print at most this many answers of the first scenario (0 = none)")
+	fs.Parse(args)
+	set, err := readSet(*in)
+	if err != nil {
+		return err
+	}
+	var scs []*hypo.Scenario
+	if *sets != "" {
+		for _, spec := range strings.Split(*sets, ";") {
+			if strings.TrimSpace(spec) == "" {
+				return fmt.Errorf("whatif: empty scenario in -sets %q", *sets)
+			}
+			sc, err := parseScenario(spec)
+			if err != nil {
+				return err
+			}
+			scs = append(scs, sc)
+		}
+	}
+	if *scenarios > 0 {
+		vars := set.Vars()
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *scenarios; i++ {
+			sc := hypo.NewScenario()
+			for _, v := range vars {
+				if rng.Intn(2) == 0 {
+					sc.Set(set.Vocab.Name(v), 0.5+rng.Float64())
+				}
+			}
+			scs = append(scs, sc)
+		}
+	}
+	if len(scs) == 0 {
+		return fmt.Errorf("whatif: provide -scenarios N and/or -sets")
+	}
+	compileStart := time.Now()
+	compiled := set.Compile()
+	compileTime := time.Since(compileStart)
+	evalStart := time.Now()
+	rows, err := hypo.AnswersBatch(compiled, scs, hypo.BatchOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(evalStart)
+	perSec := float64(len(rows)) / elapsed.Seconds()
+	fmt.Printf("compiled %d polynomials / %d monomials in %v\n",
+		compiled.Len(), compiled.Size(), compileTime)
+	fmt.Printf("evaluated %d scenarios in %v (%.0f scenarios/s, %.0f answers/s)\n",
+		len(rows), elapsed, perSec, perSec*float64(compiled.Len()))
+	if *top > 0 && len(rows) > 0 {
+		first := append([]hypo.Answer(nil), rows[0]...)
+		sort.Slice(first, func(i, j int) bool { return first[i].Value > first[j].Value })
+		n := len(first)
+		if n > *top {
+			n = *top
+		}
+		fmt.Println("first scenario, top answers:")
+		for _, a := range first[:n] {
+			fmt.Printf("  %-40s %14.2f\n", a.Tag, a.Value)
+		}
+	}
+	return nil
+}
+
+// parseScenario parses "a=1,b=0.5" into a scenario.
+func parseScenario(spec string) (*hypo.Scenario, error) {
+	sc := hypo.NewScenario()
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad assignment %q", kv)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", kv, err)
+		}
+		sc.Set(strings.TrimSpace(parts[0]), v)
+	}
+	return sc, nil
 }
 
 func cmdTrees(args []string) error {

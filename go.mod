@@ -1,0 +1,3 @@
+module provabs
+
+go 1.24.0

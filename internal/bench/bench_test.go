@@ -39,6 +39,9 @@ func TestLoadWorkloadUnknown(t *testing.T) {
 }
 
 func TestCompressionTimeVsCuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy workload sweep; skipped with -short")
+	}
 	w, err := LoadWorkload("Q5", tinyScale())
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +66,9 @@ func TestCompressionTimeVsCuts(t *testing.T) {
 }
 
 func TestCompressionTimeVsDataSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy workload sweep; skipped with -short")
+	}
 	for _, name := range []string{"telco", "Q1"} {
 		tab, err := CompressionTimeVsDataSize(name, tinyScale(), []float64{0.5, 1})
 		if err != nil {
@@ -129,6 +135,9 @@ func TestTimeVsNumTrees(t *testing.T) {
 }
 
 func TestOptVsCompetitor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy competitor comparison; skipped with -short")
+	}
 	w, err := LoadWorkload("Q1", tinyScale())
 	if err != nil {
 		t.Fatal(err)
@@ -148,6 +157,9 @@ func TestOptVsCompetitor(t *testing.T) {
 }
 
 func TestTimeVsNumVariables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy variable-count sweep; skipped with -short")
+	}
 	tab, err := TimeVsNumVariables("Q1", tinyScale(), []int{128, 512})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,150 @@
+package hypo
+
+// This file implements batch scenario evaluation: many hypothetical
+// scenarios against one compiled provenance set, spread over a worker pool.
+// This is the interactive many-scenario workload the paper (and its COBRA
+// companion) optimizes for — compress once, then answer a stream of
+// what-ifs.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"provabs/internal/provenance"
+)
+
+// BatchOptions tunes EvalBatch. The zero value is ready to use.
+type BatchOptions struct {
+	// Workers is the size of the worker pool; 0 or negative means
+	// GOMAXPROCS. A single worker evaluates sequentially (useful for
+	// deterministic profiling).
+	Workers int
+}
+
+// resolvedScenario is a scenario with names resolved to Vars: the dense
+// valuation writes a worker performs before evaluating.
+type resolvedScenario struct {
+	vars []provenance.Var
+	vals []float64
+}
+
+// resolve maps every scenario's names through the vocabulary up front, so
+// workers never touch the Vocab (it is not synchronized) and name typos are
+// reported before any evaluation starts.
+func resolve(vb *provenance.Vocab, scenarios []*Scenario) ([]resolvedScenario, error) {
+	out := make([]resolvedScenario, len(scenarios))
+	for i, sc := range scenarios {
+		rs := resolvedScenario{
+			vars: make([]provenance.Var, 0, len(sc.Assign)),
+			vals: make([]float64, 0, len(sc.Assign)),
+		}
+		for name, x := range sc.Assign {
+			v, ok := vb.Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("hypo: scenario %d assigns unknown variable %q", i, name)
+			}
+			rs.vars = append(rs.vars, v)
+			rs.vals = append(rs.vals, x)
+		}
+		out[i] = rs
+	}
+	return out, nil
+}
+
+// EvalBatch evaluates every scenario against the compiled set, returning one
+// answer vector (in set order) per scenario, in scenario order. Scenarios
+// are distributed over a pool of BatchOptions.Workers goroutines; each
+// worker keeps a single dense valuation and resets only the variables a
+// scenario touched, so steady-state evaluation performs no per-scenario
+// allocation beyond the result row.
+func EvalBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]float64, error) {
+	resolved, err := resolve(c.Vocab, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(scenarios))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers <= 1 {
+		val := c.NewValuation()
+		for i := range resolved {
+			out[i] = evalResolved(c, val, resolved[i])
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			val := c.NewValuation()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(resolved) {
+					return
+				}
+				out[i] = evalResolved(c, val, resolved[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// evalResolved applies one resolved scenario to the worker's valuation,
+// evaluates, and restores the identity so the valuation is clean for the
+// next scenario.
+func evalResolved(c *provenance.Compiled, val []float64, rs resolvedScenario) []float64 {
+	for j, v := range rs.vars {
+		if int(v) < len(val) {
+			val[v] = rs.vals[j]
+		}
+	}
+	row := c.Eval(val, nil)
+	for _, v := range rs.vars {
+		if int(v) < len(val) {
+			val[v] = 1
+		}
+	}
+	return row
+}
+
+// AnswersBatch is EvalBatch with each value paired to its polynomial's tag.
+func AnswersBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]Answer, error) {
+	rows, err := EvalBatch(c, scenarios, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Answer, len(rows))
+	for i, vals := range rows {
+		ans := make([]Answer, len(vals))
+		for j, v := range vals {
+			tag := ""
+			if j < len(c.Tags) {
+				tag = c.Tags[j]
+			}
+			ans[j] = Answer{Tag: tag, Value: v}
+		}
+		out[i] = ans
+	}
+	return out, nil
+}
+
+// EvalCompiled applies a single scenario to pre-compiled provenance. Callers
+// evaluating more than one scenario should prefer EvalBatch, which amortizes
+// the valuation and parallelizes across scenarios.
+func (sc *Scenario) EvalCompiled(c *provenance.Compiled) ([]float64, error) {
+	rows, err := EvalBatch(c, []*Scenario{sc}, BatchOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}

@@ -1,0 +1,295 @@
+package hypo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+)
+
+// randomScenarios builds n scenarios over the set's variable names, each
+// assigning a random subset.
+func randomScenarios(s *provenance.Set, n int, seed int64) []*Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	var names []string
+	for _, v := range s.Vars() {
+		names = append(names, s.Vocab.Name(v))
+	}
+	out := make([]*Scenario, n)
+	for i := range out {
+		sc := NewScenario()
+		for _, name := range names {
+			if rng.Intn(2) == 0 {
+				sc.Set(name, float64(rng.Intn(16))/8)
+			}
+		}
+		out[i] = sc
+	}
+	return out
+}
+
+// bigSet builds a set large enough that parallel evaluation is exercised
+// meaningfully (and by `go test -race`, which is part of the CI check).
+func bigSet(t testing.TB) *provenance.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	vb := provenance.NewVocab()
+	var vars []provenance.Var
+	for i := 0; i < 64; i++ {
+		vars = append(vars, vb.Var("w"+itoa(i)))
+	}
+	s := provenance.NewSet(vb)
+	for i := 0; i < 50; i++ {
+		p := provenance.NewPolynomial()
+		for j := 0; j < 20; j++ {
+			p.AddTerm(float64(rng.Intn(9)+1),
+				vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))])
+		}
+		s.Add("g"+itoa(i), p)
+	}
+	return s
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}
+
+// TestEvalBatchMatchesSequential: the parallel batch result must equal
+// per-scenario sequential evaluation, in scenario order.
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	scenarios := randomScenarios(s, 37, 3)
+	got, err := EvalBatch(c, scenarios, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(scenarios) {
+		t.Fatalf("rows = %d, want %d", len(got), len(scenarios))
+	}
+	for i, sc := range scenarios {
+		want, err := sc.Eval(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(got[i][j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+				t.Errorf("scenario %d poly %d: batch %v, sequential %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+	// Worker counts beyond the scenario count and explicit single-worker
+	// runs agree too.
+	for _, workers := range []int{1, 2, 128} {
+		again, err := EvalBatch(c, scenarios, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != again[i][j] {
+					t.Fatalf("workers=%d scenario %d poly %d: %v != %v",
+						workers, i, j, again[i][j], got[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchValuationReset: a worker's valuation must be restored to the
+// identity between scenarios — a scenario must not leak its assignments
+// into the next one evaluated by the same worker.
+func TestEvalBatchValuationReset(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "10·a + 100·b"))
+	c := s.Compile()
+	// Sequential single worker: scenario 0 sets both vars, scenario 1 sets
+	// nothing, so any leakage shows up in scenario 1's answer.
+	rows, err := EvalBatch(c, []*Scenario{
+		NewScenario().Set("a", 0).Set("b", 0),
+		NewScenario(),
+	}, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != 0 {
+		t.Errorf("scenario 0 = %v, want 0", rows[0][0])
+	}
+	if rows[1][0] != 110 {
+		t.Errorf("scenario 1 = %v, want 110 (valuation leaked)", rows[1][0])
+	}
+}
+
+// TestEvalBatchUnknownVariable: name typos fail up front, before any
+// evaluation.
+func TestEvalBatchUnknownVariable(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	scenarios := []*Scenario{NewScenario().Set("w0", 2), NewScenario().Set("nope", 2)}
+	if _, err := EvalBatch(c, scenarios, BatchOptions{}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+// TestEvalBatchEmpty: zero scenarios is a valid (empty) batch.
+func TestEvalBatchEmpty(t *testing.T) {
+	c := bigSet(t).Compile()
+	rows, err := EvalBatch(c, nil, BatchOptions{})
+	if err != nil || len(rows) != 0 {
+		t.Errorf("empty batch = %v, %v", rows, err)
+	}
+}
+
+// TestAnswersBatchTagging: every row carries the set's tags.
+func TestAnswersBatchTagging(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	scenarios := randomScenarios(s, 5, 11)
+	rows, err := AnswersBatch(c, scenarios, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := EvalBatch(c, scenarios, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for j, a := range rows[i] {
+			if a.Tag != s.Tags[j] || a.Value != vals[i][j] {
+				t.Fatalf("row %d answer %d = %+v, want tag %q value %v",
+					i, j, a, s.Tags[j], vals[i][j])
+			}
+		}
+	}
+}
+
+// TestProjectUniformRoundTrip covers the Project/UniformOn/IsUniformOn
+// round trips on a non-uniform scenario: projecting to meta-variables and
+// lifting back yields a scenario that is uniform on the groups, projects to
+// itself, and averages the original assignments.
+func TestProjectUniformRoundTrip(t *testing.T) {
+	vb := provenance.NewVocab()
+	s := provenance.NewSet(vb)
+	s.Add("", provenance.MustParse(vb, "2·m1 + 3·m3 + 5·x"))
+	f := abstree.MustForest(abstree.MustParseTree("Year(q1(m1,m3))"))
+	v := abstree.MustFromLabels(f, "q1")
+
+	// Non-uniform on the m1/m3 group, plus an out-of-forest variable.
+	sc := NewScenario().Set("m1", 0.4).Set("m3", 1.2).Set("x", 2)
+	if ok, why := sc.IsUniformOn(v); ok || why == "" {
+		t.Fatalf("non-uniform scenario reported uniform (why=%q)", why)
+	}
+
+	proj := sc.Project(v)
+	if got := proj.Assign["q1"]; math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("projected q1 = %v, want mean 0.8", got)
+	}
+	if got := proj.Assign["x"]; got != 2 {
+		t.Errorf("out-of-forest x = %v, want 2 (pass-through)", got)
+	}
+
+	// Lifting the projection back to leaves is uniform by construction…
+	lifted := proj.UniformOn(v)
+	if ok, why := lifted.IsUniformOn(v); !ok {
+		t.Errorf("lifted projection not uniform: %s", why)
+	}
+	if lifted.Assign["m1"] != 0.8 || lifted.Assign["m3"] != 0.8 {
+		t.Errorf("lifted = %v, want m1=m3=0.8", lifted.Assign)
+	}
+	if lifted.Assign["x"] != 2 {
+		t.Errorf("lifted x = %v, want 2", lifted.Assign["x"])
+	}
+
+	// …and projecting again is a fixed point.
+	again := lifted.Project(v)
+	if math.Abs(again.Assign["q1"]-0.8) > 1e-12 || again.Assign["x"] != 2 {
+		t.Errorf("project∘lift not a fixed point: %v", again.Assign)
+	}
+
+	// A uniform scenario survives the full round trip exactly: lift(project)
+	// reproduces the original leaf assignments.
+	uni := NewScenario().SetAll(0.7, "m1", "m3").Set("x", 3)
+	if ok, _ := uni.IsUniformOn(v); !ok {
+		t.Fatal("uniform scenario reported non-uniform")
+	}
+	round := uni.Project(v).UniformOn(v)
+	for name, want := range uni.Assign {
+		if got := round.Assign[name]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("round trip %s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestMaxRelErrorTable is the table-driven satellite: per-component max with
+// the denom<1 floor.
+func TestMaxRelErrorTable(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"equal", []float64{3, 4}, []float64{3, 4}, 0},
+		{"relative", []float64{11}, []float64{10}, 0.1},
+		{"per-component-max", []float64{11, 30}, []float64{10, 20}, 0.5},
+		// |b|=0.5 < 1 floors the divisor at 1: error is |0.7-0.5|/1, not /0.5.
+		{"floor-small-denom", []float64{0.7}, []float64{0.5}, 0.2},
+		{"floor-zero-denom", []float64{0.25}, []float64{0}, 0.25},
+		// Exactly at the floor boundary |b|=1 the true denominator is used.
+		{"denom-at-one", []float64{1.5}, []float64{-1}, 2.5},
+		{"negative-values", []float64{-12}, []float64{-10}, 0.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MaxRelError(tc.a, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("MaxRelError(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+	if _, err := MaxRelError([]float64{1}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestSpeedupBranches pins the Speedup contract: a fraction in [0, 1), with
+// the zero-tOrig and negative-savings branches clamped to 0.
+func TestSpeedupBranches(t *testing.T) {
+	cases := []struct {
+		name        string
+		tOrig, tAbs time.Duration
+		want        float64
+	}{
+		{"faster", 100, 25, 0.75},
+		{"equal", 100, 100, 0},
+		{"zero-orig", 0, 50, 0},
+		{"negative-orig", -5, 50, 0},
+		{"slower-clamps", 10, 1000, 0},
+		{"free", 100, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Speedup(tc.tOrig, tc.tAbs)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Speedup(%v, %v) = %v, want %v", tc.tOrig, tc.tAbs, got, tc.want)
+			}
+		})
+	}
+}

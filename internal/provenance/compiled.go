@@ -1,0 +1,193 @@
+package provenance
+
+// Compiled is a provenance set compiled for evaluation: every monomial of
+// every polynomial is flattened into dense coefficient and factor arrays so
+// that evaluating a scenario is a tight loop over contiguous memory — no
+// string key re-parsing, no map lookups per monomial. Valuations are dense
+// []float64 slices indexed by Var.
+//
+// A Compiled is an immutable snapshot: mutating the source Set or its
+// polynomials after compiling does not change the compiled form. Compile
+// once, evaluate many times — the intended workload is the paper's
+// interactive many-scenario setting (Figure 10), where the same provenance
+// answers a stream of hypothetical scenarios.
+//
+// Evaluation order is deterministic (monomials in canonical key order), so
+// repeated evaluations of the same valuation produce bit-identical results,
+// unlike the map-based Polynomial.Eval whose summation order follows map
+// iteration.
+type Compiled struct {
+	Vocab *Vocab
+	Tags  []string // Tags[i] labels polynomial i; may be empty
+
+	polyOff []int32   // polynomial i owns terms [polyOff[i], polyOff[i+1])
+	coeffs  []float64 // one coefficient per term
+	factOff []int32   // term t owns factors [factOff[t], factOff[t+1])
+	vars    []Var     // factor variables, indexed by factOff
+	pows    []int32   // factor exponents, parallel to vars
+
+	maxVar  Var  // largest Var occurring in any factor (0 when none)
+	allPow1 bool // every exponent is 1: enables the branch-free fast path
+}
+
+// Compile flattens the set into its compiled form. The Vocab and Tags are
+// shared with the source set; the term data is copied.
+func (s *Set) Compile() *Compiled {
+	c := compilePolys(s.Polys)
+	c.Vocab = s.Vocab
+	c.Tags = s.Tags
+	return c
+}
+
+// Compile flattens a single polynomial into a one-member Compiled (no Vocab,
+// no tags). Use Set.Compile for whole query results.
+func (p *Polynomial) Compile() *Compiled {
+	return compilePolys([]*Polynomial{p})
+}
+
+func compilePolys(polys []*Polynomial) *Compiled {
+	nTerms := 0
+	for _, p := range polys {
+		nTerms += p.Size()
+	}
+	c := &Compiled{
+		polyOff: make([]int32, 1, len(polys)+1),
+		coeffs:  make([]float64, 0, nTerms),
+		factOff: make([]int32, 1, nTerms+1),
+		allPow1: true,
+	}
+	for _, p := range polys {
+		for _, m := range p.Monomials() {
+			c.coeffs = append(c.coeffs, m.Coeff)
+			for _, f := range m.Vars() {
+				c.vars = append(c.vars, f.Var)
+				c.pows = append(c.pows, f.Pow)
+				if f.Pow != 1 {
+					c.allPow1 = false
+				}
+				if f.Var > c.maxVar {
+					c.maxVar = f.Var
+				}
+			}
+			c.factOff = append(c.factOff, int32(len(c.vars)))
+		}
+		c.polyOff = append(c.polyOff, int32(len(c.coeffs)))
+	}
+	return c
+}
+
+// Len returns the number of polynomials.
+func (c *Compiled) Len() int { return len(c.polyOff) - 1 }
+
+// Size returns |P|_M — the total number of monomials.
+func (c *Compiled) Size() int { return len(c.coeffs) }
+
+// MaxVar returns the largest Var occurring in the compiled set. Valuations
+// passed to Eval must have length at least MaxVar+1.
+func (c *Compiled) MaxVar() Var { return c.maxVar }
+
+// ValuationLen returns the length a dense valuation slice must have.
+func (c *Compiled) ValuationLen() int { return int(c.maxVar) + 1 }
+
+// NewValuation returns an identity valuation (all ones) of the right length
+// for Eval. Index it by Var to assign scenario values.
+func (c *Compiled) NewValuation() []float64 {
+	val := make([]float64, c.ValuationLen())
+	for i := range val {
+		val[i] = 1
+	}
+	return val
+}
+
+// Valuation converts a sparse map valuation into a dense slice for Eval.
+// Variables absent from the map keep the identity value 1. Map entries for
+// variables beyond MaxVar are ignored (they cannot occur in any term).
+func (c *Compiled) Valuation(m map[Var]float64) []float64 {
+	val := c.NewValuation()
+	for v, x := range m {
+		if v >= 0 && int(v) < len(val) {
+			val[v] = x
+		}
+	}
+	return val
+}
+
+// Eval evaluates every polynomial under the dense valuation, writing one
+// value per polynomial into out (grown as needed) and returning it. Passing
+// a nil out allocates; passing the previous result re-uses its storage,
+// which keeps steady-state batch evaluation allocation-free.
+//
+// val must have length at least ValuationLen(); use NewValuation or
+// Valuation to build it. Eval does not mutate val and is safe for
+// concurrent use with distinct out slices.
+func (c *Compiled) Eval(val []float64, out []float64) []float64 {
+	n := c.Len()
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	if c.allPow1 {
+		c.evalLinear(val, out)
+	} else {
+		c.evalGeneral(val, out)
+	}
+	return out
+}
+
+// evalLinear is the hot path: every exponent is 1 so each factor is a single
+// multiply with no branching.
+func (c *Compiled) evalLinear(val []float64, out []float64) {
+	for pi := range out {
+		sum := 0.0
+		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
+			x := c.coeffs[t]
+			for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
+				x *= val[c.vars[f]]
+			}
+			sum += x
+		}
+		out[pi] = sum
+	}
+}
+
+// evalGeneral handles arbitrary positive exponents by repeated
+// multiplication (exponents are small in provenance polynomials: they count
+// self-joins).
+func (c *Compiled) evalGeneral(val []float64, out []float64) {
+	for pi := range out {
+		sum := 0.0
+		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
+			x := c.coeffs[t]
+			for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
+				v := val[c.vars[f]]
+				for p := c.pows[f]; p > 0; p-- {
+					x *= v
+				}
+			}
+			sum += x
+		}
+		out[pi] = sum
+	}
+}
+
+// EvalPoly evaluates only polynomial i under the dense valuation.
+func (c *Compiled) EvalPoly(i int, val []float64) float64 {
+	sum := 0.0
+	for t := c.polyOff[i]; t < c.polyOff[i+1]; t++ {
+		x := c.coeffs[t]
+		for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
+			v := val[c.vars[f]]
+			for p := c.pows[f]; p > 0; p-- {
+				x *= v
+			}
+		}
+		sum += x
+	}
+	return sum
+}
+
+// EvalMap evaluates under a sparse map valuation (convenience bridge from
+// the map-based API; batch callers should build dense valuations once).
+func (c *Compiled) EvalMap(m map[Var]float64) []float64 {
+	return c.Eval(c.Valuation(m), nil)
+}

@@ -75,6 +75,10 @@ type Result struct {
 	SampleAdequate bool // VVS met the adapted bound on the sample
 	FullAdequate   bool // VVS meets the original bound on the full set
 	Abstracted     *provenance.Set
+	// Compiled is the abstracted set pre-compiled for scenario evaluation:
+	// the online pipeline ends where the interactive what-if stage begins,
+	// so the artifact it hands over is ready for hypo.EvalBatch.
+	Compiled *provenance.Compiled
 }
 
 // OnlineCompress runs the full §6 pipeline: sample, adapt the bound, select
@@ -116,6 +120,7 @@ func OnlineCompress(full *provenance.Set, forest *abstree.Forest, B int, opts Op
 		SampleAdequate: sel.Adequate,
 		FullAdequate:   abs.Size() <= B,
 		Abstracted:     abs,
+		Compiled:       abs.Compile(),
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"math"
 	"testing"
 
 	"provabs/internal/abstree"
@@ -85,6 +86,22 @@ func TestOnlineCompressAchievesBound(t *testing.T) {
 	}
 	if err := res.VVS.Validate(); err != nil {
 		t.Errorf("returned VVS invalid: %v", err)
+	}
+	// The pipeline hands over the abstracted set pre-compiled for the
+	// what-if stage; it must match the abstracted set it was built from.
+	if res.Compiled == nil {
+		t.Fatal("result lacks compiled provenance")
+	}
+	if res.Compiled.Len() != res.Abstracted.Len() || res.Compiled.Size() != res.Abstracted.Size() {
+		t.Errorf("compiled len/size = %d/%d, abstracted %d/%d",
+			res.Compiled.Len(), res.Compiled.Size(), res.Abstracted.Len(), res.Abstracted.Size())
+	}
+	want := res.Abstracted.Eval(map[provenance.Var]float64{})
+	got := res.Compiled.Eval(res.Compiled.NewValuation(), nil)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Errorf("compiled identity eval poly %d = %v, want %v", i, got[i], want[i])
+		}
 	}
 }
 

@@ -67,6 +67,9 @@ func TestGenerateDeterminism(t *testing.T) {
 // aggregates = 8 polynomials, as the paper reports; each polynomial has one
 // constant monomial plus one monomial per (s_i, p_j) combination present.
 func TestQ1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("iterates every Q1 monomial; skipped with -short")
+	}
 	d := testDataset(t)
 	set, err := d.Provenance(Q1)
 	if err != nil {

@@ -28,6 +28,22 @@
 //	res, _ := provabs.Optimal(set, tree, 1)
 //	compressed := res.VVS.Apply(set)
 //	answers, _ := provabs.NewScenario().Set("q1", 0.8).Eval(compressed)
+//
+// # Compiled batch evaluation
+//
+// Scenario evaluation is the interactive hot path: the paper's workload is
+// one compression followed by a stream of hypothetical scenarios. For that
+// regime, compile the (abstracted) set once with Compile — flattening every
+// monomial into dense coefficient/variable arrays — and evaluate batches of
+// scenarios in parallel:
+//
+//	compiled := provabs.Compile(compressed)
+//	scenarios := []*provabs.Scenario{ ... many what-ifs ... }
+//	rows, _ := provabs.EvalBatch(compiled, scenarios, 0) // 0 = GOMAXPROCS workers
+//
+// Compiled evaluation needs no string parsing or map lookups per monomial
+// and is deterministic (canonical monomial order); EvalBatch spreads
+// scenarios over a worker pool.
 package provabs
 
 import (
@@ -54,6 +70,9 @@ type (
 	Polynomial = provenance.Polynomial
 	// Set is a multiset of tagged polynomials — a query's provenance.
 	Set = provenance.Set
+	// Compiled is a set flattened into dense arrays for fast, repeated,
+	// parallel scenario evaluation.
+	Compiled = provenance.Compiled
 )
 
 // Abstraction model (internal/abstree).
@@ -153,6 +172,22 @@ func VariableLoss(s *Set, v *VVS) int { return core.VariableLoss(s, v) }
 
 // NewScenario returns an empty hypothetical scenario.
 func NewScenario() *Scenario { return hypo.NewScenario() }
+
+// Compile flattens a provenance set for fast repeated evaluation. Compile
+// once, then evaluate many scenarios with EvalBatch or Scenario.EvalCompiled.
+func Compile(s *Set) *Compiled { return s.Compile() }
+
+// EvalBatch evaluates many scenarios against compiled provenance on a
+// worker pool of the given size (0 = GOMAXPROCS), returning one answer
+// vector per scenario in scenario order.
+func EvalBatch(c *Compiled, scenarios []*Scenario, workers int) ([][]float64, error) {
+	return hypo.EvalBatch(c, scenarios, hypo.BatchOptions{Workers: workers})
+}
+
+// AnswersBatch is EvalBatch with each value paired to its polynomial's tag.
+func AnswersBatch(c *Compiled, scenarios []*Scenario, workers int) ([][]Answer, error) {
+	return hypo.AnswersBatch(c, scenarios, hypo.BatchOptions{Workers: workers})
+}
 
 // Encode writes a provenance set in the compact binary format.
 func Encode(w io.Writer, s *Set) error { return provenance.Encode(w, s) }

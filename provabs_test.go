@@ -120,6 +120,43 @@ func TestFacadeSummarizeAndOnline(t *testing.T) {
 	}
 }
 
+// The compiled/batch facade: Compile once, EvalBatch many scenarios, with
+// results identical to per-scenario Eval.
+func TestFacadeCompiledBatch(t *testing.T) {
+	vb := provabs.NewVocab()
+	set := provabs.NewSet(vb)
+	set.Add("10001", provabs.MustParse(vb, "220.8·p1·m1 + 240·p1·m3"))
+	set.Add("10002", provabs.MustParse(vb, "127.4·f1·m1 + 114.45·f1·m3"))
+	compiled := provabs.Compile(set)
+	scenarios := []*provabs.Scenario{
+		provabs.NewScenario().Set("m1", 0.8),
+		provabs.NewScenario().Set("m3", 1.2).Set("f1", 0.5),
+		provabs.NewScenario(),
+	}
+	rows, err := provabs.EvalBatch(compiled, scenarios, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scenarios {
+		want, err := sc.Eval(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(rows[i][j]-want[j]) > 1e-9 {
+				t.Errorf("scenario %d poly %d: batch %v, eval %v", i, j, rows[i][j], want[j])
+			}
+		}
+	}
+	tagged, err := provabs.AnswersBatch(compiled, scenarios, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged[0][0].Tag != "10001" || tagged[0][1].Tag != "10002" {
+		t.Errorf("tags = %q, %q", tagged[0][0].Tag, tagged[0][1].Tag)
+	}
+}
+
 func TestFromLabels(t *testing.T) {
 	f, err := provabs.NewForest(provabs.MustParseTree("A(a1,a2)"))
 	if err != nil {
