@@ -2,11 +2,14 @@
 #
 #   make check   — vet + build + fast race-enabled tests (the CI gate)
 #   make test    — the full (slow) test suite, as tier-1 verify runs it
-#   make bench   — one pass over every benchmark at minimal benchtime
+#   make bench   — go-test microbenchmarks plus the provbench paper tables,
+#                  so the perf trajectory reproduces with one command
+#   make serve   — generate demo provenance (if needed) and start the
+#                  streaming what-if server on :8080
 
 GO ?= go
 
-.PHONY: check vet build test-short test bench
+.PHONY: check vet build test-short test bench serve
 
 check: vet build test-short
 
@@ -24,3 +27,12 @@ test:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/provbench
+
+demo.pvab:
+	$(GO) run ./cmd/provabs generate -dataset telco -customers 1000 -zips 100 -out $@
+
+serve: demo.pvab
+	$(GO) run ./cmd/provabs serve -in demo.pvab -addr :8080 \
+		-tree 'Quarters(q1(m1,m2,m3),q2(m4,m5,m6),q3(m7,m8,m9),q4(m10,m11,m12))' \
+		-algo greedy -ratio 0.5

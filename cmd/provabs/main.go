@@ -13,6 +13,11 @@
 //	provabs eval -in q5c.pvab -set SuppRoot_l1_0=0.8,s9=1.1
 //	provabs whatif -in q5c.pvab -scenarios 1000 -workers 0
 //	provabs whatif -in q5c.pvab -sets 's9=0.8;s9=1.1,s4=0.5'
+//	provabs serve -in q5c.pvab -addr :8080
+//
+// Every compression and evaluation path runs through the session Engine
+// (provabs.Open): one object owning the provenance, the abstraction, and
+// the compiled-evaluation cache.
 package main
 
 import (
@@ -27,10 +32,10 @@ import (
 
 	"provabs/internal/abstree"
 	"provabs/internal/bench"
-	"provabs/internal/core"
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
 	"provabs/internal/sampling"
+	"provabs/internal/session"
 	"provabs/internal/summarize"
 	"provabs/internal/telco"
 	"provabs/internal/tpch"
@@ -54,6 +59,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "whatif":
 		err = cmdWhatif(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "trees":
 		err = cmdTrees(os.Args[2:])
 	case "help", "-h", "--help":
@@ -78,6 +85,7 @@ commands:
   compress   select an abstraction and compress a provenance file
   eval       evaluate a hypothetical scenario over a provenance file
   whatif     batch-evaluate many scenarios on compiled provenance in parallel
+  serve      serve what-if scenarios over HTTP (JSON + streaming NDJSON)
   trees      print the benchmark abstraction-tree catalog (Table 2)
 
 run 'provabs <command> -h' for command flags`)
@@ -154,13 +162,14 @@ func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	in := fs.String("in", "", "provenance file (required)")
 	out := fs.String("out", "", "output file for the compressed provenance (optional)")
-	algo := fs.String("algo", "opt", "opt, greedy, brute, ainy or online")
+	algo := fs.String("algo", "auto", "auto, opt, greedy, brute, ainy or online")
 	treeSrc := fs.String("tree", "", "abstraction tree(s) in compact format, ';'-separated")
 	shapeSrc := fs.String("shape", "", "build a uniform tree instead: comma-separated fan-outs, e.g. 2,64")
 	prefix := fs.String("prefix", "s", "leaf prefix for -shape trees (s, p, pl)")
 	bound := fs.Int("bound", 0, "monomial bound B (overrides -ratio)")
 	ratio := fs.Float64("ratio", 0.5, "bound as a fraction of |P|_M")
 	fraction := fs.Float64("fraction", 0.3, "online: sample fraction")
+	seed := fs.Int64("seed", 1, "online: sample seed")
 	timeout := fs.Duration("timeout", time.Minute, "ainy: cutoff")
 	fs.Parse(args)
 	set, err := readSet(*in)
@@ -171,63 +180,34 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	B := *bound
-	if B <= 0 {
-		B = int(float64(set.Size()) * *ratio)
-		if B < 1 {
-			B = 1
-		}
+	strategy, err := session.ParseStrategy(*algo)
+	if err != nil {
+		return err
 	}
-	start := time.Now()
-	var vvs *abstree.VVS
-	var note string
-	switch *algo {
-	case "opt":
-		if forest.Len() != 1 {
-			return fmt.Errorf("compress: opt handles exactly one tree (got %d); use greedy for forests", forest.Len())
-		}
-		res, err := core.OptimalVVS(set, forest.Trees[0], B)
-		if err != nil {
-			return err
-		}
-		vvs, note = res.VVS, adequacy(res.Adequate)
-	case "greedy":
-		res, err := core.GreedyVVS(set, forest, B)
-		if err != nil {
-			return err
-		}
-		vvs, note = res.VVS, adequacy(res.Adequate)
-	case "brute":
-		res, err := core.BruteForceVVS(set, forest, B, 0)
-		if err != nil {
-			return err
-		}
-		vvs, note = res.VVS, adequacy(res.Adequate)
-	case "ainy":
-		res, err := summarize.Summarize(set, forest, B, summarize.Options{Timeout: *timeout})
-		if err != nil {
-			return err
-		}
-		abs := res.Abstracted
-		fmt.Printf("ainy: %s, %d oracle calls, %d merges, %v\n",
-			adequacy(res.Adequate), res.OracleCalls, res.Rounds, res.Elapsed)
-		return finishCompress(set, abs, *out)
-	case "online":
-		res, err := sampling.OnlineCompress(set, forest, B, sampling.Options{Fraction: *fraction, Seed: 1})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("online: sample |P|_M=%d, adapted bound=%d, full %s\n",
-			res.SampleSize, res.SampleBound, adequacy(res.FullAdequate))
-		return finishCompress(set, res.Abstracted, *out)
-	default:
-		return fmt.Errorf("compress: unknown algorithm %q", *algo)
+	B := resolveBound(*bound, *ratio, set.Size())
+	eng, err := session.Open(set, forest)
+	if err != nil {
+		return err
 	}
-	elapsed := time.Since(start)
-	abs := vvs.Apply(set)
-	fmt.Printf("%s: %s in %v\n", *algo, note, elapsed)
-	fmt.Printf("VVS: %s\n", vvs)
-	return finishCompress(set, abs, *out)
+	comp, err := eng.Compress(B,
+		session.WithStrategy(strategy),
+		session.WithSamplingFraction(*fraction),
+		session.WithSeed(*seed),
+		session.WithTimeout(*timeout))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s in %v\n", comp.Strategy, adequacy(comp.Adequate), comp.Elapsed)
+	if comp.VVS != nil {
+		fmt.Printf("VVS: %s\n", comp.VVS)
+	}
+	switch extra := comp.Extra.(type) {
+	case *summarize.Result:
+		fmt.Printf("ainy: %d oracle calls, %d merges\n", extra.OracleCalls, extra.Rounds)
+	case *sampling.Result:
+		fmt.Printf("online: sample |P|_M=%d, adapted bound=%d\n", extra.SampleSize, extra.SampleBound)
+	}
+	return finishCompress(set, comp.Abstracted, *out)
 }
 
 func adequacy(ok bool) string {
@@ -268,7 +248,11 @@ func cmdEval(args []string) error {
 			return err
 		}
 	}
-	answers, err := sc.Answers(set)
+	eng, err := session.Open(set, nil)
+	if err != nil {
+		return err
+	}
+	answers, err := eng.WhatIf(sc)
 	if err != nil {
 		return err
 	}
@@ -332,11 +316,15 @@ func cmdWhatif(args []string) error {
 	if len(scs) == 0 {
 		return fmt.Errorf("whatif: provide -scenarios N and/or -sets")
 	}
+	eng, err := session.Open(set, nil, session.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
 	compileStart := time.Now()
-	compiled := set.Compile()
+	compiled := eng.Compiled() // cached on the session; the batch below reuses it
 	compileTime := time.Since(compileStart)
 	evalStart := time.Now()
-	rows, err := hypo.AnswersBatch(compiled, scs, hypo.BatchOptions{Workers: *workers})
+	rows, err := eng.WhatIfBatch(scs)
 	if err != nil {
 		return err
 	}
@@ -359,6 +347,19 @@ func cmdWhatif(args []string) error {
 		}
 	}
 	return nil
+}
+
+// resolveBound turns the -bound/-ratio flag pair into a monomial bound: an
+// explicit bound wins, otherwise the ratio of the set size, floored at 1.
+func resolveBound(bound int, ratio float64, size int) int {
+	if bound > 0 {
+		return bound
+	}
+	b := int(float64(size) * ratio)
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // parseScenario parses "a=1,b=0.5" into a scenario.

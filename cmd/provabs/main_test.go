@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScenario(t *testing.T) {
+	sc, err := parseScenario("a=1, b = 0.5 ,c=-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"a": 1, "b": 0.5, "c": -2}
+	if len(sc.Assign) != len(want) {
+		t.Fatalf("Assign = %v, want %v", sc.Assign, want)
+	}
+	for k, v := range want {
+		if sc.Assign[k] != v {
+			t.Errorf("Assign[%q] = %v, want %v", k, sc.Assign[k], v)
+		}
+	}
+}
+
+func TestParseScenarioMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",      // no assignment at all
+		"a",     // missing =value
+		"a=",    // empty value
+		"a=x",   // non-numeric value
+		"a=1,b", // valid then invalid
+		"a=1=2", // value with stray =
+		"a==2",  // double separator
+	} {
+		if _, err := parseScenario(bad); err == nil {
+			t.Errorf("parseScenario(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestServeEndToEnd is the acceptance check for the what-if server: build
+// the real binary, generate provenance, start `provabs serve`, and answer a
+// streamed NDJSON batch of scenarios over HTTP.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary-level integration test in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "provabs")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	pvab := filepath.Join(dir, "t.pvab")
+	gen := exec.Command(bin, "generate", "-dataset", "telco",
+		"-customers", "50", "-zips", "5", "-out", pvab)
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+
+	srv := exec.Command(bin, "serve", "-in", pvab, "-addr", "127.0.0.1:0",
+		"-tree", "Quarters(q1(m1,m2,m3),q2(m4,m5,m6),q3(m7,m8,m9),q4(m10,m11,m12))",
+		"-algo", "greedy", "-ratio", "0.6")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	// The server prints "serving … on http://ADDR" once it is listening.
+	var base string
+	scan := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for scan.Scan() {
+			line := scan.Text()
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i:])
+				break
+			}
+		}
+	}()
+	select {
+	case base = <-addrCh:
+	case <-deadline:
+		t.Fatal("server did not report its address in time")
+	}
+
+	// Stream a small NDJSON batch: a quarter-uniform scenario, an erroneous
+	// one, and a per-month scenario.
+	batch := strings.Join([]string{
+		`{"assign":{"q1":0.8}}`,
+		`{"assign":{"no_such_variable":1}}`,
+		`{"assign":{"m1":0.5,"m2":0.5}}`,
+	}, "\n")
+	resp, err := http.Post(base+"/whatif/stream", "application/x-ndjson", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type line struct {
+		Index   int `json:"index"`
+		Answers []struct {
+			Tag   string  `json:"tag"`
+			Value float64 `json:"value"`
+		} `json:"answers"`
+		Error string `json:"error"`
+	}
+	var lines []line
+	rscan := bufio.NewScanner(resp.Body)
+	for rscan.Scan() {
+		var l line
+		if err := json.Unmarshal(rscan.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", rscan.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := rscan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("streamed %d result lines, want 3: %+v", len(lines), lines)
+	}
+	if lines[0].Error != "" || len(lines[0].Answers) == 0 {
+		t.Errorf("first scenario: %+v, want answers", lines[0])
+	}
+	if lines[1].Error == "" {
+		t.Errorf("second scenario: %+v, want in-band error", lines[1])
+	}
+	if lines[2].Error != "" || len(lines[2].Answers) == 0 {
+		t.Errorf("third scenario: %+v, want answers", lines[2])
+	}
+
+	// Single-scenario endpoint and stats agree with the stream.
+	single, err := http.Post(base+"/whatif", "application/json",
+		bytes.NewReader([]byte(`{"assign":{"q1":0.8}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Body.Close()
+	if single.StatusCode != http.StatusOK {
+		t.Fatalf("single whatif status = %d, want 200", single.StatusCode)
+	}
+	stats, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var st struct {
+		Compressed bool  `json:"compressed"`
+		Scenarios  int64 `json:"scenarios_evaluated"`
+		Compiles   int64 `json:"compiles"`
+	}
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Compressed {
+		t.Error("stats report an uncompressed session, want compressed at startup")
+	}
+	if st.Scenarios < 3 {
+		t.Errorf("stats report %d scenarios, want >= 3", st.Scenarios)
+	}
+	if st.Compiles != 1 {
+		t.Errorf("stats report %d compiles, want 1 (compile-once across the stream)", st.Compiles)
+	}
+}

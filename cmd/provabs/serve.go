@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/server"
+	"provabs/internal/session"
+)
+
+// cmdServe runs the streaming what-if server: load a provenance file into a
+// session Engine (optionally compressing it at startup), then answer
+// scenario streams over HTTP — POST /whatif for one scenario, POST
+// /whatif/stream for an NDJSON batch, POST /compress to (re)compress the
+// live session, GET /stats for session statistics.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "provenance file (required)")
+	addr := fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	treeSrc := fs.String("tree", "", "abstraction tree(s) in compact format, ';'-separated")
+	shapeSrc := fs.String("shape", "", "build a uniform tree instead: comma-separated fan-outs, e.g. 2,64")
+	prefix := fs.String("prefix", "s", "leaf prefix for -shape trees (s, p, pl)")
+	algo := fs.String("algo", "auto", "startup compression strategy: auto, opt, greedy, brute, ainy or online")
+	bound := fs.Int("bound", 0, "compress at startup to this monomial bound (overrides -ratio)")
+	ratio := fs.Float64("ratio", 0, "compress at startup to this fraction of |P|_M (0 = serve uncompressed)")
+	fraction := fs.Float64("fraction", 0.3, "online: sample fraction")
+	timeout := fs.Duration("timeout", time.Minute, "ainy: cutoff")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	set, err := readSet(*in)
+	if err != nil {
+		return err
+	}
+	var forest *abstree.Forest
+	if *treeSrc != "" || *shapeSrc != "" {
+		forest, err = buildForest(*treeSrc, *shapeSrc, *prefix)
+		if err != nil {
+			return err
+		}
+	}
+	eng, err := session.Open(set, forest, session.WithWorkers(*workers))
+	if err != nil {
+		return err
+	}
+	if forest == nil && (*bound > 0 || *ratio > 0) {
+		return fmt.Errorf("serve: -bound/-ratio require -tree or -shape")
+	}
+	if forest != nil && (*bound > 0 || *ratio > 0) {
+		strategy, err := session.ParseStrategy(*algo)
+		if err != nil {
+			return err
+		}
+		comp, err := eng.Compress(resolveBound(*bound, *ratio, set.Size()),
+			session.WithStrategy(strategy),
+			session.WithSamplingFraction(*fraction),
+			session.WithTimeout(*timeout))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compressed with %s: %d -> %d monomials (%s) in %v\n",
+			comp.Strategy, set.Size(), comp.Abstracted.Size(), adequacy(comp.Adequate), comp.Elapsed)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	st := eng.Stats()
+	fmt.Printf("serving %d polynomials / %d monomials on http://%s\n",
+		st.Polynomials, st.Monomials, ln.Addr())
+	fmt.Println("endpoints: POST /whatif, POST /whatif/stream (NDJSON), POST /compress, GET /stats")
+	return http.Serve(ln, server.New(eng).Handler())
+}

@@ -9,8 +9,8 @@ import (
 	"fmt"
 	"log"
 
+	"provabs"
 	"provabs/internal/abstree"
-	"provabs/internal/core"
 	"provabs/internal/sampling"
 	"provabs/internal/telco"
 	"provabs/internal/treegen"
@@ -33,8 +33,15 @@ func main() {
 	forest := abstree.MustForest(plansTree, telco.QuarterTree())
 	B := set.Size() / 2
 
+	// One session hosts the whole sweep; each Compress replaces the
+	// previous abstraction.
+	eng, err := provabs.Open(set, forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Offline reference: greedy on the full set.
-	offline, err := core.GreedyVVS(set, forest, B)
+	offline, err := eng.Compress(B, provabs.WithStrategy(provabs.StrategyGreedy))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,13 +49,17 @@ func main() {
 
 	// Online: pick the VVS on increasingly small samples.
 	for _, fraction := range []float64{0.5, 0.25, 0.1} {
-		res, err := sampling.OnlineCompress(set, forest, B, sampling.Options{Fraction: fraction, Seed: 2})
+		comp, err := eng.Compress(B,
+			provabs.WithStrategy(provabs.StrategyOnline),
+			provabs.WithSamplingFraction(fraction),
+			provabs.WithSeed(2))
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := comp.Extra.(*sampling.Result)
 		fmt.Printf("online %3.0f%% sample: sample |P|_M=%-6d adapted B=%-6d full adequate=%-5v |P↓S|_V=%d\n",
 			fraction*100, res.SampleSize, res.SampleBound, res.FullAdequate,
-			res.Abstracted.Granularity())
+			comp.Abstracted.Granularity())
 	}
 
 	// §6's other gap: estimating the full provenance size from growing

@@ -1,6 +1,6 @@
 // Quickstart: build a provenance polynomial, define an abstraction tree,
-// compress with the optimal algorithm, and run a hypothetical scenario —
-// the minimal end-to-end tour of the public API.
+// open a session Engine, compress, and run hypothetical scenarios — the
+// minimal end-to-end tour of the public API.
 package main
 
 import (
@@ -22,29 +22,39 @@ func main() {
 	fmt.Printf("original: %d monomials over %d variables\n", set.Size(), set.Granularity())
 
 	// 2. Abstraction tree: months may be grouped into quarter q1 (Figure 3,
-	// restricted to the active months).
-	tree := provabs.MustParseTree("Year(q1(m1,m3))")
+	// restricted to the active months), and a session over it. The Engine
+	// owns the compress-once/evaluate-many lifecycle: it caches the
+	// compiled provenance across scenarios and invalidates it on mutation.
+	forest, err := provabs.NewForest(provabs.MustParseTree("Year(q1(m1,m3))"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := provabs.Open(set, forest)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Compress to at most 4 monomials, keeping as many variables as
-	// possible (the paper's optimization problem, Algorithm 1).
-	res, err := provabs.Optimal(set, tree, 4)
+	// possible (the paper's optimization problem; StrategyAuto runs
+	// Algorithm 1 on a single tree).
+	comp, err := eng.Compress(4)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("chosen abstraction: %s (monomial loss %d, variable loss %d)\n",
-		res.VVS, res.ML, res.VL)
-	compressed := res.VVS.Apply(set)
+		comp.VVS, comp.ML, comp.VL)
 	fmt.Printf("compressed: %d monomials over %d variables\n",
-		compressed.Size(), compressed.Granularity())
-	fmt.Printf("  %s\n", compressed.Polys[0].String(vb))
+		comp.Abstracted.Size(), comp.Abstracted.Granularity())
+	fmt.Printf("  %s\n", comp.Abstracted.Polys[0].String(vb))
 
 	// 4. Hypothetical reasoning: "what if prices drop 20% in the first
-	// quarter?" — a single assignment to the meta-variable q1.
-	answers, err := provabs.NewScenario().Set("q1", 0.8).Eval(compressed)
+	// quarter?" — a single assignment to the meta-variable q1, answered
+	// from the session's cached compiled provenance.
+	answers, err := eng.WhatIf(provabs.NewScenario().Set("q1", 0.8))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("revenue under the Q1-discount scenario: %.2f\n", answers[0])
+	fmt.Printf("revenue under the Q1-discount scenario: %.2f\n", answers[0].Value)
 
 	// The abstraction is exact for such group-uniform scenarios: the same
 	// scenario expressed on the original variables agrees.

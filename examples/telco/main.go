@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"provabs"
-	"provabs/internal/core"
 	"provabs/internal/hypo"
 	"provabs/internal/telco"
 	"provabs/internal/treegen"
@@ -46,30 +45,42 @@ func main() {
 	}
 	quarterTree := telco.QuarterTree()
 
-	// Optimal single-tree compression at the paper's default bound.
+	// Optimal single-tree compression at the paper's default bound, through
+	// a single-tree session.
 	B := set.Size() / 2
-	start = time.Now()
-	opt, err := core.OptimalVVS(set, plansTree, B)
+	plansForest, err := provabs.NewForest(plansTree)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nAlgorithm 1 (plans tree, B=%d): %v\n", B, time.Since(start))
+	plansEng, err := provabs.Open(set, plansForest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := plansEng.Compress(B, provabs.WithStrategy(provabs.StrategyOptimal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAlgorithm 1 (plans tree, B=%d): %v\n", B, opt.Elapsed)
 	fmt.Printf("  ML=%d VL=%d adequate=%v\n", opt.ML, opt.VL, opt.Adequate)
 
-	// Greedy multi-tree compression over both trees.
+	// Greedy multi-tree compression over both trees — the session the rest
+	// of the walkthrough keeps asking what-ifs of.
 	forest, err := provabs.NewForest(plansTree, quarterTree)
 	if err != nil {
 		log.Fatal(err)
 	}
-	start = time.Now()
-	greedy, err := core.GreedyVVS(set, forest, B)
+	eng, err := provabs.Open(set, forest)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Algorithm 2 (plans + quarters, B=%d): %v\n", B, time.Since(start))
+	greedy, err := eng.Compress(B, provabs.WithStrategy(provabs.StrategyGreedy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Algorithm 2 (plans + quarters, B=%d): %v\n", B, greedy.Elapsed)
 	fmt.Printf("  ML=%d VL=%d adequate=%v\n", greedy.ML, greedy.VL, greedy.Adequate)
 
-	compressed := greedy.VVS.Apply(set)
+	compressed := greedy.Abstracted
 	fmt.Printf("compressed: |P↓S|_M=%d, |P↓S|_V=%d, %d bytes\n",
 		compressed.Size(), compressed.Granularity(), provabs.EncodedSize(compressed))
 
@@ -89,10 +100,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	projected := scenario.Project(greedy.VVS)
-	absVals, err := projected.Eval(compressed)
+	answers, err := eng.WhatIf(scenario.Project(greedy.VVS))
 	if err != nil {
 		log.Fatal(err)
+	}
+	absVals := make([]float64, len(answers))
+	for i, a := range answers {
+		absVals[i] = a.Value
 	}
 	relErr, err := hypo.MaxRelError(absVals, origVals)
 	if err != nil {

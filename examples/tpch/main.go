@@ -1,7 +1,7 @@
 // TPC-H walkthrough: generate the benchmark database, run Q1/Q5/Q10 with
 // discount parameterized by supplier and part variables (the paper's §4.2
-// setup), and compare the three compression algorithms plus the Ainy et
-// al. competitor on Q5's provenance.
+// setup), and compare the compression strategies — all routed through one
+// session Engine — on Q5's provenance.
 package main
 
 import (
@@ -9,10 +9,9 @@ import (
 	"log"
 	"time"
 
+	"provabs"
 	"provabs/internal/abstree"
-	"provabs/internal/core"
 	"provabs/internal/provenance"
-	"provabs/internal/summarize"
 	"provabs/internal/tpch"
 	"provabs/internal/treegen"
 )
@@ -51,69 +50,46 @@ func main() {
 	B := set.Size() / 2
 	fmt.Printf("\ncompressing Q5 to B=%d monomials (from %d):\n", B, set.Size())
 
-	run := func(name string, f func() (ml, vl int, adequate bool, err error)) {
-		start := time.Now()
-		ml, vl, adequate, err := f()
+	// One session per forest; each Compress call routes a different
+	// strategy through the same Engine.
+	run := func(name string, eng *provabs.Engine, opts ...provabs.CompressOption) *provabs.Compression {
+		comp, err := eng.Compress(B, opts...)
 		if err != nil {
 			fmt.Printf("  %-22s %v\n", name, err)
-			return
+			return nil
 		}
 		note := "bound met"
-		if !adequate {
+		if !comp.Adequate {
 			note = "bound unreachable, best effort"
 		}
-		fmt.Printf("  %-22s ML=%-6d VL=%-4d in %-12v (%s)\n", name, ml, vl, time.Since(start), note)
+		fmt.Printf("  %-22s ML=%-6d VL=%-4d in %-12v (%s)\n", name, comp.ML, comp.VL, comp.Elapsed, note)
+		return comp
 	}
-	run("Algorithm 1 (opt)", func() (int, int, bool, error) {
-		r, err := core.OptimalVVS(set, stree, B)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		return r.ML, r.VL, r.Adequate, nil
-	})
 	forest := abstree.MustForest(stree)
-	run("Algorithm 2 (greedy)", func() (int, int, bool, error) {
-		r, err := core.GreedyVVS(set, forest, B)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		return r.ML, r.VL, r.Adequate, nil
-	})
-	run("brute force", func() (int, int, bool, error) {
-		r, err := core.BruteForceVVS(set, forest, B, 0)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		return r.ML, r.VL, r.Adequate, nil
-	})
-	run("Ainy et al. [3]", func() (int, int, bool, error) {
-		r, err := summarize.Summarize(set, forest, B, summarize.Options{Timeout: 30 * time.Second})
-		if err != nil {
-			return 0, 0, false, err
-		}
-		return r.ML, r.VL, r.Adequate, nil
-	})
+	eng, err := provabs.Open(set, forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := run("Algorithm 1 (opt)", eng, provabs.WithStrategy(provabs.StrategyOptimal))
+	run("Algorithm 2 (greedy)", eng, provabs.WithStrategy(provabs.StrategyGreedy))
+	run("brute force", eng, provabs.WithStrategy(provabs.StrategyBruteForce))
+	run("Ainy et al. [3]", eng, provabs.WithStrategy(provabs.StrategySummarize),
+		provabs.WithTimeout(30*time.Second))
 
 	// Two-tree greedy: suppliers and parts together.
 	ptree, err := tpch.PartTree(shape)
 	if err != nil {
 		log.Fatal(err)
 	}
-	both := abstree.MustForest(stree, ptree)
-	run("greedy, both trees", func() (int, int, bool, error) {
-		r, err := core.GreedyVVS(set, both, B)
-		if err != nil {
-			return 0, 0, false, err
-		}
-		return r.ML, r.VL, r.Adequate, nil
-	})
-
-	// The storage angle: bytes before and after.
-	opt, err := core.OptimalVVS(set, stree, B)
+	bothEng, err := provabs.Open(set, abstree.MustForest(stree, ptree))
 	if err != nil {
 		log.Fatal(err)
 	}
-	abs := opt.VVS.Apply(set)
-	fmt.Printf("\nshipping cost: %d bytes -> %d bytes\n",
-		provenance.EncodedSize(set), provenance.EncodedSize(abs))
+	run("greedy, both trees", bothEng, provabs.WithStrategy(provabs.StrategyGreedy))
+
+	// The storage angle: bytes before and after.
+	if opt != nil {
+		fmt.Printf("\nshipping cost: %d bytes -> %d bytes\n",
+			provenance.EncodedSize(set), provenance.EncodedSize(opt.Abstracted))
+	}
 }

@@ -36,29 +36,40 @@ func numericScenarios() {
 	up, _ := provabs.NewScenario().Set("p1", 1.1).Eval(set)
 	fmt.Printf("plan A +10%%:      %.2f\n", up[0])
 
-	// Compress months into the quarter meta-variable.
-	tree := provabs.MustParseTree("Year(q1(m1,m3))")
-	res, err := provabs.Optimal(set, tree, 4)
+	// Open a session and compress months into the quarter meta-variable;
+	// every what-if below reuses the Engine's cached compilation.
+	forest, err := provabs.NewForest(provabs.MustParseTree("Year(q1(m1,m3))"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	compressed := res.VVS.Apply(set)
-	fmt.Printf("compressed to %d monomials with %s\n", compressed.Size(), res.VVS)
+	eng, err := provabs.Open(set, forest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := eng.Compress(4, provabs.WithStrategy(provabs.StrategyOptimal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed to %d monomials with %s\n", comp.Abstracted.Size(), comp.VVS)
 
 	// Exact: uniform per group.
 	uniform := provabs.NewScenario().Set("q1", 0.8)
-	cVals, _ := uniform.Eval(compressed)
-	oVals, _ := uniform.UniformOn(res.VVS).Eval(set)
-	fmt.Printf("uniform 'Q1 -20%%': compressed %.2f vs original %.2f (exact)\n", cVals[0], oVals[0])
+	cAns, _ := eng.WhatIf(uniform)
+	oVals, _ := uniform.UniformOn(comp.VVS).Eval(set)
+	fmt.Printf("uniform 'Q1 -20%%': compressed %.2f vs original %.2f (exact)\n", cAns[0].Value, oVals[0])
 
 	// Approximate: January and March diverge — below the abstraction's
 	// granularity. The projection uses the group mean.
 	skewed := hypo.NewScenario().Set("m1", 0.6).Set("m3", 1.0)
-	if ok, why := skewed.IsUniformOn(res.VVS); !ok {
+	if ok, why := skewed.IsUniformOn(comp.VVS); !ok {
 		fmt.Printf("skewed scenario is NOT supported exactly: %s\n", why)
 	}
 	trueVals, _ := skewed.Eval(set)
-	approxVals, _ := skewed.Project(res.VVS).Eval(compressed)
+	approxAns, _ := eng.WhatIf(skewed.Project(comp.VVS))
+	approxVals := make([]float64, len(approxAns))
+	for i, a := range approxAns {
+		approxVals[i] = a.Value
+	}
 	relErr, _ := hypo.MaxRelError(approxVals, trueVals)
 	fmt.Printf("skewed scenario: true %.2f, via abstraction %.2f (rel. err %.3f)\n\n",
 		trueVals[0], approxVals[0], relErr)

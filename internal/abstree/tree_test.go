@@ -43,7 +43,22 @@ func TestParseTreeRoundTrip(t *testing.T) {
 }
 
 func TestParseTreeErrors(t *testing.T) {
-	for _, bad := range []string{"", "a(b", "a(b,,c)", "a(b)x", "a(b,b)", "(x)"} {
+	for _, bad := range []string{
+		"",             // empty source
+		"   ",          // whitespace only
+		"a(b",          // unclosed paren
+		"a(b))",        // extra closing paren
+		"a(b,,c)",      // empty child
+		"a(b,)",        // trailing comma
+		"a(b)x",        // trailing garbage
+		"a(b,b)",       // duplicate sibling label
+		"a(b(c),d(c))", // duplicate label across subtrees
+		"a(a)",         // node shadowing its ancestor
+		"(x)",          // missing root label
+		"a()",          // empty child list
+		",a",           // leading comma
+		"a(b),c",       // second root at top level
+	} {
 		if _, err := ParseTree(bad); err == nil {
 			t.Errorf("ParseTree(%q) succeeded, want error", bad)
 		}

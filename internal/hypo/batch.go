@@ -43,6 +43,11 @@ func resolve(vb *provenance.Vocab, scenarios []*Scenario) ([]resolvedScenario, e
 		for name, x := range sc.Assign {
 			v, ok := vb.Lookup(name)
 			if !ok {
+				if len(scenarios) == 1 {
+					// Single-scenario callers (Scenario.EvalCompiled, the
+					// Engine's WhatIf/Stream) have no batch to index into.
+					return nil, fmt.Errorf("hypo: scenario assigns unknown variable %q", name)
+				}
 				return nil, fmt.Errorf("hypo: scenario %d assigns unknown variable %q", i, name)
 			}
 			rs.vars = append(rs.vars, v)

@@ -1,6 +1,9 @@
 package provenance
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Set is a multiset of polynomials — "all polynomials that appear in the
 // provenance-aware result of query evaluation" (§2.1). The paper's size
@@ -10,10 +13,19 @@ import "sort"
 // Each polynomial is typically tagged with the output tuple (group) it
 // annotates; tags are carried for presentation and scenario reporting but do
 // not affect the algorithms.
+//
+// A Set memoizes its compiled form: Compiled returns a cached *Compiled,
+// rebuilt lazily after every Add (the session Engine's evaluate-many
+// workload leans on this so a stream of scenarios never re-compiles).
+// Callers that mutate Polys or the polynomials in place must call
+// InvalidateCompiled themselves.
 type Set struct {
 	Vocab *Vocab
 	Polys []*Polynomial
 	Tags  []string // Tags[i] labels Polys[i]; may be empty
+
+	compiledMu sync.Mutex
+	compiled   *Compiled
 }
 
 // NewSet returns an empty set over the given vocabulary.
@@ -24,10 +36,36 @@ func NewSet(vb *Vocab) *Set {
 	return &Set{Vocab: vb}
 }
 
-// Add appends a polynomial with an optional tag.
+// Add appends a polynomial with an optional tag and invalidates the
+// compiled cache.
 func (s *Set) Add(tag string, p *Polynomial) {
 	s.Polys = append(s.Polys, p)
 	s.Tags = append(s.Tags, tag)
+	s.InvalidateCompiled()
+}
+
+// Compiled returns the set compiled for evaluation, building it on first
+// use and caching it until the next mutation. The returned value is an
+// immutable snapshot shared between callers; it must not be assumed to
+// reflect mutations made after it was obtained. Compiled is safe for
+// concurrent use with itself (but, like the rest of Set, not with
+// concurrent mutation).
+func (s *Set) Compiled() *Compiled {
+	s.compiledMu.Lock()
+	defer s.compiledMu.Unlock()
+	if s.compiled == nil {
+		s.compiled = s.Compile()
+	}
+	return s.compiled
+}
+
+// InvalidateCompiled drops the cached compiled form; the next Compiled call
+// rebuilds it. Add calls this automatically — it exists for callers that
+// mutate Polys, Tags, or the polynomials themselves in place.
+func (s *Set) InvalidateCompiled() {
+	s.compiledMu.Lock()
+	s.compiled = nil
+	s.compiledMu.Unlock()
 }
 
 // Len returns the number of polynomials.

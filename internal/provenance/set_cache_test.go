@@ -1,0 +1,84 @@
+package provenance
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCompiledCache pins the Set-level compiled cache: Compiled returns the
+// same snapshot until a mutation, Add invalidates, and the post-Add compile
+// sees the new polynomial.
+func TestCompiledCache(t *testing.T) {
+	vb := NewVocab()
+	s := NewSet(vb)
+	s.Add("a", MustParse(vb, "2·x + 3·y"))
+
+	c1 := s.Compiled()
+	if c2 := s.Compiled(); c2 != c1 {
+		t.Fatal("Compiled rebuilt without a mutation")
+	}
+	if got := c1.Size(); got != 2 {
+		t.Fatalf("compiled size = %d, want 2", got)
+	}
+
+	s.Add("b", MustParse(vb, "5·x"))
+	c3 := s.Compiled()
+	if c3 == c1 {
+		t.Fatal("Compiled not invalidated by Add")
+	}
+	if got := c3.Size(); got != 3 {
+		t.Fatalf("compiled size after Add = %d, want 3", got)
+	}
+	if got := c3.Len(); got != 2 {
+		t.Fatalf("compiled polynomials after Add = %d, want 2", got)
+	}
+
+	// Explicit invalidation, for in-place mutations Add cannot see.
+	s.InvalidateCompiled()
+	if c4 := s.Compiled(); c4 == c3 {
+		t.Fatal("Compiled not invalidated by InvalidateCompiled")
+	}
+}
+
+// TestCompiledCacheNotShared checks the derived-set boundary: Substitute
+// and Clone results compile independently of their source.
+func TestCompiledCacheNotShared(t *testing.T) {
+	vb := NewVocab()
+	s := NewSet(vb)
+	s.Add("a", MustParse(vb, "2·x + 3·y"))
+	c := s.Compiled()
+
+	sub := s.Substitute(map[Var]Var{vb.Var("x"): vb.Var("z")})
+	if sub.Compiled() == c {
+		t.Fatal("substituted set shares the source's compiled cache")
+	}
+	if s.Compiled() != c {
+		t.Fatal("Substitute invalidated the source's cache")
+	}
+	if clone := s.Clone(); clone.Compiled() == c {
+		t.Fatal("cloned set shares the source's compiled cache")
+	}
+}
+
+// TestCompiledConcurrent exercises the cache under concurrent readers (the
+// Engine's evaluation paths share it behind a read lock).
+func TestCompiledConcurrent(t *testing.T) {
+	vb := NewVocab()
+	s := NewSet(vb)
+	s.Add("a", MustParse(vb, "2·x + 3·y"))
+	var wg sync.WaitGroup
+	got := make([]*Compiled, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = s.Compiled()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent Compiled calls observed different snapshots")
+		}
+	}
+}

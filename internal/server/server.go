@@ -1,0 +1,238 @@
+// Package server exposes a session Engine over HTTP/JSON, so scenario
+// streams can be ingested by processes that do not load the library — the
+// paper's compress-once/ask-many workload as a service. The wire surface is
+// deliberately small:
+//
+//	POST /whatif          one scenario in, one answer vector out (JSON)
+//	POST /whatif/stream   NDJSON in, NDJSON out: one line per scenario,
+//	                      answers flushed per line as they are computed
+//	POST /compress        run a compression strategy on the live session
+//	GET  /stats           session statistics (sizes, losses, counters)
+//	GET  /healthz         liveness
+//
+// Scenario lines are {"assign": {"var": value, …}}. Per-scenario semantic
+// errors (an unknown variable, say) are reported in-band as
+// {"index": i, "error": "…"} without tearing down the stream; malformed
+// JSON terminates the stream with a final {"error": "…"} line, since the
+// remainder of the body cannot be trusted to be line-aligned.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"provabs/internal/hypo"
+	"provabs/internal/session"
+)
+
+// maxLineBytes bounds one NDJSON scenario line (scenarios assign at most a
+// few values per provenance variable; a megabyte is far beyond any sane
+// request).
+const maxLineBytes = 1 << 20
+
+// Server serves one session Engine.
+type Server struct {
+	engine *session.Engine
+}
+
+// New returns a Server over the engine.
+func New(e *session.Engine) *Server { return &Server{engine: e} }
+
+// Handler returns the HTTP handler serving the what-if API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /whatif", s.handleWhatIf)
+	mux.HandleFunc("POST /whatif/stream", s.handleStream)
+	mux.HandleFunc("POST /compress", s.handleCompress)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// scenarioRequest is one hypothetical scenario on the wire.
+type scenarioRequest struct {
+	Assign map[string]float64 `json:"assign"`
+}
+
+func (req *scenarioRequest) scenario() *hypo.Scenario {
+	sc := hypo.NewScenario()
+	for name, x := range req.Assign {
+		sc.Set(name, x)
+	}
+	return sc
+}
+
+// answerJSON is one tagged answer on the wire.
+type answerJSON struct {
+	Tag   string  `json:"tag"`
+	Value float64 `json:"value"`
+}
+
+func toAnswerJSON(answers []hypo.Answer) []answerJSON {
+	out := make([]answerJSON, len(answers))
+	for i, a := range answers {
+		out[i] = answerJSON{Tag: a.Tag, Value: a.Value}
+	}
+	return out
+}
+
+// streamLine is one NDJSON response line of /whatif/stream.
+type streamLine struct {
+	Index   int          `json:"index"`
+	Answers []answerJSON `json:"answers,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req scenarioRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLineBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
+		return
+	}
+	answers, err := s.engine.WhatIf(req.scenario())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"answers": toAnswerJSON(answers)})
+}
+
+// handleStream is the streaming batch endpoint: scenarios are read off the
+// request body line by line and fed to Engine.Stream; each answer line is
+// flushed as soon as it is computed, so a long-lived client sees results
+// while it is still sending scenarios.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	in := make(chan *hypo.Scenario)
+	results := s.engine.Stream(ctx, in)
+
+	// Feed the engine from the body. The read error is mutex-guarded: on
+	// context cancellation the results channel can close while the reader
+	// goroutine is still finishing.
+	var readMu sync.Mutex
+	var readErr error
+	setReadErr := func(err error) {
+		readMu.Lock()
+		readErr = err
+		readMu.Unlock()
+	}
+	go func() {
+		defer close(in)
+		scan := bufio.NewScanner(r.Body)
+		scan.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+		for scan.Scan() {
+			line := bytes.TrimSpace(scan.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var req scenarioRequest
+			if err := json.Unmarshal(line, &req); err != nil {
+				setReadErr(fmt.Errorf("bad scenario line: %v", err))
+				return
+			}
+			select {
+			case in <- req.scenario():
+			case <-ctx.Done():
+				return
+			}
+		}
+		setReadErr(scan.Err())
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for res := range results {
+		line := streamLine{Index: res.Index}
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+		} else {
+			line.Answers = toAnswerJSON(res.Answers)
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	readMu.Lock()
+	err := readErr
+	readMu.Unlock()
+	if err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+	}
+}
+
+// compressRequest tunes a server-side compression run.
+type compressRequest struct {
+	Bound     int     `json:"bound"`
+	Strategy  string  `json:"strategy,omitempty"`
+	Fraction  float64 `json:"fraction,omitempty"`   // online
+	Seed      int64   `json:"seed,omitempty"`       // online
+	TimeoutMS int64   `json:"timeout_ms,omitempty"` // summarize
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	var req compressRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLineBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad compress request: %w", err))
+		return
+	}
+	strategy, err := session.ParseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := []session.CompressOption{session.WithStrategy(strategy)}
+	if req.Fraction > 0 {
+		opts = append(opts, session.WithSamplingFraction(req.Fraction))
+	}
+	if req.Seed != 0 {
+		opts = append(opts, session.WithSeed(req.Seed))
+	}
+	if req.TimeoutMS > 0 {
+		opts = append(opts, session.WithTimeout(time.Duration(req.TimeoutMS)*time.Millisecond))
+	}
+	comp, err := s.engine.Compress(req.Bound, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := map[string]any{
+		"strategy":      comp.Strategy,
+		"monomial_loss": comp.ML,
+		"variable_loss": comp.VL,
+		"adequate":      comp.Adequate,
+		"monomials":     comp.Abstracted.Size(),
+		"variables":     comp.Abstracted.Granularity(),
+		"elapsed_ms":    comp.Elapsed.Milliseconds(),
+	}
+	if comp.VVS != nil {
+		resp["vvs"] = comp.VVS.Labels()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}

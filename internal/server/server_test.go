@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+	"provabs/internal/session"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *session.Engine) {
+	t.Helper()
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("zip 10001", provenance.MustParse(vb,
+		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3"))
+	forest, err := abstree.NewForest(abstree.MustParseTree("Year(q1(m1,m3))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := session.Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(e).Handler())
+	t.Cleanup(ts.Close)
+	return ts, e
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/whatif", "application/json",
+		strings.NewReader(`{"assign":{"m1":0.5,"m3":0.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Answers []struct {
+			Tag   string  `json:"tag"`
+			Value float64 `json:"value"`
+		} `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Answers) != 1 || body.Answers[0].Tag != "zip 10001" {
+		t.Fatalf("answers = %+v, want one for zip 10001", body.Answers)
+	}
+	want := (220.8 + 240 + 127.4 + 114.45) * 0.5
+	if got := body.Answers[0].Value; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("value = %v, want %v", got, want)
+	}
+}
+
+func TestWhatIfEndpointErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for name, body := range map[string]string{
+		"malformed json":   `{"assign":`,
+		"unknown variable": `{"assign":{"nope":1}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/whatif", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	ts, e := newTestServer(t)
+	body := strings.Join([]string{
+		`{"assign":{"m1":1,"m3":1}}`,
+		``, // blank lines are skipped
+		`{"assign":{"bogus":1}}`,
+		`{"assign":{"m1":0,"m3":0}}`,
+	}, "\n")
+	resp, err := http.Post(ts.URL+"/whatif/stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var lines []streamLine
+	scan := bufio.NewScanner(resp.Body)
+	for scan.Scan() {
+		var l streamLine
+		if err := json.Unmarshal(scan.Bytes(), &l); err != nil {
+			t.Fatalf("bad response line %q: %v", scan.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %+v", len(lines), lines)
+	}
+	if lines[0].Error != "" || lines[2].Error != "" {
+		t.Errorf("valid scenarios errored: %+v", lines)
+	}
+	if lines[1].Error == "" {
+		t.Error("unknown-variable line did not carry an error")
+	}
+	if lines[0].Index != 0 || lines[1].Index != 1 || lines[2].Index != 2 {
+		t.Errorf("indices out of order: %+v", lines)
+	}
+	if got := lines[2].Answers[0].Value; got != 0 {
+		t.Errorf("zeroed scenario value = %v, want 0", got)
+	}
+	if st := e.Stats(); st.Compiles != 1 {
+		t.Errorf("stream recompiled: Compiles = %d, want 1", st.Compiles)
+	}
+}
+
+func TestStreamEndpointMalformedLine(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"assign":{"m1":1}}` + "\n" + `not json` + "\n" + `{"assign":{"m1":2}}`
+	resp, err := http.Post(ts.URL+"/whatif/stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []map[string]any
+	scan := bufio.NewScanner(resp.Body)
+	for scan.Scan() {
+		var l map[string]any
+		if err := json.Unmarshal(scan.Bytes(), &l); err != nil {
+			t.Fatalf("bad response line %q: %v", scan.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	// One good answer, then a terminal error line; the line after the
+	// malformed one is not evaluated.
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %v", len(lines), lines)
+	}
+	if _, ok := lines[0]["answers"]; !ok {
+		t.Errorf("first line carries no answers: %v", lines[0])
+	}
+	if msg, _ := lines[1]["error"].(string); !strings.Contains(msg, "bad scenario line") {
+		t.Errorf("terminal line = %v, want bad-scenario error", lines[1])
+	}
+}
+
+func TestCompressAndStatsEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/compress", "application/json",
+		strings.NewReader(`{"bound":2,"strategy":"greedy"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status = %d, want 200", resp.StatusCode)
+	}
+	var comp struct {
+		Strategy  string `json:"strategy"`
+		Monomials int    `json:"monomials"`
+		Adequate  bool   `json:"adequate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&comp); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Strategy != "greedy" || !comp.Adequate || comp.Monomials != 2 {
+		t.Errorf("compress = %+v, want adequate greedy at 2 monomials", comp)
+	}
+
+	// The compression is visible in /stats and scenario answers.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st session.Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Compressed || st.Strategy != "greedy" || st.Monomials != 2 {
+		t.Errorf("stats = %+v, want compressed greedy at 2 monomials", st)
+	}
+
+	wresp, err := http.Post(ts.URL+"/whatif", "application/json",
+		strings.NewReader(`{"assign":{"q1":0.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif on meta-variable: status = %d, want 200", wresp.StatusCode)
+	}
+
+	// Bad strategy and bad JSON are 400s.
+	for _, body := range []string{`{"bound":2,"strategy":"nope"}`, `{{`} {
+		bresp, err := http.Post(ts.URL+"/compress", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bresp.Body.Close()
+		if bresp.StatusCode != http.StatusBadRequest {
+			t.Errorf("compress %q: status = %d, want 400", body, bresp.StatusCode)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,239 @@
+// Package session implements the library's session-oriented Engine: one
+// long-lived object owning a provenance set, an abstraction forest, the
+// chosen compression, and a lazily built, mutation-invalidated compiled
+// form. The paper's workload is exactly this shape — compress once, then
+// answer a stream of hypothetical scenarios — and the Engine makes the
+// compile-once/evaluate-many lifecycle a property of the API instead of a
+// discipline every caller re-implements.
+//
+// Lifecycle:
+//
+//	e, _ := session.Open(set, forest)
+//	comp, _ := e.Compress(B, session.WithStrategy(session.StrategyGreedy))
+//	answers, _ := e.WhatIf(scenario)        // evaluates the abstracted set
+//	rows, _ := e.WhatIfBatch(scenarios)     // one cached compile, parallel eval
+//	for r := range e.Stream(ctx, in) { … }  // streaming ingestion
+//
+// All methods are safe for concurrent use: evaluation paths share a read
+// lock, Compress and Add take it exclusively. Adding provenance after
+// compression re-abstracts the new polynomial under the selected
+// substitution and invalidates the compiled cache, so the next evaluation
+// sees it without re-running selection.
+package session
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"provabs/internal/abstree"
+	"provabs/internal/core"
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+)
+
+// Engine is a hypothetical-reasoning session over one provenance set.
+type Engine struct {
+	mu      sync.RWMutex
+	set     *provenance.Set   // source provenance (grows via Add)
+	forest  *abstree.Forest   // may be nil: evaluation-only session
+	comp    *core.Compression // last Compress outcome; nil before Compress
+	active  *provenance.Set   // what scenarios evaluate: comp.Abstracted or set
+	workers int
+
+	lastCompiled atomic.Pointer[provenance.Compiled]
+	compiles     atomic.Int64
+	scenarios    atomic.Int64
+	batches      atomic.Int64
+	added        atomic.Int64
+}
+
+// Open starts a session over the set. forest may be nil for an
+// evaluation-only session (Compress then errors). A non-nil forest is
+// validated against the set up front, so scenario streams never trip over
+// an incompatible abstraction mid-session.
+func Open(set *provenance.Set, forest *abstree.Forest, opts ...Option) (*Engine, error) {
+	if set == nil {
+		return nil, fmt.Errorf("session: Open needs a provenance set")
+	}
+	if forest != nil {
+		if err := forest.CompatibleWith(set); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{set: set, forest: forest, active: set}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// Compress selects an abstraction for bound B with the configured strategy
+// (StrategyAuto by default: optimal for a single tree, greedy for a forest)
+// and switches the session's evaluation target to the abstracted set. The
+// compiled cache is invalidated; the next evaluation compiles the
+// abstracted provenance once.
+func (e *Engine) Compress(B int, opts ...CompressOption) (*core.Compression, error) {
+	cfg := defaultCompressConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.forest == nil {
+		return nil, fmt.Errorf("session: engine was opened without an abstraction forest; Compress needs one")
+	}
+	c, err := cfg.compressor(e.forest.Len())
+	if err != nil {
+		return nil, err
+	}
+	comp, err := c.Compress(e.set, e.forest, B)
+	if err != nil {
+		return nil, err
+	}
+	e.comp = comp
+	e.active = comp.Abstracted
+	return comp, nil
+}
+
+// Add appends a polynomial to the session's provenance. When a compression
+// is active the polynomial is abstracted under the selected substitution
+// and appended to the abstracted set too, so evaluation stays consistent
+// with selection without re-running it. Either way the compiled cache is
+// invalidated — the next evaluation recompiles exactly once.
+func (e *Engine) Add(tag string, p *provenance.Polynomial) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.set.Add(tag, p)
+	if e.comp != nil {
+		ap := p
+		if len(e.comp.Subst) > 0 {
+			ap = p.Substitute(e.comp.Subst)
+		}
+		e.active.Add(tag, ap)
+	}
+	e.added.Add(1)
+}
+
+// compiledLocked returns the active set's cached compiled form, counting
+// (re)compilations for Stats. Callers hold e.mu (read or write).
+func (e *Engine) compiledLocked() *provenance.Compiled {
+	c := e.active.Compiled()
+	if e.lastCompiled.Swap(c) != c {
+		e.compiles.Add(1)
+	}
+	return c
+}
+
+// Compiled exposes the session's cached compiled provenance — the
+// abstracted set after Compress, the source set before.
+func (e *Engine) Compiled() *provenance.Compiled {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.compiledLocked()
+}
+
+// answers is the shared evaluation path: cached compile, parallel eval,
+// scenario accounting. Batch accounting stays with WhatIfBatch so streamed
+// and single evaluations do not inflate the batch counter.
+func (e *Engine) answers(scs []*hypo.Scenario) ([][]hypo.Answer, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rows, err := hypo.AnswersBatch(e.compiledLocked(), scs, hypo.BatchOptions{Workers: e.workers})
+	if err != nil {
+		return nil, err
+	}
+	e.scenarios.Add(int64(len(scs)))
+	return rows, nil
+}
+
+// WhatIf answers a single hypothetical scenario against the session's
+// current provenance.
+func (e *Engine) WhatIf(sc *hypo.Scenario) ([]hypo.Answer, error) {
+	rows, err := e.answers([]*hypo.Scenario{sc})
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// WhatIfBatch answers many scenarios in parallel on the session's worker
+// pool, reusing the cached compiled provenance — no per-call compile.
+func (e *Engine) WhatIfBatch(scs []*hypo.Scenario) ([][]hypo.Answer, error) {
+	rows, err := e.answers(scs)
+	if err != nil {
+		return nil, err
+	}
+	e.batches.Add(1)
+	return rows, nil
+}
+
+// Source returns the session's original provenance set.
+func (e *Engine) Source() *provenance.Set {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.set
+}
+
+// Active returns the set scenarios currently evaluate against: the
+// abstracted set after Compress, the source set before.
+func (e *Engine) Active() *provenance.Set {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.active
+}
+
+// Forest returns the abstraction forest the session was opened with (nil
+// for evaluation-only sessions).
+func (e *Engine) Forest() *abstree.Forest { return e.forest }
+
+// Compression returns the outcome of the last Compress, or nil before any.
+func (e *Engine) Compression() *core.Compression {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.comp
+}
+
+// Stats is a point-in-time snapshot of a session, shaped for the /stats
+// endpoint of the what-if server.
+type Stats struct {
+	Polynomials     int    `json:"polynomials"`
+	Monomials       int    `json:"monomials"`
+	Variables       int    `json:"variables"`
+	SourceMonomials int    `json:"source_monomials"`
+	Compressed      bool   `json:"compressed"`
+	Strategy        string `json:"strategy,omitempty"`
+	MonomialLoss    int    `json:"monomial_loss"`
+	VariableLoss    int    `json:"variable_loss"`
+	Adequate        bool   `json:"adequate"`
+	Scenarios       int64  `json:"scenarios_evaluated"`
+	Batches         int64  `json:"batches"` // WhatIfBatch calls; singles/streams count in Scenarios only
+	Compiles        int64  `json:"compiles"`
+	Added           int64  `json:"added_polynomials"`
+}
+
+// Stats reports the session's current shape and counters. Compiles counts
+// actual compilations observed — a healthy steady state holds it constant
+// across evaluations.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := Stats{
+		Polynomials:     e.active.Len(),
+		Monomials:       e.active.Size(),
+		Variables:       e.active.Granularity(),
+		SourceMonomials: e.set.Size(),
+		Compressed:      e.comp != nil,
+		Scenarios:       e.scenarios.Load(),
+		Batches:         e.batches.Load(),
+		Compiles:        e.compiles.Load(),
+		Added:           e.added.Load(),
+	}
+	if e.comp != nil {
+		st.Strategy = e.comp.Strategy
+		st.MonomialLoss = e.comp.ML
+		st.VariableLoss = e.comp.VL
+		st.Adequate = e.comp.Adequate
+	}
+	return st
+}

@@ -1,0 +1,418 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/core"
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/sampling"
+	"provabs/internal/summarize"
+)
+
+// fixture returns the paper's running-example provenance (Example 2,
+// extended with a second polynomial) and the quarter tree.
+func fixture(t testing.TB) (*provenance.Set, *abstree.Forest) {
+	t.Helper()
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("zip 10001", provenance.MustParse(vb,
+		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 + "+
+			"75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3"))
+	set.Add("zip 10002", provenance.MustParse(vb,
+		"100·p1·m1 + 50·f1·m3 + 25·y1·m1"))
+	forest, err := abstree.NewForest(abstree.MustParseTree("Year(q1(m1,m3))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set, forest
+}
+
+func TestOpenValidates(t *testing.T) {
+	set, forest := fixture(t)
+	if _, err := Open(nil, forest); err == nil {
+		t.Fatal("Open(nil set) succeeded, want error")
+	}
+	if _, err := Open(set, nil); err != nil {
+		t.Fatalf("Open with nil forest: %v", err)
+	}
+	// A forest whose meta-variable collides with a provenance variable is
+	// incompatible and must be rejected at Open time.
+	bad, err := abstree.NewForest(abstree.MustParseTree("p1(m1,m3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(set, bad); err == nil {
+		t.Fatal("Open with incompatible forest succeeded, want error")
+	}
+}
+
+func TestCompressWithoutForestErrors(t *testing.T) {
+	set, _ := fixture(t)
+	e, err := Open(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compress(4); err == nil {
+		t.Fatal("Compress without forest succeeded, want error")
+	}
+}
+
+// TestCompressStrategyParity asserts, table-driven, that every strategy
+// routed through the Engine produces the same selection as the
+// pre-Engine entry point it unifies.
+func TestCompressStrategyParity(t *testing.T) {
+	// B=7 is the tightest feasible bound of the fixture: collapsing q1
+	// merges the 8 monomials of zip 10001 into 4 and rewrites (without
+	// merging) the 3 of zip 10002.
+	const B = 7
+	cases := []struct {
+		strategy Strategy
+		opts     []CompressOption
+		legacy   func(s *provenance.Set, f *abstree.Forest) (ml, vl int, adequate bool, size int)
+	}{
+		{
+			strategy: StrategyOptimal,
+			legacy: func(s *provenance.Set, f *abstree.Forest) (int, int, bool, int) {
+				res, err := core.OptimalVVS(s, f.Trees[0], B)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.ML, res.VL, res.Adequate, res.VVS.Apply(s).Size()
+			},
+		},
+		{
+			strategy: StrategyGreedy,
+			legacy: func(s *provenance.Set, f *abstree.Forest) (int, int, bool, int) {
+				res, err := core.GreedyVVS(s, f, B)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.ML, res.VL, res.Adequate, res.VVS.Apply(s).Size()
+			},
+		},
+		{
+			strategy: StrategyBruteForce,
+			legacy: func(s *provenance.Set, f *abstree.Forest) (int, int, bool, int) {
+				res, err := core.BruteForceVVS(s, f, B, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.ML, res.VL, res.Adequate, res.VVS.Apply(s).Size()
+			},
+		},
+		{
+			strategy: StrategySummarize,
+			opts:     []CompressOption{WithTimeout(time.Minute)},
+			legacy: func(s *provenance.Set, f *abstree.Forest) (int, int, bool, int) {
+				res, err := summarize.Summarize(s, f, B, summarize.Options{Timeout: time.Minute})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.ML, res.VL, res.Adequate, res.Abstracted.Size()
+			},
+		},
+		{
+			strategy: StrategyOnline,
+			opts:     []CompressOption{WithSamplingFraction(1), WithSeed(42)},
+			legacy: func(s *provenance.Set, f *abstree.Forest) (int, int, bool, int) {
+				res, err := sampling.OnlineCompress(s, f, B, sampling.Options{Fraction: 1, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s.Size() - res.Abstracted.Size(), s.Granularity() - res.Abstracted.Granularity(),
+					res.FullAdequate, res.Abstracted.Size()
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.strategy), func(t *testing.T) {
+			set, forest := fixture(t)
+			wantML, wantVL, wantAdequate, wantSize := tc.legacy(set, forest)
+
+			set2, forest2 := fixture(t)
+			e, err := Open(set2, forest2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp, err := e.Compress(B, append([]CompressOption{WithStrategy(tc.strategy)}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comp.Strategy != string(tc.strategy) {
+				t.Errorf("Strategy = %q, want %q", comp.Strategy, tc.strategy)
+			}
+			if comp.ML != wantML || comp.VL != wantVL || comp.Adequate != wantAdequate {
+				t.Errorf("ML/VL/Adequate = %d/%d/%v, legacy %d/%d/%v",
+					comp.ML, comp.VL, comp.Adequate, wantML, wantVL, wantAdequate)
+			}
+			if got := comp.Abstracted.Size(); got != wantSize {
+				t.Errorf("Abstracted.Size = %d, legacy %d", got, wantSize)
+			}
+			// The substitution must reproduce the abstracted set exactly.
+			resub := set2.Substitute(comp.Subst)
+			if resub.Size() != comp.Abstracted.Size() || resub.Granularity() != comp.Abstracted.Granularity() {
+				t.Errorf("Subst reapplied: %d/%d monomials/vars, want %d/%d",
+					resub.Size(), resub.Granularity(), comp.Abstracted.Size(), comp.Abstracted.Granularity())
+			}
+		})
+	}
+}
+
+func TestStrategyAuto(t *testing.T) {
+	set, forest := fixture(t)
+	e, err := Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := e.Compress(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Strategy != string(StrategyOptimal) {
+		t.Errorf("auto on single tree chose %q, want optimal", comp.Strategy)
+	}
+}
+
+func TestOptimalRejectsForest(t *testing.T) {
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("a", provenance.MustParse(vb, "1·x1·y1 + 2·x2·y2"))
+	forest, err := abstree.NewForest(
+		abstree.MustParseTree("X(x1,x2)"), abstree.MustParseTree("Y(y1,y2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compress(2, WithStrategy(StrategyOptimal)); err == nil {
+		t.Fatal("optimal on a two-tree forest succeeded, want error")
+	}
+}
+
+func TestWhatIfUnknownVariable(t *testing.T) {
+	set, _ := fixture(t)
+	e, err := Open(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.WhatIf(hypo.NewScenario().Set("no_such_var", 2)); err == nil {
+		t.Fatal("WhatIf with unknown variable succeeded, want error")
+	}
+	if _, err := e.WhatIfBatch([]*hypo.Scenario{hypo.NewScenario().Set("nope", 1)}); err == nil {
+		t.Fatal("WhatIfBatch with unknown variable succeeded, want error")
+	}
+}
+
+// TestWhatIfBatchReusesCompiled is the compile-once guarantee: any number
+// of evaluations triggers exactly one compilation, and a second one appears
+// only after compression changes the active set.
+func TestWhatIfBatchReusesCompiled(t *testing.T) {
+	set, forest := fixture(t)
+	e, err := Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := []*hypo.Scenario{
+		hypo.NewScenario().Set("m1", 0.5),
+		hypo.NewScenario().Set("m3", 1.5),
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.WhatIfBatch(scs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Compiles != 1 {
+		t.Fatalf("after 10 batches: Compiles = %d, want 1", st.Compiles)
+	}
+	if _, err := e.Compress(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.WhatIf(hypo.NewScenario().Set("q1", 0.8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Compiles != 2 {
+		t.Fatalf("after compress + 10 what-ifs: Compiles = %d, want 2", st.Compiles)
+	}
+	if st.Scenarios != 30 {
+		t.Errorf("Scenarios = %d, want 30", st.Scenarios)
+	}
+}
+
+// TestAddInvalidatesCompiled is the ROADMAP regression: a polynomial added
+// after evaluation (and after compression) must be visible to the next
+// WhatIfBatch without an explicit recompile.
+func TestAddInvalidatesCompiled(t *testing.T) {
+	set, forest := fixture(t)
+	vb := set.Vocab
+	e, err := Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := []*hypo.Scenario{hypo.NewScenario()}
+	rows, err := e.WhatIfBatch(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 2 {
+		t.Fatalf("baseline answers = %d, want 2", len(rows[0]))
+	}
+
+	e.Add("zip 10003", provenance.MustParse(vb, "10·p1·m1 + 20·p1·m3"))
+	rows, err = e.WhatIfBatch(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 3 {
+		t.Fatalf("after Add: answers = %d, want 3", len(rows[0]))
+	}
+	if got := rows[0][2]; got.Tag != "zip 10003" || got.Value != 30 {
+		t.Fatalf("new polynomial answered %q=%v, want \"zip 10003\"=30", got.Tag, got.Value)
+	}
+
+	// Same through a compression: the added polynomial is abstracted under
+	// the session's substitution and evaluated group-uniformly.
+	if _, err := e.Compress(8); err != nil {
+		t.Fatal(err)
+	}
+	e.Add("zip 10004", provenance.MustParse(vb, "1·p1·m1 + 1·p1·m3"))
+	rows, err = e.WhatIfBatch([]*hypo.Scenario{hypo.NewScenario().Set("q1", 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows[0]) != 4 {
+		t.Fatalf("after compressed Add: answers = %d, want 4", len(rows[0]))
+	}
+	// 1·p1·q1 + 1·p1·q1 under q1=0.5 (or the uncollapsed equivalent) = 1.
+	if got := rows[0][3].Value; got != 1 {
+		t.Fatalf("abstracted new polynomial = %v, want 1", got)
+	}
+	// Source and active stay in lockstep.
+	if e.Source().Len() != 4 || e.Active().Len() != 4 {
+		t.Fatalf("source/active lengths %d/%d, want 4/4", e.Source().Len(), e.Active().Len())
+	}
+}
+
+func TestStream(t *testing.T) {
+	set, forest := fixture(t)
+	e, err := Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compress(4); err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *hypo.Scenario)
+	out := e.Stream(context.Background(), in)
+	go func() {
+		defer close(in)
+		in <- hypo.NewScenario().Set("q1", 0.8)
+		in <- hypo.NewScenario().Set("bogus", 1) // semantic error: reported in-band
+		in <- hypo.NewScenario().Set("q1", 1.2)
+	}()
+	var got []StreamResult
+	for r := range out {
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("stream yielded %d results, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+	}
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Errorf("valid scenarios errored: %v, %v", got[0].Err, got[2].Err)
+	}
+	if got[1].Err == nil {
+		t.Error("unknown-variable scenario did not report an error")
+	}
+	if st := e.Stats(); st.Compiles != 1 {
+		t.Errorf("stream recompiled: Compiles = %d, want 1", st.Compiles)
+	}
+}
+
+func TestStreamCancel(t *testing.T) {
+	set, _ := fixture(t)
+	e, err := Open(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *hypo.Scenario) // never written: the stream must still exit
+	out := e.Stream(ctx, in)
+	cancel()
+	select {
+	case _, ok := <-out:
+		if ok {
+			t.Fatal("cancelled stream produced a result")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled stream did not close")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]Strategy{
+		"":          StrategyAuto,
+		"auto":      StrategyAuto,
+		"opt":       StrategyOptimal,
+		"optimal":   StrategyOptimal,
+		"greedy":    StrategyGreedy,
+		"brute":     StrategyBruteForce,
+		"ainy":      StrategySummarize,
+		"prox":      StrategySummarize,
+		"summarize": StrategySummarize,
+		"online":    StrategyOnline,
+		"sample":    StrategyOnline,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %q, %v; want %q", name, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy(bogus) succeeded, want error")
+	}
+}
+
+// BenchmarkEngineWhatIfBatch measures the steady-state session: many
+// batches against one cached compilation. A per-call compile would dominate
+// this benchmark; the test above pins Compiles to 1.
+func BenchmarkEngineWhatIfBatch(b *testing.B) {
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	for i := 0; i < 50; i++ {
+		set.Add(fmt.Sprintf("g%d", i), provenance.MustParse(vb,
+			fmt.Sprintf("3·x%d·m1 + 5·x%d·m2 + 7·x%d·m3", i, i, i)))
+	}
+	e, err := Open(set, nil, WithWorkers(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	scs := make([]*hypo.Scenario, 32)
+	for i := range scs {
+		scs[i] = hypo.NewScenario().Set("m1", 0.5+float64(i)/64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.WhatIfBatch(scs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := e.Stats(); st.Compiles != 1 {
+		b.Fatalf("benchmark recompiled: Compiles = %d, want 1", st.Compiles)
+	}
+}

@@ -1,0 +1,51 @@
+package session
+
+import (
+	"context"
+
+	"provabs/internal/hypo"
+)
+
+// StreamResult is one streamed what-if outcome. Index is the scenario's
+// arrival position, so consumers can correlate answers with requests even
+// if they fan results out. A scenario that fails to resolve (e.g. assigns
+// an unknown variable) yields Err without terminating the stream.
+type StreamResult struct {
+	Index   int
+	Answers []hypo.Answer
+	Err     error
+}
+
+// Stream evaluates scenarios as they arrive on in, emitting one
+// StreamResult per scenario in arrival order. The returned channel closes
+// when in closes or ctx is cancelled. Each scenario reuses the session's
+// cached compiled provenance — the stream never recompiles unless the
+// session is mutated between scenarios — and per-scenario errors are
+// reported in-band so one malformed scenario does not tear down a
+// long-lived connection.
+func (e *Engine) Stream(ctx context.Context, in <-chan *hypo.Scenario) <-chan StreamResult {
+	out := make(chan StreamResult)
+	go func() {
+		defer close(out)
+		idx := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case sc, ok := <-in:
+				if !ok {
+					return
+				}
+				answers, err := e.WhatIf(sc)
+				r := StreamResult{Index: idx, Answers: answers, Err: err}
+				idx++
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}

@@ -43,6 +43,9 @@ type Result struct {
 	Rounds      int // merges applied
 	Elapsed     time.Duration
 	Abstracted  *provenance.Set
+	// Subst maps each merged leaf variable to its group's summary variable —
+	// the substitution whose application produced Abstracted.
+	Subst map[provenance.Var]provenance.Var
 }
 
 // Summarize runs the pairwise-merge summarization until |P↓|_M <= B.
@@ -161,9 +164,15 @@ func Summarize(s *provenance.Set, forest *abstree.Forest, B int, opts Options) (
 	res.Adequate = cur.Size() <= B
 	res.Elapsed = time.Since(start)
 	res.Abstracted = cur
+	res.Subst = make(map[provenance.Var]provenance.Var)
 	for _, g := range groups {
 		if len(g.members) >= 2 {
 			res.Groups = append(res.Groups, g.members)
+			for _, name := range g.members {
+				if v, ok := s.Vocab.Lookup(name); ok {
+					res.Subst[v] = g.rep
+				}
+			}
 		}
 	}
 	sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i][0] < res.Groups[j][0] })

@@ -19,21 +19,44 @@
 //     provenance, group-uniform scenarios are exact and the rest are
 //     approximated.
 //
-// A minimal round trip:
+// # The session Engine
+//
+// The paper's workload is a long-lived session: compress once, then answer
+// a stream of hypothetical scenarios. The Engine owns that lifecycle — the
+// provenance, the abstraction forest, the chosen compression, and a lazily
+// built compiled form that is cached across evaluations and invalidated on
+// mutation. A minimal round trip:
 //
 //	vb := provabs.NewVocab()
 //	set := provabs.NewSet(vb)
 //	set.Add("zip 10001", provabs.MustParse(vb, "220.8·p1·m1 + 240·p1·m3"))
-//	tree := provabs.MustParseTree("Year(q1(m1,m3))")
-//	res, _ := provabs.Optimal(set, tree, 1)
-//	compressed := res.VVS.Apply(set)
-//	answers, _ := provabs.NewScenario().Set("q1", 0.8).Eval(compressed)
+//	forest, _ := provabs.NewForest(provabs.MustParseTree("Year(q1(m1,m3))"))
+//	eng, _ := provabs.Open(set, forest)
+//	comp, _ := eng.Compress(1) // StrategyAuto: optimal for one tree
+//	answers, _ := eng.WhatIf(provabs.NewScenario().Set("q1", 0.8))
+//	_ = comp.Abstracted // the compressed provenance, if needed directly
+//
+// Engine.Compress unifies the five selection strategies — Optimal
+// (Algorithm 1), Greedy (Algorithm 2), BruteForce, Summarize (the Ainy et
+// al. competitor) and Online (§6 sampling) — behind one call:
+//
+//	eng.Compress(B, provabs.WithStrategy(provabs.StrategyOnline),
+//	    provabs.WithSamplingFraction(0.25), provabs.WithSeed(7))
+//
+// Engine.WhatIfBatch evaluates many scenarios in parallel against one
+// cached compilation, and Engine.Stream answers scenarios as they arrive
+// on a channel. The same surface is served over HTTP by `provabs serve`
+// (see internal/server): POST /whatif, a streaming NDJSON /whatif/stream,
+// and GET /stats.
+//
+// The free functions Optimal, Greedy, BruteForce, Summarize and
+// OnlineCompress predate the Engine and remain as thin deprecated wrappers
+// over it.
 //
 // # Compiled batch evaluation
 //
-// Scenario evaluation is the interactive hot path: the paper's workload is
-// one compression followed by a stream of hypothetical scenarios. For that
-// regime, compile the (abstracted) set once with Compile — flattening every
+// Under the Engine sits the compiled evaluation layer, usable directly:
+// compile the (abstracted) set once with Compile — flattening every
 // monomial into dense coefficient/variable arrays — and evaluate batches of
 // scenarios in parallel:
 //
@@ -55,6 +78,7 @@ import (
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
 	"provabs/internal/sampling"
+	"provabs/internal/session"
 	"provabs/internal/summarize"
 )
 
@@ -93,7 +117,75 @@ type (
 	// Result is a VVS-selection outcome: the chosen abstraction, its
 	// monomial and variable losses, and whether it meets the bound.
 	Result = core.Result
+	// Compression is the uniform outcome of any compression strategy run
+	// through the Engine: abstracted set, substitution, losses, adequacy.
+	Compression = core.Compression
+	// Compressor is the strategy interface all five compression algorithms
+	// implement.
+	Compressor = core.Compressor
 )
+
+// Session engine (internal/session).
+type (
+	// Engine is a long-lived hypothetical-reasoning session: it owns the
+	// provenance, the abstraction, and a mutation-invalidated compiled
+	// cache, and answers scenario streams without re-compiling.
+	Engine = session.Engine
+	// EngineStats is a point-in-time snapshot of an Engine.
+	EngineStats = session.Stats
+	// StreamResult is one streamed what-if outcome of Engine.Stream.
+	StreamResult = session.StreamResult
+	// Strategy names a compression algorithm for WithStrategy.
+	Strategy = session.Strategy
+	// Option configures an Engine at Open time.
+	Option = session.Option
+	// CompressOption tunes a single Engine.Compress call.
+	CompressOption = session.CompressOption
+)
+
+// Compression strategies for Engine.Compress.
+const (
+	// StrategyAuto picks Optimal for a single tree, Greedy otherwise.
+	StrategyAuto = session.StrategyAuto
+	// StrategyOptimal is Algorithm 1 (exact, PTIME, single tree).
+	StrategyOptimal = session.StrategyOptimal
+	// StrategyGreedy is Algorithm 2 (heuristic, any forest).
+	StrategyGreedy = session.StrategyGreedy
+	// StrategyBruteForce is the exhaustive reference solver.
+	StrategyBruteForce = session.StrategyBruteForce
+	// StrategySummarize is the Ainy et al. (CIKM'15) competitor.
+	StrategySummarize = session.StrategySummarize
+	// StrategyOnline is the §6 sample-then-apply pipeline.
+	StrategyOnline = session.StrategyOnline
+)
+
+// Open starts a session Engine over the set. forest may be nil for an
+// evaluation-only session; otherwise it is validated against the set.
+func Open(set *Set, forest *Forest, opts ...Option) (*Engine, error) {
+	return session.Open(set, forest, opts...)
+}
+
+// ParseStrategy resolves a strategy name ("optimal", "greedy", "brute",
+// "summarize", "online" and their aliases).
+func ParseStrategy(name string) (Strategy, error) { return session.ParseStrategy(name) }
+
+// WithWorkers sets an Engine's worker-pool size (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return session.WithWorkers(n) }
+
+// WithStrategy selects the compression algorithm for Engine.Compress.
+func WithStrategy(s Strategy) CompressOption { return session.WithStrategy(s) }
+
+// WithSamplingFraction sets the online strategy's sample fraction.
+func WithSamplingFraction(f float64) CompressOption { return session.WithSamplingFraction(f) }
+
+// WithSeed sets the online strategy's sampling seed.
+func WithSeed(seed int64) CompressOption { return session.WithSeed(seed) }
+
+// WithTimeout bounds the summarize strategy's runtime (0 = unlimited).
+func WithTimeout(d time.Duration) CompressOption { return session.WithTimeout(d) }
+
+// WithBruteLimit caps the brute-force strategy's VVS enumeration.
+func WithBruteLimit(n int) CompressOption { return session.WithBruteLimit(n) }
 
 // Hypothetical reasoning (internal/hypo).
 type (
@@ -134,34 +226,88 @@ func FromLabels(f *Forest, labels ...string) (*VVS, error) {
 	return abstree.FromLabels(f, labels...)
 }
 
+// engineCompress runs one compression through a throwaway Engine — the
+// shared body of the deprecated free functions.
+func engineCompress(s *Set, forest *Forest, B int, opts ...CompressOption) (*Compression, error) {
+	e, err := Open(s, forest)
+	if err != nil {
+		return nil, err
+	}
+	return e.Compress(B, opts...)
+}
+
+// resultOf converts a Compression back to the legacy Result shape.
+func resultOf(c *Compression) *Result {
+	return &Result{VVS: c.VVS, ML: c.ML, VL: c.VL, Adequate: c.Adequate}
+}
+
 // Optimal selects an optimal abstraction for a single tree and bound B on
 // the number of monomials — the paper's Algorithm 1 (exact, PTIME).
+//
+// Deprecated: use Open and Engine.Compress(B, WithStrategy(StrategyOptimal)),
+// which additionally caches the compiled form for scenario evaluation.
 func Optimal(s *Set, tree *Tree, B int) (*Result, error) {
-	return core.OptimalVVS(s, tree, B)
+	forest, err := NewForest(tree)
+	if err != nil {
+		return nil, err
+	}
+	c, err := engineCompress(s, forest, B, WithStrategy(StrategyOptimal))
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(c), nil
 }
 
 // Greedy selects an abstraction for an arbitrary forest — the paper's
 // Algorithm 2 (heuristic; the multi-tree problem is NP-hard).
+//
+// Deprecated: use Open and Engine.Compress(B, WithStrategy(StrategyGreedy)).
 func Greedy(s *Set, forest *Forest, B int) (*Result, error) {
-	return core.GreedyVVS(s, forest, B)
+	c, err := engineCompress(s, forest, B, WithStrategy(StrategyGreedy))
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(c), nil
 }
 
 // BruteForce exhaustively selects an optimal abstraction (reference
 // implementation; fails beyond limit enumerated VVS, 0 = default).
+//
+// Deprecated: use Open and Engine.Compress(B,
+// WithStrategy(StrategyBruteForce), WithBruteLimit(limit)).
 func BruteForce(s *Set, forest *Forest, B, limit int) (*Result, error) {
-	return core.BruteForceVVS(s, forest, B, limit)
+	c, err := engineCompress(s, forest, B, WithStrategy(StrategyBruteForce), WithBruteLimit(limit))
+	if err != nil {
+		return nil, err
+	}
+	return resultOf(c), nil
 }
 
 // Summarize runs the pairwise-merge summarization of Ainy et al. (CIKM'15),
 // the paper's experimental competitor, with an optional timeout.
+//
+// Deprecated: use Open and Engine.Compress(B,
+// WithStrategy(StrategySummarize), WithTimeout(timeout)).
 func Summarize(s *Set, forest *Forest, B int, timeout time.Duration) (*summarize.Result, error) {
-	return summarize.Summarize(s, forest, B, summarize.Options{Timeout: timeout})
+	c, err := engineCompress(s, forest, B, WithStrategy(StrategySummarize), WithTimeout(timeout))
+	if err != nil {
+		return nil, err
+	}
+	return c.Extra.(*summarize.Result), nil
 }
 
 // OnlineCompress runs the §6 online pipeline: choose a VVS on a sampled
 // fraction of the polynomials and abstract the full set with it.
+//
+// Deprecated: use Open and Engine.Compress(B, WithStrategy(StrategyOnline),
+// WithSamplingFraction(fraction), WithSeed(seed)).
 func OnlineCompress(s *Set, forest *Forest, B int, fraction float64, seed int64) (*sampling.Result, error) {
-	return sampling.OnlineCompress(s, forest, B, sampling.Options{Fraction: fraction, Seed: seed})
+	c, err := engineCompress(s, forest, B, WithStrategy(StrategyOnline),
+		WithSamplingFraction(fraction), WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	return c.Extra.(*sampling.Result), nil
 }
 
 // MonomialLoss returns ML(S) = |P|_M − |P↓S|_M.
