@@ -1,15 +1,18 @@
 # Standard checks for the provabs repo.
 #
-#   make check   — vet + build + fast race-enabled tests (the CI gate)
-#   make test    — the full (slow) test suite, as tier-1 verify runs it
-#   make bench   — go-test microbenchmarks plus the provbench paper tables,
-#                  so the perf trajectory reproduces with one command
-#   make serve   — generate demo provenance (if needed) and start the
-#                  streaming what-if server on :8080
+#   make check       — vet + build + fast race-enabled tests (the CI gate)
+#   make test        — the full (slow) test suite, as tier-1 verify runs it
+#   make bench       — go-test microbenchmarks plus the provbench paper
+#                      tables and the delta-kernel report (BENCH_3.json),
+#                      so the perf trajectory reproduces with one command
+#   make bench-smoke — every benchmark once (-benchtime=1x), the CI guard
+#                      against benchmarks silently rotting
+#   make serve       — generate demo provenance (if needed) and start the
+#                      streaming what-if server on :8080
 
 GO ?= go
 
-.PHONY: check vet build test-short test bench serve
+.PHONY: check vet build test-short test bench bench-smoke serve
 
 check: vet build test-short
 
@@ -28,6 +31,10 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/provbench
+	$(GO) run ./cmd/provbench -experiment delta -json BENCH_3.json
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 demo.pvab:
 	$(GO) run ./cmd/provabs generate -dataset telco -customers 1000 -zips 100 -out $@

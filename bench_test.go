@@ -250,6 +250,76 @@ func BenchmarkCompiledEval(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaEval compares full compiled evaluation against the
+// delta-aware path on sparse scenarios (1 and 4 touched variables) for the
+// telco and TPC-H workloads. The acceptance target is ≥5× on the
+// one-variable what-if; cmd/provbench -experiment delta records the same
+// quantities in BENCH_3.json at a sparser scale.
+func BenchmarkDeltaEval(b *testing.B) {
+	for _, name := range []string{"telco", "Q5"} {
+		w := load(b, name)
+		compiled := w.Set.Compile()
+		compiled.Baseline() // steady state: baseline cached before timing
+		var touched []provenance.Var
+		for i := 0; len(touched) < 4 && i < 128; i++ {
+			if v, ok := w.Set.Vocab.Lookup(w.LeafPrefix + itoa(i)); ok {
+				touched = append(touched, v)
+			}
+		}
+		if len(touched) < 4 {
+			b.Fatalf("%s: fewer than 4 leaf variables", name)
+		}
+		valFor := func(k int) []float64 {
+			val := compiled.NewValuation()
+			for _, v := range touched[:k] {
+				val[v] = 0.8
+			}
+			return val
+		}
+		b.Run(name+"/full", func(b *testing.B) {
+			val := valFor(1)
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = compiled.Eval(val, out)
+			}
+		})
+		delta := compiled.NewDeltaEval()
+		for _, k := range []int{1, 4} {
+			b.Run(name+"/delta-touch"+itoa(k), func(b *testing.B) {
+				val := valFor(k)
+				var out []float64
+				for i := 0; i < b.N; i++ {
+					out = delta.Eval(touched[:k], val, out)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardedScenario measures single-scenario latency as the
+// polynomial range is split over 1, 2 and 4 goroutines — the
+// intra-scenario sharding path that keeps a huge lone scenario off a single
+// core. Scaling is near-linear on real cores and flat when GOMAXPROCS=1.
+func BenchmarkShardedScenario(b *testing.B) {
+	for _, name := range []string{"telco", "Q5"} {
+		w := load(b, name)
+		compiled := w.Set.Compile()
+		val := map[provenance.Var]float64{}
+		for i, v := range w.Set.Vars() {
+			val[v] = 0.5 + float64(i%7)/8
+		}
+		dense := compiled.Valuation(val)
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(name+"/workers"+itoa(workers), func(b *testing.B) {
+				var out []float64
+				for i := 0; i < b.N; i++ {
+					out = compiled.EvalSharded(dense, out, workers)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCompile isolates the one-time compilation cost that the batch
 // path amortizes.
 func BenchmarkCompile(b *testing.B) {

@@ -281,6 +281,9 @@ func cmdWhatif(args []string) error {
 	sets := fs.String("sets", "", "';'-separated explicit scenarios, each comma-separated var=value")
 	seed := fs.Int64("seed", 1, "seed for -scenarios generation")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	deltaCutoff := fs.Float64("delta-cutoff", 0,
+		"delta-vs-full density cutoff (0 = default, negative = always evaluate in full)")
+	sparse := fs.Float64("sparse", 0.5, "fraction of variables each generated scenario assigns")
 	top := fs.Int("top", 5, "print at most this many answers of the first scenario (0 = none)")
 	fs.Parse(args)
 	set, err := readSet(*in)
@@ -306,7 +309,7 @@ func cmdWhatif(args []string) error {
 		for i := 0; i < *scenarios; i++ {
 			sc := hypo.NewScenario()
 			for _, v := range vars {
-				if rng.Intn(2) == 0 {
+				if rng.Float64() < *sparse {
 					sc.Set(set.Vocab.Name(v), 0.5+rng.Float64())
 				}
 			}
@@ -316,7 +319,8 @@ func cmdWhatif(args []string) error {
 	if len(scs) == 0 {
 		return fmt.Errorf("whatif: provide -scenarios N and/or -sets")
 	}
-	eng, err := session.Open(set, nil, session.WithWorkers(*workers))
+	eng, err := session.Open(set, nil,
+		session.WithWorkers(*workers), session.WithDeltaCutoff(*deltaCutoff))
 	if err != nil {
 		return err
 	}
@@ -334,6 +338,9 @@ func cmdWhatif(args []string) error {
 		compiled.Len(), compiled.Size(), compileTime)
 	fmt.Printf("evaluated %d scenarios in %v (%.0f scenarios/s, %.0f answers/s)\n",
 		len(rows), elapsed, perSec, perSec*float64(compiled.Len()))
+	st := eng.Stats()
+	fmt.Printf("paths: %d delta, %d full, %d sharded\n",
+		st.DeltaEvals, st.FullEvals, st.ShardedEvals)
 	if *top > 0 && len(rows) > 0 {
 		first := append([]hypo.Answer(nil), rows[0]...)
 		sort.Slice(first, func(i, j int) bool { return first[i].Value > first[j].Value })

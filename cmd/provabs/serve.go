@@ -30,6 +30,12 @@ func cmdServe(args []string) error {
 	fraction := fs.Float64("fraction", 0.3, "online: sample fraction")
 	timeout := fs.Duration("timeout", time.Minute, "ainy: cutoff")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	deltaCutoff := fs.Float64("delta-cutoff", 0,
+		"delta-vs-full density cutoff (0 = default, negative = always evaluate in full)")
+	streamBuffer := fs.Int("stream-buffer", 0,
+		"output buffer of /whatif/stream so slow clients don't stall evaluation (0 = batch size)")
+	streamBatch := fs.Int("stream-batch", 0,
+		"max scenarios drained into one micro-batched stream evaluation (0 = default 64)")
 	fs.Parse(args)
 	set, err := readSet(*in)
 	if err != nil {
@@ -42,7 +48,11 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
-	eng, err := session.Open(set, forest, session.WithWorkers(*workers))
+	eng, err := session.Open(set, forest,
+		session.WithWorkers(*workers),
+		session.WithDeltaCutoff(*deltaCutoff),
+		session.WithStreamBuffer(*streamBuffer),
+		session.WithStreamBatch(*streamBatch))
 	if err != nil {
 		return err
 	}

@@ -192,6 +192,49 @@ func TestGreedyQualityTable(t *testing.T) {
 	}
 }
 
+// TestRunDeltaBench exercises the BENCH_3 harness end to end at tiny scale:
+// the report must carry every benchmark, a positive delta speedup, and
+// valid JSON.
+func TestRunDeltaBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks; skipped with -short")
+	}
+	rep, err := RunDeltaBench(tinyScale(), "telco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d", rep.GOMAXPROCS)
+	}
+	wr, ok := rep.Workloads["telco"]
+	if !ok {
+		t.Fatal("no telco workload in report")
+	}
+	for _, name := range []string{
+		"full-eval", "delta-eval-touch1", "delta-eval-touch4",
+		"sharded-eval-workers1", "sharded-eval-workers2", "sharded-eval-workers4",
+		"batch100-sparse", "batch100-sparse-nodelta",
+	} {
+		m, ok := wr.Benchmarks[name]
+		if !ok || m.NsPerOp <= 0 {
+			t.Errorf("benchmark %s = %+v", name, m)
+		}
+	}
+	if wr.DeltaSpeedup <= 1 {
+		t.Errorf("delta speedup = %v, want > 1 even at tiny scale", wr.DeltaSpeedup)
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"delta_speedup"`) {
+		t.Errorf("JSON missing delta_speedup: %s", out)
+	}
+	if !strings.Contains(rep.Table().String(), "delta-eval-touch1") {
+		t.Error("table rendering missing delta benchmark")
+	}
+}
+
 func TestTreeCatalogMatchesTable2(t *testing.T) {
 	tab := TreeCatalog()
 	if len(tab.Rows) != len(treegen.Table2) {

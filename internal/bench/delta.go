@@ -1,0 +1,237 @@
+package bench
+
+// Delta-evaluation benchmark harness: full-vs-delta scenario evaluation and
+// 1-vs-N-core single-scenario latency, measured with testing.Benchmark and
+// serialized as machine-readable JSON (BENCH_3.json via `make bench`), so
+// the perf trajectory of the delta kernel reproduces with one command.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+)
+
+// Metric is one benchmark measurement, the benchmark-name → numbers payload
+// of BENCH_3.json.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func metricOf(r testing.BenchmarkResult) Metric {
+	return Metric{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// DeltaWorkloadReport is the delta/sharding measurement of one workload.
+type DeltaWorkloadReport struct {
+	Polynomials int `json:"polynomials"`
+	Monomials   int `json:"monomials"`
+	Variables   int `json:"variables"`
+
+	// Benchmarks maps benchmark name → metrics. Names: full-eval,
+	// delta-eval-touch1, delta-eval-touch4, sharded-eval-workers{1,2,4},
+	// batch100-sparse, batch100-sparse-nodelta.
+	Benchmarks map[string]Metric `json:"benchmarks"`
+
+	// DeltaSpeedup is full-eval time over delta-eval-touch1 time: how much
+	// a one-variable what-if gains from recomputing only affected
+	// polynomials.
+	DeltaSpeedup float64 `json:"delta_speedup"`
+
+	// ShardSpeedup maps "workers2"/"workers4" → single-scenario speedup over
+	// the 1-worker run. Near-linear on real cores; ~1 when GOMAXPROCS is 1.
+	ShardSpeedup map[string]float64 `json:"shard_speedup"`
+}
+
+// DeltaReport is the full BENCH_3 payload.
+type DeltaReport struct {
+	GOMAXPROCS int                             `json:"gomaxprocs"`
+	Workloads  map[string]*DeltaWorkloadReport `json:"workloads"`
+}
+
+// DeltaScale sizes the delta benchmark: sparser than DefaultScale (more
+// zips, more customers) so that a single plan variable's affected set is a
+// small fraction of the polynomials — the shape the paper's interactive
+// what-ifs have at production scale.
+func DeltaScale() Scale {
+	return Scale{TPCHScaleFactor: 0.002, TelcoCustomers: 2000, TelcoZips: 200, Seed: 1}
+}
+
+// RunDeltaBench measures full-vs-delta and sharded single-scenario latency
+// on the given workloads (default: telco and Q5) at the given scale.
+func RunDeltaBench(sc Scale, names ...string) (*DeltaReport, error) {
+	if len(names) == 0 {
+		names = []string{"telco", "Q5"}
+	}
+	report := &DeltaReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workloads:  map[string]*DeltaWorkloadReport{},
+	}
+	for _, name := range names {
+		w, err := LoadWorkload(name, sc)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := runDeltaWorkload(w)
+		if err != nil {
+			return nil, err
+		}
+		report.Workloads[name] = wr
+	}
+	return report, nil
+}
+
+// sparseTouched resolves the workload's first k leaf variables — the paper's
+// "what if this plan's price changed" shape.
+func sparseTouched(w *Workload, k int) ([]provenance.Var, []*hypo.Scenario, error) {
+	touched := make([]provenance.Var, 0, k)
+	scenarios := make([]*hypo.Scenario, 0, k)
+	for i := 0; len(touched) < k && i < w.LeafCount; i++ {
+		name := fmt.Sprintf("%s%d", w.LeafPrefix, i)
+		v, ok := w.Set.Vocab.Lookup(name)
+		if !ok {
+			continue
+		}
+		touched = append(touched, v)
+		scenarios = append(scenarios, hypo.NewScenario().Set(name, 0.8))
+	}
+	if len(touched) < k {
+		return nil, nil, fmt.Errorf("bench: workload %s has only %d of %d leaf variables", w.Name, len(touched), k)
+	}
+	return touched, scenarios, nil
+}
+
+func runDeltaWorkload(w *Workload) (*DeltaWorkloadReport, error) {
+	c := w.Set.Compile()
+	c.Baseline() // pre-warm so the delta benchmarks measure steady state
+	wr := &DeltaWorkloadReport{
+		Polynomials:  c.Len(),
+		Monomials:    c.Size(),
+		Variables:    w.Set.Granularity(),
+		Benchmarks:   map[string]Metric{},
+		ShardSpeedup: map[string]float64{},
+	}
+	touched4, scenarios, err := sparseTouched(w, 4)
+	if err != nil {
+		return nil, err
+	}
+	// valFor builds the dense valuation matching a touched prefix, keeping
+	// the EvalDelta contract (identity everywhere outside touched).
+	valFor := func(touched []provenance.Var) []float64 {
+		val := c.NewValuation()
+		for _, v := range touched {
+			val[v] = 0.8
+		}
+		return val
+	}
+	val := valFor(touched4[:1])
+
+	full := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var out []float64
+		for i := 0; i < b.N; i++ {
+			out = c.Eval(val, out)
+		}
+	})
+	wr.Benchmarks["full-eval"] = metricOf(full)
+
+	d := c.NewDeltaEval()
+	for name, k := range map[string]int{"delta-eval-touch1": 1, "delta-eval-touch4": 4} {
+		touched := touched4[:k]
+		kval := valFor(touched)
+		wr.Benchmarks[name] = metricOf(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = d.Eval(touched, kval, out)
+			}
+		}))
+	}
+	if t1 := wr.Benchmarks["delta-eval-touch1"].NsPerOp; t1 > 0 {
+		wr.DeltaSpeedup = wr.Benchmarks["full-eval"].NsPerOp / t1
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		wr.Benchmarks[fmt.Sprintf("sharded-eval-workers%d", workers)] = metricOf(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = c.EvalSharded(val, out, workers)
+			}
+		}))
+	}
+	if t1 := wr.Benchmarks["sharded-eval-workers1"].NsPerOp; t1 > 0 {
+		for _, workers := range []int{2, 4} {
+			key := fmt.Sprintf("workers%d", workers)
+			wr.ShardSpeedup[key] = t1 / wr.Benchmarks[fmt.Sprintf("sharded-eval-workers%d", workers)].NsPerOp
+		}
+	}
+
+	// The production batch path: 100 one-variable scenarios through
+	// hypo.EvalBatch, with and without the delta routing.
+	batch := make([]*hypo.Scenario, 100)
+	for i := range batch {
+		batch[i] = scenarios[i%len(scenarios)]
+	}
+	for name, cutoff := range map[string]float64{"batch100-sparse": 0, "batch100-sparse-nodelta": -1} {
+		opts := hypo.BatchOptions{Workers: 1, DeltaCutoff: cutoff}
+		wr.Benchmarks[name] = metricOf(testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hypo.EvalBatch(c, batch, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	return wr, nil
+}
+
+// JSON serializes the report, indented for diff-friendly commits.
+func (r *DeltaReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Table renders the report for provbench's stdout.
+func (r *DeltaReport) Table() *Table {
+	tab := &Table{
+		Title:   fmt.Sprintf("Delta evaluation kernel (GOMAXPROCS=%d)", r.GOMAXPROCS),
+		Headers: []string{"workload", "benchmark", "ns/op", "allocs/op"},
+	}
+	names := make([]string, 0, len(r.Workloads))
+	for name := range r.Workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		wr := r.Workloads[name]
+		for _, bname := range []string{
+			"full-eval", "delta-eval-touch1", "delta-eval-touch4",
+			"sharded-eval-workers1", "sharded-eval-workers2", "sharded-eval-workers4",
+			"batch100-sparse", "batch100-sparse-nodelta",
+		} {
+			m, ok := wr.Benchmarks[bname]
+			if !ok {
+				continue
+			}
+			tab.AddRow(name, bname, m.NsPerOp, m.AllocsPerOp)
+		}
+		tab.AddRow(name, "delta-speedup", wr.DeltaSpeedup, "-")
+	}
+	return tab
+}

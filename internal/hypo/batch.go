@@ -5,22 +5,61 @@ package hypo
 // This is the interactive many-scenario workload the paper (and its COBRA
 // companion) optimizes for — compress once, then answer a stream of
 // what-ifs.
+//
+// Two routing decisions happen per batch. Per scenario, the evaluator picks
+// between the delta path (recompute only the polynomials the scenario's
+// assignments can affect, copy cached baseline values for the rest — see
+// provenance.EvalDelta) and full evaluation, based on how many terms the
+// affected polynomials own relative to DeltaCutoff. Per batch, when there
+// are fewer scenarios than workers, the spare cores move *inside* each
+// scenario: the polynomial range (or the affected set) is sharded across
+// the pool, so a single huge scenario no longer runs on one core.
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"provabs/internal/provenance"
 )
 
+// DefaultDeltaCutoff is the affected-term density above which a scenario is
+// evaluated in full rather than via the delta path: at half the terms, the
+// saved multiplies still comfortably dominate the baseline copy.
+const DefaultDeltaCutoff = 0.5
+
+// shardMinTerms is the smallest amount of recomputation worth splitting
+// across goroutines; below it, spawn-and-join overhead dominates.
+const shardMinTerms = 2048
+
 // BatchOptions tunes EvalBatch. The zero value is ready to use.
 type BatchOptions struct {
 	// Workers is the size of the worker pool; 0 or negative means
 	// GOMAXPROCS. A single worker evaluates sequentially (useful for
-	// deterministic profiling).
+	// deterministic profiling). With fewer scenarios than workers, the pool
+	// turns inward and shards each scenario's polynomial range instead.
 	Workers int
+
+	// DeltaCutoff routes scenarios between delta and full evaluation: a
+	// scenario takes the delta path when the polynomials its assignments
+	// affect own at most this fraction of the set's terms. 0 means
+	// DefaultDeltaCutoff; negative disables the delta path entirely.
+	DeltaCutoff float64
+
+	// Counters, when non-nil, accumulates per-evaluation accounting across
+	// calls (the session Engine surfaces them via Stats).
+	Counters *BatchCounters
+}
+
+// BatchCounters counts how scenarios were evaluated. All fields are safe
+// for concurrent use and accumulate across batches.
+type BatchCounters struct {
+	DeltaEvals   atomic.Int64 // scenarios answered via the sparse delta path
+	FullEvals    atomic.Int64 // scenarios answered by full re-evaluation
+	ShardedEvals atomic.Int64 // scenarios whose evaluation was split across goroutines
 }
 
 // resolvedScenario is a scenario with names resolved to Vars: the dense
@@ -30,59 +69,218 @@ type resolvedScenario struct {
 	vals []float64
 }
 
+// resolveOne maps one scenario's names through the vocabulary in a single
+// pass, returning the dense-writable form plus the sorted list of names
+// that did not resolve (nil when the scenario is clean).
+func resolveOne(vb *provenance.Vocab, sc *Scenario) (resolvedScenario, []string) {
+	rs := resolvedScenario{
+		vars: make([]provenance.Var, 0, len(sc.Assign)),
+		vals: make([]float64, 0, len(sc.Assign)),
+	}
+	var unknown []string
+	for name, x := range sc.Assign {
+		v, ok := vb.Lookup(name)
+		if !ok {
+			unknown = append(unknown, name)
+			continue
+		}
+		rs.vars = append(rs.vars, v)
+		rs.vals = append(rs.vals, x)
+	}
+	sort.Strings(unknown)
+	return rs, unknown
+}
+
 // resolve maps every scenario's names through the vocabulary up front, so
 // workers never touch the Vocab (it is not synchronized) and name typos are
-// reported before any evaluation starts.
+// reported — all of them, with the scenario's index — before any evaluation
+// starts.
 func resolve(vb *provenance.Vocab, scenarios []*Scenario) ([]resolvedScenario, error) {
 	out := make([]resolvedScenario, len(scenarios))
 	for i, sc := range scenarios {
-		rs := resolvedScenario{
-			vars: make([]provenance.Var, 0, len(sc.Assign)),
-			vals: make([]float64, 0, len(sc.Assign)),
-		}
-		for name, x := range sc.Assign {
-			v, ok := vb.Lookup(name)
-			if !ok {
-				if len(scenarios) == 1 {
-					// Single-scenario callers (Scenario.EvalCompiled, the
-					// Engine's WhatIf/Stream) have no batch to index into.
-					return nil, fmt.Errorf("hypo: scenario assigns unknown variable %q", name)
-				}
-				return nil, fmt.Errorf("hypo: scenario %d assigns unknown variable %q", i, name)
-			}
-			rs.vars = append(rs.vars, v)
-			rs.vals = append(rs.vals, x)
+		rs, unknown := resolveOne(vb, sc)
+		if len(unknown) != 0 {
+			return nil, ErrUnknownVars(i, unknown)
 		}
 		out[i] = rs
 	}
 	return out, nil
 }
 
+// UnknownVarsError reports the names a scenario assigned that are missing
+// from the vocabulary.
+type UnknownVarsError struct {
+	Scenario int      // batch position, or arrival index on a stream
+	Names    []string // sorted unresolved names
+}
+
+func (e *UnknownVarsError) Error() string {
+	quoted := make([]string, len(e.Names))
+	for j, name := range e.Names {
+		quoted[j] = fmt.Sprintf("%q", name)
+	}
+	noun := "variable"
+	if len(e.Names) > 1 {
+		noun = "variables"
+	}
+	return fmt.Sprintf("hypo: scenario %d assigns unknown %s %s", e.Scenario, noun, strings.Join(quoted, ", "))
+}
+
+// ErrUnknownVars builds the *UnknownVarsError for scenario i.
+func ErrUnknownVars(i int, unknown []string) error {
+	return &UnknownVarsError{Scenario: i, Names: unknown}
+}
+
+// UnknownVars returns the names the scenario assigns that are missing from
+// the vocabulary, sorted. An empty result means the scenario resolves.
+func (sc *Scenario) UnknownVars(vb *provenance.Vocab) []string {
+	_, unknown := resolveOne(vb, sc)
+	return unknown
+}
+
+// evalState is one worker's reusable evaluation machinery: a dense valuation
+// reset between scenarios, delta scratch, and the routing configuration.
+type evalState struct {
+	c         *provenance.Compiled
+	val       []float64
+	delta     *provenance.DeltaEval
+	threshold int // affected terms above this take the full path; -1 disables delta
+	shard     int // split evaluation across this many goroutines when > 1
+	counters  *BatchCounters
+}
+
+func newEvalState(c *provenance.Compiled, opts BatchOptions, shard int) *evalState {
+	cutoff := opts.DeltaCutoff
+	if cutoff == 0 {
+		cutoff = DefaultDeltaCutoff
+	}
+	threshold := -1
+	if cutoff > 0 {
+		threshold = int(cutoff * float64(c.Size()))
+	}
+	st := &evalState{c: c, val: c.NewValuation(), threshold: threshold, shard: shard, counters: opts.Counters}
+	if threshold >= 0 {
+		st.delta = c.GetDeltaEval() // pooled: released again in release()
+	}
+	return st
+}
+
+// release returns the pooled delta scratch; the state must not evaluate
+// afterwards.
+func (st *evalState) release() {
+	if st.delta != nil {
+		st.c.PutDeltaEval(st.delta)
+		st.delta = nil
+	}
+}
+
+// eval applies one resolved scenario to the worker's valuation, routes it to
+// the delta or full path, and restores the identity so the valuation is
+// clean for the next scenario.
+func (st *evalState) eval(rs resolvedScenario, out []float64) []float64 {
+	for j, v := range rs.vars {
+		if int(v) < len(st.val) {
+			st.val[v] = rs.vals[j]
+		}
+	}
+	out = st.evalCurrent(rs.vars, out)
+	for _, v := range rs.vars {
+		if int(v) < len(st.val) {
+			st.val[v] = 1
+		}
+	}
+	return out
+}
+
+func (st *evalState) evalCurrent(touched []provenance.Var, out []float64) []float64 {
+	c := st.c
+	// MinAffectedTerms is an O(len(touched)) lower bound: when even it
+	// exceeds the threshold, the full Affected index walk (which a dense
+	// scenario would only discard) is skipped.
+	if st.delta != nil && c.MinAffectedTerms(touched) <= st.threshold {
+		ids, terms := st.delta.Affected(touched)
+		if terms <= st.threshold {
+			// len(ids) > 1 mirrors EvalAffectedSharded's worker clamp, so
+			// the counter only reports shards that actually happen.
+			sharded := st.shard > 1 && terms >= shardMinTerms && len(ids) > 1
+			st.count(true, sharded)
+			if sharded {
+				return st.delta.EvalAffectedSharded(ids, st.val, out, st.shard)
+			}
+			return st.delta.EvalAffected(ids, st.val, out)
+		}
+	}
+	sharded := st.shard > 1 && c.Size() >= shardMinTerms && c.Len() > 1
+	st.count(false, sharded)
+	if sharded {
+		return c.EvalSharded(st.val, out, st.shard)
+	}
+	return c.Eval(st.val, out)
+}
+
+func (st *evalState) count(delta, sharded bool) {
+	if st.counters == nil {
+		return
+	}
+	if delta {
+		st.counters.DeltaEvals.Add(1)
+	} else {
+		st.counters.FullEvals.Add(1)
+	}
+	if sharded {
+		st.counters.ShardedEvals.Add(1)
+	}
+}
+
 // EvalBatch evaluates every scenario against the compiled set, returning one
-// answer vector (in set order) per scenario, in scenario order. Scenarios
-// are distributed over a pool of BatchOptions.Workers goroutines; each
-// worker keeps a single dense valuation and resets only the variables a
-// scenario touched, so steady-state evaluation performs no per-scenario
-// allocation beyond the result row.
+// answer vector (in set order) per scenario, in scenario order. With at
+// least as many scenarios as workers, scenarios are distributed over the
+// pool; with fewer (down to a single huge scenario), the spare workers
+// shard inside each scenario's polynomial range instead, so either way all
+// cores stay busy. Sparse scenarios ride the delta path (see
+// BatchOptions.DeltaCutoff); every path returns per-polynomial
+// bit-identical results.
 func EvalBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]float64, error) {
 	resolved, err := resolve(c.Vocab, scenarios)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]float64, len(scenarios))
+	return evalResolvedBatch(c, resolved, opts), nil
+}
+
+// evalResolvedBatch is the evaluation core shared by EvalBatch and
+// EvalBatchEach: route each already-resolved scenario through the
+// delta/full/sharded machinery on the configured pool.
+func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts BatchOptions) [][]float64 {
+	out := make([][]float64, len(resolved))
+	if len(resolved) == 0 {
+		return out
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	// With fewer scenarios than workers on a set big enough to split, the
+	// spare cores move inside each scenario: a pool of one worker per
+	// scenario, each allowed workers/len shards. (With one huge scenario
+	// that is a single worker sharding the whole range; with a small set,
+	// shard stays 1 and the pool simply clamps to the scenario count, so
+	// across-scenario parallelism is never lost even when a scenario's
+	// evaluation declines to shard.)
+	shard := 1
+	if workers > len(resolved) && c.Size() >= shardMinTerms {
+		shard = workers / len(resolved)
+	}
+	if workers > len(resolved) {
+		workers = len(resolved)
 	}
 	if workers <= 1 {
-		val := c.NewValuation()
+		st := newEvalState(c, opts, shard)
+		defer st.release()
 		for i := range resolved {
-			out[i] = evalResolved(c, val, resolved[i])
+			out[i] = st.eval(resolved[i], nil)
 		}
-		return out, nil
+		return out
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -90,36 +288,44 @@ func EvalBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			val := c.NewValuation()
+			st := newEvalState(c, opts, shard)
+			defer st.release()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(resolved) {
 					return
 				}
-				out[i] = evalResolved(c, val, resolved[i])
+				out[i] = st.eval(resolved[i], nil)
 			}
 		}()
 	}
 	wg.Wait()
-	return out, nil
+	return out
 }
 
-// evalResolved applies one resolved scenario to the worker's valuation,
-// evaluates, and restores the identity so the valuation is clean for the
-// next scenario.
-func evalResolved(c *provenance.Compiled, val []float64, rs resolvedScenario) []float64 {
-	for j, v := range rs.vars {
-		if int(v) < len(val) {
-			val[v] = rs.vals[j]
+// AnswersBatchEach is the per-scenario error-isolating batch used by
+// streaming callers: a scenario that fails to resolve yields a non-nil
+// *UnknownVarsError (indexed by batch position) at its slot while the rest
+// are evaluated together in one pass — names are resolved exactly once.
+func AnswersBatchEach(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]Answer, []error) {
+	errs := make([]error, len(scenarios))
+	valid := make([]resolvedScenario, 0, len(scenarios))
+	pos := make([]int, 0, len(scenarios))
+	for i, sc := range scenarios {
+		rs, unknown := resolveOne(c.Vocab, sc)
+		if len(unknown) != 0 {
+			errs[i] = ErrUnknownVars(i, unknown)
+			continue
 		}
+		valid = append(valid, rs)
+		pos = append(pos, i)
 	}
-	row := c.Eval(val, nil)
-	for _, v := range rs.vars {
-		if int(v) < len(val) {
-			val[v] = 1
-		}
+	rows := evalResolvedBatch(c, valid, opts)
+	out := make([][]Answer, len(scenarios))
+	for k, i := range pos {
+		out[i] = tagAnswers(c.Tags, rows[k])
 	}
-	return row
+	return out, errs
 }
 
 // AnswersBatch is EvalBatch with each value paired to its polynomial's tag.
@@ -130,17 +336,22 @@ func AnswersBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptio
 	}
 	out := make([][]Answer, len(rows))
 	for i, vals := range rows {
-		ans := make([]Answer, len(vals))
-		for j, v := range vals {
-			tag := ""
-			if j < len(c.Tags) {
-				tag = c.Tags[j]
-			}
-			ans[j] = Answer{Tag: tag, Value: v}
-		}
-		out[i] = ans
+		out[i] = tagAnswers(c.Tags, vals)
 	}
 	return out, nil
+}
+
+// tagAnswers pairs one answer vector with the set's polynomial tags.
+func tagAnswers(tags []string, vals []float64) []Answer {
+	ans := make([]Answer, len(vals))
+	for j, v := range vals {
+		tag := ""
+		if j < len(tags) {
+			tag = tags[j]
+		}
+		ans[j] = Answer{Tag: tag, Value: v}
+	}
+	return ans
 }
 
 // EvalCompiled applies a single scenario to pre-compiled provenance. Callers

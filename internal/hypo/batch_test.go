@@ -3,6 +3,7 @@ package hypo
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -142,6 +143,125 @@ func TestEvalBatchUnknownVariable(t *testing.T) {
 	scenarios := []*Scenario{NewScenario().Set("w0", 2), NewScenario().Set("nope", 2)}
 	if _, err := EvalBatch(c, scenarios, BatchOptions{}); err == nil {
 		t.Error("unknown variable accepted")
+	}
+}
+
+// TestResolveReportsAllUnknowns: every unresolved name is reported at once,
+// with the scenario's index — including index 0 of a single-scenario call.
+func TestResolveReportsAllUnknowns(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	bad := NewScenario().Set("w0", 2).Set("zzz", 1).Set("aaa", 3)
+	_, err := EvalBatch(c, []*Scenario{NewScenario().Set("w1", 1), bad}, BatchOptions{})
+	if err == nil {
+		t.Fatal("unknown variables accepted")
+	}
+	for _, want := range []string{"scenario 1", `"aaa"`, `"zzz"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	_, err = EvalBatch(c, []*Scenario{bad}, BatchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "scenario 0") {
+		t.Errorf("single-scenario error %q does not carry index 0", err)
+	}
+	if got := bad.UnknownVars(s.Vocab); len(got) != 2 || got[0] != "aaa" || got[1] != "zzz" {
+		t.Errorf("UnknownVars = %v, want [aaa zzz]", got)
+	}
+	if got := bad.UnknownVars(s.Vocab); got == nil {
+		t.Error("UnknownVars lost the unknowns on a second call")
+	}
+}
+
+// TestEvalBatchDeltaRouting: sparse scenarios ride the delta path, dense
+// ones (and a disabled cutoff) fall back to full evaluation, and both paths
+// return bit-identical rows.
+func TestEvalBatchDeltaRouting(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	sparse := make([]*Scenario, 8)
+	for i := range sparse {
+		sparse[i] = NewScenario().Set("w"+itoa(i), 0.5)
+	}
+	dense := randomScenarios(s, 8, 21) // each assigns about half of all vars
+
+	run := func(scs []*Scenario, opts BatchOptions) ([][]float64, *BatchCounters) {
+		t.Helper()
+		counters := &BatchCounters{}
+		opts.Counters = counters
+		rows, err := EvalBatch(c, scs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, counters
+	}
+
+	// bigSet's variables each occur in many polynomials, so pin the cutoff
+	// high enough that a one-variable scenario always qualifies as sparse.
+	rows, counters := run(sparse, BatchOptions{Workers: 1, DeltaCutoff: 0.99})
+	if got := counters.DeltaEvals.Load(); got != int64(len(sparse)) {
+		t.Errorf("sparse batch: DeltaEvals = %d, want %d (FullEvals %d)",
+			got, len(sparse), counters.FullEvals.Load())
+	}
+	full, counters2 := run(sparse, BatchOptions{Workers: 1, DeltaCutoff: -1})
+	if got := counters2.FullEvals.Load(); got != int64(len(sparse)) {
+		t.Errorf("disabled cutoff: FullEvals = %d, want %d", got, len(sparse))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != full[i][j] {
+				t.Fatalf("scenario %d poly %d: delta %v != full %v", i, j, rows[i][j], full[i][j])
+			}
+		}
+	}
+	// Every variable of bigSet occurs in many polynomials, so a scenario
+	// assigning about half of them affects (nearly) every polynomial.
+	_, counters3 := run(dense, BatchOptions{Workers: 1})
+	if counters3.FullEvals.Load() == 0 {
+		t.Errorf("dense batch never took the full path (delta %d, full %d)",
+			counters3.DeltaEvals.Load(), counters3.FullEvals.Load())
+	}
+}
+
+// TestEvalBatchSharded: with fewer scenarios than workers on a large set,
+// evaluation is sharded across the pool and stays bit-identical to the
+// sequential result.
+func TestEvalBatchSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vb := provenance.NewVocab()
+	var vars []provenance.Var
+	for i := 0; i < 96; i++ {
+		vars = append(vars, vb.Var("w"+itoa(i)))
+	}
+	s := provenance.NewSet(vb)
+	for i := 0; i < 8; i++ {
+		p := provenance.NewPolynomial()
+		for j := 0; j < 400; j++ {
+			p.AddTerm(float64(rng.Intn(9)+1),
+				vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))])
+		}
+		s.Add("g"+itoa(i), p)
+	}
+	c := s.Compile()
+	scenarios := randomScenarios(s, 2, 13)
+	counters := &BatchCounters{}
+	got, err := EvalBatch(c, scenarios, BatchOptions{Workers: 4, Counters: counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.ShardedEvals.Load() == 0 {
+		t.Errorf("no sharded evals with 2 scenarios on 4 workers over %d terms", c.Size())
+	}
+	want, err := EvalBatch(c, scenarios, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("scenario %d poly %d: sharded %v != sequential %v", i, j, got[i][j], want[i][j])
+			}
+		}
 	}
 }
 

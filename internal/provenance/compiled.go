@@ -1,5 +1,7 @@
 package provenance
 
+import "sync"
+
 // Compiled is a provenance set compiled for evaluation: every monomial of
 // every polynomial is flattened into dense coefficient and factor arrays so
 // that evaluating a scenario is a tight loop over contiguous memory — no
@@ -28,6 +30,24 @@ type Compiled struct {
 
 	maxVar  Var  // largest Var occurring in any factor (0 when none)
 	allPow1 bool // every exponent is 1: enables the branch-free fast path
+
+	// Inverted index for delta evaluation (see delta.go): which polynomials
+	// each variable occurs in, in CSR layout (ID lists ascending per
+	// variable), built once on first delta use so compile-only callers
+	// never pay for it. varTermOff keeps only the term *counts* per
+	// variable (as cumulative offsets) for TermsTouching; the term id lists
+	// themselves are transient during index construction. varPolyTerms[v]
+	// is the total term count of the polynomials containing v — a sound
+	// lower bound on any scenario touching v's affected terms.
+	indexOnce    sync.Once
+	varTermOff   []int32 // var v occurs in varTermOff[v+1]-varTermOff[v] terms
+	varPolyOff   []int32 // var v owns poly ids varPolyIDs[varPolyOff[v]:varPolyOff[v+1]]
+	varPolyIDs   []int32
+	varPolyTerms []int32
+
+	baselineOnce sync.Once // guards baseline, the answers under the identity
+	baseline     []float64
+	deltaPool    sync.Pool // *DeltaEval scratch for the EvalDelta convenience
 }
 
 // Compile flattens the set into its compiled form. The Vocab and Tags are
@@ -126,18 +146,24 @@ func (c *Compiled) Eval(val []float64, out []float64) []float64 {
 		out = make([]float64, n)
 	}
 	out = out[:n]
-	if c.allPow1 {
-		c.evalLinear(val, out)
-	} else {
-		c.evalGeneral(val, out)
-	}
+	c.evalRange(0, n, val, out)
 	return out
+}
+
+// evalRange evaluates polynomials [lo, hi) into out (indexed by polynomial
+// id, not shifted). Disjoint ranges may be evaluated concurrently.
+func (c *Compiled) evalRange(lo, hi int, val, out []float64) {
+	if c.allPow1 {
+		c.evalLinear(lo, hi, val, out)
+	} else {
+		c.evalGeneral(lo, hi, val, out)
+	}
 }
 
 // evalLinear is the hot path: every exponent is 1 so each factor is a single
 // multiply with no branching.
-func (c *Compiled) evalLinear(val []float64, out []float64) {
-	for pi := range out {
+func (c *Compiled) evalLinear(lo, hi int, val, out []float64) {
+	for pi := lo; pi < hi; pi++ {
 		sum := 0.0
 		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
 			x := c.coeffs[t]
@@ -153,8 +179,8 @@ func (c *Compiled) evalLinear(val []float64, out []float64) {
 // evalGeneral handles arbitrary positive exponents by repeated
 // multiplication (exponents are small in provenance polynomials: they count
 // self-joins).
-func (c *Compiled) evalGeneral(val []float64, out []float64) {
-	for pi := range out {
+func (c *Compiled) evalGeneral(lo, hi int, val, out []float64) {
+	for pi := lo; pi < hi; pi++ {
 		sum := 0.0
 		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
 			x := c.coeffs[t]

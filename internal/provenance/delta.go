@@ -1,0 +1,329 @@
+package provenance
+
+// Delta-aware evaluation: a typical hypothetical scenario touches a handful
+// of variables, yet full Eval re-multiplies every monomial. The compiler
+// therefore builds an inverted index (variable → terms, variable → affected
+// polynomials) and caches the answer vector under the identity valuation;
+// EvalDelta recomputes only the polynomials a scenario's assignments can
+// affect and copies baseline values for the rest — sub-linear in |P|_M per
+// scenario when scenarios are sparse, and bit-identical to Eval per
+// polynomial, since affected polynomials are recomputed whole on the same
+// code path (summation order per polynomial never changes).
+//
+// For the opposite extreme — one huge scenario on a many-core machine —
+// EvalSharded and DeltaEval.EvalAffectedSharded split the polynomial range
+// across a goroutine pool, so a single-scenario evaluation on a
+// million-monomial set is no longer pinned to one core.
+
+import (
+	"sort"
+	"sync"
+)
+
+// ensureIndex builds the inverted index on first delta use (NewDeltaEval,
+// TermsTouching, MinAffectedTerms); compile-only callers never pay for it,
+// and concurrent evaluation workers race-safely share one construction.
+func (c *Compiled) ensureIndex() {
+	c.indexOnce.Do(c.buildDeltaIndex)
+}
+
+// buildDeltaIndex constructs the CSR inverted index over the flattened
+// term data. Term ids are filled in term order, so every per-variable id
+// list is ascending; the polynomial index is derived from the (transient)
+// term index by collapsing runs of terms belonging to the same polynomial.
+// Only the per-variable term counts survive as varTermOff — routing needs
+// the polynomial lists, not the term lists.
+func (c *Compiled) buildDeltaIndex() {
+	nVars := 0
+	if len(c.vars) > 0 {
+		nVars = int(c.maxVar) + 1
+	}
+	termOff := make([]int32, nVars+1)
+	for _, v := range c.vars {
+		termOff[v+1]++
+	}
+	for v := 1; v <= nVars; v++ {
+		termOff[v] += termOff[v-1]
+	}
+	termIDs := make([]int32, len(c.vars))
+	next := append([]int32(nil), termOff[:nVars]...)
+	for t := range c.coeffs {
+		for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
+			v := c.vars[f]
+			termIDs[next[v]] = int32(t)
+			next[v]++
+		}
+	}
+	c.varTermOff = termOff
+
+	termPoly := make([]int32, len(c.coeffs))
+	for pi := 0; pi < c.Len(); pi++ {
+		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
+			termPoly[t] = int32(pi)
+		}
+	}
+	polyOff := make([]int32, nVars+1)
+	polyIDs := make([]int32, 0, len(termIDs)/2)
+	polyTerms := make([]int32, nVars)
+	for v := 0; v < nVars; v++ {
+		polyOff[v] = int32(len(polyIDs))
+		last := int32(-1)
+		for _, t := range termIDs[termOff[v]:termOff[v+1]] {
+			if pi := termPoly[t]; pi != last {
+				polyIDs = append(polyIDs, pi)
+				polyTerms[v] += c.polyOff[pi+1] - c.polyOff[pi]
+				last = pi
+			}
+		}
+	}
+	polyOff[nVars] = int32(len(polyIDs))
+	c.varPolyOff, c.varPolyIDs, c.varPolyTerms = polyOff, polyIDs, polyTerms
+}
+
+// Baseline returns the answer vector under the identity valuation (every
+// variable 1), computed once and cached. The slice is shared: callers must
+// not mutate it.
+func (c *Compiled) Baseline() []float64 {
+	c.baselineOnce.Do(func() {
+		c.baseline = c.Eval(c.NewValuation(), nil)
+	})
+	return c.baseline
+}
+
+// TermsTouching returns an upper bound on the number of terms containing any
+// of the touched variables (terms shared by several touched variables are
+// counted once per variable). It costs O(len(touched)).
+func (c *Compiled) TermsTouching(touched []Var) int {
+	c.ensureIndex()
+	n := 0
+	for _, v := range touched {
+		if v < 0 || int(v)+1 >= len(c.varTermOff) {
+			continue
+		}
+		n += int(c.varTermOff[v+1] - c.varTermOff[v])
+	}
+	return n
+}
+
+// MinAffectedTerms returns a lower bound on the number of terms a delta
+// evaluation touching these variables would recompute: the affected set
+// contains every polynomial of every touched variable, so it owns at least
+// the largest single variable's polynomial-term total. It costs
+// O(len(touched)) and is the cheap density pre-reject — when even the lower
+// bound exceeds the delta cutoff, the full Affected walk can be skipped.
+func (c *Compiled) MinAffectedTerms(touched []Var) int {
+	c.ensureIndex()
+	n := int32(0)
+	for _, v := range touched {
+		if v < 0 || int(v) >= len(c.varPolyTerms) {
+			continue
+		}
+		if t := c.varPolyTerms[v]; t > n {
+			n = t
+		}
+	}
+	return int(n)
+}
+
+// DeltaEval is reusable scratch state for delta evaluation: an epoch-marked
+// visited set and the gathered affected-polynomial list. A DeltaEval is not
+// safe for concurrent use; batch evaluators keep one per worker. For
+// one-shot calls use Compiled.EvalDelta, which pools the scratch.
+type DeltaEval struct {
+	c     *Compiled
+	mark  []uint32
+	epoch uint32
+	ids   []int32
+}
+
+// NewDeltaEval returns fresh delta-evaluation scratch for the compiled set,
+// building the inverted index on first use.
+func (c *Compiled) NewDeltaEval() *DeltaEval {
+	c.ensureIndex()
+	return &DeltaEval{c: c, mark: make([]uint32, c.Len())}
+}
+
+// Affected gathers the ids of every polynomial containing at least one
+// touched variable, ascending, along with the total number of terms those
+// polynomials own (the exact amount of multiply work a delta evaluation
+// would redo). The returned slice is valid until the next Affected or Eval
+// call on this DeltaEval.
+func (d *DeltaEval) Affected(touched []Var) ([]int32, int) {
+	c := d.c
+	d.epoch++
+	if d.epoch == 0 { // wrapped: every mark looks current, so reset
+		for i := range d.mark {
+			d.mark[i] = 0
+		}
+		d.epoch = 1
+	}
+	d.ids = d.ids[:0]
+	terms := 0
+	for _, v := range touched {
+		if v < 0 || int(v)+1 >= len(c.varPolyOff) {
+			continue
+		}
+		for _, pi := range c.varPolyIDs[c.varPolyOff[v]:c.varPolyOff[v+1]] {
+			if d.mark[pi] != d.epoch {
+				d.mark[pi] = d.epoch
+				d.ids = append(d.ids, pi)
+				terms += int(c.polyOff[pi+1] - c.polyOff[pi])
+			}
+		}
+	}
+	sort.Slice(d.ids, func(i, j int) bool { return d.ids[i] < d.ids[j] })
+	return d.ids, terms
+}
+
+// EvalAffected writes the baseline answers into out and recomputes exactly
+// the listed polynomials under val. The contract mirrors EvalDelta: val must
+// be the identity everywhere except on variables whose polynomials are all
+// listed in ids (Affected of the touched variables guarantees that).
+func (d *DeltaEval) EvalAffected(ids []int32, val, out []float64) []float64 {
+	c := d.c
+	n := c.Len()
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	copy(out, c.Baseline())
+	c.evalIDs(ids, val, out)
+	return out
+}
+
+// EvalAffectedSharded is EvalAffected with the recomputation of the listed
+// polynomials split across a pool of workers goroutines, balanced by term
+// count — the intra-scenario parallel path for a single scenario whose
+// affected set is large.
+func (d *DeltaEval) EvalAffectedSharded(ids []int32, val, out []float64, workers int) []float64 {
+	c := d.c
+	n := c.Len()
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	copy(out, c.Baseline())
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		c.evalIDs(ids, val, out)
+		return out
+	}
+	total := 0
+	for _, pi := range ids {
+		total += int(c.polyOff[pi+1] - c.polyOff[pi])
+	}
+	var wg sync.WaitGroup
+	start, acc, w := 0, 0, 0
+	for i, pi := range ids {
+		acc += int(c.polyOff[pi+1] - c.polyOff[pi])
+		if acc >= total*(w+1)/workers || i == len(ids)-1 {
+			chunk := ids[start : i+1]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.evalIDs(chunk, val, out)
+			}()
+			start, w = i+1, w+1
+			if start == len(ids) {
+				break
+			}
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// Eval is Affected + EvalAffected: the one-call delta evaluation against
+// this scratch state.
+func (d *DeltaEval) Eval(touched []Var, val, out []float64) []float64 {
+	ids, _ := d.Affected(touched)
+	return d.EvalAffected(ids, val, out)
+}
+
+// evalIDs recomputes the listed polynomials into out. IDs must be distinct
+// (concurrent shards rely on writes being disjoint).
+func (c *Compiled) evalIDs(ids []int32, val, out []float64) {
+	for _, pi := range ids {
+		c.evalRange(int(pi), int(pi)+1, val, out)
+	}
+}
+
+// GetDeltaEval returns delta-evaluation scratch from the compiled set's
+// pool (freshly built when the pool is empty). Return it with PutDeltaEval
+// when done; batch evaluators use the pair to keep steady-state requests
+// free of the O(polynomials) mark-array allocation.
+func (c *Compiled) GetDeltaEval() *DeltaEval {
+	d, _ := c.deltaPool.Get().(*DeltaEval)
+	if d == nil {
+		d = c.NewDeltaEval()
+	}
+	return d
+}
+
+// PutDeltaEval returns scratch obtained from GetDeltaEval to the pool. The
+// scratch must not be used after Put.
+func (c *Compiled) PutDeltaEval(d *DeltaEval) {
+	c.deltaPool.Put(d)
+}
+
+// EvalDelta evaluates under a sparse scenario: touched lists the variables
+// whose value in val differs from the identity 1 (listing extra variables is
+// harmless). Only polynomials containing a touched variable are recomputed;
+// the rest receive the cached Baseline value. Per polynomial the result is
+// bit-identical to Eval, which recomputes everything.
+//
+// EvalDelta is safe for concurrent use with distinct out slices; its scratch
+// state is pooled. Callers with a per-worker evaluation loop should hold
+// their own NewDeltaEval (or a GetDeltaEval/PutDeltaEval pair) instead.
+func (c *Compiled) EvalDelta(touched []Var, val, out []float64) []float64 {
+	d := c.GetDeltaEval()
+	out = d.Eval(touched, val, out)
+	c.PutDeltaEval(d)
+	return out
+}
+
+// EvalSharded is Eval with the polynomial range split across a pool of
+// workers goroutines (1 or less falls back to the serial loop). Shard
+// boundaries are balanced by term count, and each polynomial is computed
+// whole by one goroutine, so results are bit-identical to Eval.
+func (c *Compiled) EvalSharded(val, out []float64, workers int) []float64 {
+	n := c.Len()
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		c.evalRange(0, n, val, out)
+		return out
+	}
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 1; w <= workers && lo < n; w++ {
+		hi := n
+		if w < workers {
+			// First polynomial boundary at or past this worker's share of
+			// the terms; polyOff is the cumulative term histogram.
+			target := int32(len(c.coeffs) * w / workers)
+			hi = sort.Search(n, func(i int) bool { return c.polyOff[i+1] > target })
+			if hi < lo {
+				hi = lo
+			}
+		}
+		if hi > lo {
+			lo, hi := lo, hi
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.evalRange(lo, hi, val, out)
+			}()
+		}
+		lo = hi
+	}
+	wg.Wait()
+	return out
+}

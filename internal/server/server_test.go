@@ -203,6 +203,27 @@ func TestCompressAndStatsEndpoints(t *testing.T) {
 		t.Fatalf("whatif on meta-variable: status = %d, want 200", wresp.StatusCode)
 	}
 
+	// The evaluation-path counters surface on the wire: the what-if above is
+	// accounted as exactly one delta or full evaluation.
+	sresp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp2.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(sresp2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"delta_evals", "full_evals", "sharded_evals", "stream_batches", "stream_max_batch"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("/stats is missing %q: %v", key, raw)
+		}
+	}
+	if raw["delta_evals"].(float64)+raw["full_evals"].(float64) != 1 {
+		t.Errorf("delta_evals %v + full_evals %v != 1 evaluated scenario",
+			raw["delta_evals"], raw["full_evals"])
+	}
+
 	// Bad strategy and bad JSON are 400s.
 	for _, body := range []string{`{"bound":2,"strategy":"nope"}`, `{{`} {
 		bresp, err := http.Post(ts.URL+"/compress", "application/json", strings.NewReader(body))

@@ -56,9 +56,31 @@ func ParseStrategy(name string) (Strategy, error) {
 type Option func(*Engine)
 
 // WithWorkers sets the worker-pool size used by WhatIfBatch and Stream
-// (0 or negative = GOMAXPROCS).
+// (0 or negative = GOMAXPROCS). With fewer scenarios than workers the pool
+// shards each scenario's polynomial range instead of idling.
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
+}
+
+// WithDeltaCutoff sets the affected-term density below which scenarios are
+// delta-evaluated against the cached baseline instead of re-multiplying
+// every monomial (0 = hypo.DefaultDeltaCutoff, negative disables the delta
+// path).
+func WithDeltaCutoff(f float64) Option {
+	return func(e *Engine) { e.deltaCutoff = f }
+}
+
+// WithStreamBuffer sets the capacity of Stream's output channel, so a slow
+// consumer does not serialize evaluation (0 = the micro-batch size,
+// negative = unbuffered).
+func WithStreamBuffer(n int) Option {
+	return func(e *Engine) { e.streamBuf = n }
+}
+
+// WithStreamBatch caps how many pending scenarios Stream drains into one
+// micro-batched evaluation (0 = the default, 64).
+func WithStreamBatch(n int) Option {
+	return func(e *Engine) { e.streamBatch = n }
 }
 
 // compressConfig collects the per-call tuning of Engine.Compress.

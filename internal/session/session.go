@@ -34,18 +34,24 @@ import (
 
 // Engine is a hypothetical-reasoning session over one provenance set.
 type Engine struct {
-	mu      sync.RWMutex
-	set     *provenance.Set   // source provenance (grows via Add)
-	forest  *abstree.Forest   // may be nil: evaluation-only session
-	comp    *core.Compression // last Compress outcome; nil before Compress
-	active  *provenance.Set   // what scenarios evaluate: comp.Abstracted or set
-	workers int
+	mu          sync.RWMutex
+	set         *provenance.Set   // source provenance (grows via Add)
+	forest      *abstree.Forest   // may be nil: evaluation-only session
+	comp        *core.Compression // last Compress outcome; nil before Compress
+	active      *provenance.Set   // what scenarios evaluate: comp.Abstracted or set
+	workers     int
+	deltaCutoff float64 // delta-vs-full density cutoff (0 = hypo default)
+	streamBuf   int     // Stream output-channel capacity (0 = batch size, <0 = unbuffered)
+	streamBatch int     // micro-batch cap for Stream (0 = defaultStreamBatch)
 
-	lastCompiled atomic.Pointer[provenance.Compiled]
-	compiles     atomic.Int64
-	scenarios    atomic.Int64
-	batches      atomic.Int64
-	added        atomic.Int64
+	lastCompiled   atomic.Pointer[provenance.Compiled]
+	compiles       atomic.Int64
+	scenarios      atomic.Int64
+	batches        atomic.Int64
+	added          atomic.Int64
+	counters       hypo.BatchCounters // delta/full/sharded evaluation accounting
+	streamBatches  atomic.Int64
+	streamMaxBatch atomic.Int64
 }
 
 // Open starts a session over the set. forest may be nil for an
@@ -133,13 +139,19 @@ func (e *Engine) Compiled() *provenance.Compiled {
 	return e.compiledLocked()
 }
 
+// batchOptions assembles the evaluation tuning every path shares: the worker
+// pool, the delta cutoff, and the engine-owned counters.
+func (e *Engine) batchOptions() hypo.BatchOptions {
+	return hypo.BatchOptions{Workers: e.workers, DeltaCutoff: e.deltaCutoff, Counters: &e.counters}
+}
+
 // answers is the shared evaluation path: cached compile, parallel eval,
 // scenario accounting. Batch accounting stays with WhatIfBatch so streamed
 // and single evaluations do not inflate the batch counter.
 func (e *Engine) answers(scs []*hypo.Scenario) ([][]hypo.Answer, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	rows, err := hypo.AnswersBatch(e.compiledLocked(), scs, hypo.BatchOptions{Workers: e.workers})
+	rows, err := hypo.AnswersBatch(e.compiledLocked(), scs, e.batchOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +222,11 @@ type Stats struct {
 	Batches         int64  `json:"batches"` // WhatIfBatch calls; singles/streams count in Scenarios only
 	Compiles        int64  `json:"compiles"`
 	Added           int64  `json:"added_polynomials"`
+	DeltaEvals      int64  `json:"delta_evals"`      // scenarios answered via the sparse delta path
+	FullEvals       int64  `json:"full_evals"`       // scenarios answered by full re-evaluation
+	ShardedEvals    int64  `json:"sharded_evals"`    // scenarios split across goroutines
+	StreamBatches   int64  `json:"stream_batches"`   // micro-batches evaluated by Stream
+	StreamMaxBatch  int64  `json:"stream_max_batch"` // largest Stream micro-batch so far
 }
 
 // Stats reports the session's current shape and counters. Compiles counts
@@ -228,6 +245,11 @@ func (e *Engine) Stats() Stats {
 		Batches:         e.batches.Load(),
 		Compiles:        e.compiles.Load(),
 		Added:           e.added.Load(),
+		DeltaEvals:      e.counters.DeltaEvals.Load(),
+		FullEvals:       e.counters.FullEvals.Load(),
+		ShardedEvals:    e.counters.ShardedEvals.Load(),
+		StreamBatches:   e.streamBatches.Load(),
+		StreamMaxBatch:  e.streamMaxBatch.Load(),
 	}
 	if e.comp != nil {
 		st.Strategy = e.comp.Strategy

@@ -3,6 +3,8 @@ package session
 import (
 	"context"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -339,6 +341,176 @@ func TestStream(t *testing.T) {
 	}
 	if st := e.Stats(); st.Compiles != 1 {
 		t.Errorf("stream recompiled: Compiles = %d, want 1", st.Compiles)
+	}
+}
+
+// TestStreamMicroBatches: scenarios already pending on the input channel are
+// drained into one batched evaluation instead of being answered one at a
+// time, while arrival order and per-scenario errors are preserved.
+func TestStreamMicroBatches(t *testing.T) {
+	set, _ := fixture(t)
+	e, err := Open(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	in := make(chan *hypo.Scenario, n)
+	for i := 0; i < n; i++ {
+		if i == 7 {
+			in <- hypo.NewScenario().Set("bogus", 1)
+			continue
+		}
+		in <- hypo.NewScenario().Set("m1", 0.5+float64(i)/32)
+	}
+	close(in)
+	// The whole backlog is visible before Stream starts, so it must be
+	// answered in at most a couple of micro-batches, not 20 singles.
+	var got []StreamResult
+	for r := range e.Stream(context.Background(), in) {
+		got = append(got, r)
+	}
+	if len(got) != n {
+		t.Fatalf("stream yielded %d results, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d (order broken)", i, r.Index)
+		}
+		if (r.Err != nil) != (i == 7) {
+			t.Errorf("result %d: err = %v", i, r.Err)
+		}
+	}
+	if got[7].Err == nil || !strings.Contains(got[7].Err.Error(), "scenario 7") {
+		t.Errorf("in-band error %v does not carry the arrival index", got[7].Err)
+	}
+	st := e.Stats()
+	if st.StreamBatches == 0 || st.StreamBatches >= n {
+		t.Errorf("StreamBatches = %d, want micro-batching (1..%d)", st.StreamBatches, n-1)
+	}
+	if st.StreamMaxBatch < 2 {
+		t.Errorf("StreamMaxBatch = %d, want >= 2", st.StreamMaxBatch)
+	}
+	if st.Scenarios != n-1 {
+		t.Errorf("Scenarios = %d, want %d (the unresolved one is not evaluated)", st.Scenarios, n-1)
+	}
+	if st.DeltaEvals+st.FullEvals != n-1 {
+		t.Errorf("DeltaEvals %d + FullEvals %d != %d evaluated scenarios",
+			st.DeltaEvals, st.FullEvals, n-1)
+	}
+}
+
+// TestStreamBatchCap: WithStreamBatch bounds how much of a backlog one
+// evaluation may drain.
+func TestStreamBatchCap(t *testing.T) {
+	set, _ := fixture(t)
+	e, err := Open(set, nil, WithStreamBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	in := make(chan *hypo.Scenario, n)
+	for i := 0; i < n; i++ {
+		in <- hypo.NewScenario().Set("m1", 0.5)
+	}
+	close(in)
+	count := 0
+	for range e.Stream(context.Background(), in) {
+		count++
+	}
+	if count != n {
+		t.Fatalf("stream yielded %d results, want %d", count, n)
+	}
+	st := e.Stats()
+	if st.StreamMaxBatch > 4 {
+		t.Errorf("StreamMaxBatch = %d, want <= 4 (WithStreamBatch)", st.StreamMaxBatch)
+	}
+	if st.StreamBatches < n/4 {
+		t.Errorf("StreamBatches = %d, want >= %d with a cap of 4", st.StreamBatches, n/4)
+	}
+}
+
+// TestStreamBufferedOutput is the slow-consumer regression: with a buffered
+// output channel the stream finishes evaluating a whole backlog while the
+// consumer reads nothing, instead of blocking after the first result.
+func TestStreamBufferedOutput(t *testing.T) {
+	set, _ := fixture(t)
+	const n = 8
+	e, err := Open(set, nil, WithStreamBuffer(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *hypo.Scenario, n)
+	out := e.Stream(context.Background(), in)
+	for i := 0; i < n; i++ {
+		in <- hypo.NewScenario().Set("m3", 1.1)
+	}
+	close(in)
+	// The deliberately slow reader consumes nothing: all n results must
+	// still land in the channel buffer and the stream must close.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(out) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d results buffered; slow consumer serialized the stream", len(out), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		r := <-out
+		if r.Index != i || r.Err != nil {
+			t.Fatalf("result %d = index %d, err %v", i, r.Index, r.Err)
+		}
+	}
+	if _, ok := <-out; ok {
+		t.Fatal("stream did not close after the backlog")
+	}
+}
+
+// TestConcurrentWhatIfBatchAndAdd hammers evaluation and mutation together;
+// it exists to fail under -race if the delta path (baseline cache, inverted
+// index, counters) ever shares mutable state across the compile boundary.
+func TestConcurrentWhatIfBatchAndAdd(t *testing.T) {
+	set, forest := fixture(t)
+	vb := set.Vocab
+	e, err := Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compress(8); err != nil {
+		t.Fatal(err)
+	}
+	scs := []*hypo.Scenario{
+		hypo.NewScenario().Set("q1", 0.8),
+		hypo.NewScenario(),
+		hypo.NewScenario().Set("p1", 1.5).Set("q1", 0.25),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := e.WhatIfBatch(scs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			e.Add(fmt.Sprintf("added %d", i), provenance.MustParse(vb, "2·p1·m1"))
+		}
+	}()
+	wg.Wait()
+	st := e.Stats()
+	if st.Added != 10 {
+		t.Errorf("Added = %d, want 10", st.Added)
+	}
+	if st.DeltaEvals+st.FullEvals != st.Scenarios {
+		t.Errorf("DeltaEvals %d + FullEvals %d != Scenarios %d",
+			st.DeltaEvals, st.FullEvals, st.Scenarios)
 	}
 }
 

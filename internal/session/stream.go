@@ -6,6 +6,12 @@ import (
 	"provabs/internal/hypo"
 )
 
+// defaultStreamBatch caps how many pending scenarios one micro-batched
+// evaluation drains off the input channel. Large enough to amortize the
+// batch machinery under load, small enough that the first answer of a burst
+// is not held back noticeably.
+const defaultStreamBatch = 64
+
 // StreamResult is one streamed what-if outcome. Index is the scenario's
 // arrival position, so consumers can correlate answers with requests even
 // if they fan results out. A scenario that fails to resolve (e.g. assigns
@@ -18,16 +24,36 @@ type StreamResult struct {
 
 // Stream evaluates scenarios as they arrive on in, emitting one
 // StreamResult per scenario in arrival order. The returned channel closes
-// when in closes or ctx is cancelled. Each scenario reuses the session's
-// cached compiled provenance — the stream never recompiles unless the
-// session is mutated between scenarios — and per-scenario errors are
-// reported in-band so one malformed scenario does not tear down a
+// when in closes or ctx is cancelled.
+//
+// Scenarios are not evaluated one at a time: whatever is pending on in when
+// the evaluator comes around is drained into one micro-batched EvalBatch
+// call (up to WithStreamBatch scenarios), so a backed-up stream gets the
+// batch path's parallelism and delta routing automatically while an idle
+// stream still answers each scenario as it arrives. Results are emitted in
+// arrival order through a channel with a small buffer (WithStreamBuffer),
+// so a slow consumer does not serialize evaluation. Each micro-batch reuses
+// the session's cached compiled provenance — the stream never recompiles
+// unless the session is mutated between scenarios — and per-scenario errors
+// are reported in-band so one malformed scenario does not tear down a
 // long-lived connection.
 func (e *Engine) Stream(ctx context.Context, in <-chan *hypo.Scenario) <-chan StreamResult {
-	out := make(chan StreamResult)
+	maxBatch := e.streamBatch
+	if maxBatch <= 0 {
+		maxBatch = defaultStreamBatch
+	}
+	buf := e.streamBuf
+	switch {
+	case buf == 0:
+		buf = maxBatch
+	case buf < 0:
+		buf = 0
+	}
+	out := make(chan StreamResult, buf)
 	go func() {
 		defer close(out)
 		idx := 0
+		pending := make([]*hypo.Scenario, 0, maxBatch)
 		for {
 			select {
 			case <-ctx.Done():
@@ -36,16 +62,69 @@ func (e *Engine) Stream(ctx context.Context, in <-chan *hypo.Scenario) <-chan St
 				if !ok {
 					return
 				}
-				answers, err := e.WhatIf(sc)
-				r := StreamResult{Index: idx, Answers: answers, Err: err}
-				idx++
+				pending = append(pending[:0], sc)
+			}
+			// Drain whatever else is already waiting, without blocking.
+			closed := false
+		drain:
+			for len(pending) < maxBatch {
+				select {
+				case sc, ok := <-in:
+					if !ok {
+						closed = true
+						break drain
+					}
+					pending = append(pending, sc)
+				default:
+					break drain
+				}
+			}
+			for _, r := range e.evalStream(idx, pending) {
 				select {
 				case out <- r:
 				case <-ctx.Done():
 					return
 				}
 			}
+			idx += len(pending)
+			if closed {
+				return
+			}
 		}
 	}()
+	return out
+}
+
+// evalStream answers one micro-batch through the error-isolating batch
+// path: scenarios that fail to resolve get in-band errors re-indexed to
+// their arrival position (base+i), the rest are evaluated in one call with
+// names resolved exactly once.
+func (e *Engine) evalStream(base int, scs []*hypo.Scenario) []StreamResult {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rows, errs := hypo.AnswersBatchEach(e.compiledLocked(), scs, e.batchOptions())
+	out := make([]StreamResult, len(scs))
+	evaluated := 0
+	for i := range scs {
+		out[i].Index = base + i
+		switch err := errs[i].(type) {
+		case nil:
+			out[i].Answers = rows[i]
+			evaluated++
+		case *hypo.UnknownVarsError:
+			out[i].Err = hypo.ErrUnknownVars(base+i, err.Names)
+		default:
+			out[i].Err = err
+		}
+	}
+	e.scenarios.Add(int64(evaluated))
+	e.streamBatches.Add(1)
+	n := int64(len(scs))
+	for {
+		cur := e.streamMaxBatch.Load()
+		if n <= cur || e.streamMaxBatch.CompareAndSwap(cur, n) {
+			break
+		}
+	}
 	return out
 }

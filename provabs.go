@@ -67,6 +67,20 @@
 // Compiled evaluation needs no string parsing or map lookups per monomial
 // and is deterministic (canonical monomial order); EvalBatch spreads
 // scenarios over a worker pool.
+//
+// # Delta evaluation and sharding
+//
+// The compiled form also carries an inverted index (variable → affected
+// polynomials) and the cached baseline answers under the identity
+// valuation, built once on first delta use. A sparse scenario — the typical interactive what-if, touching
+// a handful of variables — is then answered by recomputing only the
+// affected polynomials (Compiled.EvalDelta), with results bit-identical to
+// full evaluation. EvalBatchOpts routes each scenario automatically via
+// BatchOptions.DeltaCutoff, and when a batch has fewer scenarios than
+// workers the pool shards each scenario's polynomial range instead
+// (Compiled.EvalSharded), so one huge scenario uses every core. The Engine
+// applies both transparently (see WithDeltaCutoff) and reports
+// DeltaEvals/FullEvals/ShardedEvals in its Stats.
 package provabs
 
 import (
@@ -95,8 +109,12 @@ type (
 	// Set is a multiset of tagged polynomials — a query's provenance.
 	Set = provenance.Set
 	// Compiled is a set flattened into dense arrays for fast, repeated,
-	// parallel scenario evaluation.
+	// parallel scenario evaluation, with an inverted variable index and a
+	// cached baseline for delta evaluation.
 	Compiled = provenance.Compiled
+	// DeltaEval is reusable scratch for repeated delta evaluation against
+	// one Compiled (Compiled.NewDeltaEval).
+	DeltaEval = provenance.DeltaEval
 )
 
 // Abstraction model (internal/abstree).
@@ -169,8 +187,23 @@ func Open(set *Set, forest *Forest, opts ...Option) (*Engine, error) {
 // "summarize", "online" and their aliases).
 func ParseStrategy(name string) (Strategy, error) { return session.ParseStrategy(name) }
 
-// WithWorkers sets an Engine's worker-pool size (0 = GOMAXPROCS).
+// WithWorkers sets an Engine's worker-pool size (0 = GOMAXPROCS). With
+// fewer scenarios than workers the pool shards each scenario's polynomial
+// range instead of idling.
 func WithWorkers(n int) Option { return session.WithWorkers(n) }
+
+// WithDeltaCutoff sets the affected-term density below which an Engine
+// delta-evaluates scenarios (0 = DefaultDeltaCutoff, negative disables).
+func WithDeltaCutoff(f float64) Option { return session.WithDeltaCutoff(f) }
+
+// WithStreamBuffer sets the capacity of Engine.Stream's output channel so a
+// slow consumer does not serialize evaluation (0 = the micro-batch size,
+// negative = unbuffered).
+func WithStreamBuffer(n int) Option { return session.WithStreamBuffer(n) }
+
+// WithStreamBatch caps how many pending scenarios Engine.Stream drains into
+// one micro-batched evaluation (0 = the default, 64).
+func WithStreamBatch(n int) Option { return session.WithStreamBatch(n) }
 
 // WithStrategy selects the compression algorithm for Engine.Compress.
 func WithStrategy(s Strategy) CompressOption { return session.WithStrategy(s) }
@@ -193,7 +226,16 @@ type (
 	Scenario = hypo.Scenario
 	// Answer pairs a polynomial tag with its value under a scenario.
 	Answer = hypo.Answer
+	// BatchOptions tunes EvalBatchOpts: worker-pool size, delta-vs-full
+	// density cutoff, and optional evaluation counters.
+	BatchOptions = hypo.BatchOptions
+	// BatchCounters accumulates delta/full/sharded evaluation counts.
+	BatchCounters = hypo.BatchCounters
 )
+
+// DefaultDeltaCutoff is the affected-term density above which scenarios are
+// evaluated in full rather than via the delta path.
+const DefaultDeltaCutoff = hypo.DefaultDeltaCutoff
 
 // NewVocab returns an empty variable vocabulary.
 func NewVocab() *Vocab { return provenance.NewVocab() }
@@ -325,9 +367,16 @@ func Compile(s *Set) *Compiled { return s.Compile() }
 
 // EvalBatch evaluates many scenarios against compiled provenance on a
 // worker pool of the given size (0 = GOMAXPROCS), returning one answer
-// vector per scenario in scenario order.
+// vector per scenario in scenario order. Sparse scenarios automatically
+// take the delta path; use EvalBatchOpts to tune or disable the routing.
 func EvalBatch(c *Compiled, scenarios []*Scenario, workers int) ([][]float64, error) {
 	return hypo.EvalBatch(c, scenarios, hypo.BatchOptions{Workers: workers})
+}
+
+// EvalBatchOpts is EvalBatch with full control over the routing: worker
+// count, delta cutoff, and evaluation counters.
+func EvalBatchOpts(c *Compiled, scenarios []*Scenario, opts BatchOptions) ([][]float64, error) {
+	return hypo.EvalBatch(c, scenarios, opts)
 }
 
 // AnswersBatch is EvalBatch with each value paired to its polynomial's tag.
