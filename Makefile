@@ -1,6 +1,7 @@
 # Standard checks for the provabs repo.
 #
-#   make check       — vet + build + fast race-enabled tests (the CI gate)
+#   make check       — vet + build + fast race-enabled tests with a
+#                      total-coverage summary (the CI gate)
 #   make test        — the full (slow) test suite, as tier-1 verify runs it
 #   make bench       — go-test microbenchmarks plus the provbench paper
 #                      tables and the delta-kernel report (BENCH_3.json),
@@ -23,7 +24,8 @@ build:
 	$(GO) build ./...
 
 test-short:
-	$(GO) test -short -race ./...
+	$(GO) test -short -race -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1 | sed 's/^/coverage: /'
 
 test:
 	$(GO) test ./...
@@ -39,7 +41,11 @@ bench-smoke:
 demo.pvab:
 	$(GO) run ./cmd/provabs generate -dataset telco -customers 1000 -zips 100 -out $@
 
-serve: demo.pvab
-	$(GO) run ./cmd/provabs serve -in demo.pvab -addr :8080 \
+demo2.pvab:
+	$(GO) run ./cmd/provabs generate -dataset telco -customers 500 -zips 50 -seed 7 -out $@
+
+serve: demo.pvab demo2.pvab
+	$(GO) run ./cmd/provabs serve -load telco=demo.pvab -load telco2=demo2.pvab \
+		-default telco -addr :8080 \
 		-tree 'Quarters(q1(m1,m2,m3),q2(m4,m5,m6),q3(m7,m8,m9),q4(m10,m11,m12))' \
 		-algo greedy -ratio 0.5

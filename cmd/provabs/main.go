@@ -14,6 +14,7 @@
 //	provabs whatif -in q5c.pvab -scenarios 1000 -workers 0
 //	provabs whatif -in q5c.pvab -sets 's9=0.8;s9=1.1,s4=0.5'
 //	provabs serve -in q5c.pvab -addr :8080
+//	provabs serve -load telco=telco.pvab -load q5=q5c.pvab -default telco -addr :8080
 //
 // Every compression and evaluation path runs through the session Engine
 // (provabs.Open): one object owning the provenance, the abstraction, and
@@ -85,7 +86,7 @@ commands:
   compress   select an abstraction and compress a provenance file
   eval       evaluate a hypothetical scenario over a provenance file
   whatif     batch-evaluate many scenarios on compiled provenance in parallel
-  serve      serve what-if scenarios over HTTP (JSON + streaming NDJSON)
+  serve      serve named provenance sessions over HTTP (v1 API + streaming NDJSON)
   trees      print the benchmark abstraction-tree catalog (Table 2)
 
 run 'provabs <command> -h' for command flags`)

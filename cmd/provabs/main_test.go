@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -46,8 +47,10 @@ func TestParseScenarioMalformed(t *testing.T) {
 }
 
 // TestServeEndToEnd is the acceptance check for the what-if server: build
-// the real binary, generate provenance, start `provabs serve`, and answer a
-// streamed NDJSON batch of scenarios over HTTP.
+// the real binary, generate two provenance files, start one `provabs
+// serve` process hosting both as named sessions, and drive the v1 API —
+// interleaved what-ifs across sessions, a streamed NDJSON batch, legacy
+// aliases on the default session, per-session and aggregate stats.
 func TestServeEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping binary-level integration test in -short mode")
@@ -59,14 +62,19 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
-	pvab := filepath.Join(dir, "t.pvab")
-	gen := exec.Command(bin, "generate", "-dataset", "telco",
-		"-customers", "50", "-zips", "5", "-out", pvab)
-	if out, err := gen.CombinedOutput(); err != nil {
-		t.Fatalf("generate: %v\n%s", err, out)
+	pvabA := filepath.Join(dir, "a.pvab")
+	pvabB := filepath.Join(dir, "b.pvab")
+	for pvab, seed := range map[string]string{pvabA: "1", pvabB: "7"} {
+		gen := exec.Command(bin, "generate", "-dataset", "telco",
+			"-customers", "50", "-zips", "5", "-seed", seed, "-out", pvab)
+		if out, err := gen.CombinedOutput(); err != nil {
+			t.Fatalf("generate: %v\n%s", err, out)
+		}
 	}
 
-	srv := exec.Command(bin, "serve", "-in", pvab, "-addr", "127.0.0.1:0",
+	srv := exec.Command(bin, "serve",
+		"-load", "alpha="+pvabA, "-load", "beta="+pvabB, "-default", "alpha",
+		"-addr", "127.0.0.1:0",
 		"-tree", "Quarters(q1(m1,m2,m3),q2(m4,m5,m6),q3(m7,m8,m9),q4(m10,m11,m12))",
 		"-algo", "greedy", "-ratio", "0.6")
 	stdout, err := srv.StdoutPipe()
@@ -91,7 +99,7 @@ func TestServeEndToEnd(t *testing.T) {
 		for scan.Scan() {
 			line := scan.Text()
 			if i := strings.Index(line, "http://"); i >= 0 {
-				addrCh <- strings.TrimSpace(line[i:])
+				addrCh <- strings.Fields(line[i:])[0]
 				break
 			}
 		}
@@ -102,14 +110,14 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal("server did not report its address in time")
 	}
 
-	// Stream a small NDJSON batch: a quarter-uniform scenario, an erroneous
-	// one, and a per-month scenario.
+	// Stream a small NDJSON batch to session alpha via the v1 route: a
+	// quarter-uniform scenario, an erroneous one, and a per-month scenario.
 	batch := strings.Join([]string{
 		`{"assign":{"q1":0.8}}`,
 		`{"assign":{"no_such_variable":1}}`,
 		`{"assign":{"m1":0.5,"m2":0.5}}`,
 	}, "\n")
-	resp, err := http.Post(base+"/whatif/stream", "application/x-ndjson", strings.NewReader(batch))
+	resp, err := http.Post(base+"/v1/sessions/alpha/whatif/stream", "application/x-ndjson", strings.NewReader(batch))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,36 +155,121 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Errorf("third scenario: %+v, want answers", lines[2])
 	}
 
-	// Single-scenario endpoint and stats agree with the stream.
-	single, err := http.Post(base+"/whatif", "application/json",
-		bytes.NewReader([]byte(`{"assign":{"q1":0.8}}`)))
+	// Interleave single-scenario what-ifs across both sessions — the
+	// steady-state multi-tenant traffic pattern.
+	for i := 0; i < 3; i++ {
+		for _, name := range []string{"alpha", "beta"} {
+			single, err := http.Post(base+"/v1/sessions/"+name+"/whatif", "application/json",
+				bytes.NewReader([]byte(`{"assign":{"q1":0.8}}`)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			single.Body.Close()
+			if single.StatusCode != http.StatusOK {
+				t.Fatalf("whatif %s status = %d, want 200", name, single.StatusCode)
+			}
+		}
+	}
+
+	// Legacy unversioned routes alias the default session (alpha): same
+	// scenario, byte-identical answers, plus the Deprecation header.
+	readAll := func(resp *http.Response, err error) string {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d, want 200", resp.Request.URL, resp.StatusCode)
+		}
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	scenario := []byte(`{"assign":{"q1":0.8}}`)
+	legacyResp, err := http.Post(base+"/whatif", "application/json", bytes.NewReader(scenario))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer single.Body.Close()
-	if single.StatusCode != http.StatusOK {
-		t.Fatalf("single whatif status = %d, want 200", single.StatusCode)
+	if legacyResp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy /whatif carries no Deprecation header")
 	}
-	stats, err := http.Get(base + "/stats")
-	if err != nil {
-		t.Fatal(err)
+	legacyBody := readAll(legacyResp, nil)
+	v1Body := readAll(http.Post(base+"/v1/sessions/alpha/whatif", "application/json", bytes.NewReader(scenario)))
+	if legacyBody != v1Body {
+		t.Errorf("legacy /whatif %q != v1 alpha whatif %q", legacyBody, v1Body)
 	}
-	defer stats.Body.Close()
-	var st struct {
+
+	// Per-session stats: each session compiled exactly once in steady
+	// state, compressed at startup, and only alpha saw the stream.
+	type stats struct {
 		Compressed bool  `json:"compressed"`
 		Scenarios  int64 `json:"scenarios_evaluated"`
 		Compiles   int64 `json:"compiles"`
 	}
-	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+	var alpha, beta stats
+	if err := json.Unmarshal([]byte(readAll(http.Get(base+"/v1/sessions/alpha/stats"))), &alpha); err != nil {
 		t.Fatal(err)
 	}
-	if !st.Compressed {
-		t.Error("stats report an uncompressed session, want compressed at startup")
+	if err := json.Unmarshal([]byte(readAll(http.Get(base+"/v1/sessions/beta/stats"))), &beta); err != nil {
+		t.Fatal(err)
 	}
-	if st.Scenarios < 3 {
-		t.Errorf("stats report %d scenarios, want >= 3", st.Scenarios)
+	if !alpha.Compressed || !beta.Compressed {
+		t.Errorf("sessions report compressed=%v/%v, want both compressed at startup", alpha.Compressed, beta.Compressed)
 	}
-	if st.Compiles != 1 {
-		t.Errorf("stats report %d compiles, want 1 (compile-once across the stream)", st.Compiles)
+	// alpha: 2 stream scenarios + 3 interleaved + 2 legacy/v1 parity = 7.
+	if alpha.Scenarios != 7 {
+		t.Errorf("alpha scenarios = %d, want 7", alpha.Scenarios)
 	}
+	if beta.Scenarios != 3 {
+		t.Errorf("beta scenarios = %d, want 3", beta.Scenarios)
+	}
+	if alpha.Compiles != 1 || beta.Compiles != 1 {
+		t.Errorf("compiles = %d/%d, want 1/1 (compile-once per session under interleaved traffic)",
+			alpha.Compiles, beta.Compiles)
+	}
+
+	// The aggregate view sums the per-session counters.
+	var agg struct {
+		Sessions int    `json:"sessions"`
+		Default  string `json:"default"`
+		Totals   stats  `json:"totals"`
+	}
+	if err := json.Unmarshal([]byte(readAll(http.Get(base+"/v1/stats"))), &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Sessions != 2 || agg.Default != "alpha" {
+		t.Errorf("aggregate sessions=%d default=%q, want 2/alpha", agg.Sessions, agg.Default)
+	}
+	if want := alpha.Scenarios + beta.Scenarios; agg.Totals.Scenarios != want {
+		t.Errorf("aggregate scenarios = %d, want %d", agg.Totals.Scenarios, want)
+	}
+	if agg.Totals.Compiles != 2 {
+		t.Errorf("aggregate compiles = %d, want 2", agg.Totals.Compiles)
+	}
+
+	// Session lifecycle over the wire: delete beta, alpha unaffected.
+	del, err := http.NewRequest("DELETE", base+"/v1/sessions/beta", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete beta status = %d, want 200", delResp.StatusCode)
+	}
+	gone, err := http.Get(base + "/v1/sessions/beta/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Errorf("stats after delete = %d, want 404", gone.StatusCode)
+	}
+	readAll(http.Get(base + "/v1/sessions/alpha/stats"))
 }

@@ -5,82 +5,138 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"provabs/internal/abstree"
+	"provabs/internal/registry"
 	"provabs/internal/server"
 	"provabs/internal/session"
 )
 
-// cmdServe runs the streaming what-if server: load a provenance file into a
-// session Engine (optionally compressing it at startup), then answer
-// scenario streams over HTTP — POST /whatif for one scenario, POST
-// /whatif/stream for an NDJSON batch, POST /compress to (re)compress the
-// live session, GET /stats for session statistics.
+// loadSpec is one -load flag: a named session and its provenance file.
+type loadSpec struct {
+	name, path string
+}
+
+// loadFlags collects repeated -load name=path flags in order.
+type loadFlags []loadSpec
+
+func (l *loadFlags) String() string {
+	parts := make([]string, len(*l))
+	for i, s := range *l {
+		parts[i] = s.name + "=" + s.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *loadFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, loadSpec{name: name, path: path})
+	return nil
+}
+
+// cmdServe runs the multi-session what-if server: load one provenance file
+// per -load flag into a named session (optionally compressing each at
+// startup), then serve the versioned v1 API — session lifecycle, what-ifs,
+// NDJSON streams, per-session and aggregate stats. The legacy unversioned
+// routes alias onto the -default session.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	in := fs.String("in", "", "provenance file (required)")
+	var loads loadFlags
+	fs.Var(&loads, "load", "load a session at startup: name=path (repeatable)")
+	in := fs.String("in", "", "provenance file for a single-session server (shorthand for -load default=PATH)")
+	def := fs.String("default", "", "session served by the legacy unversioned routes (default: the first loaded)")
 	addr := fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
-	treeSrc := fs.String("tree", "", "abstraction tree(s) in compact format, ';'-separated")
+	treeSrc := fs.String("tree", "", "abstraction tree(s) in compact format, ';'-separated (applied to every loaded session)")
 	shapeSrc := fs.String("shape", "", "build a uniform tree instead: comma-separated fan-outs, e.g. 2,64")
 	prefix := fs.String("prefix", "s", "leaf prefix for -shape trees (s, p, pl)")
 	algo := fs.String("algo", "auto", "startup compression strategy: auto, opt, greedy, brute, ainy or online")
-	bound := fs.Int("bound", 0, "compress at startup to this monomial bound (overrides -ratio)")
+	bound := fs.Int("bound", 0, "compress each session at startup to this monomial bound (overrides -ratio)")
 	ratio := fs.Float64("ratio", 0, "compress at startup to this fraction of |P|_M (0 = serve uncompressed)")
 	fraction := fs.Float64("fraction", 0.3, "online: sample fraction")
 	timeout := fs.Duration("timeout", time.Minute, "ainy: cutoff")
-	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "worker pool size per session (0 = GOMAXPROCS)")
 	deltaCutoff := fs.Float64("delta-cutoff", 0,
 		"delta-vs-full density cutoff (0 = default, negative = always evaluate in full)")
 	streamBuffer := fs.Int("stream-buffer", 0,
-		"output buffer of /whatif/stream so slow clients don't stall evaluation (0 = batch size)")
+		"output buffer of whatif/stream so slow clients don't stall evaluation (0 = batch size)")
 	streamBatch := fs.Int("stream-batch", 0,
 		"max scenarios drained into one micro-batched stream evaluation (0 = default 64)")
+	sessionDir := fs.String("session-dir", ".",
+		"root for POST /v1/sessions {\"path\":...} provenance files (empty = disable path loading)")
 	fs.Parse(args)
-	set, err := readSet(*in)
-	if err != nil {
-		return err
+
+	if *in != "" {
+		loads = append(loadFlags{{name: "default", path: *in}}, loads...)
+	}
+	if len(loads) == 0 {
+		return fmt.Errorf("serve: provide at least one session via -load name=path (or -in path)")
+	}
+	if (*bound > 0 || *ratio > 0) && *treeSrc == "" && *shapeSrc == "" {
+		return fmt.Errorf("serve: -bound/-ratio require -tree or -shape")
 	}
 	var forest *abstree.Forest
+	var err error
 	if *treeSrc != "" || *shapeSrc != "" {
 		forest, err = buildForest(*treeSrc, *shapeSrc, *prefix)
 		if err != nil {
 			return err
 		}
 	}
-	eng, err := session.Open(set, forest,
-		session.WithWorkers(*workers),
-		session.WithDeltaCutoff(*deltaCutoff),
-		session.WithStreamBuffer(*streamBuffer),
-		session.WithStreamBatch(*streamBatch))
-	if err != nil {
-		return err
-	}
-	if forest == nil && (*bound > 0 || *ratio > 0) {
-		return fmt.Errorf("serve: -bound/-ratio require -tree or -shape")
-	}
-	if forest != nil && (*bound > 0 || *ratio > 0) {
-		strategy, err := session.ParseStrategy(*algo)
+
+	reg := registry.New()
+	for _, load := range loads {
+		set, err := readSet(load.path)
 		if err != nil {
-			return err
+			return fmt.Errorf("serve: session %q: %w", load.name, err)
 		}
-		comp, err := eng.Compress(resolveBound(*bound, *ratio, set.Size()),
-			session.WithStrategy(strategy),
-			session.WithSamplingFraction(*fraction),
-			session.WithTimeout(*timeout))
+		sess, err := reg.Create(load.name, set, forest,
+			session.WithWorkers(*workers),
+			session.WithDeltaCutoff(*deltaCutoff),
+			session.WithStreamBuffer(*streamBuffer),
+			session.WithStreamBatch(*streamBatch))
 		if err != nil {
-			return err
+			return fmt.Errorf("serve: %w", err)
 		}
-		fmt.Printf("compressed with %s: %d -> %d monomials (%s) in %v\n",
-			comp.Strategy, set.Size(), comp.Abstracted.Size(), adequacy(comp.Adequate), comp.Elapsed)
+		if forest != nil && (*bound > 0 || *ratio > 0) {
+			strategy, err := session.ParseStrategy(*algo)
+			if err != nil {
+				return err
+			}
+			comp, err := sess.Engine().Compress(resolveBound(*bound, *ratio, set.Size()),
+				session.WithStrategy(strategy),
+				session.WithSamplingFraction(*fraction),
+				session.WithTimeout(*timeout))
+			if err != nil {
+				return fmt.Errorf("serve: session %q: %w", load.name, err)
+			}
+			fmt.Printf("session %q compressed with %s: %d -> %d monomials (%s) in %v\n",
+				load.name, comp.Strategy, set.Size(), comp.Abstracted.Size(),
+				adequacy(comp.Adequate), comp.Elapsed)
+		}
+		st := sess.Engine().Stats()
+		fmt.Printf("session %q: %d polynomials / %d monomials from %s\n",
+			load.name, st.Polynomials, st.Monomials, load.path)
 	}
+	if *def != "" {
+		if err := reg.SetDefault(*def); err != nil {
+			return fmt.Errorf("serve: -default: %w", err)
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	st := eng.Stats()
-	fmt.Printf("serving %d polynomials / %d monomials on http://%s\n",
-		st.Polynomials, st.Monomials, ln.Addr())
-	fmt.Println("endpoints: POST /whatif, POST /whatif/stream (NDJSON), POST /compress, GET /stats")
-	return http.Serve(ln, server.New(eng).Handler())
+	fmt.Printf("serving %d session(s) on http://%s (default %q)\n",
+		reg.Len(), ln.Addr(), reg.DefaultName())
+	fmt.Println("endpoints: POST/GET /v1/sessions, GET|DELETE /v1/sessions/{name}, " +
+		"POST /v1/sessions/{name}/whatif[/stream], POST /v1/sessions/{name}/compress, " +
+		"GET /v1/sessions/{name}/stats, GET /v1/stats")
+	fmt.Println("legacy aliases on the default session: POST /whatif, POST /whatif/stream, POST /compress, GET /stats")
+	return http.Serve(ln, server.New(reg, server.WithSessionDir(*sessionDir)).Handler())
 }

@@ -1,0 +1,267 @@
+// Package registry hosts many named session Engines in one process — the
+// multi-tenant side of the paper's compress-once/ask-many workload. Each
+// provenance set (a tenant, a dataset, a benchmark query) lives in its own
+// named Session wrapping a session.Engine, with independent abstraction,
+// cached compilation and counters; the Registry owns their lifecycle:
+//
+//	reg := registry.New()
+//	sess, _ := reg.Create("telco", set, forest)      // first Create is the default
+//	sess.Engine().Compress(B, ...)
+//	reg.Get("telco")                                 // route a request
+//	reg.List()                                       // enumerate, name-sorted
+//	reg.Stats()                                      // aggregate across sessions
+//	reg.Close("telco")                               // tear down (ends streams)
+//
+// Closing a session cancels its context (Session.Done), which long-lived
+// consumers — the HTTP stream handler in internal/server, queue ingesters —
+// watch to tear down in-flight scenario streams promptly. One session is
+// designated the default (the first created, or SetDefault); the server's
+// legacy unversioned routes alias onto it.
+//
+// All methods are safe for concurrent use.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+	"provabs/internal/session"
+)
+
+// ErrExists reports a Create against a name already in use. The HTTP layer
+// maps it to 409 Conflict.
+var ErrExists = errors.New("session already exists")
+
+// ErrNotFound reports a lookup of a name with no live session. The HTTP
+// layer maps it to 404 Not Found.
+var ErrNotFound = errors.New("session not found")
+
+// ErrNoDefault reports that no default session is designated — the
+// registry is empty, or the default was closed without a replacement.
+var ErrNoDefault = errors.New("no default session")
+
+// Session is one named tenant: a session.Engine plus the registry-level
+// lifecycle around it.
+type Session struct {
+	name    string
+	created time.Time
+	eng     *session.Engine
+	ctx     context.Context
+	cancel  context.CancelFunc
+}
+
+// Name returns the session's registry name.
+func (s *Session) Name() string { return s.name }
+
+// Engine returns the underlying session Engine.
+func (s *Session) Engine() *session.Engine { return s.eng }
+
+// Created returns when the session was registered.
+func (s *Session) Created() time.Time { return s.created }
+
+// Done is closed when the session is closed, so long-lived consumers
+// (scenario streams, queue ingesters) can tear down promptly.
+func (s *Session) Done() <-chan struct{} { return s.ctx.Done() }
+
+// Closed reports whether the session has been closed.
+func (s *Session) Closed() bool {
+	select {
+	case <-s.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Registry owns a process's named sessions.
+type Registry struct {
+	mu          sync.RWMutex
+	sessions    map[string]*Session
+	defaultName string
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{sessions: make(map[string]*Session)}
+}
+
+// validateName rejects names that cannot round-trip through a URL path
+// segment of the v1 API.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("registry: session name must not be empty")
+	}
+	if strings.ContainsAny(name, "/?#% \t\r\n") {
+		return fmt.Errorf("registry: session name %q contains a reserved character (no slashes, spaces or URL metacharacters)", name)
+	}
+	return nil
+}
+
+// Create opens a new Engine over the provenance source and registers it
+// under name. forest may be nil for an evaluation-only session; opts are
+// the engine's Open-time options (workers, delta cutoff, stream tuning).
+// The first session created becomes the registry default. A name already
+// in use fails with ErrExists and leaves the existing session untouched.
+func (r *Registry) Create(name string, set *provenance.Set, forest *abstree.Forest, opts ...session.Option) (*Session, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	// Open validates set/forest compatibility before the registry commits
+	// to the name, so a failed Create never occupies a slot.
+	eng, err := session.Open(set, forest, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Session{name: name, created: time.Now(), eng: eng, ctx: ctx, cancel: cancel}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[name]; ok {
+		cancel()
+		return nil, fmt.Errorf("registry: session %q: %w", name, ErrExists)
+	}
+	r.sessions[name] = s
+	if r.defaultName == "" {
+		r.defaultName = name
+	}
+	return s, nil
+}
+
+// Get returns the live session registered under name.
+func (r *Registry) Get(name string) (*Session, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
+	}
+	return s, nil
+}
+
+// List returns the live sessions sorted by name.
+func (r *Registry) List() []*Session {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}
+
+// Close removes the named session and cancels its context, so in-flight
+// scenario streams over it terminate. Closing the default session leaves
+// the registry with no default until SetDefault designates a new one.
+func (r *Registry) Close(name string) error {
+	r.mu.Lock()
+	s, ok := r.sessions[name]
+	if ok {
+		delete(r.sessions, name)
+		if r.defaultName == name {
+			r.defaultName = ""
+		}
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
+	}
+	s.cancel()
+	return nil
+}
+
+// CloseAll closes every session (a server shutdown).
+func (r *Registry) CloseAll() {
+	r.mu.Lock()
+	sessions := r.sessions
+	r.sessions = make(map[string]*Session)
+	r.defaultName = ""
+	r.mu.Unlock()
+	for _, s := range sessions {
+		s.cancel()
+	}
+}
+
+// SetDefault designates the session the legacy unversioned routes alias
+// onto. The named session must exist.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[name]; !ok {
+		return fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
+	}
+	r.defaultName = name
+	return nil
+}
+
+// DefaultName returns the designated default session's name ("" if none).
+func (r *Registry) DefaultName() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.defaultName
+}
+
+// Default returns the designated default session.
+func (r *Registry) Default() (*Session, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.defaultName == "" {
+		return nil, ErrNoDefault
+	}
+	s, ok := r.sessions[r.defaultName]
+	if !ok {
+		return nil, ErrNoDefault
+	}
+	return s, nil
+}
+
+// AggregateStats is the registry-wide view served by GET /v1/stats:
+// per-session snapshots plus one Totals row summing every counter
+// (scenarios, compiles, delta/full/sharded evaluations, stream batches)
+// across tenants.
+type AggregateStats struct {
+	Sessions   int                      `json:"sessions"`
+	Default    string                   `json:"default,omitempty"`
+	Totals     session.Stats            `json:"totals"`
+	PerSession map[string]session.Stats `json:"per_session"`
+}
+
+// Stats snapshots every live session and the cross-session totals. The
+// registry lock is released before touching any engine: Engine.Stats
+// blocks behind that engine's mutex (held exclusively for the whole of a
+// Compress), and holding r.mu across it would let one tenant's slow
+// compression stall session routing for everyone.
+func (r *Registry) Stats() AggregateStats {
+	r.mu.RLock()
+	sessions := make(map[string]*Session, len(r.sessions))
+	for name, s := range r.sessions {
+		sessions[name] = s
+	}
+	defaultName := r.defaultName
+	r.mu.RUnlock()
+	agg := AggregateStats{
+		Sessions:   len(sessions),
+		Default:    defaultName,
+		PerSession: make(map[string]session.Stats, len(sessions)),
+	}
+	for name, s := range sessions {
+		st := s.eng.Stats()
+		agg.PerSession[name] = st
+		agg.Totals.Accumulate(st)
+	}
+	return agg
+}

@@ -1,60 +1,355 @@
-// Package server exposes a session Engine over HTTP/JSON, so scenario
-// streams can be ingested by processes that do not load the library — the
-// paper's compress-once/ask-many workload as a service. The wire surface is
-// deliberately small:
+// Package server exposes a multi-tenant session Registry over HTTP/JSON —
+// the paper's compress-once/ask-many workload as a service, with one
+// process hosting many named provenance sessions. The surface is versioned
+// and resource-oriented, mounted at /v1:
 //
-//	POST /whatif          one scenario in, one answer vector out (JSON)
-//	POST /whatif/stream   NDJSON in, NDJSON out: one line per scenario,
-//	                      answers flushed per line as they are computed
-//	POST /compress        run a compression strategy on the live session
-//	GET  /stats           session statistics (sizes, losses, counters)
-//	GET  /healthz         liveness
+//	POST   /v1/sessions                       create a session (inline
+//	                                          provenance, or a file path
+//	                                          inside the configured session
+//	                                          dir — see WithSessionDir)
+//	GET    /v1/sessions                       list sessions, name-sorted
+//	GET    /v1/sessions/{name}                one session's info + stats
+//	DELETE /v1/sessions/{name}                close it (ends its streams)
+//	POST   /v1/sessions/{name}/compress       run a compression strategy
+//	POST   /v1/sessions/{name}/whatif         one scenario in, answers out
+//	POST   /v1/sessions/{name}/whatif/stream  NDJSON in, NDJSON out, flushed
+//	                                          per line as answers compute
+//	GET    /v1/sessions/{name}/stats          per-session statistics
+//	GET    /v1/stats                          aggregate across all sessions
+//	GET    /healthz                           liveness
+//
+// The pre-v1 unversioned routes (POST /whatif, POST /whatif/stream,
+// POST /compress, GET /stats) remain as thin aliases onto the registry's
+// designated default session; they answer with a "Deprecation: true"
+// header and will be removed once clients migrate.
 //
 // Scenario lines are {"assign": {"var": value, …}}. Per-scenario semantic
 // errors (an unknown variable, say) are reported in-band as
 // {"index": i, "error": "…"} without tearing down the stream; malformed
 // JSON terminates the stream with a final {"error": "…"} line, since the
-// remainder of the body cannot be trusted to be line-aligned.
+// remainder of the body cannot be trusted to be line-aligned. Requests
+// exceeding the body limits are answered with 413; unknown session names
+// with 404; creating a name already in use with 409.
 package server
 
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"provabs/internal/abstree"
 	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/registry"
 	"provabs/internal/session"
 )
 
-// maxLineBytes bounds one NDJSON scenario line (scenarios assign at most a
-// few values per provenance variable; a megabyte is far beyond any sane
-// request).
-const maxLineBytes = 1 << 20
+// defaultMaxLineBytes bounds one scenario or compress request body and one
+// NDJSON scenario line (scenarios assign at most a few values per
+// provenance variable; a megabyte is far beyond any sane request).
+const defaultMaxLineBytes = 1 << 20
 
-// Server serves one session Engine.
+// defaultMaxCreateBytes bounds a session-create body, which may carry a
+// whole encoded provenance set inline.
+const defaultMaxCreateBytes = 64 << 20
+
+// Server serves a session registry.
 type Server struct {
-	engine *session.Engine
+	reg        *registry.Registry
+	logger     *log.Logger
+	maxLine    int64
+	maxCreate  int64
+	sessionDir string // root for create-by-path ("" = path loading disabled)
 }
 
-// New returns a Server over the engine.
-func New(e *session.Engine) *Server { return &Server{engine: e} }
+// Option configures a Server.
+type Option func(*Server)
 
-// Handler returns the HTTP handler serving the what-if API.
+// WithLogger routes request-handling diagnostics (response-write failures,
+// stream teardowns) to l instead of the process default logger.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithMaxLineBytes overrides the per-request / per-stream-line body limit.
+func WithMaxLineBytes(n int64) Option {
+	return func(s *Server) { s.maxLine = n }
+}
+
+// WithMaxCreateBytes overrides the session-create body limit.
+func WithMaxCreateBytes(n int64) Option {
+	return func(s *Server) { s.maxCreate = n }
+}
+
+// WithSessionDir enables creating sessions from server-side provenance
+// files: a create request's "path" is resolved relative to dir and must
+// stay inside it (no absolute paths, no traversal). Without this option
+// path loading is disabled and only inline provenance_b64 is accepted —
+// a network client must never pick arbitrary files off the server's disk.
+func WithSessionDir(dir string) Option {
+	return func(s *Server) { s.sessionDir = dir }
+}
+
+// New returns a Server over the registry.
+func New(reg *registry.Registry, opts ...Option) *Server {
+	s := &Server{
+		reg:       reg,
+		logger:    log.Default(),
+		maxLine:   defaultMaxLineBytes,
+		maxCreate: defaultMaxCreateBytes,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Registry returns the registry the server routes into.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Handler returns the HTTP handler serving the v1 API and the legacy
+// aliases. Method mismatches on any route answer 405 via the mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /whatif", s.handleWhatIf)
-	mux.HandleFunc("POST /whatif/stream", s.handleStream)
-	mux.HandleFunc("POST /compress", s.handleCompress)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{name}", s.withSession(s.handleSessionInfo))
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{name}/compress", s.withSession(s.handleCompress))
+	mux.HandleFunc("POST /v1/sessions/{name}/whatif", s.withSession(s.handleWhatIf))
+	mux.HandleFunc("POST /v1/sessions/{name}/whatif/stream", s.withSession(s.handleStream))
+	mux.HandleFunc("GET /v1/sessions/{name}/stats", s.withSession(s.handleStats))
+	mux.HandleFunc("GET /v1/stats", s.handleAggregateStats)
+
+	// Legacy, pre-registry routes: thin aliases onto the default session.
+	mux.HandleFunc("POST /whatif", s.withDefault(s.handleWhatIf))
+	mux.HandleFunc("POST /whatif/stream", s.withDefault(s.handleStream))
+	mux.HandleFunc("POST /compress", s.withDefault(s.handleCompress))
+	mux.HandleFunc("GET /stats", s.withDefault(s.handleStats))
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// sessionHandler is a handler bound to one resolved session.
+type sessionHandler func(w http.ResponseWriter, r *http.Request, sess *registry.Session)
+
+// withSession resolves the {name} path segment against the registry.
+func (s *Server) withSession(h sessionHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.reg.Get(r.PathValue("name"))
+		if err != nil {
+			s.writeError(w, r, http.StatusNotFound, err)
+			return
+		}
+		h(w, r, sess)
+	}
+}
+
+// withDefault routes a legacy unversioned request onto the registry's
+// default session, tagging the response as deprecated.
+func (s *Server) withDefault(h sessionHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.reg.Default()
+		if err != nil {
+			s.writeError(w, r, http.StatusNotFound,
+				fmt.Errorf("%w (legacy route %s needs a default session; use /v1/sessions/{name}%s)",
+					err, r.URL.Path, r.URL.Path))
+			return
+		}
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1/sessions/%s%s>; rel=\"successor-version\"", sess.Name(), r.URL.Path))
+		h(w, r, sess)
+	}
+}
+
+// writeJSON encodes one response body. Encode failures cannot be reported
+// to the client (the status line is gone) but are logged once per request
+// so dead-client churn is visible server-side.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("server: %s %s: writing response: %v", r.Method, r.URL.Path, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.writeJSON(w, r, status, map[string]string{"error": err.Error()})
+}
+
+// decodeJSON decodes one bounded JSON request body. An over-limit body is
+// answered 413 (the satellite contract: *http.MaxBytesError, not a decode
+// 400), anything else malformed 400. Returns false once the error response
+// has been written.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any, what string) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.writeError(w, r, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("%s: request body exceeds the %d-byte limit", what, tooBig.Limit))
+		return false
+	}
+	s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad %s: %w", what, err))
+	return false
+}
+
+// createRequest is the POST /v1/sessions body. Exactly one provenance
+// source must be set: Path (a server-side .pvab file) or ProvenanceB64
+// (an Encode()d set, base64). Trees are optional compact abstraction
+// trees; the remaining fields tune the engine.
+type createRequest struct {
+	Name          string   `json:"name"`
+	Path          string   `json:"path,omitempty"`
+	ProvenanceB64 string   `json:"provenance_b64,omitempty"`
+	Trees         []string `json:"trees,omitempty"`
+	Default       bool     `json:"default,omitempty"`
+	Workers       int      `json:"workers,omitempty"`
+	DeltaCutoff   float64  `json:"delta_cutoff,omitempty"`
+	StreamBuffer  int      `json:"stream_buffer,omitempty"`
+	StreamBatch   int      `json:"stream_batch,omitempty"`
+}
+
+// loadSet materializes the request's provenance source.
+func (s *Server) loadSet(req *createRequest) (*provenance.Set, error) {
+	switch {
+	case req.Path != "" && req.ProvenanceB64 != "":
+		return nil, fmt.Errorf("create: path and provenance_b64 are mutually exclusive")
+	case req.Path != "":
+		if s.sessionDir == "" {
+			return nil, fmt.Errorf("create: server-side path loading is disabled (start the server with a session dir, or send provenance_b64)")
+		}
+		if !filepath.IsLocal(req.Path) {
+			return nil, fmt.Errorf("create: path must be relative and stay inside the session dir")
+		}
+		f, err := os.Open(filepath.Join(s.sessionDir, req.Path))
+		if err != nil {
+			return nil, fmt.Errorf("create: %w", err)
+		}
+		defer f.Close()
+		return provenance.Decode(f)
+	case req.ProvenanceB64 != "":
+		raw, err := base64.StdEncoding.DecodeString(req.ProvenanceB64)
+		if err != nil {
+			return nil, fmt.Errorf("create: bad provenance_b64: %w", err)
+		}
+		return provenance.Decode(bytes.NewReader(raw))
+	}
+	return nil, fmt.Errorf("create: provide path or provenance_b64")
+}
+
+// loadForest parses the optional compact abstraction trees.
+func (req *createRequest) loadForest() (*abstree.Forest, error) {
+	if len(req.Trees) == 0 {
+		return nil, nil
+	}
+	trees := make([]*abstree.Tree, 0, len(req.Trees))
+	for _, src := range req.Trees {
+		t, err := abstree.ParseTree(src)
+		if err != nil {
+			return nil, fmt.Errorf("create: %w", err)
+		}
+		trees = append(trees, t)
+	}
+	return abstree.NewForest(trees...)
+}
+
+// sessionInfo is the wire shape of one session resource.
+type sessionInfo struct {
+	Name    string        `json:"name"`
+	Created time.Time     `json:"created"`
+	Default bool          `json:"default"`
+	Stats   session.Stats `json:"stats"`
+}
+
+func (s *Server) info(sess *registry.Session) sessionInfo {
+	return sessionInfo{
+		Name:    sess.Name(),
+		Created: sess.Created(),
+		Default: s.reg.DefaultName() == sess.Name(),
+		Stats:   sess.Engine().Stats(),
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if !s.decodeJSON(w, r, s.maxCreate, &req, "create request") {
+		return
+	}
+	set, err := s.loadSet(&req)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	forest, err := req.loadForest()
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.reg.Create(req.Name, set, forest,
+		session.WithWorkers(req.Workers),
+		session.WithDeltaCutoff(req.DeltaCutoff),
+		session.WithStreamBuffer(req.StreamBuffer),
+		session.WithStreamBatch(req.StreamBatch))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, registry.ErrExists) {
+			status = http.StatusConflict
+		}
+		s.writeError(w, r, status, err)
+		return
+	}
+	if req.Default {
+		if err := s.reg.SetDefault(sess.Name()); err != nil {
+			// The session was just created; losing it to a close race is the
+			// only path here, and the client should know.
+			s.writeError(w, r, http.StatusConflict, err)
+			return
+		}
+	}
+	s.writeJSON(w, r, http.StatusCreated, s.info(sess))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.List()
+	infos := make([]sessionInfo, len(sessions))
+	for i, sess := range sessions {
+		infos[i] = s.info(sess)
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
+	s.writeJSON(w, r, http.StatusOK, s.info(sess))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Close(name); err != nil {
+		s.writeError(w, r, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]string{"closed": name})
+}
+
+func (s *Server) handleAggregateStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, s.reg.Stats())
 }
 
 // scenarioRequest is one hypothetical scenario on the wire.
@@ -84,46 +379,48 @@ func toAnswerJSON(answers []hypo.Answer) []answerJSON {
 	return out
 }
 
-// streamLine is one NDJSON response line of /whatif/stream.
+// streamLine is one NDJSON response line of whatif/stream.
 type streamLine struct {
 	Index   int          `json:"index"`
 	Answers []answerJSON `json:"answers,omitempty"`
 	Error   string       `json:"error,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
 	var req scenarioRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLineBytes))
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad scenario: %w", err))
+	if !s.decodeJSON(w, r, s.maxLine, &req, "scenario") {
 		return
 	}
-	answers, err := s.engine.WhatIf(req.scenario())
+	answers, err := sess.Engine().WhatIf(req.scenario())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"answers": toAnswerJSON(answers)})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"answers": toAnswerJSON(answers)})
 }
 
 // handleStream is the streaming batch endpoint: scenarios are read off the
 // request body line by line and fed to Engine.Stream; each answer line is
 // flushed as soon as it is computed, so a long-lived client sees results
-// while it is still sending scenarios.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
+// while it is still sending scenarios. The stream ends early when the
+// client goes away (a failed write or flush) or the session is closed
+// (DELETE /v1/sessions/{name} while streaming).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
+	// The evaluation context dies with the request OR the session: closing
+	// the session mid-stream cancels ctx, which tears down Engine.Stream's
+	// goroutine and ends the response.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-sess.Done():
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
 	in := make(chan *hypo.Scenario)
-	results := s.engine.Stream(ctx, in)
+	results := sess.Engine().Stream(ctx, in)
 
 	// Feed the engine from the body. The read error is mutex-guarded: on
 	// context cancellation the results channel can close while the reader
@@ -138,7 +435,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer close(in)
 		scan := bufio.NewScanner(r.Body)
-		scan.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+		// Scanner enforces max(cap(buf), limit), so the initial buffer must
+		// not exceed the configured line limit.
+		bufCap := 64 * 1024
+		if int(s.maxLine) < bufCap {
+			bufCap = int(s.maxLine)
+		}
+		scan.Buffer(make([]byte, 0, bufCap), int(s.maxLine))
 		for scan.Scan() {
 			line := bytes.TrimSpace(scan.Bytes())
 			if len(line) == 0 {
@@ -155,13 +458,32 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		setReadErr(scan.Err())
+		if err := scan.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				err = fmt.Errorf("scenario line exceeds the %d-byte limit: %w", s.maxLine, err)
+			}
+			setReadErr(err)
+		}
 	}()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Headers are deferred until the first result so a body that fails
+	// before producing anything (an oversized first line, say) can still
+	// get a proper error status instead of a 200 with a trailing error.
 	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	// An HTTP/1 server drains the unread request body before its first
+	// response write; without full duplex an interactive client that keeps
+	// its request open would deadlock the first flush. (HTTP/2 is duplex
+	// already and reports ErrNotSupported — safe to ignore.)
+	if err := rc.EnableFullDuplex(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		s.logger.Printf("server: %s %s: full duplex: %v", r.Method, r.URL.Path, err)
+	}
+	wrote := false
 	for res := range results {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			wrote = true
+		}
 		line := streamLine{Index: res.Index}
 		if res.Err != nil {
 			line.Error = res.Err.Error()
@@ -169,17 +491,33 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			line.Answers = toAnswerJSON(res.Answers)
 		}
 		if err := enc.Encode(line); err != nil {
-			return // client went away
+			s.logger.Printf("server: %s %s: stream write: %v", r.Method, r.URL.Path, err)
+			return // client went away; cancel() stops the evaluation loop
 		}
-		if flusher != nil {
-			flusher.Flush()
+		// A failed flush is the earliest reliable dead-client signal for
+		// NDJSON; stop evaluating instead of churning through the batch.
+		if err := rc.Flush(); err != nil {
+			s.logger.Printf("server: %s %s: stream flush: %v", r.Method, r.URL.Path, err)
+			return
 		}
 	}
 	readMu.Lock()
 	err := readErr
 	readMu.Unlock()
-	if err != nil {
-		enc.Encode(map[string]string{"error": err.Error()})
+	if err == nil {
+		return
+	}
+	if !wrote {
+		// Nothing streamed yet: a real status line is still possible.
+		status := http.StatusBadRequest
+		if errors.Is(err, bufio.ErrTooLong) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, r, status, err)
+		return
+	}
+	if encErr := enc.Encode(map[string]string{"error": err.Error()}); encErr != nil {
+		s.logger.Printf("server: %s %s: stream terminal error write: %v", r.Method, r.URL.Path, encErr)
 	}
 }
 
@@ -192,15 +530,14 @@ type compressRequest struct {
 	TimeoutMS int64   `json:"timeout_ms,omitempty"` // summarize
 }
 
-func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
 	var req compressRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLineBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad compress request: %w", err))
+	if !s.decodeJSON(w, r, s.maxLine, &req, "compress request") {
 		return
 	}
 	strategy, err := session.ParseStrategy(req.Strategy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts := []session.CompressOption{session.WithStrategy(strategy)}
@@ -213,12 +550,13 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		opts = append(opts, session.WithTimeout(time.Duration(req.TimeoutMS)*time.Millisecond))
 	}
-	comp, err := s.engine.Compress(req.Bound, opts...)
+	comp, err := sess.Engine().Compress(req.Bound, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := map[string]any{
+		"session":       sess.Name(),
 		"strategy":      comp.Strategy,
 		"monomial_loss": comp.ML,
 		"variable_loss": comp.VL,
@@ -230,9 +568,9 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 	if comp.VVS != nil {
 		resp["vvs"] = comp.VVS.Labels()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
+	s.writeJSON(w, r, http.StatusOK, sess.Engine().Stats())
 }

@@ -10,26 +10,49 @@ import (
 
 	"provabs/internal/abstree"
 	"provabs/internal/provenance"
+	"provabs/internal/registry"
 	"provabs/internal/session"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *session.Engine) {
+// testSet builds the one-polynomial set used across the server tests; its
+// months m1/m3 abstract into q1 under testForest.
+func testSet(t *testing.T) *provenance.Set {
 	t.Helper()
 	vb := provenance.NewVocab()
 	set := provenance.NewSet(vb)
 	set.Add("zip 10001", provenance.MustParse(vb,
 		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3"))
+	return set
+}
+
+func testForest(t *testing.T) *abstree.Forest {
+	t.Helper()
 	forest, err := abstree.NewForest(abstree.MustParseTree("Year(q1(m1,m3))"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := session.Open(set, forest)
+	return forest
+}
+
+// newRegistryServer starts a server over a fresh registry with no sessions.
+func newRegistryServer(t *testing.T, opts ...Option) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg := registry.New()
+	ts := httptest.NewServer(New(reg, opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+// newTestServer starts a server whose registry holds one default session
+// named "default" — the shape the legacy unversioned routes alias onto.
+func newTestServer(t *testing.T) (*httptest.Server, *session.Engine) {
+	t.Helper()
+	ts, reg := newRegistryServer(t)
+	sess, err := reg.Create("default", testSet(t), testForest(t))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(e).Handler())
-	t.Cleanup(ts.Close)
-	return ts, e
+	return ts, sess.Engine()
 }
 
 func TestWhatIfEndpoint(t *testing.T) {

@@ -229,6 +229,30 @@ type Stats struct {
 	StreamMaxBatch  int64  `json:"stream_max_batch"` // largest Stream micro-batch so far
 }
 
+// Accumulate adds o's sizes and counters into s, so a multi-session
+// registry can report one aggregate across engines. Numeric fields sum;
+// StreamMaxBatch takes the maximum; the qualitative per-session fields
+// (Compressed, Strategy, Adequate, the loss figures) describe one
+// compression outcome and are deliberately left alone — they do not
+// aggregate meaningfully.
+func (s *Stats) Accumulate(o Stats) {
+	s.Polynomials += o.Polynomials
+	s.Monomials += o.Monomials
+	s.Variables += o.Variables
+	s.SourceMonomials += o.SourceMonomials
+	s.Scenarios += o.Scenarios
+	s.Batches += o.Batches
+	s.Compiles += o.Compiles
+	s.Added += o.Added
+	s.DeltaEvals += o.DeltaEvals
+	s.FullEvals += o.FullEvals
+	s.ShardedEvals += o.ShardedEvals
+	s.StreamBatches += o.StreamBatches
+	if o.StreamMaxBatch > s.StreamMaxBatch {
+		s.StreamMaxBatch = o.StreamMaxBatch
+	}
+}
+
 // Stats reports the session's current shape and counters. Compiles counts
 // actual compilations observed — a healthy steady state holds it constant
 // across evaluations.

@@ -45,9 +45,29 @@
 //
 // Engine.WhatIfBatch evaluates many scenarios in parallel against one
 // cached compilation, and Engine.Stream answers scenarios as they arrive
-// on a channel. The same surface is served over HTTP by `provabs serve`
-// (see internal/server): POST /whatif, a streaming NDJSON /whatif/stream,
-// and GET /stats.
+// on a channel.
+//
+// # Multi-session registry and the v1 server
+//
+// One process can host many named sessions — several provenance files or
+// tenants, each with its own abstraction, cached compilation and counters —
+// through a Registry:
+//
+//	reg := provabs.OpenRegistry()
+//	telco, _ := reg.Create("telco", telcoSet, telcoForest) // first = default
+//	q5, _ := reg.Create("q5", q5Set, q5Forest)
+//	telco.Engine().Compress(5000)
+//	answers, _ := q5.Engine().WhatIf(scenario)
+//	agg := reg.Stats() // aggregate counters across every session
+//	reg.Close("q5")    // tears down the session's live scenario streams
+//
+// `provabs serve` (see internal/server) exposes the registry as a
+// versioned, resource-oriented HTTP API mounted at /v1: POST/GET
+// /v1/sessions, GET|DELETE /v1/sessions/{name}, POST
+// /v1/sessions/{name}/whatif (+ a streaming NDJSON /whatif/stream), POST
+// /v1/sessions/{name}/compress, GET /v1/sessions/{name}/stats and the
+// aggregated GET /v1/stats. The pre-registry unversioned routes remain as
+// deprecated aliases onto the default session.
 //
 // The free functions Optimal, Greedy, BruteForce, Summarize and
 // OnlineCompress predate the Engine and remain as thin deprecated wrappers
@@ -91,6 +111,7 @@ import (
 	"provabs/internal/core"
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
+	"provabs/internal/registry"
 	"provabs/internal/sampling"
 	"provabs/internal/session"
 	"provabs/internal/summarize"
@@ -177,11 +198,39 @@ const (
 	StrategyOnline = session.StrategyOnline
 )
 
+// Multi-session registry (internal/registry).
+type (
+	// Registry owns many named session Engines in one process — one per
+	// provenance set / tenant — with a full lifecycle and aggregate stats.
+	Registry = registry.Registry
+	// RegistrySession is one named session: an Engine plus its registry
+	// lifecycle (Name, Created, Done on close).
+	RegistrySession = registry.Session
+	// AggregateStats is the registry-wide stats view: per-session snapshots
+	// plus cross-session totals.
+	AggregateStats = registry.AggregateStats
+)
+
+// Registry lookup errors, matched with errors.Is.
+var (
+	// ErrSessionExists reports a Create against a name already in use.
+	ErrSessionExists = registry.ErrExists
+	// ErrSessionNotFound reports a lookup of an unknown session name.
+	ErrSessionNotFound = registry.ErrNotFound
+	// ErrNoDefaultSession reports that no default session is designated.
+	ErrNoDefaultSession = registry.ErrNoDefault
+)
+
 // Open starts a session Engine over the set. forest may be nil for an
 // evaluation-only session; otherwise it is validated against the set.
 func Open(set *Set, forest *Forest, opts ...Option) (*Engine, error) {
 	return session.Open(set, forest, opts...)
 }
+
+// OpenRegistry returns an empty multi-session registry. Create named
+// sessions on it (the first becomes the default) and serve it with
+// internal/server or use it directly.
+func OpenRegistry() *Registry { return registry.New() }
 
 // ParseStrategy resolves a strategy name ("optimal", "greedy", "brute",
 // "summarize", "online" and their aliases).

@@ -2,6 +2,7 @@ package provabs_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -154,6 +155,73 @@ func TestFacadeCompiledBatch(t *testing.T) {
 	}
 	if tagged[0][0].Tag != "10001" || tagged[0][1].Tag != "10002" {
 		t.Errorf("tags = %q, %q", tagged[0][0].Tag, tagged[0][1].Tag)
+	}
+}
+
+// TestFacadeRegistry drives the multi-session registry through the public
+// facade: named sessions with independent engines, default designation,
+// aggregate stats and lifecycle errors.
+func TestFacadeRegistry(t *testing.T) {
+	mkSet := func(tag string) *provabs.Set {
+		vb := provabs.NewVocab()
+		set := provabs.NewSet(vb)
+		set.Add(tag, provabs.MustParse(vb, "220.8·p1·m1 + 240·p1·m3"))
+		return set
+	}
+	reg := provabs.OpenRegistry()
+	forest, err := provabs.NewForest(provabs.MustParseTree("Year(q1(m1,m3))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reg.Create("a", mkSet("pa"), forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("b", mkSet("pb"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("a", mkSet("dup"), nil); !errors.Is(err, provabs.ErrSessionExists) {
+		t.Errorf("duplicate Create: %v, want ErrSessionExists", err)
+	}
+	if def, err := reg.Default(); err != nil || def.Name() != "a" {
+		t.Errorf("Default = %v, %v, want session a", def, err)
+	}
+
+	// The sessions are independent engines: compressing one leaves the
+	// other's provenance untouched, and both answer what-ifs.
+	if _, err := a.Engine().Compress(1); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Engine().Stats(); !st.Compressed || st.Monomials != 1 {
+		t.Errorf("session a stats = %+v, want compressed to 1 monomial", st)
+	}
+	b, err := reg.Get("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Engine().Stats(); st.Compressed || st.Monomials != 2 {
+		t.Errorf("session b stats = %+v, want uncompressed 2 monomials", st)
+	}
+	if _, err := a.Engine().WhatIf(provabs.NewScenario().Set("q1", 0.5)); err != nil {
+		t.Errorf("session a on meta-variable: %v", err)
+	}
+	if _, err := b.Engine().WhatIf(provabs.NewScenario().Set("m1", 0.5)); err != nil {
+		t.Errorf("session b on month: %v", err)
+	}
+
+	agg := reg.Stats()
+	if agg.Sessions != 2 || agg.Totals.Scenarios != 2 || agg.Totals.Compiles != 2 {
+		t.Errorf("aggregate = %d sessions / %d scenarios / %d compiles, want 2/2/2",
+			agg.Sessions, agg.Totals.Scenarios, agg.Totals.Compiles)
+	}
+	if agg.PerSession["a"].Scenarios != 1 || agg.PerSession["b"].Scenarios != 1 {
+		t.Errorf("per-session scenarios = %+v, want 1 each", agg.PerSession)
+	}
+	if err := reg.Close("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("b"); !errors.Is(err, provabs.ErrSessionNotFound) {
+		t.Errorf("Get after Close: %v, want ErrSessionNotFound", err)
 	}
 }
 
