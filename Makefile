@@ -4,8 +4,10 @@
 #                      total-coverage summary (the CI gate)
 #   make test        — the full (slow) test suite, as tier-1 verify runs it
 #   make bench       — go-test microbenchmarks plus the provbench paper
-#                      tables and the delta-kernel report (BENCH_3.json),
-#                      so the perf trajectory reproduces with one command
+#                      tables, the delta-kernel report (BENCH_3.json) and
+#                      the planner report (BENCH_5.json), then benchdiff
+#                      gates the series the two reports share — the perf
+#                      trajectory reproduces and self-checks in one command
 #   make bench-smoke — every benchmark once (-benchtime=1x), the CI guard
 #                      against benchmarks silently rotting
 #   make serve       — generate demo provenance (if needed) and start the
@@ -34,6 +36,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/provbench
 	$(GO) run ./cmd/provbench -experiment delta -json BENCH_3.json
+	$(GO) run ./cmd/provbench -experiment planner -json BENCH_5.json
+	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
+		-series batch100-sparse,batch100-sparse-nodelta BENCH_3.json BENCH_5.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

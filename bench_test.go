@@ -579,3 +579,84 @@ func itoa(i int) string {
 	}
 	return string(buf[n:])
 }
+
+// BenchmarkCompiledAppend measures the incremental-compile path: one
+// Set.Add folded into the live Compiled (index and baseline patched in
+// place) versus the pre-incremental invalidate-and-recompile. The set is
+// re-cloned outside the timer every few thousand ops so a long -benchtime
+// run cannot grow it without bound; BENCH_5.json records the same
+// comparison on the full workloads via `provbench -experiment planner`.
+func BenchmarkCompiledAppend(b *testing.B) {
+	w := load(b, "telco")
+	leafA, okA := w.Set.Vocab.Lookup("pl0")
+	leafB, okB := w.Set.Vocab.Lookup("pl1")
+	if !okA || !okB {
+		b.Fatal("telco workload is missing pl0/pl1")
+	}
+	poly := provenance.NewPolynomial()
+	poly.AddTerm(2, leafA)
+	poly.AddTerm(3, leafA, leafB)
+	for name, rebuild := range map[string]bool{"append": false, "rebuild": true} {
+		b.Run(name, func(b *testing.B) {
+			var set *provenance.Set
+			for i := 0; i < b.N; i++ {
+				if i%4096 == 0 {
+					b.StopTimer()
+					set = w.Set.Clone()
+					c := set.Compiled()
+					c.NewDeltaEval()
+					c.Baseline()
+					b.StartTimer()
+				}
+				set.Add("bench", poly)
+				if rebuild {
+					set.InvalidateCompiled()
+				}
+				set.Compiled()
+			}
+		})
+	}
+}
+
+// BenchmarkChainedStream measures a correlated what-if stream through the
+// chained batch path (delta against the previous scenario's answers)
+// against the identity-baseline delta path — the Engine.Stream micro-batch
+// comparison BENCH_5.json records as stream-chained vs stream-identity.
+func BenchmarkChainedStream(b *testing.B) {
+	w := load(b, "telco")
+	compiled := w.Set.Compile()
+	compiled.Baseline()
+	names := make([]string, 0, 4)
+	for i := 0; len(names) < 4 && i < 128; i++ {
+		if _, ok := w.Set.Vocab.Lookup("pl" + itoa(i)); ok {
+			names = append(names, "pl"+itoa(i))
+		}
+	}
+	if len(names) < 4 {
+		b.Fatal("telco workload has fewer than 4 leaf variables")
+	}
+	cur := map[string]float64{}
+	for i, name := range names {
+		cur[name] = 0.5 + float64(i)/8
+	}
+	scenarios := make([]*hypo.Scenario, 100)
+	for i := range scenarios {
+		cur[names[i%len(names)]] = 0.5 + float64(i%9)/8
+		sc := hypo.NewScenario()
+		for k, v := range cur {
+			sc.Set(k, v)
+		}
+		scenarios[i] = sc
+	}
+	for name, chain := range map[string]bool{"chained": true, "identity": false} {
+		opts := hypo.BatchOptions{Workers: 1, DeltaCutoff: 0.99, Chain: chain}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hypo.EvalBatch(compiled, scenarios, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

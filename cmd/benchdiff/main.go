@@ -1,0 +1,162 @@
+// Command benchdiff compares two BENCH_*.json reports and fails (exit 1)
+// when a named series regressed beyond the tolerance — the CI guard that
+// keeps the recorded perf trajectory honest across PRs.
+//
+//	benchdiff -series batch100-sparse,full-eval OLD.json NEW.json
+//	benchdiff -tolerance 0.25 BENCH_3.json BENCH_5.json
+//
+// A series is any benchmark entry (an object carrying "ns_per_op") found
+// anywhere in the report, keyed by its workload and benchmark name
+// ("telco/batch100-sparse"). -series selects benchmark names to gate
+// (default: every name present in both files); a gated name must exist in
+// both files for at least one workload, so a renamed or silently dropped
+// benchmark fails the diff instead of passing unnoticed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metric is the ns/op payload of one benchmark entry.
+type metric struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// collect walks an arbitrary BENCH_*.json structure and gathers every
+// object with an "ns_per_op" field, keyed by its path with the fixed
+// structural segments ("workloads", "benchmarks") dropped — BENCH_3's
+// workloads/telco/benchmarks/full-eval becomes "telco/full-eval".
+func collect(v any, path []string, out map[string]metric) {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	if ns, ok := obj["ns_per_op"].(float64); ok {
+		var parts []string
+		for _, p := range path {
+			if p != "workloads" && p != "benchmarks" {
+				parts = append(parts, p)
+			}
+		}
+		out[strings.Join(parts, "/")] = metric{NsPerOp: ns}
+		return
+	}
+	for k, child := range obj {
+		collect(child, append(path, k), out)
+	}
+}
+
+func loadReport(path string) (map[string]metric, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]metric{}
+	collect(v, nil, out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries (objects with ns_per_op) found", path)
+	}
+	return out, nil
+}
+
+// benchName is the benchmark part of a "workload/benchmark" key.
+func benchName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.25,
+		"maximum allowed ns/op growth of a gated series (0.25 = +25%)")
+	seriesFlag := flag.String("series", "",
+		"comma-separated benchmark names to gate (default: every name present in both reports)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-tolerance F] [-series a,b,...] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := loadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := loadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	gated := map[string]bool{}
+	if *seriesFlag != "" {
+		for _, s := range strings.Split(*seriesFlag, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				gated[s] = true
+			}
+		}
+	}
+
+	var keys []string
+	for key := range oldRep {
+		if _, ok := newRep[key]; !ok {
+			continue
+		}
+		if len(gated) > 0 && !gated[benchName(key)] {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	// Every explicitly gated name must be matched somewhere, or the gate
+	// is rotten (a benchmark was renamed or dropped).
+	matched := map[string]bool{}
+	for _, key := range keys {
+		matched[benchName(key)] = true
+	}
+	failed := false
+	for name := range gated {
+		if !matched[name] {
+			fmt.Fprintf(os.Stderr, "benchdiff: gated series %q not present in both reports\n", name)
+			failed = true
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable series between the two reports")
+		failed = true
+	}
+
+	fmt.Printf("%-40s %14s %14s %9s\n", "series", "old ns/op", "new ns/op", "delta")
+	for _, key := range keys {
+		o, n := oldRep[key].NsPerOp, newRep[key].NsPerOp
+		delta := 0.0
+		if o > 0 {
+			delta = n/o - 1
+		}
+		status := ""
+		if o > 0 && n > o*(1+*tolerance) {
+			status = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+8.1f%%%s\n", key, o, n, delta*100, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (tolerance %+.0f%%)\n", *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok (%d series within %+.0f%%)\n", len(keys), *tolerance*100)
+}

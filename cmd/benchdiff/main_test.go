@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write puts a small BENCH-shaped report on disk.
+func write(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldReport = `{"gomaxprocs":1,"workloads":{"telco":{"benchmarks":{
+  "batch100-sparse":{"ns_per_op":1000,"allocs_per_op":400},
+  "full-eval":{"ns_per_op":500}}}}}`
+
+// TestCollect exercises the pure walking/keying logic directly.
+func TestCollect(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := loadReport(write(t, dir, "old.json", oldReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := rep["telco/batch100-sparse"]; !ok || m.NsPerOp != 1000 {
+		t.Fatalf("collected %v, want telco/batch100-sparse @ 1000", rep)
+	}
+	if m, ok := rep["telco/full-eval"]; !ok || m.NsPerOp != 500 {
+		t.Fatalf("collected %v, want telco/full-eval @ 500", rep)
+	}
+	if _, err := loadReport(write(t, dir, "empty.json", `{"nothing":1}`)); err == nil {
+		t.Fatal("report without benchmark entries accepted")
+	}
+}
+
+// run builds nothing: it executes the command via `go run .` so the test
+// covers flag handling and exit codes end to end.
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), code
+}
+
+func TestBenchdiffEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json", oldReport)
+	okPath := write(t, dir, "ok.json", `{"workloads":{"telco":{"benchmarks":{
+	  "batch100-sparse":{"ns_per_op":1100},"full-eval":{"ns_per_op":400}}}}}`)
+	badPath := write(t, dir, "bad.json", `{"workloads":{"telco":{"benchmarks":{
+	  "batch100-sparse":{"ns_per_op":2000},"full-eval":{"ns_per_op":400}}}}}`)
+
+	out, code := run(t, oldPath, okPath)
+	if code != 0 {
+		t.Fatalf("within-tolerance diff failed (%d):\n%s", code, out)
+	}
+	out, code = run(t, oldPath, badPath)
+	if code != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("2x regression passed (%d):\n%s", code, out)
+	}
+	// A generous tolerance lets the same regression through.
+	out, code = run(t, "-tolerance", "1.5", oldPath, badPath)
+	if code != 0 {
+		t.Fatalf("regression within raised tolerance failed (%d):\n%s", code, out)
+	}
+	// Gating a series missing from one report must fail, not silently pass.
+	out, code = run(t, "-series", "renamed-away", oldPath, okPath)
+	if code != 1 || !strings.Contains(out, "renamed-away") {
+		t.Fatalf("missing gated series passed (%d):\n%s", code, out)
+	}
+	// Gating only the healthy series ignores the regressed one.
+	out, code = run(t, "-series", "full-eval", oldPath, badPath)
+	if code != 0 {
+		t.Fatalf("gated healthy series failed (%d):\n%s", code, out)
+	}
+}

@@ -283,7 +283,7 @@ func cmdWhatif(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for -scenarios generation")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	deltaCutoff := fs.Float64("delta-cutoff", 0,
-		"delta-vs-full density cutoff (0 = default, negative = always evaluate in full)")
+		"delta-vs-full density cutoff (0 = adaptive, learned from observed timings; >0 = static fraction; negative = always evaluate in full)")
 	sparse := fs.Float64("sparse", 0.5, "fraction of variables each generated scenario assigns")
 	top := fs.Int("top", 5, "print at most this many answers of the first scenario (0 = none)")
 	fs.Parse(args)
@@ -340,8 +340,12 @@ func cmdWhatif(args []string) error {
 	fmt.Printf("evaluated %d scenarios in %v (%.0f scenarios/s, %.0f answers/s)\n",
 		len(rows), elapsed, perSec, perSec*float64(compiled.Len()))
 	st := eng.Stats()
-	fmt.Printf("paths: %d delta, %d full, %d sharded\n",
-		st.DeltaEvals, st.FullEvals, st.ShardedEvals)
+	fmt.Printf("paths: %d delta, %d chained, %d full, %d sharded\n",
+		st.DeltaEvals, st.ChainedEvals, st.FullEvals, st.ShardedEvals)
+	if st.AdaptiveCutoff > 0 {
+		fmt.Printf("adaptive cutoff: %.3f (delta %.2f ns/term, full %.2f ns/term)\n",
+			st.AdaptiveCutoff, st.DeltaNsPerTerm, st.FullNsPerTerm)
+	}
 	if *top > 0 && len(rows) > 0 {
 		first := append([]hypo.Answer(nil), rows[0]...)
 		sort.Slice(first, func(i, j int) bool { return first[i].Value > first[j].Value })

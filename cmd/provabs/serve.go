@@ -61,7 +61,7 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", time.Minute, "ainy: cutoff")
 	workers := fs.Int("workers", 0, "worker pool size per session (0 = GOMAXPROCS)")
 	deltaCutoff := fs.Float64("delta-cutoff", 0,
-		"delta-vs-full density cutoff (0 = default, negative = always evaluate in full)")
+		"delta-vs-full density cutoff (0 = adaptive, learned from observed timings; >0 = static fraction; negative = always evaluate in full)")
 	streamBuffer := fs.Int("stream-buffer", 0,
 		"output buffer of whatif/stream so slow clients don't stall evaluation (0 = batch size)")
 	streamBatch := fs.Int("stream-batch", 0,

@@ -7,7 +7,8 @@
 //
 //	provbench                         # run everything at CI scale
 //	provbench -experiment fig5        # one experiment
-//	provbench -experiment delta -json BENCH_3.json   # delta-kernel report
+//	provbench -experiment delta -json BENCH_3.json     # delta-kernel report
+//	provbench -experiment planner -json BENCH_5.json   # planner report
 //	provbench -workloads Q5,telco     # restrict the workload panels
 //	provbench -tpch-sf 0.02 -telco-customers 20000   # larger scale
 //	provbench -csv                    # machine-readable output
@@ -27,7 +28,8 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all",
 		"all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig14, table1, table2, "+
-			"or delta (the BENCH_3 delta-kernel report; not part of all)")
+			"delta (the BENCH_3 delta-kernel report) or planner (the BENCH_5 "+
+			"self-tuning planner report); delta and planner are not part of all")
 	workloadsFlag := flag.String("workloads", "Q5,Q10,Q1,telco", "comma-separated workload panels")
 	tpchSF := flag.Float64("tpch-sf", 0.002, "TPC-H scale factor")
 	telcoCustomers := flag.Int("telco-customers", 800, "telco customers")
@@ -38,7 +40,7 @@ func main() {
 	ainyTimeout := flag.Duration("ainy-timeout", 30*time.Second, "competitor cutoff (paper: 24h)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.String("json", "",
-		"delta experiment: also write the machine-readable report (BENCH_3.json) to this file")
+		"delta/planner experiments: also write the machine-readable report (BENCH_3.json / BENCH_5.json) to this file")
 	flag.Parse()
 
 	sc := bench.Scale{
@@ -152,10 +154,22 @@ func main() {
 			emit(bench.GreedyQuality(w, []int{1, 2, 3, 4, 5, 6, 7}))
 		}
 	}
-	// The delta-kernel report is explicitly requested (never part of "all":
-	// `make bench` runs it as its own step) and runs at its own, sparser
-	// scale so the recorded numbers are reproducible regardless of the
-	// sweep flags.
+	// The delta-kernel and planner reports are explicitly requested (never
+	// part of "all": `make bench` runs them as their own steps) and run at
+	// their own, sparser scale so the recorded numbers are reproducible
+	// regardless of the sweep flags.
+	writeJSON := func(data []byte, err error) {
+		if err == nil && *jsonOut != "" {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "provbench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "" {
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+	}
 	if *experiment == "delta" {
 		rep, err := bench.RunDeltaBench(bench.DeltaScale())
 		if err != nil {
@@ -163,16 +177,15 @@ func main() {
 			os.Exit(1)
 		}
 		emit(rep.Table(), nil)
-		if *jsonOut != "" {
-			out, err := rep.JSON()
-			if err == nil {
-				err = os.WriteFile(*jsonOut, out, 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "provbench:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n", *jsonOut)
+		writeJSON(rep.JSON())
+	}
+	if *experiment == "planner" {
+		rep, err := bench.RunPlannerBench(bench.DeltaScale())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "provbench:", err)
+			os.Exit(1)
 		}
+		emit(rep.Table(), nil)
+		writeJSON(rep.JSON())
 	}
 }

@@ -146,8 +146,10 @@ func TestEngineStrategyParityWithFreeFunctions(t *testing.T) {
 	}
 }
 
-// TestEngineAddThenBatch is the facade-level cache-invalidation regression:
-// WhatIfBatch after Add must see the new polynomial.
+// TestEngineAddThenBatch is the facade-level incremental-compile pin: every
+// WhatIfBatch after an Add must see the new polynomial, and an Add-heavy
+// Add+WhatIf loop must never trigger a recompilation — the compiled form is
+// extended in place (Compiles stays at 1).
 func TestEngineAddThenBatch(t *testing.T) {
 	vb, set, forest := engineFixture(t)
 	eng, err := provabs.Open(set, forest)
@@ -161,16 +163,20 @@ func TestEngineAddThenBatch(t *testing.T) {
 	if len(rows[0]) != 1 {
 		t.Fatalf("baseline answers = %d, want 1", len(rows[0]))
 	}
-	eng.Add("10002", provabs.MustParse(vb, "7·p1·m1 + 3·p1·m3"))
-	rows, err = eng.WhatIfBatch([]*provabs.Scenario{provabs.NewScenario()})
-	if err != nil {
-		t.Fatal(err)
+	for i := 0; i < 8; i++ {
+		eng.Add(fmt.Sprintf("1000%d", i+2), provabs.MustParse(vb, "7·p1·m1 + 3·p1·m3"))
+		rows, err = eng.WhatIfBatch([]*provabs.Scenario{provabs.NewScenario()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows[0]) != i+2 || rows[0][i+1].Value != 10 {
+			t.Fatalf("after Add %d: %d answers (%+v), want %d with last = 10",
+				i+1, len(rows[0]), rows[0], i+2)
+		}
 	}
-	if len(rows[0]) != 2 || rows[0][1].Value != 10 {
-		t.Fatalf("after Add: %+v, want second answer 10", rows[0])
-	}
-	if st := eng.Stats(); st.Compiles != 2 || st.Added != 1 {
-		t.Errorf("stats = %+v, want 2 compiles and 1 add", st)
+	if st := eng.Stats(); st.Compiles != 1 || st.Added != 8 {
+		t.Errorf("Compiles = %d, Added = %d; want the Add+WhatIf loop to append in place (1 compile, 8 adds)",
+			st.Compiles, st.Added)
 	}
 }
 

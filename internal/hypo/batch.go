@@ -6,34 +6,84 @@ package hypo
 // companion) optimizes for — compress once, then answer a stream of
 // what-ifs.
 //
-// Two routing decisions happen per batch. Per scenario, the evaluator picks
-// between the delta path (recompute only the polynomials the scenario's
-// assignments can affect, copy cached baseline values for the rest — see
-// provenance.EvalDelta) and full evaluation, based on how many terms the
-// affected polynomials own relative to DeltaCutoff. Per batch, when there
+// Three routing decisions happen per batch. Per scenario, the evaluator
+// picks between the delta path (recompute only the polynomials the
+// scenario's assignments can affect, copy cached answers for the rest — see
+// provenance.EvalDelta) and full evaluation; the cutoff is either a static
+// affected-term fraction (BatchOptions.DeltaCutoff > 0) or, by default, a
+// tiny online cost model — EWMAs of the observed ns/term on each path,
+// kept in BatchCounters — that learns where the crossover actually is on
+// this machine and workload. Per scenario on a chained batch
+// (BatchOptions.Chain), the delta base is chosen too: against the identity
+// baseline, or against the previous scenario's answers when the symmetric
+// difference of consecutive valuations is sparser than the scenario itself
+// (correlated streams differ by a variable or two). Per batch, when there
 // are fewer scenarios than workers, the spare cores move *inside* each
 // scenario: the polynomial range (or the affected set) is sharded across
 // the pool, so a single huge scenario no longer runs on one core.
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"provabs/internal/provenance"
 )
 
 // DefaultDeltaCutoff is the affected-term density above which a scenario is
-// evaluated in full rather than via the delta path: at half the terms, the
-// saved multiplies still comfortably dominate the baseline copy.
+// evaluated in full rather than via the delta path while the adaptive cost
+// model has no observations yet (and the static fraction used when
+// adaptivity is unavailable): at half the terms, the saved multiplies still
+// comfortably dominate the baseline copy.
 const DefaultDeltaCutoff = 0.5
 
 // shardMinTerms is the smallest amount of recomputation worth splitting
 // across goroutines; below it, spawn-and-join overhead dominates.
 const shardMinTerms = 2048
+
+// probeInterval is the adaptive cost model's exploration cadence once the
+// model is complete (both per-term estimates observed): every
+// probeInterval-th routed scenario runs the path the model did *not* pick,
+// so neither EWMA goes stale. While the model is still incomplete it
+// probes faster, at warmupProbeInterval, but only for the first
+// warmupProbeCap routing decisions: a workload that has produced no
+// observable sample for one path by then (a uniformly sparse stream never
+// yields a delta timing worth folding in, see observeDivisor) will not
+// start doing so, and probing it forever would force a pointless full
+// evaluation of the whole set every 37th scenario — the model instead
+// settles on the bootstrap static cutoff at zero ongoing cost, completing
+// later only if the workload shifts. Both intervals are prime so the
+// cadence cannot alias with a periodically structured batch (with an even
+// interval, an alternating sparse/dense workload would have every probe
+// land on the same kind of scenario).
+const probeInterval = 257
+const warmupProbeInterval = 37
+const warmupProbeCap = 8 * warmupProbeInterval
+
+// timeSample thins the model's clock reads: one in timeSample evaluations
+// is timed (probes always are), so sub-microsecond evaluations do not pay
+// two time.Now calls each.
+const timeSample = 8
+
+// observeDivisor sets the floor below which a delta evaluation is too small
+// to inform the per-term estimate: only evals recomputing at least
+// Size/observeDivisor terms are observed. Tiny affected sets are dominated
+// by the fixed baseline copy and index walk, and folding their inflated
+// ns/term into the EWMA would talk the model out of the delta path exactly
+// where it matters — on mid-density scenarios.
+const observeDivisor = 16
+
+// ewmaAlpha weights a new ns/term observation into the running estimate.
+const ewmaAlpha = 0.25
+
+// maxChainOrder bounds the greedy overlap ordering, which is quadratic in
+// the batch size; larger chained batches keep arrival order.
+const maxChainOrder = 128
 
 // BatchOptions tunes EvalBatch. The zero value is ready to use.
 type BatchOptions struct {
@@ -43,23 +93,85 @@ type BatchOptions struct {
 	// turns inward and shards each scenario's polynomial range instead.
 	Workers int
 
-	// DeltaCutoff routes scenarios between delta and full evaluation: a
-	// scenario takes the delta path when the polynomials its assignments
-	// affect own at most this fraction of the set's terms. 0 means
-	// DefaultDeltaCutoff; negative disables the delta path entirely.
+	// DeltaCutoff routes scenarios between delta and full evaluation. A
+	// positive value is a static fraction: a scenario takes the delta path
+	// when the polynomials its assignments affect own at most this fraction
+	// of the set's terms. 0 selects the adaptive cost model (per-scenario
+	// routing from the observed ns/term of each path, bootstrapped at
+	// DefaultDeltaCutoff; requires Counters, which hold the model's state —
+	// without them 0 behaves like the static default). Negative disables
+	// the delta path entirely.
 	DeltaCutoff float64
 
+	// Chain evaluates the batch as a correlated stream: scenarios are
+	// greedily reordered by assignment overlap (answers still come back in
+	// input order) and each one may be delta-evaluated against the previous
+	// scenario's answers instead of the identity baseline, whenever the
+	// valuation diff is sparser than the scenario itself. Engine.Stream
+	// sets this for every micro-batch.
+	Chain bool
+
 	// Counters, when non-nil, accumulates per-evaluation accounting across
-	// calls (the session Engine surfaces them via Stats).
+	// calls (the session Engine surfaces them via Stats) and carries the
+	// adaptive cost model's state.
 	Counters *BatchCounters
 }
 
-// BatchCounters counts how scenarios were evaluated. All fields are safe
-// for concurrent use and accumulate across batches.
+// ewma is an atomic exponentially weighted moving average; the zero value
+// is "no observations yet" (Load returns 0).
+type ewma struct{ bits atomic.Uint64 }
+
+func (e *ewma) Load() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+// Observe folds one sample into the average (the first sample seeds it).
+func (e *ewma) Observe(x float64) {
+	for {
+		old := e.bits.Load()
+		next := x
+		if old != 0 {
+			cur := math.Float64frombits(old)
+			next = cur + ewmaAlpha*(x-cur)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// BatchCounters counts how scenarios were evaluated and carries the
+// adaptive routing model. All fields are safe for concurrent use and
+// accumulate across batches; a session Engine owns one for its lifetime.
 type BatchCounters struct {
-	DeltaEvals   atomic.Int64 // scenarios answered via the sparse delta path
+	DeltaEvals   atomic.Int64 // scenarios answered via the identity-baseline delta path
+	ChainedEvals atomic.Int64 // scenarios answered via a delta against the previous scenario's answers
 	FullEvals    atomic.Int64 // scenarios answered by full re-evaluation
 	ShardedEvals atomic.Int64 // scenarios whose evaluation was split across goroutines
+
+	deltaNsPerTerm ewma         // observed cost of recomputing one affected term
+	fullNsPerTerm  ewma         // observed cost of one term on the full path
+	routed         atomic.Int64 // adaptive routing decisions, drives probing
+}
+
+// DeltaNsPerTerm reports the adaptive model's current estimate of the cost
+// of one recomputed term on the delta path (0 before any observation).
+func (bc *BatchCounters) DeltaNsPerTerm() float64 { return bc.deltaNsPerTerm.Load() }
+
+// FullNsPerTerm reports the estimated cost of one term on the full path
+// (0 before any observation).
+func (bc *BatchCounters) FullNsPerTerm() float64 { return bc.fullNsPerTerm.Load() }
+
+// AdaptiveCutoff reports the affected-term fraction at which the model
+// currently estimates delta and full evaluation to cost the same — the
+// learned replacement for the static DeltaCutoff. 0 means the model has
+// not yet observed both paths.
+func (bc *BatchCounters) AdaptiveCutoff() float64 {
+	d, f := bc.deltaNsPerTerm.Load(), bc.fullNsPerTerm.Load()
+	if d <= 0 || f <= 0 {
+		return 0
+	}
+	return f / d
 }
 
 // resolvedScenario is a scenario with names resolved to Vars: the dense
@@ -69,26 +181,51 @@ type resolvedScenario struct {
 	vals []float64
 }
 
-// resolveOne maps one scenario's names through the vocabulary in a single
-// pass, returning the dense-writable form plus the sorted list of names
-// that did not resolve (nil when the scenario is clean).
-func resolveOne(vb *provenance.Vocab, sc *Scenario) (resolvedScenario, []string) {
-	rs := resolvedScenario{
-		vars: make([]provenance.Var, 0, len(sc.Assign)),
-		vals: make([]float64, 0, len(sc.Assign)),
+// resolver maps scenario names through the vocabulary, flattening every
+// scenario's assignments into two shared backing arrays so a large batch
+// costs two allocations instead of two per scenario.
+type resolver struct {
+	vb   *provenance.Vocab
+	vars []provenance.Var
+	vals []float64
+}
+
+func newResolver(vb *provenance.Vocab, scenarios []*Scenario) resolver {
+	total := 0
+	for _, sc := range scenarios {
+		total += len(sc.Assign)
 	}
+	return resolver{
+		vb:   vb,
+		vars: make([]provenance.Var, 0, total),
+		vals: make([]float64, 0, total),
+	}
+}
+
+// one resolves a single scenario into the shared backing, returning the
+// dense-writable form plus the sorted list of names that did not resolve
+// (nil when the scenario is clean; its partial entries are rolled back).
+// The backing never reallocates — capacity was reserved for every
+// assignment up front — so earlier scenarios' slices stay valid.
+func (r *resolver) one(sc *Scenario) (resolvedScenario, []string) {
+	v0 := len(r.vars)
 	var unknown []string
 	for name, x := range sc.Assign {
-		v, ok := vb.Lookup(name)
+		v, ok := r.vb.Lookup(name)
 		if !ok {
 			unknown = append(unknown, name)
 			continue
 		}
-		rs.vars = append(rs.vars, v)
-		rs.vals = append(rs.vals, x)
+		r.vars = append(r.vars, v)
+		r.vals = append(r.vals, x)
 	}
-	sort.Strings(unknown)
-	return rs, unknown
+	if len(unknown) != 0 {
+		r.vars, r.vals = r.vars[:v0], r.vals[:v0]
+		sort.Strings(unknown)
+		return resolvedScenario{}, unknown
+	}
+	n := len(r.vars)
+	return resolvedScenario{vars: r.vars[v0:n:n], vals: r.vals[v0:n:n]}, nil
 }
 
 // resolve maps every scenario's names through the vocabulary up front, so
@@ -96,9 +233,10 @@ func resolveOne(vb *provenance.Vocab, sc *Scenario) (resolvedScenario, []string)
 // reported — all of them, with the scenario's index — before any evaluation
 // starts.
 func resolve(vb *provenance.Vocab, scenarios []*Scenario) ([]resolvedScenario, error) {
+	r := newResolver(vb, scenarios)
 	out := make([]resolvedScenario, len(scenarios))
 	for i, sc := range scenarios {
-		rs, unknown := resolveOne(vb, sc)
+		rs, unknown := r.one(sc)
 		if len(unknown) != 0 {
 			return nil, ErrUnknownVars(i, unknown)
 		}
@@ -134,31 +272,168 @@ func ErrUnknownVars(i int, unknown []string) error {
 // UnknownVars returns the names the scenario assigns that are missing from
 // the vocabulary, sorted. An empty result means the scenario resolves.
 func (sc *Scenario) UnknownVars(vb *provenance.Vocab) []string {
-	_, unknown := resolveOne(vb, sc)
+	r := newResolver(vb, []*Scenario{sc})
+	_, unknown := r.one(sc)
 	return unknown
 }
 
+// pairSorter orders a resolved scenario's parallel var/val slices by Var,
+// the precondition of the merge-based diff below. One instance is reused
+// across a batch so sort.Sort sees the same pointer every call.
+type pairSorter struct {
+	vars []provenance.Var
+	vals []float64
+}
+
+func (p *pairSorter) Len() int           { return len(p.vars) }
+func (p *pairSorter) Less(i, j int) bool { return p.vars[i] < p.vars[j] }
+func (p *pairSorter) Swap(i, j int) {
+	p.vars[i], p.vars[j] = p.vars[j], p.vars[i]
+	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
+}
+
+// sortPairs sorts one scenario's assignment pairs by Var: inline insertion
+// sort for the typical sparse scenario (no interface-call overhead on the
+// stream hot path), sort.Sort for wide ones.
+func sortPairs(ps *pairSorter, vars []provenance.Var, vals []float64) {
+	if len(vars) > 32 {
+		ps.vars, ps.vals = vars, vals
+		sort.Sort(ps)
+		return
+	}
+	for i := 1; i < len(vars); i++ {
+		v, x := vars[i], vals[i]
+		j := i - 1
+		for j >= 0 && vars[j] > v {
+			vars[j+1], vals[j+1] = vars[j], vals[j]
+			j--
+		}
+		vars[j+1], vals[j+1] = v, x
+	}
+}
+
+// symDiff appends to out the symmetric difference of two sorted assignment
+// lists: the variables whose effective value (identity 1 when unassigned)
+// differs between them. Consecutive scenarios of a correlated stream have
+// tiny diffs even when each assigns many variables.
+func symDiff(aV []provenance.Var, aX []float64, bV []provenance.Var, bX []float64, out []provenance.Var) []provenance.Var {
+	i, j := 0, 0
+	for i < len(aV) && j < len(bV) {
+		switch {
+		case aV[i] < bV[j]:
+			if aX[i] != 1 {
+				out = append(out, aV[i])
+			}
+			i++
+		case aV[i] > bV[j]:
+			if bX[j] != 1 {
+				out = append(out, bV[j])
+			}
+			j++
+		default:
+			if aX[i] != bX[j] {
+				out = append(out, aV[i])
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(aV); i++ {
+		if aX[i] != 1 {
+			out = append(out, aV[i])
+		}
+	}
+	for ; j < len(bV); j++ {
+		if bX[j] != 1 {
+			out = append(out, bV[j])
+		}
+	}
+	return out
+}
+
+
+// chainOrder greedily orders a chained batch by assignment overlap: start
+// at the first arrival, repeatedly pick the unvisited scenario with the
+// smallest symmetric difference from the current one. Results are still
+// emitted in input order; only evaluation follows the chain. The search is
+// quadratic in the batch size, so it is skipped — arrival order chains
+// as-is, which on a correlated stream is already near-optimal — past
+// maxChainOrder scenarios, and on sets too small for the reordering gain
+// to repay the search (the caller gates on set size).
+func chainOrder(resolved []resolvedScenario, search bool) []int {
+	n := len(resolved)
+	order := make([]int, n)
+	if !search || n > maxChainOrder {
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	used := make([]bool, n)
+	used[0] = true
+	cur := 0
+	var scratch []provenance.Var // reused symDiff output: its length is the metric
+	for k := 1; k < n; k++ {
+		best, bestDiff := -1, math.MaxInt
+		for j := range resolved {
+			if used[j] {
+				continue
+			}
+			a, b := resolved[cur], resolved[j]
+			scratch = symDiff(a.vars, a.vals, b.vars, b.vals, scratch[:0])
+			if d := len(scratch); d < bestDiff {
+				best, bestDiff = j, d
+			}
+		}
+		used[best] = true
+		order[k] = best
+		cur = best
+	}
+	return order
+}
+
 // evalState is one worker's reusable evaluation machinery: a dense valuation
-// reset between scenarios, delta scratch, and the routing configuration.
+// maintained between scenarios, delta scratch, the routing configuration,
+// and — on chained batches — the previous scenario's assignments and
+// answers.
 type evalState struct {
-	c         *provenance.Compiled
-	val       []float64
-	delta     *provenance.DeltaEval
-	threshold int // affected terms above this take the full path; -1 disables delta
-	shard     int // split evaluation across this many goroutines when > 1
-	counters  *BatchCounters
+	c               *provenance.Compiled
+	val             []float64
+	delta           *provenance.DeltaEval
+	staticThreshold int // affected terms above this take the full path; -1 disables delta
+	adaptive        bool
+	chain           bool
+	shard           int // split evaluation across this many goroutines when > 1
+	counters        *BatchCounters
+
+	evals    int // evaluations by this state, for clock-read thinning
+	hasPrev  bool
+	prevVars []provenance.Var
+	prevVals []float64
+	prevOut  []float64
+	diff     []provenance.Var // scratch for the consecutive-valuation diff
 }
 
 func newEvalState(c *provenance.Compiled, opts BatchOptions, shard int) *evalState {
 	cutoff := opts.DeltaCutoff
+	adaptive := false
 	if cutoff == 0 {
 		cutoff = DefaultDeltaCutoff
+		adaptive = opts.Counters != nil
 	}
 	threshold := -1
 	if cutoff > 0 {
 		threshold = int(cutoff * float64(c.Size()))
 	}
-	st := &evalState{c: c, val: c.NewValuation(), threshold: threshold, shard: shard, counters: opts.Counters}
+	st := &evalState{
+		c:               c,
+		val:             c.NewValuation(),
+		staticThreshold: threshold,
+		adaptive:        adaptive,
+		chain:           opts.Chain,
+		shard:           shard,
+		counters:        opts.Counters,
+	}
 	if threshold >= 0 {
 		st.delta = c.GetDeltaEval() // pooled: released again in release()
 	}
@@ -174,16 +449,37 @@ func (st *evalState) release() {
 	}
 }
 
-// eval applies one resolved scenario to the worker's valuation, routes it to
-// the delta or full path, and restores the identity so the valuation is
-// clean for the next scenario.
+// threshold resolves the affected-term budget for the delta path: the
+// static fraction, or the cost model's current crossover estimate once it
+// has observed both paths.
+func (st *evalState) threshold() int {
+	if !st.adaptive {
+		return st.staticThreshold
+	}
+	cut := st.counters.AdaptiveCutoff()
+	if cut == 0 {
+		return st.staticThreshold // bootstrap until both paths are observed
+	}
+	if cut > 1 {
+		cut = 1 // affected terms never exceed the set: 1 already means "always delta"
+	}
+	return int(cut * float64(st.c.Size()))
+}
+
+// eval applies one resolved scenario to the worker's valuation, routes it,
+// and — on unchained batches — restores the identity so the valuation is
+// clean for the next scenario. Chained batches instead keep the valuation
+// and answers around as the next scenario's delta base.
 func (st *evalState) eval(rs resolvedScenario, out []float64) []float64 {
+	if st.chain {
+		return st.evalChained(rs, out)
+	}
 	for j, v := range rs.vars {
 		if int(v) < len(st.val) {
 			st.val[v] = rs.vals[j]
 		}
 	}
-	out = st.evalCurrent(rs.vars, out)
+	out = st.run(rs.vars, false, out)
 	for _, v := range rs.vars {
 		if int(v) < len(st.val) {
 			st.val[v] = 1
@@ -192,39 +488,138 @@ func (st *evalState) eval(rs resolvedScenario, out []float64) []float64 {
 	return out
 }
 
-func (st *evalState) evalCurrent(touched []provenance.Var, out []float64) []float64 {
-	c := st.c
-	// MinAffectedTerms is an O(len(touched)) lower bound: when even it
-	// exceeds the threshold, the full Affected index walk (which a dense
-	// scenario would only discard) is skipped.
-	if st.delta != nil && c.MinAffectedTerms(touched) <= st.threshold {
-		ids, terms := st.delta.Affected(touched)
-		if terms <= st.threshold {
-			// len(ids) > 1 mirrors EvalAffectedSharded's worker clamp, so
-			// the counter only reports shards that actually happen.
-			sharded := st.shard > 1 && terms >= shardMinTerms && len(ids) > 1
-			st.count(true, sharded)
-			if sharded {
-				return st.delta.EvalAffectedSharded(ids, st.val, out, st.shard)
-			}
-			return st.delta.EvalAffected(ids, st.val, out)
+// evalChained transitions the persistent valuation from the previous
+// scenario to rs and picks the cheaper delta base: the identity baseline
+// (touched = the scenario's own assignments) or the previous answers
+// (touched = the consecutive-valuation diff), whichever touches fewer
+// terms. The identity baseline also covers the first scenario of a chunk
+// and the case where the diff is denser than the scenario itself —
+// uncorrelated neighbors lose nothing.
+func (st *evalState) evalChained(rs resolvedScenario, out []float64) []float64 {
+	for _, v := range st.prevVars {
+		if int(v) < len(st.val) {
+			st.val[v] = 1
 		}
 	}
-	sharded := st.shard > 1 && c.Size() >= shardMinTerms && c.Len() > 1
-	st.count(false, sharded)
-	if sharded {
-		return c.EvalSharded(st.val, out, st.shard)
+	for j, v := range rs.vars {
+		if int(v) < len(st.val) {
+			st.val[v] = rs.vals[j]
+		}
 	}
-	return c.Eval(st.val, out)
+	touched, chained := rs.vars, false
+	if st.hasPrev && st.delta != nil {
+		st.diff = symDiff(st.prevVars, st.prevVals, rs.vars, rs.vals, st.diff[:0])
+		if st.c.TermsTouching(st.diff) <= st.c.TermsTouching(rs.vars) {
+			touched, chained = st.diff, true
+		}
+	}
+	out = st.run(touched, chained, out)
+	st.prevVars, st.prevVals, st.prevOut, st.hasPrev = rs.vars, rs.vals, out, true
+	return out
 }
 
-func (st *evalState) count(delta, sharded bool) {
+// run evaluates under the worker's current valuation. touched is the delta
+// base's difference set — the scenario's assignments against the identity
+// baseline, or (chained) the diff against the previous scenario, whose
+// answers then seed the unaffected polynomials.
+func (st *evalState) run(touched []provenance.Var, chained bool, out []float64) []float64 {
+	c := st.c
+	st.evals++
+	var ids []int32
+	terms, walked, useDelta, probed := 0, false, false, false
+	if st.delta != nil {
+		th := st.threshold()
+		// MinAffectedTerms is an O(len(touched)) lower bound: when even it
+		// exceeds the threshold, the full Affected index walk (which a dense
+		// scenario would only discard) is skipped.
+		if c.MinAffectedTerms(touched) <= th {
+			ids, terms = st.delta.Affected(touched)
+			walked = true
+			useDelta = terms <= th
+		}
+		if st.adaptive {
+			// Exploration: run the other path on a prime cadence so the
+			// losing path's EWMA cannot go stale — fast but capped while
+			// the model is incomplete, steady once it has both estimates,
+			// and not at all when warmup ended without completing (the
+			// bootstrap static cutoff then stands, overhead-free).
+			n := st.counters.routed.Add(1)
+			if st.counters.AdaptiveCutoff() > 0 {
+				probed = n%probeInterval == 0
+			} else {
+				probed = n <= warmupProbeCap && n%warmupProbeInterval == 0
+			}
+			if probed {
+				if useDelta {
+					useDelta = false
+				} else {
+					if !walked {
+						ids, terms = st.delta.Affected(touched)
+					}
+					useDelta = true
+				}
+			}
+		}
+	}
+	// Observe thinned, and only delta evaluations big enough that their
+	// ns/term is marginal cost rather than fixed overhead. Probes are
+	// always observed — a deliberately spent exploration evaluation whose
+	// sample is then discarded would be pure waste.
+	observe := st.adaptive && (probed || st.evals%timeSample == 0)
+	if observe && useDelta && !probed && terms < c.Size()/observeDivisor {
+		observe = false
+	}
+	var start time.Time
+	if observe {
+		start = time.Now()
+	}
+	sharded := false
+	switch {
+	case useDelta && chained:
+		out = st.delta.EvalAffectedFrom(ids, st.val, st.prevOut, out)
+	case useDelta:
+		// len(ids) > 1 mirrors EvalAffectedSharded's worker clamp, so the
+		// counter only reports shards that actually happen.
+		sharded = st.shard > 1 && terms >= shardMinTerms && len(ids) > 1
+		if sharded {
+			out = st.delta.EvalAffectedSharded(ids, st.val, out, st.shard)
+		} else {
+			out = st.delta.EvalAffected(ids, st.val, out)
+		}
+	default:
+		sharded = st.shard > 1 && c.Size() >= shardMinTerms && c.Len() > 1
+		if sharded {
+			out = c.EvalSharded(st.val, out, st.shard)
+		} else {
+			out = c.Eval(st.val, out)
+		}
+	}
+	if observe {
+		ns := float64(time.Since(start).Nanoseconds())
+		if useDelta {
+			t := terms
+			if t < 1 {
+				t = 1
+			}
+			st.counters.deltaNsPerTerm.Observe(ns / float64(t))
+		} else if c.Size() > 0 {
+			st.counters.fullNsPerTerm.Observe(ns / float64(c.Size()))
+		}
+	}
+	st.count(useDelta, chained, sharded)
+	return out
+}
+
+func (st *evalState) count(delta, chained, sharded bool) {
 	if st.counters == nil {
 		return
 	}
-	if delta {
+	switch {
+	case delta && chained:
+		st.counters.ChainedEvals.Add(1)
+	case delta:
 		st.counters.DeltaEvals.Add(1)
-	} else {
+	default:
 		st.counters.FullEvals.Add(1)
 	}
 	if sharded {
@@ -239,7 +634,8 @@ func (st *evalState) count(delta, sharded bool) {
 // shard inside each scenario's polynomial range instead, so either way all
 // cores stay busy. Sparse scenarios ride the delta path (see
 // BatchOptions.DeltaCutoff); every path returns per-polynomial
-// bit-identical results.
+// bit-identical results. The returned rows share one backing array
+// (disjoint ranges), so steady-state batches cost O(1) slice allocations.
 func EvalBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]float64, error) {
 	resolved, err := resolve(c.Vocab, scenarios)
 	if err != nil {
@@ -249,12 +645,20 @@ func EvalBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions)
 }
 
 // evalResolvedBatch is the evaluation core shared by EvalBatch and
-// EvalBatchEach: route each already-resolved scenario through the
-// delta/full/sharded machinery on the configured pool.
+// AnswersBatchEach: route each already-resolved scenario through the
+// delta/full/sharded machinery on the configured pool, chained in
+// overlap order when the options ask for it.
 func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts BatchOptions) [][]float64 {
 	out := make([][]float64, len(resolved))
 	if len(resolved) == 0 {
 		return out
+	}
+	// One backing array for every answer row: scenario i owns the range
+	// [i*L, (i+1)*L), capped so a row cannot grow into its neighbor.
+	L := c.Len()
+	flat := make([]float64, len(resolved)*L)
+	for i := range out {
+		out[i] = flat[i*L : (i+1)*L : (i+1)*L]
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -274,11 +678,15 @@ func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts
 	if workers > len(resolved) {
 		workers = len(resolved)
 	}
+	if opts.Chain {
+		evalChainedBatch(c, resolved, opts, out, workers, shard)
+		return out
+	}
 	if workers <= 1 {
 		st := newEvalState(c, opts, shard)
 		defer st.release()
 		for i := range resolved {
-			out[i] = st.eval(resolved[i], nil)
+			out[i] = st.eval(resolved[i], out[i])
 		}
 		return out
 	}
@@ -295,12 +703,50 @@ func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts
 				if i >= len(resolved) {
 					return
 				}
-				out[i] = st.eval(resolved[i], nil)
+				out[i] = st.eval(resolved[i], out[i])
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// evalChainedBatch evaluates a batch as a correlated stream: assignments
+// are sorted (the diff merge's precondition), the batch is greedily
+// ordered by overlap, and each worker chains through one contiguous chunk
+// of the order — chunks rather than work-stealing, so the previous
+// scenario's answers are always local to the worker.
+func evalChainedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts BatchOptions, out [][]float64, workers, shard int) {
+	ps := &pairSorter{}
+	for i := range resolved {
+		sortPairs(ps, resolved[i].vars, resolved[i].vals)
+	}
+	order := chainOrder(resolved, c.Size() >= shardMinTerms)
+	if workers <= 1 {
+		st := newEvalState(c, opts, shard)
+		defer st.release()
+		for _, i := range order {
+			out[i] = st.eval(resolved[i], out[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := len(order)*w/workers, len(order)*(w+1)/workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []int) {
+			defer wg.Done()
+			st := newEvalState(c, opts, shard)
+			defer st.release()
+			for _, i := range chunk {
+				out[i] = st.eval(resolved[i], out[i])
+			}
+		}(order[lo:hi])
+	}
+	wg.Wait()
 }
 
 // AnswersBatchEach is the per-scenario error-isolating batch used by
@@ -309,10 +755,11 @@ func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts
 // are evaluated together in one pass — names are resolved exactly once.
 func AnswersBatchEach(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]Answer, []error) {
 	errs := make([]error, len(scenarios))
+	r := newResolver(c.Vocab, scenarios)
 	valid := make([]resolvedScenario, 0, len(scenarios))
 	pos := make([]int, 0, len(scenarios))
 	for i, sc := range scenarios {
-		rs, unknown := resolveOne(c.Vocab, sc)
+		rs, unknown := r.one(sc)
 		if len(unknown) != 0 {
 			errs[i] = ErrUnknownVars(i, unknown)
 			continue

@@ -413,3 +413,142 @@ func TestSpeedupBranches(t *testing.T) {
 		})
 	}
 }
+
+// correlatedScenarios builds a random-walk stream: every scenario assigns
+// the same small variable set, each differing from its predecessor in one
+// value — the correlated shape Engine.Stream's chained micro-batches target.
+func correlatedScenarios(s *provenance.Set, n, width int, seed int64) []*Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	var names []string
+	for _, v := range s.Vars() {
+		names = append(names, s.Vocab.Name(v))
+	}
+	if width > len(names) {
+		width = len(names)
+	}
+	cur := map[string]float64{}
+	for _, name := range names[:width] {
+		cur[name] = 0.5 + rng.Float64()
+	}
+	out := make([]*Scenario, n)
+	for i := range out {
+		name := names[rng.Intn(width)]
+		cur[name] = 0.5 + rng.Float64()
+		sc := NewScenario()
+		for k, v := range cur {
+			sc.Set(k, v)
+		}
+		out[i] = sc
+	}
+	return out
+}
+
+// TestChainedBatchEquivalence: a chained batch (overlap-ordered, each
+// scenario delta-evaluated against its predecessor) must be bit-identical
+// to the plain batch, across worker counts and scenario shapes.
+func TestChainedBatchEquivalence(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	for _, tc := range []struct {
+		name string
+		scs  []*Scenario
+	}{
+		{"correlated", correlatedScenarios(s, 24, 4, 7)},
+		{"random", randomScenarios(s, 24, 8)},
+		{"identical", func() []*Scenario {
+			scs := make([]*Scenario, 10)
+			for i := range scs {
+				scs[i] = NewScenario().Set("w1", 0.25)
+			}
+			return scs
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := EvalBatch(c, tc.scs, BatchOptions{Workers: 1, DeltaCutoff: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 3} {
+				counters := &BatchCounters{}
+				got, err := EvalBatch(c, tc.scs, BatchOptions{
+					Workers: workers, DeltaCutoff: 0.99, Chain: true, Counters: counters})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("workers=%d scenario %d poly %d: chained %v != full %v",
+								workers, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+				total := counters.DeltaEvals.Load() + counters.ChainedEvals.Load() + counters.FullEvals.Load()
+				if total != int64(len(tc.scs)) {
+					t.Fatalf("workers=%d: delta %d + chained %d + full %d != %d scenarios",
+						workers, counters.DeltaEvals.Load(), counters.ChainedEvals.Load(),
+						counters.FullEvals.Load(), len(tc.scs))
+				}
+			}
+		})
+	}
+}
+
+// TestChainedBatchCountsChains: on a correlated stream the chained counter
+// must actually fire (satellite: chain attribution is distinct from the
+// identity-baseline delta count).
+func TestChainedBatchCountsChains(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	scs := correlatedScenarios(s, 32, 4, 3)
+	counters := &BatchCounters{}
+	if _, err := EvalBatch(c, scs, BatchOptions{
+		Workers: 1, DeltaCutoff: 0.99, Chain: true, Counters: counters}); err != nil {
+		t.Fatal(err)
+	}
+	if counters.ChainedEvals.Load() == 0 {
+		t.Errorf("correlated chained batch recorded no ChainedEvals (delta %d, full %d)",
+			counters.DeltaEvals.Load(), counters.FullEvals.Load())
+	}
+}
+
+// TestAdaptiveCutoffLearns: with DeltaCutoff 0 and counters, enough routed
+// scenarios must populate both EWMAs (probing guarantees the minority path
+// gets samples) and produce a positive learned cutoff; results stay
+// bit-identical to the static paths throughout.
+func TestAdaptiveCutoffLearns(t *testing.T) {
+	s := bigSet(t)
+	c := s.Compile()
+	sparse := make([]*Scenario, 0, 2*probeInterval+8)
+	for i := 0; i < cap(sparse); i++ {
+		sparse = append(sparse, NewScenario().Set("w"+itoa(i%8), 0.5))
+	}
+	counters := &BatchCounters{}
+	rows, err := EvalBatch(c, sparse, BatchOptions{Workers: 1, Counters: counters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvalBatch(c, sparse, BatchOptions{Workers: 1, DeltaCutoff: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if rows[i][j] != want[i][j] {
+				t.Fatalf("scenario %d poly %d: adaptive %v != full %v", i, j, rows[i][j], want[i][j])
+			}
+		}
+	}
+	if got := counters.DeltaNsPerTerm(); got <= 0 {
+		t.Errorf("DeltaNsPerTerm = %v after %d scenarios, want > 0", got, len(sparse))
+	}
+	if got := counters.FullNsPerTerm(); got <= 0 {
+		t.Errorf("FullNsPerTerm = %v, want > 0 (probing should sample the full path)", got)
+	}
+	if got := counters.AdaptiveCutoff(); got <= 0 {
+		t.Errorf("AdaptiveCutoff = %v, want > 0 once both paths are observed", got)
+	}
+	if d, f := counters.DeltaEvals.Load(), counters.FullEvals.Load(); d == 0 || f == 0 || d+f != int64(len(sparse)) {
+		t.Errorf("delta %d + full %d != %d, want both paths exercised", d, f, len(sparse))
+	}
+}

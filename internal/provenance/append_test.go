@@ -1,0 +1,205 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomAppendPoly builds one pseudo-random polynomial over vars (possibly empty,
+// possibly with exponents > 1), mirroring randomDeltaSet's term shape.
+func randomAppendPoly(rng *rand.Rand, vars []Var, maxTerms int, withPows bool) *Polynomial {
+	p := NewPolynomial()
+	for t := rng.Intn(maxTerms + 1); t > 0; t-- {
+		var vs []Var
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			v := vars[rng.Intn(len(vars))]
+			vs = append(vs, v)
+			if withPows && rng.Intn(3) == 0 {
+				vs = append(vs, v) // repeat accumulates into the exponent
+			}
+		}
+		p.AddTerm(0.25+rng.Float64(), vs...)
+	}
+	return p
+}
+
+// TestAppendEquivalence is the incremental-compile acceptance test: across
+// seeds, exponents, empty polynomials and index/baseline warm-up states,
+// evaluating an appended Compiled must be bit-identical per polynomial to a
+// fresh Compile of the whole set — on the full path and on the delta path
+// (whose inverted index and baseline are patched, not rebuilt).
+func TestAppendEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		withPows := seed%2 == 0
+		nVars := 3 + rng.Intn(16)
+		s := randomDeltaSet(t, rng, nVars, 1+rng.Intn(10), 6, withPows)
+		vars := s.Vocab.All()
+
+		c := s.Compile()
+		// Warm seeds append onto a built index and baseline (the patch
+		// path); their new polynomials must stay inside the compiled
+		// vocabulary, so restrict to variables at or below MaxVar.
+		warm := seed%3 != 0
+		if warm {
+			var usable []Var
+			for _, v := range vars {
+				if v <= c.MaxVar() {
+					usable = append(usable, v)
+				}
+			}
+			if len(usable) == 0 {
+				warm = false
+			} else {
+				vars = usable
+				c.NewDeltaEval()
+				c.Baseline()
+			}
+		}
+
+		// Append in a few chunks, including an empty polynomial.
+		var extra []*Polynomial
+		var tags []string
+		for i := 0; i < 3+rng.Intn(4); i++ {
+			p := randomAppendPoly(rng, vars, 6, withPows)
+			if i == 1 {
+				p = NewPolynomial()
+			}
+			extra = append(extra, p)
+			tags = append(tags, "x"+itoa(i))
+			s.Add(tags[i], p)
+		}
+		for lo := 0; lo < len(extra); {
+			hi := lo + 1 + rng.Intn(len(extra)-lo)
+			if !c.Append(extra[lo:hi], tags[lo:hi]) {
+				t.Fatalf("seed %d: Append declined within the compiled vocabulary", seed)
+			}
+			lo = hi
+		}
+
+		fresh := s.Compile()
+		if c.Len() != fresh.Len() || c.Size() != fresh.Size() {
+			t.Fatalf("seed %d: appended len/size %d/%d != fresh %d/%d",
+				seed, c.Len(), c.Size(), fresh.Len(), fresh.Size())
+		}
+
+		all := s.Vars()
+		if len(all) == 0 {
+			continue // degenerate seed: every polynomial came up empty
+		}
+		delta := c.NewDeltaEval()
+		counts := []int{0, 1, 1 + rng.Intn(len(all)), len(all)}
+		for _, k := range counts {
+			touched, val := touchedScenario(rng, fresh, all, k)
+			want := fresh.Eval(val, nil)
+			got := c.Eval(val, nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d k=%d poly %d: appended Eval %v != fresh %v (bit-identity)",
+						seed, k, i, got[i], want[i])
+				}
+			}
+			dgot := delta.Eval(touched, val, nil)
+			for i := range want {
+				if dgot[i] != want[i] {
+					t.Fatalf("seed %d k=%d poly %d: appended EvalDelta %v != fresh Eval %v (patched index)",
+						seed, k, i, dgot[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendVocabFallback pins the rebuild fallback: once the inverted index
+// is built, appending a polynomial with a variable beyond the compiled
+// vocabulary is declined and leaves the receiver untouched.
+func TestAppendVocabFallback(t *testing.T) {
+	vb := NewVocab()
+	s := NewSet(vb)
+	s.Add("a", MustParse(vb, "2·x·y + 3·y"))
+	c := s.Compile()
+	c.NewDeltaEval()
+	grown := MustParse(vb, "5·brandnew")
+	if c.Append([]*Polynomial{grown}, []string{"b"}) {
+		t.Fatal("Append accepted a variable beyond the indexed vocabulary")
+	}
+	if c.Len() != 1 || c.Size() != 2 {
+		t.Fatalf("declined Append mutated the receiver: len %d size %d", c.Len(), c.Size())
+	}
+	// Without the index the same append succeeds and extends the valuation.
+	c2 := s.Compile()
+	if !c2.Append([]*Polynomial{grown}, []string{"b"}) {
+		t.Fatal("Append declined with no index built")
+	}
+	if c2.Len() != 2 || c2.ValuationLen() != int(vb.Var("brandnew"))+1 {
+		t.Fatalf("appended compiled len %d, valuation %d", c2.Len(), c2.ValuationLen())
+	}
+	got := c2.Eval(c2.NewValuation(), nil)
+	if got[1] != 5 {
+		t.Fatalf("appended polynomial = %v, want 5", got[1])
+	}
+}
+
+// TestEvalFromEquivalence drives the chained-delta kernel across seeds:
+// starting from a random valuation, walk a chain of random single- and
+// multi-variable changes; every step's EvalFrom (seeded by the previous
+// step's answers) must be bit-identical to a fresh full Eval of the new
+// valuation.
+func TestEvalFromEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		withPows := seed%2 == 1
+		s := randomDeltaSet(t, rng, 3+rng.Intn(16), 1+rng.Intn(10), 6, withPows)
+		c := s.Compile()
+		all := s.Vars()
+		if len(all) == 0 {
+			continue // degenerate seed: every polynomial came up empty
+		}
+		delta := c.NewDeltaEval()
+
+		val := c.NewValuation()
+		prev := c.Eval(val, nil) // identity answers
+		for step := 0; step < 20; step++ {
+			k := 1 + rng.Intn(3)
+			diff := make([]Var, 0, k)
+			for i := 0; i < k; i++ {
+				v := all[rng.Intn(len(all))]
+				if int(v) >= len(val) {
+					continue
+				}
+				diff = append(diff, v)
+				if rng.Intn(4) == 0 {
+					val[v] = 1 // back to identity: still a change from before
+				} else {
+					val[v] = 0.1 + 2*rng.Float64()
+				}
+			}
+			got := delta.EvalFrom(diff, val, prev, nil)
+			want := c.Eval(val, nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d step %d poly %d: EvalFrom %v != Eval %v (bit-identity)",
+						seed, step, i, got[i], want[i])
+				}
+			}
+			prev = got
+		}
+	}
+}
+
+// TestAppendTags checks Tags stay aligned through appends (answers carry
+// the right labels after Add).
+func TestAppendTags(t *testing.T) {
+	vb := NewVocab()
+	s := NewSet(vb)
+	s.Add("first", MustParse(vb, "1·x"))
+	c := s.Compiled()
+	s.Add("second", MustParse(vb, "2·x"))
+	s.Add("third", MustParse(vb, "3·x"))
+	if got := s.Compiled(); got != c {
+		t.Fatal("Add rebuilt instead of appending")
+	}
+	if len(c.Tags) != 3 || c.Tags[1] != "second" || c.Tags[2] != "third" {
+		t.Fatalf("Tags after append = %v", c.Tags)
+	}
+}

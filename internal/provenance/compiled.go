@@ -8,11 +8,16 @@ import "sync"
 // string key re-parsing, no map lookups per monomial. Valuations are dense
 // []float64 slices indexed by Var.
 //
-// A Compiled is an immutable snapshot: mutating the source Set or its
-// polynomials after compiling does not change the compiled form. Compile
-// once, evaluate many times — the intended workload is the paper's
+// A Compiled is a snapshot that grows only at the end: mutating the source
+// Set or its polynomials in place after compiling does not change the
+// compiled form, but Append extends it with additional polynomials without
+// recompiling what is already there (the incremental path behind Set.Add).
+// Compile once, evaluate many times — the intended workload is the paper's
 // interactive many-scenario setting (Figure 10), where the same provenance
 // answers a stream of hypothetical scenarios.
+//
+// Append mutates the receiver; it must not run concurrently with
+// evaluation. The session Engine serializes the two behind its lock.
 //
 // Evaluation order is deterministic (monomials in canonical key order), so
 // repeated evaluations of the same valuation produce bit-identical results,
@@ -46,6 +51,7 @@ type Compiled struct {
 	varPolyTerms []int32
 
 	baselineOnce sync.Once // guards baseline, the answers under the identity
+	baselineDone bool      // set inside baselineOnce: lets Append patch vs skip
 	baseline     []float64
 	deltaPool    sync.Pool // *DeltaEval scratch for the EvalDelta convenience
 }
@@ -94,6 +100,66 @@ func compilePolys(polys []*Polynomial) *Compiled {
 		c.polyOff = append(c.polyOff, int32(len(c.coeffs)))
 	}
 	return c
+}
+
+// Append extends the compiled form with additional polynomials in place —
+// the incremental-compile path behind Set.Add. Only the new polynomials'
+// terms are flattened; when the inverted index and the baseline answer
+// vector have already been built they are patched (per-variable id lists
+// merged, identity answers of the new polynomials appended) instead of
+// discarded, so an Add-heavy session keeps one compilation alive for its
+// whole lifetime. Evaluation of the pre-existing polynomials is
+// bit-identical to a fresh Compile: their term data is untouched.
+//
+// Append reports false — leaving the receiver unchanged — when the new
+// polynomials introduce variables beyond the capacity the inverted index
+// was sized for (the compiled vocabulary at index-build time); the caller
+// falls back to a full rebuild. tags extends Tags in step with the
+// polynomials and may be nil for untagged sets.
+//
+// Append mutates the receiver and must not run concurrently with
+// evaluation; callers (like the session Engine) serialize the two.
+func (c *Compiled) Append(polys []*Polynomial, tags []string) bool {
+	ms := make([][]Monomial, len(polys))
+	newMax := c.maxVar
+	for i, p := range polys {
+		ms[i] = p.Monomials()
+		for _, m := range ms[i] {
+			for _, f := range m.Vars() {
+				if f.Var > newMax {
+					newMax = f.Var
+				}
+			}
+		}
+	}
+	if c.varTermOff != nil && newMax > c.maxVar {
+		return false // the index is sized to the old vocabulary: rebuild
+	}
+	firstPoly, firstTerm := c.Len(), len(c.coeffs)
+	for i := range polys {
+		for _, m := range ms[i] {
+			c.coeffs = append(c.coeffs, m.Coeff)
+			for _, f := range m.Vars() {
+				c.vars = append(c.vars, f.Var)
+				c.pows = append(c.pows, f.Pow)
+				if f.Pow != 1 {
+					c.allPow1 = false
+				}
+			}
+			c.factOff = append(c.factOff, int32(len(c.vars)))
+		}
+		c.polyOff = append(c.polyOff, int32(len(c.coeffs)))
+	}
+	c.maxVar = newMax
+	c.Tags = append(c.Tags, tags...)
+	if c.varTermOff != nil {
+		c.patchIndex(firstPoly, firstTerm)
+	}
+	if c.baselineDone {
+		c.baseline = append(c.baseline, make([]float64, c.Len()-firstPoly)...)
+		c.evalRange(firstPoly, c.Len(), c.NewValuation(), c.baseline)
+	}
+	return true
 }
 
 // Len returns the number of polynomials.
@@ -161,14 +227,28 @@ func (c *Compiled) evalRange(lo, hi int, val, out []float64) {
 }
 
 // evalLinear is the hot path: every exponent is 1 so each factor is a single
-// multiply with no branching.
+// multiply with no branching. The factor loop is unrolled four wide with a
+// small-count switch — provenance monomials have one to three factors almost
+// always, so most terms finish without entering a loop at all. Every
+// multiply keeps the left-to-right association of the plain loop, so results
+// stay bit-identical across paths.
 func (c *Compiled) evalLinear(lo, hi int, val, out []float64) {
+	coeffs, factOff, vars := c.coeffs, c.factOff, c.vars
 	for pi := lo; pi < hi; pi++ {
 		sum := 0.0
 		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
-			x := c.coeffs[t]
-			for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
-				x *= val[c.vars[f]]
+			x := coeffs[t]
+			f, end := factOff[t], factOff[t+1]
+			for ; end-f >= 4; f += 4 {
+				x = x * val[vars[f]] * val[vars[f+1]] * val[vars[f+2]] * val[vars[f+3]]
+			}
+			switch end - f {
+			case 1:
+				x *= val[vars[f]]
+			case 2:
+				x = x * val[vars[f]] * val[vars[f+1]]
+			case 3:
+				x = x * val[vars[f]] * val[vars[f+1]] * val[vars[f+2]]
 			}
 			sum += x
 		}

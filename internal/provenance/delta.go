@@ -16,6 +16,7 @@ package provenance
 // million-monomial set is no longer pinned to one core.
 
 import (
+	"slices"
 	"sort"
 	"sync"
 )
@@ -80,12 +81,79 @@ func (c *Compiled) buildDeltaIndex() {
 	c.varPolyOff, c.varPolyIDs, c.varPolyTerms = polyOff, polyIDs, polyTerms
 }
 
+// patchIndex extends an already-built inverted index to cover polynomials
+// appended after the build (Compiled.Append): per-variable term counts are
+// re-accumulated, and each new polynomial's id is appended to the id list
+// of every variable it contains — new ids are all larger than the existing
+// ones, so every per-variable list stays ascending with a single merge-copy
+// pass. Cost is O(existing ids + new terms + |vocab|), a memmove-dominated
+// fraction of a full recompile. Append guarantees the new polynomials stay
+// within the indexed vocabulary.
+func (c *Compiled) patchIndex(firstPoly, firstTerm int) {
+	nVars := len(c.varTermOff) - 1
+
+	newTermCount := make([]int32, nVars)
+	for f := c.factOff[firstTerm]; f < int32(len(c.vars)); f++ {
+		newTermCount[c.vars[f]]++
+	}
+	termOff := make([]int32, nVars+1)
+	for v := 0; v < nVars; v++ {
+		termOff[v+1] = termOff[v] + (c.varTermOff[v+1] - c.varTermOff[v]) + newTermCount[v]
+	}
+
+	// Count the distinct (variable, new polynomial) pairs so the merged id
+	// arrays can be sized exactly; mark deduplicates within one polynomial.
+	mark := make([]int32, nVars)
+	for v := range mark {
+		mark[v] = -1
+	}
+	newPolyCount := make([]int32, nVars)
+	for pi := firstPoly; pi < c.Len(); pi++ {
+		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
+			for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
+				if v := c.vars[f]; mark[v] != int32(pi) {
+					mark[v] = int32(pi)
+					newPolyCount[v]++
+				}
+			}
+		}
+	}
+
+	oldOff, oldIDs := c.varPolyOff, c.varPolyIDs
+	mergedOff := make([]int32, nVars+1)
+	for v := 0; v < nVars; v++ {
+		mergedOff[v+1] = mergedOff[v] + (oldOff[v+1] - oldOff[v]) + newPolyCount[v]
+	}
+	mergedIDs := make([]int32, mergedOff[nVars])
+	next := make([]int32, nVars)
+	for v := 0; v < nVars; v++ {
+		n := copy(mergedIDs[mergedOff[v]:], oldIDs[oldOff[v]:oldOff[v+1]])
+		next[v] = mergedOff[v] + int32(n)
+		mark[v] = -1
+	}
+	for pi := firstPoly; pi < c.Len(); pi++ {
+		terms := c.polyOff[pi+1] - c.polyOff[pi]
+		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
+			for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
+				if v := c.vars[f]; mark[v] != int32(pi) {
+					mark[v] = int32(pi)
+					mergedIDs[next[v]] = int32(pi)
+					next[v]++
+					c.varPolyTerms[v] += terms
+				}
+			}
+		}
+	}
+	c.varTermOff, c.varPolyOff, c.varPolyIDs = termOff, mergedOff, mergedIDs
+}
+
 // Baseline returns the answer vector under the identity valuation (every
 // variable 1), computed once and cached. The slice is shared: callers must
 // not mutate it.
 func (c *Compiled) Baseline() []float64 {
 	c.baselineOnce.Do(func() {
 		c.baseline = c.Eval(c.NewValuation(), nil)
+		c.baselineDone = true // lets Append patch instead of recompute
 	})
 	return c.baseline
 }
@@ -150,6 +218,11 @@ func (c *Compiled) NewDeltaEval() *DeltaEval {
 // call on this DeltaEval.
 func (d *DeltaEval) Affected(touched []Var) ([]int32, int) {
 	c := d.c
+	if len(d.mark) < c.Len() {
+		// The compiled set grew underneath pooled scratch (Append): the new
+		// polynomial ids need mark slots; zero entries are never current.
+		d.mark = append(d.mark, make([]uint32, c.Len()-len(d.mark))...)
+	}
 	d.epoch++
 	if d.epoch == 0 { // wrapped: every mark looks current, so reset
 		for i := range d.mark {
@@ -171,7 +244,7 @@ func (d *DeltaEval) Affected(touched []Var) ([]int32, int) {
 			}
 		}
 	}
-	sort.Slice(d.ids, func(i, j int) bool { return d.ids[i] < d.ids[j] })
+	slices.Sort(d.ids) // generic sort: no per-call closure allocation
 	return d.ids, terms
 }
 
@@ -240,6 +313,39 @@ func (d *DeltaEval) EvalAffectedSharded(ids []int32, val, out []float64, workers
 func (d *DeltaEval) Eval(touched []Var, val, out []float64) []float64 {
 	ids, _ := d.Affected(touched)
 	return d.EvalAffected(ids, val, out)
+}
+
+// EvalAffectedFrom is the chained-delta kernel: prevOut holds the answers
+// under some previous valuation, and val differs from that valuation only on
+// variables whose affected polynomials are all listed in ids (Affected of
+// the symmetric difference guarantees that). Every unlisted polynomial's
+// value is unchanged — it contains no differing variable — so it is copied
+// from prevOut rather than from the identity baseline; the listed ones are
+// recomputed whole under val on the usual code path, keeping every answer
+// bit-identical to a full Eval. out must not alias prevOut when ids is
+// non-empty.
+func (d *DeltaEval) EvalAffectedFrom(ids []int32, val, prevOut, out []float64) []float64 {
+	c := d.c
+	n := c.Len()
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	copy(out, prevOut)
+	c.evalIDs(ids, val, out)
+	return out
+}
+
+// EvalFrom evaluates under val given a previous result prevOut, where
+// touched lists the variables whose value differs between the two
+// valuations (the symmetric difference of two consecutive scenarios, with
+// equal assignments cancelled). It is Affected + EvalAffectedFrom — the
+// convenience form of the chained-delta path for correlated scenario
+// streams, where consecutive valuations differ on far fewer variables than
+// either differs from the identity.
+func (d *DeltaEval) EvalFrom(touched []Var, val, prevOut, out []float64) []float64 {
+	ids, _ := d.Affected(touched)
+	return d.EvalAffectedFrom(ids, val, prevOut, out)
 }
 
 // evalIDs recomputes the listed polynomials into out. IDs must be distinct

@@ -15,10 +15,13 @@ import (
 // not affect the algorithms.
 //
 // A Set memoizes its compiled form: Compiled returns a cached *Compiled,
-// rebuilt lazily after every Add (the session Engine's evaluate-many
-// workload leans on this so a stream of scenarios never re-compiles).
-// Callers that mutate Polys or the polynomials in place must call
-// InvalidateCompiled themselves.
+// and Add extends that cache in place (Compiled.Append) instead of
+// discarding it, so the session Engine's evaluate-many workload never
+// re-compiles across Adds — the cached pointer, its inverted indexes and
+// its baseline vector all survive. Only when an added polynomial's
+// variables outgrow the built index's vocabulary does Add fall back to
+// invalidation and a full rebuild. Callers that mutate Polys or the
+// polynomials in place must call InvalidateCompiled themselves.
 type Set struct {
 	Vocab *Vocab
 	Polys []*Polynomial
@@ -36,20 +39,28 @@ func NewSet(vb *Vocab) *Set {
 	return &Set{Vocab: vb}
 }
 
-// Add appends a polynomial with an optional tag and invalidates the
-// compiled cache.
+// Add appends a polynomial with an optional tag. An already-built compiled
+// cache is extended in place in O(new terms) rather than invalidated; when
+// the polynomial introduces variables beyond the capacity of the compiled
+// form's inverted index, Add falls back to invalidation and the next
+// Compiled call rebuilds in full. Like all Set mutation, Add must not run
+// concurrently with evaluation.
 func (s *Set) Add(tag string, p *Polynomial) {
 	s.Polys = append(s.Polys, p)
 	s.Tags = append(s.Tags, tag)
-	s.InvalidateCompiled()
+	s.compiledMu.Lock()
+	if s.compiled != nil && !s.compiled.Append([]*Polynomial{p}, []string{tag}) {
+		s.compiled = nil
+	}
+	s.compiledMu.Unlock()
 }
 
 // Compiled returns the set compiled for evaluation, building it on first
-// use and caching it until the next mutation. The returned value is an
-// immutable snapshot shared between callers; it must not be assumed to
-// reflect mutations made after it was obtained. Compiled is safe for
-// concurrent use with itself (but, like the rest of Set, not with
-// concurrent mutation).
+// use and caching it across mutations: Add extends the cached form in
+// place, so the pointer held by a long-lived session stays valid (and keeps
+// growing) instead of being replaced. Callers that need a frozen snapshot
+// should call Compile instead. Compiled is safe for concurrent use with
+// itself (but, like the rest of Set, not with concurrent mutation).
 func (s *Set) Compiled() *Compiled {
 	s.compiledMu.Lock()
 	defer s.compiledMu.Unlock()

@@ -6,8 +6,9 @@ import (
 )
 
 // TestCompiledCache pins the Set-level compiled cache: Compiled returns the
-// same snapshot until a mutation, Add invalidates, and the post-Add compile
-// sees the new polynomial.
+// same snapshot until a mutation, Add extends that snapshot in place (the
+// incremental-compile path — the pointer survives), and explicit
+// invalidation still forces a rebuild.
 func TestCompiledCache(t *testing.T) {
 	vb := NewVocab()
 	s := NewSet(vb)
@@ -23,8 +24,8 @@ func TestCompiledCache(t *testing.T) {
 
 	s.Add("b", MustParse(vb, "5·x"))
 	c3 := s.Compiled()
-	if c3 == c1 {
-		t.Fatal("Compiled not invalidated by Add")
+	if c3 != c1 {
+		t.Fatal("Add rebuilt the compiled form instead of appending in place")
 	}
 	if got := c3.Size(); got != 3 {
 		t.Fatalf("compiled size after Add = %d, want 3", got)
@@ -32,10 +33,25 @@ func TestCompiledCache(t *testing.T) {
 	if got := c3.Len(); got != 2 {
 		t.Fatalf("compiled polynomials after Add = %d, want 2", got)
 	}
+	if got := c3.Eval(c3.NewValuation(), nil); len(got) != 2 || got[1] != 5 {
+		t.Fatalf("appended polynomial evaluates to %v, want [.., 5]", got)
+	}
+
+	// A polynomial outside the built index's vocabulary falls back to the
+	// full rebuild: build the index first, then add a fresh variable.
+	c3.NewDeltaEval()
+	s.Add("c", MustParse(vb, "7·zz"))
+	c4 := s.Compiled()
+	if c4 == c3 {
+		t.Fatal("Add past the index vocabulary did not fall back to a rebuild")
+	}
+	if got := c4.Len(); got != 3 {
+		t.Fatalf("compiled polynomials after fallback = %d, want 3", got)
+	}
 
 	// Explicit invalidation, for in-place mutations Add cannot see.
 	s.InvalidateCompiled()
-	if c4 := s.Compiled(); c4 == c3 {
+	if c5 := s.Compiled(); c5 == c4 {
 		t.Fatal("Compiled not invalidated by InvalidateCompiled")
 	}
 }

@@ -64,8 +64,13 @@ func WithWorkers(n int) Option {
 
 // WithDeltaCutoff sets the affected-term density below which scenarios are
 // delta-evaluated against the cached baseline instead of re-multiplying
-// every monomial (0 = hypo.DefaultDeltaCutoff, negative disables the delta
-// path).
+// every monomial. The default 0 selects the adaptive cost model: the
+// engine's counters learn the observed ns/term of the delta and full paths
+// (EWMA, refreshed by periodic probing) and route each scenario by
+// estimated cost, bootstrapped at hypo.DefaultDeltaCutoff until both paths
+// have been observed. A positive value pins a static fraction instead;
+// negative disables the delta path entirely. The model's current state is
+// visible in Stats (delta_ns_per_term, full_ns_per_term, adaptive_cutoff).
 func WithDeltaCutoff(f float64) Option {
 	return func(e *Engine) { e.deltaCutoff = f }
 }

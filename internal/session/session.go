@@ -17,8 +17,13 @@
 // All methods are safe for concurrent use: evaluation paths share a read
 // lock, Compress and Add take it exclusively. Adding provenance after
 // compression re-abstracts the new polynomial under the selected
-// substitution and invalidates the compiled cache, so the next evaluation
-// sees it without re-running selection.
+// substitution and appends it to the cached compiled form in place, so the
+// next evaluation sees it without re-running selection or recompiling.
+// One caveat follows from that: the *provenance.Compiled returned by
+// Engine.Compiled is the live cache, extended in place by Add under the
+// engine's lock — callers that evaluate it directly (outside the Engine's
+// methods) must not do so concurrently with Add; use Active().Compile()
+// for a frozen snapshot.
 package session
 
 import (
@@ -105,11 +110,19 @@ func (e *Engine) Compress(B int, opts ...CompressOption) (*core.Compression, err
 // Add appends a polynomial to the session's provenance. When a compression
 // is active the polynomial is abstracted under the selected substitution
 // and appended to the abstracted set too, so evaluation stays consistent
-// with selection without re-running it. Either way the compiled cache is
-// invalidated — the next evaluation recompiles exactly once.
+// with selection without re-running it. The active set's compiled form is
+// extended in place (Compiled.Append patches the flat arrays, the inverted
+// index and the baseline), so an Add-heavy session never recompiles —
+// Stats().Compiles stays constant across Add+WhatIf loops.
 func (e *Engine) Add(tag string, p *provenance.Polynomial) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.comp != nil {
+		// After Compress the source compilation is never evaluated again
+		// (e.active is the abstracted set): drop it rather than paying an
+		// index patch per Add for a dead cache.
+		e.set.InvalidateCompiled()
+	}
 	e.set.Add(tag, p)
 	if e.comp != nil {
 		ap := p
@@ -132,7 +145,10 @@ func (e *Engine) compiledLocked() *provenance.Compiled {
 }
 
 // Compiled exposes the session's cached compiled provenance — the
-// abstracted set after Compress, the source set before.
+// abstracted set after Compress, the source set before. The returned value
+// is the live cache: a later Add extends it in place (under the engine's
+// exclusive lock), so callers evaluating it directly must not race with
+// Add — take Active().Compile() when a frozen snapshot is needed.
 func (e *Engine) Compiled() *provenance.Compiled {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -140,9 +156,20 @@ func (e *Engine) Compiled() *provenance.Compiled {
 }
 
 // batchOptions assembles the evaluation tuning every path shares: the worker
-// pool, the delta cutoff, and the engine-owned counters.
+// pool, the delta cutoff (the adaptive cost model by default — the engine's
+// counters carry its state across calls), and the engine-owned counters.
 func (e *Engine) batchOptions() hypo.BatchOptions {
 	return hypo.BatchOptions{Workers: e.workers, DeltaCutoff: e.deltaCutoff, Counters: &e.counters}
+}
+
+// streamBatchOptions is batchOptions for Stream's micro-batches, which are
+// additionally chained: consecutive scenarios of a stream tend to be
+// correlated, so each is delta-evaluated against its overlap-ordered
+// predecessor's answers whenever that diff is sparser than the scenario.
+func (e *Engine) streamBatchOptions() hypo.BatchOptions {
+	opts := e.batchOptions()
+	opts.Chain = true
+	return opts
 }
 
 // answers is the shared evaluation path: cached compile, parallel eval,
@@ -222,17 +249,28 @@ type Stats struct {
 	Batches         int64  `json:"batches"` // WhatIfBatch calls; singles/streams count in Scenarios only
 	Compiles        int64  `json:"compiles"`
 	Added           int64  `json:"added_polynomials"`
-	DeltaEvals      int64  `json:"delta_evals"`      // scenarios answered via the sparse delta path
+	DeltaEvals      int64  `json:"delta_evals"`      // scenarios answered via the identity-baseline delta path
+	ChainedEvals    int64  `json:"chained_evals"`    // scenarios answered via a delta against the previous scenario
 	FullEvals       int64  `json:"full_evals"`       // scenarios answered by full re-evaluation
 	ShardedEvals    int64  `json:"sharded_evals"`    // scenarios split across goroutines
 	StreamBatches   int64  `json:"stream_batches"`   // micro-batches evaluated by Stream
 	StreamMaxBatch  int64  `json:"stream_max_batch"` // largest Stream micro-batch so far
+
+	// Adaptive routing model (the learned replacement for a static delta
+	// cutoff): observed ns per term on each path and the affected-term
+	// fraction where they currently cross. Zero until both paths have been
+	// observed; see hypo.BatchCounters.
+	DeltaNsPerTerm float64 `json:"delta_ns_per_term,omitempty"`
+	FullNsPerTerm  float64 `json:"full_ns_per_term,omitempty"`
+	AdaptiveCutoff float64 `json:"adaptive_cutoff,omitempty"`
 }
 
 // Accumulate adds o's sizes and counters into s, so a multi-session
 // registry can report one aggregate across engines. Numeric fields sum;
-// StreamMaxBatch takes the maximum; the qualitative per-session fields
-// (Compressed, Strategy, Adequate, the loss figures) describe one
+// StreamMaxBatch and the cost-model estimates take the maximum (per-term
+// costs are per-session estimates — summing them would be meaningless, the
+// maximum is the conservative aggregate); the qualitative per-session
+// fields (Compressed, Strategy, Adequate, the loss figures) describe one
 // compression outcome and are deliberately left alone — they do not
 // aggregate meaningfully.
 func (s *Stats) Accumulate(o Stats) {
@@ -245,11 +283,21 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Compiles += o.Compiles
 	s.Added += o.Added
 	s.DeltaEvals += o.DeltaEvals
+	s.ChainedEvals += o.ChainedEvals
 	s.FullEvals += o.FullEvals
 	s.ShardedEvals += o.ShardedEvals
 	s.StreamBatches += o.StreamBatches
 	if o.StreamMaxBatch > s.StreamMaxBatch {
 		s.StreamMaxBatch = o.StreamMaxBatch
+	}
+	if o.DeltaNsPerTerm > s.DeltaNsPerTerm {
+		s.DeltaNsPerTerm = o.DeltaNsPerTerm
+	}
+	if o.FullNsPerTerm > s.FullNsPerTerm {
+		s.FullNsPerTerm = o.FullNsPerTerm
+	}
+	if o.AdaptiveCutoff > s.AdaptiveCutoff {
+		s.AdaptiveCutoff = o.AdaptiveCutoff
 	}
 }
 
@@ -270,10 +318,14 @@ func (e *Engine) Stats() Stats {
 		Compiles:        e.compiles.Load(),
 		Added:           e.added.Load(),
 		DeltaEvals:      e.counters.DeltaEvals.Load(),
+		ChainedEvals:    e.counters.ChainedEvals.Load(),
 		FullEvals:       e.counters.FullEvals.Load(),
 		ShardedEvals:    e.counters.ShardedEvals.Load(),
 		StreamBatches:   e.streamBatches.Load(),
 		StreamMaxBatch:  e.streamMaxBatch.Load(),
+		DeltaNsPerTerm:  e.counters.DeltaNsPerTerm(),
+		FullNsPerTerm:   e.counters.FullNsPerTerm(),
+		AdaptiveCutoff:  e.counters.AdaptiveCutoff(),
 	}
 	if e.comp != nil {
 		st.Strategy = e.comp.Strategy

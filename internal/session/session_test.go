@@ -393,9 +393,9 @@ func TestStreamMicroBatches(t *testing.T) {
 	if st.Scenarios != n-1 {
 		t.Errorf("Scenarios = %d, want %d (the unresolved one is not evaluated)", st.Scenarios, n-1)
 	}
-	if st.DeltaEvals+st.FullEvals != n-1 {
-		t.Errorf("DeltaEvals %d + FullEvals %d != %d evaluated scenarios",
-			st.DeltaEvals, st.FullEvals, n-1)
+	if st.DeltaEvals+st.ChainedEvals+st.FullEvals != n-1 {
+		t.Errorf("DeltaEvals %d + ChainedEvals %d + FullEvals %d != %d evaluated scenarios",
+			st.DeltaEvals, st.ChainedEvals, st.FullEvals, n-1)
 	}
 }
 
@@ -508,9 +508,9 @@ func TestConcurrentWhatIfBatchAndAdd(t *testing.T) {
 	if st.Added != 10 {
 		t.Errorf("Added = %d, want 10", st.Added)
 	}
-	if st.DeltaEvals+st.FullEvals != st.Scenarios {
-		t.Errorf("DeltaEvals %d + FullEvals %d != Scenarios %d",
-			st.DeltaEvals, st.FullEvals, st.Scenarios)
+	if st.DeltaEvals+st.ChainedEvals+st.FullEvals != st.Scenarios {
+		t.Errorf("DeltaEvals %d + ChainedEvals %d + FullEvals %d != Scenarios %d",
+			st.DeltaEvals, st.ChainedEvals, st.FullEvals, st.Scenarios)
 	}
 }
 
@@ -586,5 +586,115 @@ func BenchmarkEngineWhatIfBatch(b *testing.B) {
 	b.StopTimer()
 	if st := e.Stats(); st.Compiles != 1 {
 		b.Fatalf("benchmark recompiled: Compiles = %d, want 1", st.Compiles)
+	}
+}
+
+// TestAddWhatIfLoopCompilesOnce is the incremental-compile acceptance pin:
+// an Add-heavy interleaving of Add and WhatIf never recompiles — the
+// compiled form (and its delta index, exercised by the sparse scenarios) is
+// extended in place — and every answer matches a fresh engine over the same
+// provenance.
+func TestAddWhatIfLoopCompilesOnce(t *testing.T) {
+	set, forest := fixture(t)
+	vb := set.Vocab
+	e, err := Open(set, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := []*hypo.Scenario{
+		hypo.NewScenario().Set("m1", 0.5), // sparse: builds and uses the delta index
+		hypo.NewScenario().Set("p1", 1.5).Set("m3", 0.25),
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := e.WhatIfBatch(scs); err != nil {
+			t.Fatal(err)
+		}
+		e.Add(fmt.Sprintf("added %d", i), provenance.MustParse(vb,
+			fmt.Sprintf("%d·p1·m1 + %d·f1·m3", i+1, 2*i+1)))
+	}
+	rows, err := e.WhatIfBatch(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Compiles != 1 {
+		t.Fatalf("Add+WhatIf loop recompiled: Compiles = %d, want 1 (Added %d)", st.Compiles, st.Added)
+	}
+
+	// A fresh engine over an identical set must agree bit-for-bit.
+	set2, forest2 := fixture(t)
+	for i := 0; i < 16; i++ {
+		set2.Add(fmt.Sprintf("added %d", i), provenance.MustParse(set2.Vocab,
+			fmt.Sprintf("%d·p1·m1 + %d·f1·m3", i+1, 2*i+1)))
+	}
+	e2, err := Open(set2, forest2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e2.WhatIfBatch(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if len(rows[i]) != len(want[i]) {
+			t.Fatalf("scenario %d: %d answers, fresh engine %d", i, len(rows[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if rows[i][j] != want[i][j] {
+				t.Fatalf("scenario %d answer %d: incremental %+v != fresh %+v",
+					i, j, rows[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestStreamChainedCounterSlowConsumer is the stream-attribution satellite:
+// a correlated backlog drained into chained micro-batches must count
+// ChainedEvals distinctly from identity-baseline DeltaEvals — and keep
+// counting correctly while a slow consumer leaves every result parked in
+// the output buffer.
+func TestStreamChainedCounterSlowConsumer(t *testing.T) {
+	set, _ := fixture(t)
+	const n = 16
+	e, err := Open(set, nil, WithStreamBuffer(n), WithDeltaCutoff(0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *hypo.Scenario, n)
+	// Identical assignments: every consecutive diff is empty, so everything
+	// after the first scenario of a micro-batch chains.
+	for i := 0; i < n; i++ {
+		in <- hypo.NewScenario().Set("m1", 0.5)
+	}
+	close(in)
+	out := e.Stream(context.Background(), in)
+	// The deliberately slow reader consumes nothing until the stream has
+	// buffered the whole backlog.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(out) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d results buffered", len(out), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for r := range out {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", r.Index, r.Err)
+		}
+	}
+	st := e.Stats()
+	if st.ChainedEvals == 0 {
+		t.Errorf("identical-scenario stream recorded no ChainedEvals (delta %d, full %d, batches %d)",
+			st.DeltaEvals, st.FullEvals, st.StreamBatches)
+	}
+	if st.DeltaEvals+st.ChainedEvals+st.FullEvals != st.Scenarios {
+		t.Errorf("delta %d + chained %d + full %d != scenarios %d",
+			st.DeltaEvals, st.ChainedEvals, st.FullEvals, st.Scenarios)
+	}
+	// The chain hit rate the stats endpoint advertises: chained evals are a
+	// strict subset of evaluated scenarios, at least one per micro-batch
+	// chains off a predecessor.
+	if st.ChainedEvals > st.Scenarios-st.StreamBatches {
+		t.Errorf("ChainedEvals %d exceeds %d scenarios minus %d batch heads",
+			st.ChainedEvals, st.Scenarios, st.StreamBatches)
 	}
 }

@@ -30,7 +30,11 @@ type StreamResult struct {
 // the evaluator comes around is drained into one micro-batched EvalBatch
 // call (up to WithStreamBatch scenarios), so a backed-up stream gets the
 // batch path's parallelism and delta routing automatically while an idle
-// stream still answers each scenario as it arrives. Results are emitted in
+// stream still answers each scenario as it arrives. Each micro-batch is
+// evaluated as a chain: scenarios are greedily ordered by assignment
+// overlap and delta-evaluated against their predecessor's answers when the
+// consecutive diff is sparser than the scenario itself (Stats' ChainedEvals
+// counts those), falling back to the identity baseline otherwise. Results are emitted in
 // arrival order through a channel with a small buffer (WithStreamBuffer),
 // so a slow consumer does not serialize evaluation. Each micro-batch reuses
 // the session's cached compiled provenance — the stream never recompiles
@@ -102,7 +106,7 @@ func (e *Engine) Stream(ctx context.Context, in <-chan *hypo.Scenario) <-chan St
 func (e *Engine) evalStream(base int, scs []*hypo.Scenario) []StreamResult {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	rows, errs := hypo.AnswersBatchEach(e.compiledLocked(), scs, e.batchOptions())
+	rows, errs := hypo.AnswersBatchEach(e.compiledLocked(), scs, e.streamBatchOptions())
 	out := make([]StreamResult, len(scs))
 	evaluated := 0
 	for i := range scs {

@@ -95,12 +95,20 @@
 // valuation, built once on first delta use. A sparse scenario — the typical interactive what-if, touching
 // a handful of variables — is then answered by recomputing only the
 // affected polynomials (Compiled.EvalDelta), with results bit-identical to
-// full evaluation. EvalBatchOpts routes each scenario automatically via
-// BatchOptions.DeltaCutoff, and when a batch has fewer scenarios than
-// workers the pool shards each scenario's polynomial range instead
-// (Compiled.EvalSharded), so one huge scenario uses every core. The Engine
-// applies both transparently (see WithDeltaCutoff) and reports
-// DeltaEvals/FullEvals/ShardedEvals in its Stats.
+// full evaluation. The delta base is chosen per scenario: the identity
+// baseline, or — on chained stream micro-batches — the previous scenario's
+// answers, when consecutive valuations differ on fewer terms than either
+// differs from the identity (DeltaEval.EvalFrom). Routing between the
+// delta and full paths is adaptive by default: an online cost model learns
+// the observed ns/term of each path and picks per scenario
+// (BatchOptions.DeltaCutoff pins a static fraction instead). When a batch
+// has fewer scenarios than workers the pool shards each scenario's
+// polynomial range (Compiled.EvalSharded), so one huge scenario uses every
+// core. The Engine applies all of this transparently (see WithDeltaCutoff)
+// and reports DeltaEvals/ChainedEvals/FullEvals/ShardedEvals plus the
+// learned cutoff in its Stats. Engine.Add extends the compiled form, its
+// indexes and its baseline in place (Compiled.Append), so an Add-heavy
+// session never recompiles.
 package provabs
 
 import (
@@ -242,7 +250,8 @@ func ParseStrategy(name string) (Strategy, error) { return session.ParseStrategy
 func WithWorkers(n int) Option { return session.WithWorkers(n) }
 
 // WithDeltaCutoff sets the affected-term density below which an Engine
-// delta-evaluates scenarios (0 = DefaultDeltaCutoff, negative disables).
+// delta-evaluates scenarios (0 = adaptive, learned from observed per-path
+// timings; >0 = static fraction; negative disables the delta path).
 func WithDeltaCutoff(f float64) Option { return session.WithDeltaCutoff(f) }
 
 // WithStreamBuffer sets the capacity of Engine.Stream's output channel so a
@@ -276,14 +285,18 @@ type (
 	// Answer pairs a polynomial tag with its value under a scenario.
 	Answer = hypo.Answer
 	// BatchOptions tunes EvalBatchOpts: worker-pool size, delta-vs-full
-	// density cutoff, and optional evaluation counters.
+	// density cutoff (static, or the adaptive cost model), chained
+	// evaluation, and optional evaluation counters.
 	BatchOptions = hypo.BatchOptions
-	// BatchCounters accumulates delta/full/sharded evaluation counts.
+	// BatchCounters accumulates delta/chained/full/sharded evaluation
+	// counts and carries the adaptive cost model's learned per-term
+	// timings (DeltaNsPerTerm/FullNsPerTerm/AdaptiveCutoff).
 	BatchCounters = hypo.BatchCounters
 )
 
 // DefaultDeltaCutoff is the affected-term density above which scenarios are
-// evaluated in full rather than via the delta path.
+// evaluated in full rather than via the delta path while the adaptive cost
+// model has no observations (and the static fallback fraction).
 const DefaultDeltaCutoff = hypo.DefaultDeltaCutoff
 
 // NewVocab returns an empty variable vocabulary.
