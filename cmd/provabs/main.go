@@ -13,6 +13,7 @@
 //	provabs eval -in q5c.pvab -set SuppRoot_l1_0=0.8,s9=1.1
 //	provabs whatif -in q5c.pvab -scenarios 1000 -workers 0
 //	provabs whatif -in q5c.pvab -sets 's9=0.8;s9=1.1,s4=0.5'
+//	provabs whatif -in q5.pvab -scenarios 1000 -semiring bool
 //	provabs serve -in q5c.pvab -addr :8080
 //	provabs serve -load telco=telco.pvab -load q5=q5c.pvab -default telco -addr :8080
 //
@@ -36,6 +37,7 @@ import (
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
 	"provabs/internal/sampling"
+	"provabs/internal/semiring"
 	"provabs/internal/session"
 	"provabs/internal/summarize"
 	"provabs/internal/telco"
@@ -85,7 +87,7 @@ commands:
   stats      print size statistics of a provenance file
   compress   select an abstraction and compress a provenance file
   eval       evaluate a hypothetical scenario over a provenance file
-  whatif     batch-evaluate many scenarios on compiled provenance in parallel
+  whatif     batch-evaluate many scenarios on compiled provenance in parallel (any semiring)
   serve      serve named provenance sessions over HTTP (v1 API + streaming NDJSON)
   trees      print the benchmark abstraction-tree catalog (Table 2)
 
@@ -286,7 +288,13 @@ func cmdWhatif(args []string) error {
 		"delta-vs-full density cutoff (0 = adaptive, learned from observed timings; >0 = static fraction; negative = always evaluate in full)")
 	sparse := fs.Float64("sparse", 0.5, "fraction of variables each generated scenario assigns")
 	top := fs.Int("top", 5, "print at most this many answers of the first scenario (0 = none)")
+	sem := fs.String("semiring", "",
+		"evaluation semiring: float (default), bool, count, tropical or minmax")
 	fs.Parse(args)
+	kind, err := semiring.ParseKind(*sem)
+	if err != nil {
+		return fmt.Errorf("whatif: %w", err)
+	}
 	set, err := readSet(*in)
 	if err != nil {
 		return err
@@ -311,7 +319,7 @@ func cmdWhatif(args []string) error {
 			sc := hypo.NewScenario()
 			for _, v := range vars {
 				if rng.Float64() < *sparse {
-					sc.Set(set.Vocab.Name(v), 0.5+rng.Float64())
+					sc.Set(set.Vocab.Name(v), scenarioValue(kind, rng))
 				}
 			}
 			scs = append(scs, sc)
@@ -324,6 +332,9 @@ func cmdWhatif(args []string) error {
 		session.WithWorkers(*workers), session.WithDeltaCutoff(*deltaCutoff))
 	if err != nil {
 		return err
+	}
+	if kind != semiring.KindFloat {
+		return whatifIn(eng, kind, scs, *top)
 	}
 	compileStart := time.Now()
 	compiled := eng.Compiled() // cached on the session; the batch below reuses it
@@ -359,6 +370,75 @@ func cmdWhatif(args []string) error {
 		}
 	}
 	return nil
+}
+
+// scenarioValue draws one generated assignment in the carrier's natural
+// domain: magnitudes near 1 for the float default, keep/delete bits under
+// bool, small multiplicities under count, per-tuple costs under tropical,
+// clearance levels under minmax.
+func scenarioValue(kind semiring.Kind, rng *rand.Rand) float64 {
+	switch kind {
+	case semiring.KindBool:
+		if rng.Float64() < 0.5 {
+			return 0 // delete the tuple
+		}
+		return 1
+	case semiring.KindCount:
+		return float64(rng.Intn(4)) // 0 deletes, n replicates n-fold
+	case semiring.KindTropical:
+		return rng.Float64() * 10 // per-tuple derivation cost
+	case semiring.KindMinMax:
+		return float64(1 + rng.Intn(5)) // clearance level
+	}
+	return 0.5 + rng.Float64()
+}
+
+// whatifIn is cmdWhatif's non-float tail: the same batch evaluation on the
+// chosen carrier's kernel (compiled lazily inside the timed region — the
+// per-carrier compile is part of the first batch's cost) with the
+// per-semiring path counters from Stats.Semirings.
+func whatifIn(eng *session.Engine, kind semiring.Kind, scs []*hypo.Scenario, top int) error {
+	evalStart := time.Now()
+	rows, err := eng.WhatIfBatchIn(kind, scs)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(evalStart)
+	perSec := float64(len(rows)) / elapsed.Seconds()
+	fmt.Printf("evaluated %d scenarios in the %s semiring in %v (%.0f scenarios/s)\n",
+		len(rows), kind, elapsed, perSec)
+	ss := eng.Stats().Semirings[kind.String()]
+	fmt.Printf("paths: %d delta, %d chained, %d full, %d sharded\n",
+		ss.DeltaEvals, ss.ChainedEvals, ss.FullEvals, ss.ShardedEvals)
+	if top > 0 && len(rows) > 0 {
+		first := append([]hypo.ValueAnswer(nil), rows[0]...)
+		sort.SliceStable(first, func(i, j int) bool { return valueOrd(first[i].Value) > valueOrd(first[j].Value) })
+		if len(first) > top {
+			first = first[:top]
+		}
+		fmt.Println("first scenario, top answers:")
+		for _, a := range first {
+			fmt.Printf("  %-40s %14v\n", a.Tag, a.Value)
+		}
+	}
+	return nil
+}
+
+// valueOrd orders carrier-erased answers for the top-N display: derivable
+// before deleted, higher counts, costs and clearance levels numerically.
+func valueOrd(v any) float64 {
+	switch x := v.(type) {
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
 }
 
 // resolveBound turns the -bound/-ratio flag pair into a monomial bound: an

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"provabs/internal/provenance"
 )
 
 func TestParseScenario(t *testing.T) {
@@ -272,4 +274,75 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Errorf("stats after delete = %d, want 404", gone.StatusCode)
 	}
 	readAll(http.Get(base + "/v1/sessions/alpha/stats"))
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCmdWhatifSemiring runs the whatif command on each wire-selectable
+// carrier over a natural-coefficient set: 2·a·b + 3·c.
+func TestCmdWhatifSemiring(t *testing.T) {
+	pvab := filepath.Join(t.TempDir(), "nat.pvab")
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("q", provenance.MustParse(vb, "2·a·b + 3·c"))
+	if err := writeSet(pvab, set); err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"count": {[]string{"-in", pvab, "-sets", "a=2,b=1,c=0", "-semiring", "count"},
+			"             4"}, // 2·2·1 + 3·0
+		"bool": {[]string{"-in", pvab, "-sets", "a=0", "-semiring", "bool"},
+			"true"}, // c unassigned keeps the identity: derivable
+		"tropical": {[]string{"-in", pvab, "-sets", "a=5,b=7,c=100", "-semiring", "tropical"},
+			"            12"}, // min(0+5+7, 0+100)
+		"minmax": {[]string{"-in", pvab, "-sets", "a=1,b=2,c=5", "-semiring", "minmax"},
+			"             5"}, // max(min(1,2), 5)
+		"generated": {[]string{"-in", pvab, "-scenarios", "8", "-semiring", "bool"},
+			"evaluated 8 scenarios in the bool semiring"},
+	} {
+		out := captureStdout(t, func() {
+			if err := cmdWhatif(tc.args); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		})
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s: output does not contain %q:\n%s", name, tc.want, out)
+		}
+	}
+	if err := cmdWhatif([]string{"-in", pvab, "-sets", "a=1", "-semiring", "galois"}); err == nil {
+		t.Error("unknown -semiring accepted, want error")
+	}
+	// Fractional coefficients are rejected by the natural-coefficient
+	// carriers at compile time.
+	frac := filepath.Join(t.TempDir(), "frac.pvab")
+	vb2 := provenance.NewVocab()
+	set2 := provenance.NewSet(vb2)
+	set2.Add("q", provenance.MustParse(vb2, "2.5·a"))
+	if err := writeSet(frac, set2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWhatif([]string{"-in", frac, "-sets", "a=1", "-semiring", "count"}); err == nil {
+		t.Error("fractional coefficients accepted under count, want error")
+	}
 }

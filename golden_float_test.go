@@ -1,0 +1,125 @@
+package provabs
+
+// Bit-identity pin for the float64 evaluation path. The hashes below were
+// recorded from the pre-generic kernel (PR 5 state): every Eval, EvalDelta,
+// EvalFrom and post-Append output on the telco and Q5 workloads is hashed
+// bit-for-bit (math.Float64bits, big-endian) and compared against the
+// recorded digest. The semiring-generic refactor must keep the float64
+// carrier's results byte-identical — any change to summation order,
+// factor association, or coefficient handling on the float path trips this
+// test. Runs under -short, so `make check` gates it.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+
+	"provabs/internal/provenance"
+	"provabs/internal/telco"
+	"provabs/internal/tpch"
+)
+
+// goldenFloatDigests maps workload name to the recorded digest of the full
+// evaluation transcript (see goldenTranscript).
+var goldenFloatDigests = map[string]string{
+	"telco": "fb2a1c0a6417ba67ad053fa48b8c59facf25fe625d13a0ca9ec3ca4030856e70",
+	"Q5":    "b071593231a1d1ae44df0168dd74ad1cf7ccd89f02cb0cfc87827bccc5e39d64",
+}
+
+func goldenSet(t *testing.T, name string) *provenance.Set {
+	t.Helper()
+	switch name {
+	case "telco":
+		s, err := telco.SyntheticProvenance(telco.Config{
+			Customers: 200, Plans: 128, Months: 12, Zips: 20, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	case "Q5":
+		d, err := tpch.Generate(tpch.Config{ScaleFactor: 0.002, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Provenance("Q5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	t.Fatalf("unknown golden workload %q", name)
+	return nil
+}
+
+// goldenTranscript drives the compiled float kernel through every evaluation
+// entry point in a deterministic order, folding each answer vector into the
+// hash bit-for-bit.
+func goldenTranscript(t *testing.T, set *provenance.Set) string {
+	t.Helper()
+	h := sha256.New()
+	fold := func(vals []float64) {
+		var buf [8]byte
+		for _, v := range vals {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+
+	c := set.Compiled()
+	vars := set.Vars()
+
+	// A deterministic non-identity valuation over every variable.
+	val := c.NewValuation()
+	for i, v := range vars {
+		val[v] = 0.5 + float64(i%7)/8
+	}
+	fold(c.Eval(val, nil))
+
+	// Sparse delta: a handful of touched variables off the identity.
+	dval := c.NewValuation()
+	touched := make([]provenance.Var, 0, 5)
+	for i := 0; i < len(vars) && len(touched) < 5; i += 3 {
+		dval[vars[i]] = 0.25 + float64(i%5)/4
+		touched = append(touched, vars[i])
+	}
+	prev := c.EvalDelta(touched, dval, nil)
+	fold(prev)
+
+	// Chained delta: change one of the touched variables and EvalFrom the
+	// previous answers.
+	d := c.NewDeltaEval()
+	dval[touched[0]] = 1.75
+	fold(d.EvalFrom(touched[:1], dval, prev, nil))
+
+	// Append two polynomials over existing variables, then re-evaluate on
+	// both the full and the delta path.
+	for i := 0; i < 2; i++ {
+		p := provenance.NewPolynomial()
+		p.AddTerm(1.5+float64(i), vars[0])
+		p.AddTerm(2.25, vars[0], vars[1%len(vars)])
+		set.Add(fmt.Sprintf("golden-added-%d", i), p)
+	}
+	c = set.Compiled()
+	fold(c.Eval(val[:c.ValuationLen()], nil))
+	fold(c.EvalDelta(touched, dval[:c.ValuationLen()], nil))
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGoldenFloatBitIdentity(t *testing.T) {
+	for name, want := range goldenFloatDigests {
+		t.Run(name, func(t *testing.T) {
+			got := goldenTranscript(t, goldenSet(t, name))
+			if want == "" {
+				t.Fatalf("record this digest: %q", got)
+			}
+			if got != want {
+				t.Errorf("float path output changed: digest %s, want %s", got, want)
+			}
+		})
+	}
+}

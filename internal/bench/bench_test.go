@@ -263,3 +263,44 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("fmtDuration(1.5s) = %q", got)
 	}
 }
+
+// TestRunSemiringBench exercises the BENCH_6 harness end to end at tiny
+// scale: every series present, the no-bulk overhead recorded, valid JSON.
+func TestRunSemiringBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks; skipped with -short")
+	}
+	rep, err := RunSemiringBench(tinyScale(), "telco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d", rep.GOMAXPROCS)
+	}
+	wr, ok := rep.Workloads["telco"]
+	if !ok {
+		t.Fatal("no telco workload in report")
+	}
+	for _, name := range []string{
+		"batch100-sparse", "batch100-sparse-nodelta", "batch100-sparse-nobulk",
+		"bool-batch100", "count-batch100", "tropical-batch100", "minmax-batch100",
+	} {
+		m, ok := wr.Benchmarks[name]
+		if !ok || m.NsPerOp <= 0 {
+			t.Errorf("benchmark %s = %+v", name, m)
+		}
+	}
+	if wr.GenericOverhead <= 0 {
+		t.Errorf("generic overhead = %v, want > 0", wr.GenericOverhead)
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"generic_overhead"`) {
+		t.Errorf("JSON missing generic_overhead: %s", out)
+	}
+	if !strings.Contains(rep.Table().String(), "bool-batch100") {
+		t.Error("table rendering missing carrier benchmark")
+	}
+}

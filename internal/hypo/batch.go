@@ -6,6 +6,13 @@ package hypo
 // companion) optimizes for — compress once, then answer a stream of
 // what-ifs.
 //
+// The machinery is generic over the evaluation carrier (provenance.Carrier):
+// the same routing, chaining and sharding answer float, boolean, counting,
+// tropical and max-min scenarios. Scenario assignments stay float64 at the
+// API surface and are parsed into the carrier by its Value hook during name
+// resolution, so a fractional count or a NaN cost is reported before any
+// evaluation starts.
+//
 // Three routing decisions happen per batch. Per scenario, the evaluator
 // picks between the delta path (recompute only the polynomials the
 // scenario's assignments can affect, copy cached answers for the rest — see
@@ -14,13 +21,14 @@ package hypo
 // tiny online cost model — EWMAs of the observed ns/term on each path,
 // kept in BatchCounters — that learns where the crossover actually is on
 // this machine and workload. Per scenario on a chained batch
-// (BatchOptions.Chain), the delta base is chosen too: against the identity
-// baseline, or against the previous scenario's answers when the symmetric
-// difference of consecutive valuations is sparser than the scenario itself
-// (correlated streams differ by a variable or two). Per batch, when there
-// are fewer scenarios than workers, the spare cores move *inside* each
-// scenario: the polynomial range (or the affected set) is sharded across
-// the pool, so a single huge scenario no longer runs on one core.
+// (BatchOptions.Chain, gated on the carrier's Chainable capability), the
+// delta base is chosen too: against the identity baseline, or against the
+// previous scenario's answers when the symmetric difference of consecutive
+// valuations is sparser than the scenario itself (correlated streams differ
+// by a variable or two). Per batch, when there are fewer scenarios than
+// workers, the spare cores move *inside* each scenario: the polynomial
+// range (or the affected set) is sharded across the pool, so a single huge
+// scenario no longer runs on one core.
 
 import (
 	"fmt"
@@ -108,13 +116,40 @@ type BatchOptions struct {
 	// input order) and each one may be delta-evaluated against the previous
 	// scenario's answers instead of the identity baseline, whenever the
 	// valuation diff is sparser than the scenario itself. Engine.Stream
-	// sets this for every micro-batch.
+	// sets this for every micro-batch. Chain is ignored for carriers whose
+	// Chainable capability is false — they evaluate as an unchained batch.
 	Chain bool
+
+	// ChainState, when non-nil on a chained batch, carries the chain across
+	// calls: the last evaluated scenario of this batch seeds the first
+	// scenario of the next batch handed the same ChainState, so a scenario
+	// stream's micro-batch boundaries stop costing an identity-baseline
+	// delta each. The state is owned by one serial caller (Engine.Stream
+	// keeps one per stream); it must not be shared across concurrent
+	// batches, and Release must be called when the stream ends.
+	ChainState *ChainState
 
 	// Counters, when non-nil, accumulates per-evaluation accounting across
 	// calls (the session Engine surfaces them via Stats) and carries the
 	// adaptive cost model's state.
 	Counters *BatchCounters
+}
+
+// ChainState is the persistent chain seed of one scenario stream: the
+// evaluator state (valuation, previous assignments and answers, pooled
+// delta scratch) that survives from one chained batch to the next. The zero
+// value is ready; see BatchOptions.ChainState for the ownership contract.
+type ChainState struct {
+	state any // the previous batch's *evalState[T, C], adopted if compatible
+}
+
+// Release returns the pooled scratch held by the state. The ChainState is
+// reusable afterwards (the next batch reseeds it from scratch).
+func (cs *ChainState) Release() {
+	if st, ok := cs.state.(interface{ release() }); ok {
+		st.release()
+	}
+	cs.state = nil
 }
 
 // ewma is an atomic exponentially weighted moving average; the zero value
@@ -142,7 +177,9 @@ func (e *ewma) Observe(x float64) {
 
 // BatchCounters counts how scenarios were evaluated and carries the
 // adaptive routing model. All fields are safe for concurrent use and
-// accumulate across batches; a session Engine owns one for its lifetime.
+// accumulate across batches; a session Engine owns one per carrier for its
+// lifetime, so float timings never poison the routing of a boolean or
+// tropical stream.
 type BatchCounters struct {
 	DeltaEvals   atomic.Int64 // scenarios answered via the identity-baseline delta path
 	ChainedEvals atomic.Int64 // scenarios answered via a delta against the previous scenario's answers
@@ -174,71 +211,88 @@ func (bc *BatchCounters) AdaptiveCutoff() float64 {
 	return f / d
 }
 
-// resolvedScenario is a scenario with names resolved to Vars: the dense
-// valuation writes a worker performs before evaluating.
-type resolvedScenario struct {
+// resolvedScenario is a scenario with names resolved to Vars and values
+// parsed into the carrier: the dense valuation writes a worker performs
+// before evaluating.
+type resolvedScenario[T any] struct {
 	vars []provenance.Var
-	vals []float64
+	vals []T
 }
 
-// resolver maps scenario names through the vocabulary, flattening every
-// scenario's assignments into two shared backing arrays so a large batch
-// costs two allocations instead of two per scenario.
-type resolver struct {
+// resolver maps scenario names through the vocabulary and assignments
+// through the carrier, flattening every scenario's pairs into two shared
+// backing arrays so a large batch costs two allocations instead of two per
+// scenario.
+type resolver[T any, C provenance.Carrier[T]] struct {
+	cr   C
 	vb   *provenance.Vocab
 	vars []provenance.Var
-	vals []float64
+	vals []T
 }
 
-func newResolver(vb *provenance.Vocab, scenarios []*Scenario) resolver {
+func newResolver[T any, C provenance.Carrier[T]](cr C, vb *provenance.Vocab, scenarios []*Scenario) resolver[T, C] {
 	total := 0
 	for _, sc := range scenarios {
 		total += len(sc.Assign)
 	}
-	return resolver{
+	return resolver[T, C]{
+		cr:   cr,
 		vb:   vb,
 		vars: make([]provenance.Var, 0, total),
-		vals: make([]float64, 0, total),
+		vals: make([]T, 0, total),
 	}
 }
 
 // one resolves a single scenario into the shared backing, returning the
 // dense-writable form plus the sorted list of names that did not resolve
-// (nil when the scenario is clean; its partial entries are rolled back).
-// The backing never reallocates — capacity was reserved for every
-// assignment up front — so earlier scenarios' slices stay valid.
-func (r *resolver) one(sc *Scenario) (resolvedScenario, []string) {
+// and any assignment the carrier rejected (partial entries are rolled back
+// on either failure; unknown names win when both occur). The backing never
+// reallocates — capacity was reserved for every assignment up front — so
+// earlier scenarios' slices stay valid.
+func (r *resolver[T, C]) one(sc *Scenario) (resolvedScenario[T], []string, *BadAssignmentError) {
 	v0 := len(r.vars)
 	var unknown []string
+	var bad *BadAssignmentError
 	for name, x := range sc.Assign {
 		v, ok := r.vb.Lookup(name)
 		if !ok {
 			unknown = append(unknown, name)
 			continue
 		}
+		xt, err := r.cr.Value(x)
+		if err != nil {
+			if bad == nil {
+				bad = &BadAssignmentError{Name: name, Err: err}
+			}
+			continue
+		}
 		r.vars = append(r.vars, v)
-		r.vals = append(r.vals, x)
+		r.vals = append(r.vals, xt)
 	}
-	if len(unknown) != 0 {
+	if len(unknown) != 0 || bad != nil {
 		r.vars, r.vals = r.vars[:v0], r.vals[:v0]
 		sort.Strings(unknown)
-		return resolvedScenario{}, unknown
+		return resolvedScenario[T]{}, unknown, bad
 	}
 	n := len(r.vars)
-	return resolvedScenario{vars: r.vars[v0:n:n], vals: r.vals[v0:n:n]}, nil
+	return resolvedScenario[T]{vars: r.vars[v0:n:n], vals: r.vals[v0:n:n]}, nil, nil
 }
 
 // resolve maps every scenario's names through the vocabulary up front, so
-// workers never touch the Vocab (it is not synchronized) and name typos are
-// reported — all of them, with the scenario's index — before any evaluation
-// starts.
-func resolve(vb *provenance.Vocab, scenarios []*Scenario) ([]resolvedScenario, error) {
-	r := newResolver(vb, scenarios)
-	out := make([]resolvedScenario, len(scenarios))
+// workers never touch the Vocab (it is not synchronized) and name typos or
+// carrier-rejected values are reported — with the scenario's index — before
+// any evaluation starts.
+func resolve[T any, C provenance.Carrier[T]](cr C, vb *provenance.Vocab, scenarios []*Scenario) ([]resolvedScenario[T], error) {
+	r := newResolver[T, C](cr, vb, scenarios)
+	out := make([]resolvedScenario[T], len(scenarios))
 	for i, sc := range scenarios {
-		rs, unknown := r.one(sc)
+		rs, unknown, bad := r.one(sc)
 		if len(unknown) != 0 {
 			return nil, ErrUnknownVars(i, unknown)
+		}
+		if bad != nil {
+			bad.Scenario = i
+			return nil, bad
 		}
 		out[i] = rs
 	}
@@ -269,25 +323,40 @@ func ErrUnknownVars(i int, unknown []string) error {
 	return &UnknownVarsError{Scenario: i, Names: unknown}
 }
 
+// BadAssignmentError reports a scenario assignment the evaluation carrier
+// rejected — a fractional or negative count, a NaN cost, a probability
+// outside [0,1].
+type BadAssignmentError struct {
+	Scenario int    // batch position, or arrival index on a stream
+	Name     string // the offending variable
+	Err      error  // the carrier's reason
+}
+
+func (e *BadAssignmentError) Error() string {
+	return fmt.Sprintf("hypo: scenario %d assigns %q: %v", e.Scenario, e.Name, e.Err)
+}
+
+func (e *BadAssignmentError) Unwrap() error { return e.Err }
+
 // UnknownVars returns the names the scenario assigns that are missing from
 // the vocabulary, sorted. An empty result means the scenario resolves.
 func (sc *Scenario) UnknownVars(vb *provenance.Vocab) []string {
-	r := newResolver(vb, []*Scenario{sc})
-	_, unknown := r.one(sc)
+	r := newResolver[float64, provenance.Float](provenance.Float{}, vb, []*Scenario{sc})
+	_, unknown, _ := r.one(sc)
 	return unknown
 }
 
 // pairSorter orders a resolved scenario's parallel var/val slices by Var,
 // the precondition of the merge-based diff below. One instance is reused
 // across a batch so sort.Sort sees the same pointer every call.
-type pairSorter struct {
+type pairSorter[T any] struct {
 	vars []provenance.Var
-	vals []float64
+	vals []T
 }
 
-func (p *pairSorter) Len() int           { return len(p.vars) }
-func (p *pairSorter) Less(i, j int) bool { return p.vars[i] < p.vars[j] }
-func (p *pairSorter) Swap(i, j int) {
+func (p *pairSorter[T]) Len() int           { return len(p.vars) }
+func (p *pairSorter[T]) Less(i, j int) bool { return p.vars[i] < p.vars[j] }
+func (p *pairSorter[T]) Swap(i, j int) {
 	p.vars[i], p.vars[j] = p.vars[j], p.vars[i]
 	p.vals[i], p.vals[j] = p.vals[j], p.vals[i]
 }
@@ -295,7 +364,7 @@ func (p *pairSorter) Swap(i, j int) {
 // sortPairs sorts one scenario's assignment pairs by Var: inline insertion
 // sort for the typical sparse scenario (no interface-call overhead on the
 // stream hot path), sort.Sort for wide ones.
-func sortPairs(ps *pairSorter, vars []provenance.Var, vals []float64) {
+func sortPairs[T any](ps *pairSorter[T], vars []provenance.Var, vals []T) {
 	if len(vars) > 32 {
 		ps.vars, ps.vals = vars, vals
 		sort.Sort(ps)
@@ -313,25 +382,26 @@ func sortPairs(ps *pairSorter, vars []provenance.Var, vals []float64) {
 }
 
 // symDiff appends to out the symmetric difference of two sorted assignment
-// lists: the variables whose effective value (identity 1 when unassigned)
+// lists: the variables whose effective value (identity One when unassigned)
 // differs between them. Consecutive scenarios of a correlated stream have
 // tiny diffs even when each assigns many variables.
-func symDiff(aV []provenance.Var, aX []float64, bV []provenance.Var, bX []float64, out []provenance.Var) []provenance.Var {
+func symDiff[T any, C provenance.Carrier[T]](cr C, aV []provenance.Var, aX []T, bV []provenance.Var, bX []T, out []provenance.Var) []provenance.Var {
+	one := cr.One()
 	i, j := 0, 0
 	for i < len(aV) && j < len(bV) {
 		switch {
 		case aV[i] < bV[j]:
-			if aX[i] != 1 {
+			if !cr.Equal(aX[i], one) {
 				out = append(out, aV[i])
 			}
 			i++
 		case aV[i] > bV[j]:
-			if bX[j] != 1 {
+			if !cr.Equal(bX[j], one) {
 				out = append(out, bV[j])
 			}
 			j++
 		default:
-			if aX[i] != bX[j] {
+			if !cr.Equal(aX[i], bX[j]) {
 				out = append(out, aV[i])
 			}
 			i++
@@ -339,18 +409,17 @@ func symDiff(aV []provenance.Var, aX []float64, bV []provenance.Var, bX []float6
 		}
 	}
 	for ; i < len(aV); i++ {
-		if aX[i] != 1 {
+		if !cr.Equal(aX[i], one) {
 			out = append(out, aV[i])
 		}
 	}
 	for ; j < len(bV); j++ {
-		if bX[j] != 1 {
+		if !cr.Equal(bX[j], one) {
 			out = append(out, bV[j])
 		}
 	}
 	return out
 }
-
 
 // chainOrder greedily orders a chained batch by assignment overlap: start
 // at the first arrival, repeatedly pick the unvisited scenario with the
@@ -360,7 +429,7 @@ func symDiff(aV []provenance.Var, aX []float64, bV []provenance.Var, bX []float6
 // as-is, which on a correlated stream is already near-optimal — past
 // maxChainOrder scenarios, and on sets too small for the reordering gain
 // to repay the search (the caller gates on set size).
-func chainOrder(resolved []resolvedScenario, search bool) []int {
+func chainOrder[T any, C provenance.Carrier[T]](cr C, resolved []resolvedScenario[T], search bool) []int {
 	n := len(resolved)
 	order := make([]int, n)
 	if !search || n > maxChainOrder {
@@ -380,7 +449,7 @@ func chainOrder(resolved []resolvedScenario, search bool) []int {
 				continue
 			}
 			a, b := resolved[cur], resolved[j]
-			scratch = symDiff(a.vars, a.vals, b.vars, b.vals, scratch[:0])
+			scratch = symDiff(cr, a.vars, a.vals, b.vars, b.vals, scratch[:0])
 			if d := len(scratch); d < bestDiff {
 				best, bestDiff = j, d
 			}
@@ -392,14 +461,31 @@ func chainOrder(resolved []resolvedScenario, search bool) []int {
 	return order
 }
 
+// routingConfig resolves the delta-vs-full routing parameters from the
+// options against the set's current size (recomputed when persistent chain
+// state re-targets a grown set).
+func routingConfig(size int, opts BatchOptions) (threshold int, adaptive bool) {
+	cutoff := opts.DeltaCutoff
+	if cutoff == 0 {
+		cutoff = DefaultDeltaCutoff
+		adaptive = opts.Counters != nil
+	}
+	threshold = -1
+	if cutoff > 0 {
+		threshold = int(cutoff * float64(size))
+	}
+	return threshold, adaptive
+}
+
 // evalState is one worker's reusable evaluation machinery: a dense valuation
 // maintained between scenarios, delta scratch, the routing configuration,
 // and — on chained batches — the previous scenario's assignments and
 // answers.
-type evalState struct {
-	c               *provenance.Compiled
-	val             []float64
-	delta           *provenance.DeltaEval
+type evalState[T any, C provenance.Carrier[T]] struct {
+	c               *provenance.Kernel[T, C]
+	one             T
+	val             []T
+	delta           *provenance.DeltaKernel[T, C]
 	staticThreshold int // affected terms above this take the full path; -1 disables delta
 	adaptive        bool
 	chain           bool
@@ -409,24 +495,16 @@ type evalState struct {
 	evals    int // evaluations by this state, for clock-read thinning
 	hasPrev  bool
 	prevVars []provenance.Var
-	prevVals []float64
-	prevOut  []float64
+	prevVals []T
+	prevOut  []T
 	diff     []provenance.Var // scratch for the consecutive-valuation diff
 }
 
-func newEvalState(c *provenance.Compiled, opts BatchOptions, shard int) *evalState {
-	cutoff := opts.DeltaCutoff
-	adaptive := false
-	if cutoff == 0 {
-		cutoff = DefaultDeltaCutoff
-		adaptive = opts.Counters != nil
-	}
-	threshold := -1
-	if cutoff > 0 {
-		threshold = int(cutoff * float64(c.Size()))
-	}
-	st := &evalState{
+func newEvalState[T any, C provenance.Carrier[T]](c *provenance.Kernel[T, C], opts BatchOptions, shard int) *evalState[T, C] {
+	threshold, adaptive := routingConfig(c.Size(), opts)
+	st := &evalState[T, C]{
 		c:               c,
+		one:             c.Carrier().One(),
 		val:             c.NewValuation(),
 		staticThreshold: threshold,
 		adaptive:        adaptive,
@@ -440,9 +518,48 @@ func newEvalState(c *provenance.Compiled, opts BatchOptions, shard int) *evalSta
 	return st
 }
 
+// adopt re-targets persistent chain state (BatchOptions.ChainState) at the
+// start of a new micro-batch: the routing parameters are refreshed against
+// the set's current size, the valuation grows if Append raised the
+// vocabulary, and the chain seed is dropped — falling back to the identity
+// baseline for the first scenario — when the set gained polynomials the
+// previous answers do not cover. Reports false (releasing the scratch) when
+// the state belongs to a different kernel and cannot be reused.
+func (st *evalState[T, C]) adopt(c *provenance.Kernel[T, C], opts BatchOptions, shard int) bool {
+	if st.c != c {
+		st.release()
+		return false
+	}
+	threshold, adaptive := routingConfig(c.Size(), opts)
+	st.staticThreshold = threshold
+	st.adaptive = adaptive
+	st.chain = true
+	st.shard = shard
+	st.counters = opts.Counters
+	switch {
+	case threshold >= 0 && st.delta == nil:
+		st.delta = c.GetDeltaEval()
+	case threshold < 0 && st.delta != nil:
+		c.PutDeltaEval(st.delta)
+		st.delta = nil
+	}
+	if n := c.ValuationLen(); len(st.val) < n {
+		grown := make([]T, n)
+		copy(grown, st.val)
+		for i := len(st.val); i < n; i++ {
+			grown[i] = st.one
+		}
+		st.val = grown
+	}
+	if st.hasPrev && len(st.prevOut) != c.Len() {
+		st.hasPrev = false // the set grew: previous answers no longer cover it
+	}
+	return true
+}
+
 // release returns the pooled delta scratch; the state must not evaluate
 // afterwards.
-func (st *evalState) release() {
+func (st *evalState[T, C]) release() {
 	if st.delta != nil {
 		st.c.PutDeltaEval(st.delta)
 		st.delta = nil
@@ -452,7 +569,7 @@ func (st *evalState) release() {
 // threshold resolves the affected-term budget for the delta path: the
 // static fraction, or the cost model's current crossover estimate once it
 // has observed both paths.
-func (st *evalState) threshold() int {
+func (st *evalState[T, C]) threshold() int {
 	if !st.adaptive {
 		return st.staticThreshold
 	}
@@ -470,7 +587,7 @@ func (st *evalState) threshold() int {
 // and — on unchained batches — restores the identity so the valuation is
 // clean for the next scenario. Chained batches instead keep the valuation
 // and answers around as the next scenario's delta base.
-func (st *evalState) eval(rs resolvedScenario, out []float64) []float64 {
+func (st *evalState[T, C]) eval(rs resolvedScenario[T], out []T) []T {
 	if st.chain {
 		return st.evalChained(rs, out)
 	}
@@ -482,7 +599,7 @@ func (st *evalState) eval(rs resolvedScenario, out []float64) []float64 {
 	out = st.run(rs.vars, false, out)
 	for _, v := range rs.vars {
 		if int(v) < len(st.val) {
-			st.val[v] = 1
+			st.val[v] = st.one
 		}
 	}
 	return out
@@ -493,12 +610,13 @@ func (st *evalState) eval(rs resolvedScenario, out []float64) []float64 {
 // (touched = the scenario's own assignments) or the previous answers
 // (touched = the consecutive-valuation diff), whichever touches fewer
 // terms. The identity baseline also covers the first scenario of a chunk
-// and the case where the diff is denser than the scenario itself —
-// uncorrelated neighbors lose nothing.
-func (st *evalState) evalChained(rs resolvedScenario, out []float64) []float64 {
+// (unless ChainState carried a seed over from the previous batch) and the
+// case where the diff is denser than the scenario itself — uncorrelated
+// neighbors lose nothing.
+func (st *evalState[T, C]) evalChained(rs resolvedScenario[T], out []T) []T {
 	for _, v := range st.prevVars {
 		if int(v) < len(st.val) {
-			st.val[v] = 1
+			st.val[v] = st.one
 		}
 	}
 	for j, v := range rs.vars {
@@ -508,7 +626,7 @@ func (st *evalState) evalChained(rs resolvedScenario, out []float64) []float64 {
 	}
 	touched, chained := rs.vars, false
 	if st.hasPrev && st.delta != nil {
-		st.diff = symDiff(st.prevVars, st.prevVals, rs.vars, rs.vals, st.diff[:0])
+		st.diff = symDiff(st.c.Carrier(), st.prevVars, st.prevVals, rs.vars, rs.vals, st.diff[:0])
 		if st.c.TermsTouching(st.diff) <= st.c.TermsTouching(rs.vars) {
 			touched, chained = st.diff, true
 		}
@@ -522,7 +640,7 @@ func (st *evalState) evalChained(rs resolvedScenario, out []float64) []float64 {
 // base's difference set — the scenario's assignments against the identity
 // baseline, or (chained) the diff against the previous scenario, whose
 // answers then seed the unaffected polynomials.
-func (st *evalState) run(touched []provenance.Var, chained bool, out []float64) []float64 {
+func (st *evalState[T, C]) run(touched []provenance.Var, chained bool, out []T) []T {
 	c := st.c
 	st.evals++
 	var ids []int32
@@ -610,7 +728,7 @@ func (st *evalState) run(touched []provenance.Var, chained bool, out []float64) 
 	return out
 }
 
-func (st *evalState) count(delta, chained, sharded bool) {
+func (st *evalState[T, C]) count(delta, chained, sharded bool) {
 	if st.counters == nil {
 		return
 	}
@@ -636,8 +754,11 @@ func (st *evalState) count(delta, chained, sharded bool) {
 // BatchOptions.DeltaCutoff); every path returns per-polynomial
 // bit-identical results. The returned rows share one backing array
 // (disjoint ranges), so steady-state batches cost O(1) slice allocations.
-func EvalBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]float64, error) {
-	resolved, err := resolve(c.Vocab, scenarios)
+//
+// EvalBatch is generic over the kernel's carrier; with a *provenance.Compiled
+// it is exactly the pre-generic float64 batch.
+func EvalBatch[T any, C provenance.Carrier[T]](c *provenance.Kernel[T, C], scenarios []*Scenario, opts BatchOptions) ([][]T, error) {
+	resolved, err := resolve[T, C](c.Carrier(), c.Vocab, scenarios)
 	if err != nil {
 		return nil, err
 	}
@@ -647,16 +768,16 @@ func EvalBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions)
 // evalResolvedBatch is the evaluation core shared by EvalBatch and
 // AnswersBatchEach: route each already-resolved scenario through the
 // delta/full/sharded machinery on the configured pool, chained in
-// overlap order when the options ask for it.
-func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts BatchOptions) [][]float64 {
-	out := make([][]float64, len(resolved))
+// overlap order when the options (and the carrier) ask for it.
+func evalResolvedBatch[T any, C provenance.Carrier[T]](c *provenance.Kernel[T, C], resolved []resolvedScenario[T], opts BatchOptions) [][]T {
+	out := make([][]T, len(resolved))
 	if len(resolved) == 0 {
 		return out
 	}
 	// One backing array for every answer row: scenario i owns the range
 	// [i*L, (i+1)*L), capped so a row cannot grow into its neighbor.
 	L := c.Len()
-	flat := make([]float64, len(resolved)*L)
+	flat := make([]T, len(resolved)*L)
 	for i := range out {
 		out[i] = flat[i*L : (i+1)*L : (i+1)*L]
 	}
@@ -678,7 +799,7 @@ func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts
 	if workers > len(resolved) {
 		workers = len(resolved)
 	}
-	if opts.Chain {
+	if opts.Chain && c.Carrier().Chainable() {
 		evalChainedBatch(c, resolved, opts, out, workers, shard)
 		return out
 	}
@@ -715,60 +836,99 @@ func evalResolvedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts
 // are sorted (the diff merge's precondition), the batch is greedily
 // ordered by overlap, and each worker chains through one contiguous chunk
 // of the order — chunks rather than work-stealing, so the previous
-// scenario's answers are always local to the worker.
-func evalChainedBatch(c *provenance.Compiled, resolved []resolvedScenario, opts BatchOptions, out [][]float64, workers, shard int) {
-	ps := &pairSorter{}
+// scenario's answers are always local to the worker. When the options
+// carry a ChainState, the first chunk resumes from the previous batch's
+// final evaluator state — so the stream's first scenario of every
+// micro-batch chains off the last answers instead of paying an
+// identity-baseline delta — and the state is handed back for the next
+// batch instead of being released.
+func evalChainedBatch[T any, C provenance.Carrier[T]](c *provenance.Kernel[T, C], resolved []resolvedScenario[T], opts BatchOptions, out [][]T, workers, shard int) {
+	ps := &pairSorter[T]{}
 	for i := range resolved {
 		sortPairs(ps, resolved[i].vars, resolved[i].vals)
 	}
-	order := chainOrder(resolved, c.Size() >= shardMinTerms)
+	order := chainOrder(c.Carrier(), resolved, c.Size() >= shardMinTerms)
+	var seed *evalState[T, C]
+	if opts.ChainState != nil {
+		if st, ok := opts.ChainState.state.(*evalState[T, C]); ok && st.adopt(c, opts, shard) {
+			seed = st
+		}
+		opts.ChainState.state = nil // re-stored below once the batch is done
+	}
+	finish := func(st *evalState[T, C]) {
+		if opts.ChainState != nil {
+			opts.ChainState.state = st
+		} else {
+			st.release()
+		}
+	}
 	if workers <= 1 {
-		st := newEvalState(c, opts, shard)
-		defer st.release()
+		st := seed
+		if st == nil {
+			st = newEvalState(c, opts, shard)
+		}
 		for _, i := range order {
 			out[i] = st.eval(resolved[i], out[i])
 		}
+		finish(st)
 		return
 	}
 	var wg sync.WaitGroup
+	kept := false
 	for w := 0; w < workers; w++ {
 		lo, hi := len(order)*w/workers, len(order)*(w+1)/workers
 		if lo >= hi {
 			continue
 		}
+		st := seed // only the first scheduled chunk resumes the carried chain
+		seed = nil
+		if st == nil {
+			st = newEvalState(c, opts, shard)
+		}
+		keep := !kept // persist the first chunk's state across batches
+		kept = true
 		wg.Add(1)
-		go func(chunk []int) {
+		go func(st *evalState[T, C], chunk []int, keep bool) {
 			defer wg.Done()
-			st := newEvalState(c, opts, shard)
-			defer st.release()
 			for _, i := range chunk {
 				out[i] = st.eval(resolved[i], out[i])
 			}
-		}(order[lo:hi])
+			if keep {
+				finish(st)
+			} else {
+				st.release()
+			}
+		}(st, order[lo:hi], keep)
 	}
 	wg.Wait()
 }
 
 // AnswersBatchEach is the per-scenario error-isolating batch used by
 // streaming callers: a scenario that fails to resolve yields a non-nil
-// *UnknownVarsError (indexed by batch position) at its slot while the rest
-// are evaluated together in one pass — names are resolved exactly once.
-func AnswersBatchEach(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]Answer, []error) {
+// *UnknownVarsError or *BadAssignmentError (indexed by batch position) at
+// its slot while the rest are evaluated together in one pass — names are
+// resolved exactly once.
+func AnswersBatchEach[T any, C provenance.Carrier[T]](c *provenance.Kernel[T, C], scenarios []*Scenario, opts BatchOptions) ([][]AnswerOf[T], []error) {
 	errs := make([]error, len(scenarios))
-	r := newResolver(c.Vocab, scenarios)
-	valid := make([]resolvedScenario, 0, len(scenarios))
+	r := newResolver[T, C](c.Carrier(), c.Vocab, scenarios)
+	valid := make([]resolvedScenario[T], 0, len(scenarios))
 	pos := make([]int, 0, len(scenarios))
 	for i, sc := range scenarios {
-		rs, unknown := r.one(sc)
+		rs, unknown, bad := r.one(sc)
 		if len(unknown) != 0 {
 			errs[i] = ErrUnknownVars(i, unknown)
+			continue
+		}
+		if bad != nil {
+			bad.Scenario = i
+			errs[i] = bad
 			continue
 		}
 		valid = append(valid, rs)
 		pos = append(pos, i)
 	}
 	rows := evalResolvedBatch(c, valid, opts)
-	out := make([][]Answer, len(scenarios))
+	out := make([][]AnswerOf[T], len(scenarios))
 	for k, i := range pos {
 		out[i] = tagAnswers(c.Tags, rows[k])
 	}
@@ -776,12 +936,12 @@ func AnswersBatchEach(c *provenance.Compiled, scenarios []*Scenario, opts BatchO
 }
 
 // AnswersBatch is EvalBatch with each value paired to its polynomial's tag.
-func AnswersBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptions) ([][]Answer, error) {
+func AnswersBatch[T any, C provenance.Carrier[T]](c *provenance.Kernel[T, C], scenarios []*Scenario, opts BatchOptions) ([][]AnswerOf[T], error) {
 	rows, err := EvalBatch(c, scenarios, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]Answer, len(rows))
+	out := make([][]AnswerOf[T], len(rows))
 	for i, vals := range rows {
 		out[i] = tagAnswers(c.Tags, vals)
 	}
@@ -789,14 +949,14 @@ func AnswersBatch(c *provenance.Compiled, scenarios []*Scenario, opts BatchOptio
 }
 
 // tagAnswers pairs one answer vector with the set's polynomial tags.
-func tagAnswers(tags []string, vals []float64) []Answer {
-	ans := make([]Answer, len(vals))
+func tagAnswers[T any](tags []string, vals []T) []AnswerOf[T] {
+	ans := make([]AnswerOf[T], len(vals))
 	for j, v := range vals {
 		tag := ""
 		if j < len(tags) {
 			tag = tags[j]
 		}
-		ans[j] = Answer{Tag: tag, Value: v}
+		ans[j] = AnswerOf[T]{Tag: tag, Value: v}
 	}
 	return ans
 }

@@ -3,6 +3,11 @@
 // applying a scenario to pre-computed provenance yields the query answers
 // under the hypothetical update without re-running the query (§1).
 //
+// Scenarios evaluate in any provenance semiring: the batch entry points are
+// generic over provenance.Carrier, so the same scenario can be asked for
+// numeric magnitudes (the default), boolean derivability under deletions,
+// derivation counts, tropical min-plus costs or max-min clearance levels.
+//
 // The package also quantifies the two costs the paper trades off:
 // assignment time (Figure 10's speedup of compressed vs original
 // provenance) and accuracy (abstraction is exact for group-uniform
@@ -155,10 +160,33 @@ func (sc *Scenario) Project(v *abstree.VVS) *Scenario {
 	return out
 }
 
-// Answer pairs a polynomial's tag with its value under a scenario.
-type Answer struct {
+// AnswerOf pairs a polynomial's tag with its value under a scenario, in
+// whatever carrier the scenario was evaluated in — float64 magnitudes,
+// boolean derivability, int64 counts, tropical costs.
+type AnswerOf[T any] struct {
 	Tag   string
-	Value float64
+	Value T
+}
+
+// Answer is the float64 answer — the default carrier, and the type every
+// pre-semiring call site uses.
+type Answer = AnswerOf[float64]
+
+// ValueAnswer is the carrier-erased answer used at dynamic boundaries (the
+// HTTP API, the CLI) where the carrier is chosen per request: Value holds
+// the carrier's value (float64, bool, int64) as an any.
+type ValueAnswer struct {
+	Tag   string
+	Value any
+}
+
+// Erase converts a typed answer row to the carrier-erased form.
+func Erase[T any](ans []AnswerOf[T]) []ValueAnswer {
+	out := make([]ValueAnswer, len(ans))
+	for i, a := range ans {
+		out[i] = ValueAnswer{Tag: a.Tag, Value: a.Value}
+	}
+	return out
 }
 
 // Answers evaluates and tags the results.

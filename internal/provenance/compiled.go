@@ -2,13 +2,19 @@ package provenance
 
 import "sync"
 
-// Compiled is a provenance set compiled for evaluation: every monomial of
-// every polynomial is flattened into dense coefficient and factor arrays so
-// that evaluating a scenario is a tight loop over contiguous memory — no
-// string key re-parsing, no map lookups per monomial. Valuations are dense
-// []float64 slices indexed by Var.
+// Kernel is a provenance set compiled for evaluation in the carrier C:
+// every monomial of every polynomial is flattened into dense coefficient
+// and factor arrays so that evaluating a scenario is a tight loop over
+// contiguous memory — no string key re-parsing, no map lookups per
+// monomial. Valuations are dense []T slices indexed by Var.
 //
-// A Compiled is a snapshot that grows only at the end: mutating the source
+// The kernel is monomorphized per carrier by the compiler; the float
+// carrier additionally supplies a fused bulk loop (see bulkKernel), so the
+// float64 instantiation — the Compiled alias — runs the exact pre-generic
+// code path. The CSR inverted index, the cached identity baseline and the
+// delta scratch epochs are carrier-agnostic.
+//
+// A Kernel is a snapshot that grows only at the end: mutating the source
 // Set or its polynomials in place after compiling does not change the
 // compiled form, but Append extends it with additional polynomials without
 // recompiling what is already there (the incremental path behind Set.Add).
@@ -20,21 +26,19 @@ import "sync"
 // evaluation. The session Engine serializes the two behind its lock.
 //
 // Evaluation order is deterministic (monomials in canonical key order), so
-// repeated evaluations of the same valuation produce bit-identical results,
+// repeated evaluations of the same valuation produce identical results,
 // unlike the map-based Polynomial.Eval whose summation order follows map
 // iteration.
-type Compiled struct {
+type Kernel[T any, C Carrier[T]] struct {
 	Vocab *Vocab
 	Tags  []string // Tags[i] labels polynomial i; may be empty
 
-	polyOff []int32   // polynomial i owns terms [polyOff[i], polyOff[i+1])
-	coeffs  []float64 // one coefficient per term
-	factOff []int32   // term t owns factors [factOff[t], factOff[t+1])
-	vars    []Var     // factor variables, indexed by factOff
-	pows    []int32   // factor exponents, parallel to vars
+	carrier C
+	bulk    bulkKernel[T] // non-nil when C supplies fused loops (Float)
 
-	maxVar  Var  // largest Var occurring in any factor (0 when none)
-	allPow1 bool // every exponent is 1: enables the branch-free fast path
+	kernelArrays[T]
+
+	maxVar Var // largest Var occurring in any factor (0 when none)
 
 	// Inverted index for delta evaluation (see delta.go): which polynomials
 	// each variable occurs in, in CSR layout (ID lists ascending per
@@ -52,39 +56,68 @@ type Compiled struct {
 
 	baselineOnce sync.Once // guards baseline, the answers under the identity
 	baselineDone bool      // set inside baselineOnce: lets Append patch vs skip
-	baseline     []float64
-	deltaPool    sync.Pool // *DeltaEval scratch for the EvalDelta convenience
+	baseline     []T
+	deltaPool    sync.Pool // *DeltaKernel scratch for the EvalDelta convenience
 }
 
-// Compile flattens the set into its compiled form. The Vocab and Tags are
-// shared with the source set; the term data is copied.
+// Compiled is the float64 instantiation of the kernel — the paper's
+// numeric semiring, and the carrier every pre-generic call site uses.
+type Compiled = Kernel[float64, Float]
+
+// Compile flattens the set into its compiled float64 form. The Vocab and
+// Tags are shared with the source set; the term data is copied. For other
+// carriers use CompileSet.
 func (s *Set) Compile() *Compiled {
-	c := compilePolys(s.Polys)
-	c.Vocab = s.Vocab
-	c.Tags = s.Tags
+	c, _ := CompileSet[float64, Float](Float{}, s) // Float.FromCoeff never fails
 	return c
 }
 
 // Compile flattens a single polynomial into a one-member Compiled (no Vocab,
 // no tags). Use Set.Compile for whole query results.
 func (p *Polynomial) Compile() *Compiled {
-	return compilePolys([]*Polynomial{p})
+	c, _ := CompilePolys[float64, Float](Float{}, []*Polynomial{p})
+	return c
 }
 
-func compilePolys(polys []*Polynomial) *Compiled {
+// CompileSet flattens the set into a kernel over the given carrier. The
+// Vocab and Tags are shared with the source set; the term data is copied,
+// with every coefficient converted through the carrier's FromCoeff (which
+// is where non-natural multiplicities are rejected for the discrete
+// carriers).
+func CompileSet[T any, C Carrier[T]](cr C, s *Set) (*Kernel[T, C], error) {
+	c, err := CompilePolys[T, C](cr, s.Polys)
+	if err != nil {
+		return nil, err
+	}
+	c.Vocab = s.Vocab
+	c.Tags = s.Tags
+	return c, nil
+}
+
+// CompilePolys flattens polynomials into a kernel over the given carrier
+// (no Vocab, no tags).
+func CompilePolys[T any, C Carrier[T]](cr C, polys []*Polynomial) (*Kernel[T, C], error) {
 	nTerms := 0
 	for _, p := range polys {
 		nTerms += p.Size()
 	}
-	c := &Compiled{
-		polyOff: make([]int32, 1, len(polys)+1),
-		coeffs:  make([]float64, 0, nTerms),
-		factOff: make([]int32, 1, nTerms+1),
-		allPow1: true,
+	c := &Kernel[T, C]{
+		carrier: cr,
+		kernelArrays: kernelArrays[T]{
+			polyOff: make([]int32, 1, len(polys)+1),
+			coeffs:  make([]T, 0, nTerms),
+			factOff: make([]int32, 1, nTerms+1),
+			allPow1: true,
+		},
 	}
+	c.bulk, _ = any(cr).(bulkKernel[T])
 	for _, p := range polys {
 		for _, m := range p.Monomials() {
-			c.coeffs = append(c.coeffs, m.Coeff)
+			ct, err := cr.FromCoeff(m.Coeff)
+			if err != nil {
+				return nil, err
+			}
+			c.coeffs = append(c.coeffs, ct)
 			for _, f := range m.Vars() {
 				c.vars = append(c.vars, f.Var)
 				c.pows = append(c.pows, f.Pow)
@@ -99,7 +132,7 @@ func compilePolys(polys []*Polynomial) *Compiled {
 		}
 		c.polyOff = append(c.polyOff, int32(len(c.coeffs)))
 	}
-	return c
+	return c, nil
 }
 
 // Append extends the compiled form with additional polynomials in place —
@@ -109,22 +142,29 @@ func compilePolys(polys []*Polynomial) *Compiled {
 // merged, identity answers of the new polynomials appended) instead of
 // discarded, so an Add-heavy session keeps one compilation alive for its
 // whole lifetime. Evaluation of the pre-existing polynomials is
-// bit-identical to a fresh Compile: their term data is untouched.
+// bit-identical to a fresh compile: their term data is untouched.
 //
 // Append reports false — leaving the receiver unchanged — when the new
 // polynomials introduce variables beyond the capacity the inverted index
-// was sized for (the compiled vocabulary at index-build time); the caller
-// falls back to a full rebuild. tags extends Tags in step with the
-// polynomials and may be nil for untagged sets.
+// was sized for (the compiled vocabulary at index-build time), or when a
+// coefficient does not convert into the carrier; the caller falls back to
+// a full rebuild, which surfaces any conversion error. tags extends Tags
+// in step with the polynomials and may be nil for untagged sets.
 //
 // Append mutates the receiver and must not run concurrently with
 // evaluation; callers (like the session Engine) serialize the two.
-func (c *Compiled) Append(polys []*Polynomial, tags []string) bool {
+func (c *Kernel[T, C]) Append(polys []*Polynomial, tags []string) bool {
 	ms := make([][]Monomial, len(polys))
 	newMax := c.maxVar
+	newCoeffs := make([]T, 0, len(polys))
 	for i, p := range polys {
 		ms[i] = p.Monomials()
 		for _, m := range ms[i] {
+			ct, err := c.carrier.FromCoeff(m.Coeff)
+			if err != nil {
+				return false // rebuild path reports the conversion error
+			}
+			newCoeffs = append(newCoeffs, ct)
 			for _, f := range m.Vars() {
 				if f.Var > newMax {
 					newMax = f.Var
@@ -136,9 +176,11 @@ func (c *Compiled) Append(polys []*Polynomial, tags []string) bool {
 		return false // the index is sized to the old vocabulary: rebuild
 	}
 	firstPoly, firstTerm := c.Len(), len(c.coeffs)
+	nc := 0
 	for i := range polys {
 		for _, m := range ms[i] {
-			c.coeffs = append(c.coeffs, m.Coeff)
+			c.coeffs = append(c.coeffs, newCoeffs[nc])
+			nc++
 			for _, f := range m.Vars() {
 				c.vars = append(c.vars, f.Var)
 				c.pows = append(c.pows, f.Pow)
@@ -156,39 +198,43 @@ func (c *Compiled) Append(polys []*Polynomial, tags []string) bool {
 		c.patchIndex(firstPoly, firstTerm)
 	}
 	if c.baselineDone {
-		c.baseline = append(c.baseline, make([]float64, c.Len()-firstPoly)...)
+		c.baseline = append(c.baseline, make([]T, c.Len()-firstPoly)...)
 		c.evalRange(firstPoly, c.Len(), c.NewValuation(), c.baseline)
 	}
 	return true
 }
 
+// Carrier returns the carrier the kernel evaluates in.
+func (c *Kernel[T, C]) Carrier() C { return c.carrier }
+
 // Len returns the number of polynomials.
-func (c *Compiled) Len() int { return len(c.polyOff) - 1 }
+func (c *Kernel[T, C]) Len() int { return len(c.polyOff) - 1 }
 
 // Size returns |P|_M — the total number of monomials.
-func (c *Compiled) Size() int { return len(c.coeffs) }
+func (c *Kernel[T, C]) Size() int { return len(c.coeffs) }
 
 // MaxVar returns the largest Var occurring in the compiled set. Valuations
 // passed to Eval must have length at least MaxVar+1.
-func (c *Compiled) MaxVar() Var { return c.maxVar }
+func (c *Kernel[T, C]) MaxVar() Var { return c.maxVar }
 
 // ValuationLen returns the length a dense valuation slice must have.
-func (c *Compiled) ValuationLen() int { return int(c.maxVar) + 1 }
+func (c *Kernel[T, C]) ValuationLen() int { return int(c.maxVar) + 1 }
 
-// NewValuation returns an identity valuation (all ones) of the right length
-// for Eval. Index it by Var to assign scenario values.
-func (c *Compiled) NewValuation() []float64 {
-	val := make([]float64, c.ValuationLen())
+// NewValuation returns an identity valuation (every variable One) of the
+// right length for Eval. Index it by Var to assign scenario values.
+func (c *Kernel[T, C]) NewValuation() []T {
+	val := make([]T, c.ValuationLen())
+	one := c.carrier.One()
 	for i := range val {
-		val[i] = 1
+		val[i] = one
 	}
 	return val
 }
 
 // Valuation converts a sparse map valuation into a dense slice for Eval.
-// Variables absent from the map keep the identity value 1. Map entries for
-// variables beyond MaxVar are ignored (they cannot occur in any term).
-func (c *Compiled) Valuation(m map[Var]float64) []float64 {
+// Variables absent from the map keep the identity value One. Map entries
+// for variables beyond MaxVar are ignored (they cannot occur in any term).
+func (c *Kernel[T, C]) Valuation(m map[Var]T) []T {
 	val := c.NewValuation()
 	for v, x := range m {
 		if v >= 0 && int(v) < len(val) {
@@ -206,10 +252,10 @@ func (c *Compiled) Valuation(m map[Var]float64) []float64 {
 // val must have length at least ValuationLen(); use NewValuation or
 // Valuation to build it. Eval does not mutate val and is safe for
 // concurrent use with distinct out slices.
-func (c *Compiled) Eval(val []float64, out []float64) []float64 {
+func (c *Kernel[T, C]) Eval(val []T, out []T) []T {
 	n := c.Len()
 	if cap(out) < n {
-		out = make([]float64, n)
+		out = make([]T, n)
 	}
 	out = out[:n]
 	c.evalRange(0, n, val, out)
@@ -217,83 +263,50 @@ func (c *Compiled) Eval(val []float64, out []float64) []float64 {
 }
 
 // evalRange evaluates polynomials [lo, hi) into out (indexed by polynomial
-// id, not shifted). Disjoint ranges may be evaluated concurrently.
-func (c *Compiled) evalRange(lo, hi int, val, out []float64) {
-	if c.allPow1 {
-		c.evalLinear(lo, hi, val, out)
-	} else {
-		c.evalGeneral(lo, hi, val, out)
+// id, not shifted). Disjoint ranges may be evaluated concurrently. Carriers
+// with a fused bulk loop take it through a single interface call; the rest
+// run the generic loops below.
+func (c *Kernel[T, C]) evalRange(lo, hi int, val, out []T) {
+	if c.bulk != nil {
+		c.bulk.evalBulk(&c.kernelArrays, lo, hi, val, out)
+		return
 	}
-}
-
-// evalLinear is the hot path: every exponent is 1 so each factor is a single
-// multiply with no branching. The factor loop is unrolled four wide with a
-// small-count switch — provenance monomials have one to three factors almost
-// always, so most terms finish without entering a loop at all. Every
-// multiply keeps the left-to-right association of the plain loop, so results
-// stay bit-identical across paths.
-func (c *Compiled) evalLinear(lo, hi int, val, out []float64) {
-	coeffs, factOff, vars := c.coeffs, c.factOff, c.vars
+	cr := c.carrier
 	for pi := lo; pi < hi; pi++ {
-		sum := 0.0
-		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
-			x := coeffs[t]
-			f, end := factOff[t], factOff[t+1]
-			for ; end-f >= 4; f += 4 {
-				x = x * val[vars[f]] * val[vars[f+1]] * val[vars[f+2]] * val[vars[f+3]]
-			}
-			switch end - f {
-			case 1:
-				x *= val[vars[f]]
-			case 2:
-				x = x * val[vars[f]] * val[vars[f+1]]
-			case 3:
-				x = x * val[vars[f]] * val[vars[f+1]] * val[vars[f+2]]
-			}
-			sum += x
-		}
-		out[pi] = sum
-	}
-}
-
-// evalGeneral handles arbitrary positive exponents by repeated
-// multiplication (exponents are small in provenance polynomials: they count
-// self-joins).
-func (c *Compiled) evalGeneral(lo, hi int, val, out []float64) {
-	for pi := lo; pi < hi; pi++ {
-		sum := 0.0
+		sum := cr.Zero()
 		for t := c.polyOff[pi]; t < c.polyOff[pi+1]; t++ {
 			x := c.coeffs[t]
 			for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
 				v := val[c.vars[f]]
 				for p := c.pows[f]; p > 0; p-- {
-					x *= v
+					x = cr.Mul(x, v)
 				}
 			}
-			sum += x
+			sum = cr.Add(sum, x)
 		}
 		out[pi] = sum
 	}
 }
 
 // EvalPoly evaluates only polynomial i under the dense valuation.
-func (c *Compiled) EvalPoly(i int, val []float64) float64 {
-	sum := 0.0
+func (c *Kernel[T, C]) EvalPoly(i int, val []T) T {
+	cr := c.carrier
+	sum := cr.Zero()
 	for t := c.polyOff[i]; t < c.polyOff[i+1]; t++ {
 		x := c.coeffs[t]
 		for f := c.factOff[t]; f < c.factOff[t+1]; f++ {
 			v := val[c.vars[f]]
 			for p := c.pows[f]; p > 0; p-- {
-				x *= v
+				x = cr.Mul(x, v)
 			}
 		}
-		sum += x
+		sum = cr.Add(sum, x)
 	}
 	return sum
 }
 
 // EvalMap evaluates under a sparse map valuation (convenience bridge from
 // the map-based API; batch callers should build dense valuations once).
-func (c *Compiled) EvalMap(m map[Var]float64) []float64 {
+func (c *Kernel[T, C]) EvalMap(m map[Var]T) []T {
 	return c.Eval(c.Valuation(m), nil)
 }

@@ -8,11 +8,13 @@ package provenance
 // affect and copies baseline values for the rest — sub-linear in |P|_M per
 // scenario when scenarios are sparse, and bit-identical to Eval per
 // polynomial, since affected polynomials are recomputed whole on the same
-// code path (summation order per polynomial never changes).
+// code path (summation order per polynomial never changes). The index, the
+// baseline and the epoch-marked scratch are carrier-agnostic: the same
+// machinery answers boolean, counting, tropical and max-min deltas.
 //
 // For the opposite extreme — one huge scenario on a many-core machine —
-// EvalSharded and DeltaEval.EvalAffectedSharded split the polynomial range
-// across a goroutine pool, so a single-scenario evaluation on a
+// EvalSharded and DeltaKernel.EvalAffectedSharded split the polynomial
+// range across a goroutine pool, so a single-scenario evaluation on a
 // million-monomial set is no longer pinned to one core.
 
 import (
@@ -24,7 +26,7 @@ import (
 // ensureIndex builds the inverted index on first delta use (NewDeltaEval,
 // TermsTouching, MinAffectedTerms); compile-only callers never pay for it,
 // and concurrent evaluation workers race-safely share one construction.
-func (c *Compiled) ensureIndex() {
+func (c *Kernel[T, C]) ensureIndex() {
 	c.indexOnce.Do(c.buildDeltaIndex)
 }
 
@@ -34,7 +36,7 @@ func (c *Compiled) ensureIndex() {
 // term index by collapsing runs of terms belonging to the same polynomial.
 // Only the per-variable term counts survive as varTermOff — routing needs
 // the polynomial lists, not the term lists.
-func (c *Compiled) buildDeltaIndex() {
+func (c *Kernel[T, C]) buildDeltaIndex() {
 	nVars := 0
 	if len(c.vars) > 0 {
 		nVars = int(c.maxVar) + 1
@@ -82,14 +84,14 @@ func (c *Compiled) buildDeltaIndex() {
 }
 
 // patchIndex extends an already-built inverted index to cover polynomials
-// appended after the build (Compiled.Append): per-variable term counts are
+// appended after the build (Append): per-variable term counts are
 // re-accumulated, and each new polynomial's id is appended to the id list
 // of every variable it contains — new ids are all larger than the existing
 // ones, so every per-variable list stays ascending with a single merge-copy
 // pass. Cost is O(existing ids + new terms + |vocab|), a memmove-dominated
 // fraction of a full recompile. Append guarantees the new polynomials stay
 // within the indexed vocabulary.
-func (c *Compiled) patchIndex(firstPoly, firstTerm int) {
+func (c *Kernel[T, C]) patchIndex(firstPoly, firstTerm int) {
 	nVars := len(c.varTermOff) - 1
 
 	newTermCount := make([]int32, nVars)
@@ -148,9 +150,9 @@ func (c *Compiled) patchIndex(firstPoly, firstTerm int) {
 }
 
 // Baseline returns the answer vector under the identity valuation (every
-// variable 1), computed once and cached. The slice is shared: callers must
-// not mutate it.
-func (c *Compiled) Baseline() []float64 {
+// variable One), computed once and cached. The slice is shared: callers
+// must not mutate it.
+func (c *Kernel[T, C]) Baseline() []T {
 	c.baselineOnce.Do(func() {
 		c.baseline = c.Eval(c.NewValuation(), nil)
 		c.baselineDone = true // lets Append patch instead of recompute
@@ -161,7 +163,7 @@ func (c *Compiled) Baseline() []float64 {
 // TermsTouching returns an upper bound on the number of terms containing any
 // of the touched variables (terms shared by several touched variables are
 // counted once per variable). It costs O(len(touched)).
-func (c *Compiled) TermsTouching(touched []Var) int {
+func (c *Kernel[T, C]) TermsTouching(touched []Var) int {
 	c.ensureIndex()
 	n := 0
 	for _, v := range touched {
@@ -179,7 +181,7 @@ func (c *Compiled) TermsTouching(touched []Var) int {
 // the largest single variable's polynomial-term total. It costs
 // O(len(touched)) and is the cheap density pre-reject — when even the lower
 // bound exceeds the delta cutoff, the full Affected walk can be skipped.
-func (c *Compiled) MinAffectedTerms(touched []Var) int {
+func (c *Kernel[T, C]) MinAffectedTerms(touched []Var) int {
 	c.ensureIndex()
 	n := int32(0)
 	for _, v := range touched {
@@ -193,30 +195,34 @@ func (c *Compiled) MinAffectedTerms(touched []Var) int {
 	return int(n)
 }
 
-// DeltaEval is reusable scratch state for delta evaluation: an epoch-marked
-// visited set and the gathered affected-polynomial list. A DeltaEval is not
-// safe for concurrent use; batch evaluators keep one per worker. For
-// one-shot calls use Compiled.EvalDelta, which pools the scratch.
-type DeltaEval struct {
-	c     *Compiled
+// DeltaKernel is reusable scratch state for delta evaluation: an
+// epoch-marked visited set and the gathered affected-polynomial list. A
+// DeltaKernel is not safe for concurrent use; batch evaluators keep one per
+// worker. For one-shot calls use Kernel.EvalDelta, which pools the scratch.
+type DeltaKernel[T any, C Carrier[T]] struct {
+	c     *Kernel[T, C]
 	mark  []uint32
 	epoch uint32
 	ids   []int32
 }
 
+// DeltaEval is the float64 instantiation of the delta scratch, matching
+// Compiled.
+type DeltaEval = DeltaKernel[float64, Float]
+
 // NewDeltaEval returns fresh delta-evaluation scratch for the compiled set,
 // building the inverted index on first use.
-func (c *Compiled) NewDeltaEval() *DeltaEval {
+func (c *Kernel[T, C]) NewDeltaEval() *DeltaKernel[T, C] {
 	c.ensureIndex()
-	return &DeltaEval{c: c, mark: make([]uint32, c.Len())}
+	return &DeltaKernel[T, C]{c: c, mark: make([]uint32, c.Len())}
 }
 
 // Affected gathers the ids of every polynomial containing at least one
 // touched variable, ascending, along with the total number of terms those
 // polynomials own (the exact amount of multiply work a delta evaluation
 // would redo). The returned slice is valid until the next Affected or Eval
-// call on this DeltaEval.
-func (d *DeltaEval) Affected(touched []Var) ([]int32, int) {
+// call on this DeltaKernel.
+func (d *DeltaKernel[T, C]) Affected(touched []Var) ([]int32, int) {
 	c := d.c
 	if len(d.mark) < c.Len() {
 		// The compiled set grew underneath pooled scratch (Append): the new
@@ -252,11 +258,11 @@ func (d *DeltaEval) Affected(touched []Var) ([]int32, int) {
 // the listed polynomials under val. The contract mirrors EvalDelta: val must
 // be the identity everywhere except on variables whose polynomials are all
 // listed in ids (Affected of the touched variables guarantees that).
-func (d *DeltaEval) EvalAffected(ids []int32, val, out []float64) []float64 {
+func (d *DeltaKernel[T, C]) EvalAffected(ids []int32, val, out []T) []T {
 	c := d.c
 	n := c.Len()
 	if cap(out) < n {
-		out = make([]float64, n)
+		out = make([]T, n)
 	}
 	out = out[:n]
 	copy(out, c.Baseline())
@@ -268,11 +274,11 @@ func (d *DeltaEval) EvalAffected(ids []int32, val, out []float64) []float64 {
 // polynomials split across a pool of workers goroutines, balanced by term
 // count — the intra-scenario parallel path for a single scenario whose
 // affected set is large.
-func (d *DeltaEval) EvalAffectedSharded(ids []int32, val, out []float64, workers int) []float64 {
+func (d *DeltaKernel[T, C]) EvalAffectedSharded(ids []int32, val, out []T, workers int) []T {
 	c := d.c
 	n := c.Len()
 	if cap(out) < n {
-		out = make([]float64, n)
+		out = make([]T, n)
 	}
 	out = out[:n]
 	copy(out, c.Baseline())
@@ -310,7 +316,7 @@ func (d *DeltaEval) EvalAffectedSharded(ids []int32, val, out []float64, workers
 
 // Eval is Affected + EvalAffected: the one-call delta evaluation against
 // this scratch state.
-func (d *DeltaEval) Eval(touched []Var, val, out []float64) []float64 {
+func (d *DeltaKernel[T, C]) Eval(touched []Var, val, out []T) []T {
 	ids, _ := d.Affected(touched)
 	return d.EvalAffected(ids, val, out)
 }
@@ -324,11 +330,11 @@ func (d *DeltaEval) Eval(touched []Var, val, out []float64) []float64 {
 // recomputed whole under val on the usual code path, keeping every answer
 // bit-identical to a full Eval. out must not alias prevOut when ids is
 // non-empty.
-func (d *DeltaEval) EvalAffectedFrom(ids []int32, val, prevOut, out []float64) []float64 {
+func (d *DeltaKernel[T, C]) EvalAffectedFrom(ids []int32, val, prevOut, out []T) []T {
 	c := d.c
 	n := c.Len()
 	if cap(out) < n {
-		out = make([]float64, n)
+		out = make([]T, n)
 	}
 	out = out[:n]
 	copy(out, prevOut)
@@ -342,15 +348,21 @@ func (d *DeltaEval) EvalAffectedFrom(ids []int32, val, prevOut, out []float64) [
 // equal assignments cancelled). It is Affected + EvalAffectedFrom — the
 // convenience form of the chained-delta path for correlated scenario
 // streams, where consecutive valuations differ on far fewer variables than
-// either differs from the identity.
-func (d *DeltaEval) EvalFrom(touched []Var, val, prevOut, out []float64) []float64 {
+// either differs from the identity. Callers choosing a chain base per
+// carrier should consult Carrier.Chainable; the kernel itself is correct
+// for any carrier, since listed polynomials are recomputed whole.
+func (d *DeltaKernel[T, C]) EvalFrom(touched []Var, val, prevOut, out []T) []T {
 	ids, _ := d.Affected(touched)
 	return d.EvalAffectedFrom(ids, val, prevOut, out)
 }
 
 // evalIDs recomputes the listed polynomials into out. IDs must be distinct
 // (concurrent shards rely on writes being disjoint).
-func (c *Compiled) evalIDs(ids []int32, val, out []float64) {
+func (c *Kernel[T, C]) evalIDs(ids []int32, val, out []T) {
+	if c.bulk != nil {
+		c.bulk.evalBulkIDs(&c.kernelArrays, ids, val, out)
+		return
+	}
 	for _, pi := range ids {
 		c.evalRange(int(pi), int(pi)+1, val, out)
 	}
@@ -360,8 +372,8 @@ func (c *Compiled) evalIDs(ids []int32, val, out []float64) {
 // pool (freshly built when the pool is empty). Return it with PutDeltaEval
 // when done; batch evaluators use the pair to keep steady-state requests
 // free of the O(polynomials) mark-array allocation.
-func (c *Compiled) GetDeltaEval() *DeltaEval {
-	d, _ := c.deltaPool.Get().(*DeltaEval)
+func (c *Kernel[T, C]) GetDeltaEval() *DeltaKernel[T, C] {
+	d, _ := c.deltaPool.Get().(*DeltaKernel[T, C])
 	if d == nil {
 		d = c.NewDeltaEval()
 	}
@@ -370,20 +382,20 @@ func (c *Compiled) GetDeltaEval() *DeltaEval {
 
 // PutDeltaEval returns scratch obtained from GetDeltaEval to the pool. The
 // scratch must not be used after Put.
-func (c *Compiled) PutDeltaEval(d *DeltaEval) {
+func (c *Kernel[T, C]) PutDeltaEval(d *DeltaKernel[T, C]) {
 	c.deltaPool.Put(d)
 }
 
 // EvalDelta evaluates under a sparse scenario: touched lists the variables
-// whose value in val differs from the identity 1 (listing extra variables is
-// harmless). Only polynomials containing a touched variable are recomputed;
-// the rest receive the cached Baseline value. Per polynomial the result is
-// bit-identical to Eval, which recomputes everything.
+// whose value in val differs from the identity One (listing extra variables
+// is harmless). Only polynomials containing a touched variable are
+// recomputed; the rest receive the cached Baseline value. Per polynomial the
+// result is bit-identical to Eval, which recomputes everything.
 //
 // EvalDelta is safe for concurrent use with distinct out slices; its scratch
 // state is pooled. Callers with a per-worker evaluation loop should hold
 // their own NewDeltaEval (or a GetDeltaEval/PutDeltaEval pair) instead.
-func (c *Compiled) EvalDelta(touched []Var, val, out []float64) []float64 {
+func (c *Kernel[T, C]) EvalDelta(touched []Var, val, out []T) []T {
 	d := c.GetDeltaEval()
 	out = d.Eval(touched, val, out)
 	c.PutDeltaEval(d)
@@ -394,10 +406,10 @@ func (c *Compiled) EvalDelta(touched []Var, val, out []float64) []float64 {
 // workers goroutines (1 or less falls back to the serial loop). Shard
 // boundaries are balanced by term count, and each polynomial is computed
 // whole by one goroutine, so results are bit-identical to Eval.
-func (c *Compiled) EvalSharded(val, out []float64, workers int) []float64 {
+func (c *Kernel[T, C]) EvalSharded(val, out []T, workers int) []T {
 	n := c.Len()
 	if cap(out) < n {
-		out = make([]float64, n)
+		out = make([]T, n)
 	}
 	out = out[:n]
 	if workers > n {

@@ -1,0 +1,55 @@
+package semiring
+
+import "fmt"
+
+// Kind names one of the wire-selectable evaluation carriers — the value of
+// the "semiring" field on /v1 what-if requests, the -semiring CLI flag, and
+// the key of the per-semiring counters in session stats. The zero value ""
+// is not a Kind; parse user input with ParseKind (which maps "" to
+// KindFloat, today's default).
+type Kind string
+
+const (
+	// KindFloat is the numeric (+,×) carrier over float64 — the default,
+	// byte-compatible with the pre-semiring API.
+	KindFloat Kind = "float"
+	// KindBool is boolean deletion propagation: assign 0 to delete a tuple
+	// and any answer still derivable evaluates to true.
+	KindBool Kind = "bool"
+	// KindCount is derivation counting: assignments are tuple
+	// multiplicities, answers count derivations.
+	KindCount Kind = "count"
+	// KindTropical is min-plus cost: assignments are tuple costs, answers
+	// are the cheapest derivation's total.
+	KindTropical Kind = "tropical"
+	// KindMinMax is max-min access control: assignments are clearance
+	// levels, answers the highest level at which the tuple is derivable.
+	KindMinMax Kind = "minmax"
+)
+
+// Kinds lists every wire-selectable carrier, in display order.
+func Kinds() []Kind {
+	return []Kind{KindFloat, KindBool, KindCount, KindTropical, KindMinMax}
+}
+
+// ParseKind resolves a carrier name. The empty string is the float default;
+// the aliases cover the obvious spellings ("boolean", "counting", "cost",
+// "security", …).
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "", "float", "numeric", "num":
+		return KindFloat, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	case "count", "counting":
+		return KindCount, nil
+	case "tropical", "cost", "minplus", "min-plus":
+		return KindTropical, nil
+	case "minmax", "min-max", "security", "access":
+		return KindMinMax, nil
+	}
+	return "", fmt.Errorf("semiring: unknown semiring %q (want float, bool, count, tropical or minmax)", name)
+}
+
+// String returns the canonical wire name.
+func (k Kind) String() string { return string(k) }

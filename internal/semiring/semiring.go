@@ -3,7 +3,15 @@
 // (§2.1): polynomials over N[X] are the universal provenance semiring, and
 // assigning semiring values to variables specializes them — Boolean values
 // for existence/non-existence hypotheticals, counts for multiplicity,
-// tropical costs, Viterbi confidences, and so on (Green et al., PODS'07).
+// tropical costs, max-min clearance levels, Viterbi confidences, and so on
+// (Green et al., PODS'07).
+//
+// Every carrier here implements provenance.Carrier, so it plugs directly
+// into the compiled evaluation stack: Kernel[T, C] gives each semiring the
+// flat-array, delta-indexed, sharded evaluation paths that were previously
+// float64-only, and Eval in this package is a thin wrapper over that
+// kernel. The wire-selectable carriers (see Kind) flow end to end through
+// the session Engine, the /v1 HTTP API and the CLI.
 package semiring
 
 import (
@@ -18,7 +26,9 @@ import (
 // Semiring is a commutative semiring over T: (T, Add, Zero) is a commutative
 // monoid, (T, Mul, One) is a commutative monoid, Mul distributes over Add,
 // and Zero annihilates Mul. Implementations must be value-semantics-safe
-// (Eval may reuse results).
+// (Eval may reuse results). Carriers additionally implement
+// provenance.Carrier, which embeds these laws and adds the compile-time
+// hooks (NAdd, FromCoeff, Value, Chainable).
 type Semiring[T any] interface {
 	Zero() T
 	One() T
@@ -27,40 +37,33 @@ type Semiring[T any] interface {
 	Equal(a, b T) bool
 }
 
-// Eval evaluates the polynomial in the semiring: coefficients are
-// interpreted as multiplicities (n-fold Add), exponents as n-fold Mul, and
-// variables are valuated through val. Coefficients must be non-negative
-// integers — the N[X] reading — otherwise Eval reports an error.
-func Eval[T any](sr Semiring[T], p *provenance.Polynomial, val func(provenance.Var) T) (T, error) {
-	acc := sr.Zero()
+// Eval evaluates the polynomial in the carrier semiring: coefficients are
+// interpreted as multiplicities (NAdd), exponents as n-fold Mul, and
+// variables are valuated through val. Coefficients must be within
+// provenance.NaturalTolerance of a non-negative integer — the N[X] reading,
+// with slack for float accumulation in the compression paths — except in
+// the raw-float Numeric carrier; otherwise Eval reports an error.
+//
+// Eval compiles the polynomial and runs the generic kernel, so it agrees
+// with Kernel.Eval by construction; callers evaluating many scenarios
+// should compile once with provenance.CompileSet instead.
+func Eval[T any, C provenance.Carrier[T]](sr C, p *provenance.Polynomial, val func(provenance.Var) T) (T, error) {
+	var zero T
+	k, err := provenance.CompilePolys[T, C](sr, []*provenance.Polynomial{p})
+	if err != nil {
+		return zero, fmt.Errorf("semiring: %w", err)
+	}
+	dense := k.NewValuation()
+	seen := make(map[provenance.Var]bool)
 	for _, m := range p.Monomials() {
-		c := m.Coeff
-		if c != math.Trunc(c) || c < 0 {
-			return acc, fmt.Errorf("semiring: coefficient %v is not a natural multiplicity", c)
-		}
-		term := sr.One()
 		for _, vp := range m.Vars() {
-			x := val(vp.Var)
-			for i := int32(0); i < vp.Pow; i++ {
-				term = sr.Mul(term, x)
+			if !seen[vp.Var] {
+				seen[vp.Var] = true
+				dense[vp.Var] = val(vp.Var)
 			}
 		}
-		acc = sr.Add(acc, nTimes(sr, int64(c), term))
 	}
-	return acc, nil
-}
-
-// nTimes adds x to itself n times (fast doubling).
-func nTimes[T any](sr Semiring[T], n int64, x T) T {
-	acc := sr.Zero()
-	for n > 0 {
-		if n&1 == 1 {
-			acc = sr.Add(acc, x)
-		}
-		x = sr.Add(x, x)
-		n >>= 1
-	}
-	return acc
+	return k.Eval(dense, nil)[0], nil
 }
 
 // Counting is the counting semiring (N, +, ·, 0, 1): how many derivations
@@ -73,6 +76,25 @@ func (Counting) Add(a, b int64) int64  { return a + b }
 func (Counting) Mul(a, b int64) int64  { return a * b }
 func (Counting) Equal(a, b int64) bool { return a == b }
 
+// NAdd returns n·x — the n-fold sum in O(1).
+func (Counting) NAdd(n int64, x int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return n * x
+}
+
+// FromCoeff converts a natural multiplicity to its count.
+func (Counting) FromCoeff(c float64) (int64, error) { return provenance.NaturalCoeff(c) }
+
+// Value parses a scenario assignment as a tuple multiplicity (0 deletes the
+// tuple, n replicates it n-fold).
+func (Counting) Value(x float64) (int64, error) { return provenance.NaturalCoeff(x) }
+
+// Chainable reports true: counting deltas recompute affected polynomials
+// whole, exactly like the float path.
+func (Counting) Chainable() bool { return true }
+
 // Boolean is the Boolean semiring ({false,true}, ∨, ∧): does the tuple
 // survive the hypothetical deletion scenario.
 type Boolean struct{}
@@ -82,6 +104,23 @@ func (Boolean) One() bool            { return true }
 func (Boolean) Add(a, b bool) bool   { return a || b }
 func (Boolean) Mul(a, b bool) bool   { return a && b }
 func (Boolean) Equal(a, b bool) bool { return a == b }
+
+// NAdd keeps x for any positive multiplicity (∨ is idempotent).
+func (Boolean) NAdd(n int64, x bool) bool { return n > 0 && x }
+
+// FromCoeff maps any positive multiplicity to true.
+func (Boolean) FromCoeff(c float64) (bool, error) {
+	n, err := provenance.NaturalCoeff(c)
+	return n > 0, err
+}
+
+// Value parses a scenario assignment as survival: 0 deletes the tuple,
+// anything else keeps it.
+func (Boolean) Value(x float64) (bool, error) { return x != 0, nil }
+
+// Chainable reports false: the idempotent carriers use identity-baseline
+// deltas only.
+func (Boolean) Chainable() bool { return false }
 
 // Tropical is the min-plus semiring (R∪{∞}, min, +, ∞, 0): cheapest
 // derivation cost.
@@ -93,6 +132,76 @@ func (Tropical) Add(a, b float64) float64 { return math.Min(a, b) }
 func (Tropical) Mul(a, b float64) float64 { return a + b }
 func (Tropical) Equal(a, b float64) bool  { return a == b }
 
+// NAdd keeps x for any positive multiplicity (min is idempotent).
+func (Tropical) NAdd(n int64, x float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return x
+}
+
+// FromCoeff maps any positive multiplicity to the zero-cost One.
+func (Tropical) FromCoeff(c float64) (float64, error) {
+	n, err := provenance.NaturalCoeff(c)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return (Tropical{}).NAdd(n, 0), nil
+}
+
+// Value parses a scenario assignment as the tuple's cost (+Inf deletes it).
+func (Tropical) Value(x float64) (float64, error) {
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("cost is NaN")
+	}
+	return x, nil
+}
+
+// Chainable reports false: min is not invertible, so chained bases buy
+// nothing over the identity baseline.
+func (Tropical) Chainable() bool { return false }
+
+// MinMax is the max-min access-control semiring (R∪{±∞}, max, min, −∞, +∞):
+// valuate each tuple with its clearance level and the answer is the highest
+// level at which it is still derivable — the best-supported derivation's
+// weakest link (Foster et al.'s security semiring, with numeric levels).
+type MinMax struct{}
+
+func (MinMax) Zero() float64            { return math.Inf(-1) }
+func (MinMax) One() float64             { return math.Inf(1) }
+func (MinMax) Add(a, b float64) float64 { return math.Max(a, b) }
+func (MinMax) Mul(a, b float64) float64 { return math.Min(a, b) }
+func (MinMax) Equal(a, b float64) bool  { return a == b }
+
+// NAdd keeps x for any positive multiplicity (max is idempotent).
+func (MinMax) NAdd(n int64, x float64) float64 {
+	if n <= 0 {
+		return math.Inf(-1)
+	}
+	return x
+}
+
+// FromCoeff maps any positive multiplicity to the unconstraining One (+∞).
+func (MinMax) FromCoeff(c float64) (float64, error) {
+	n, err := provenance.NaturalCoeff(c)
+	if err != nil {
+		return math.Inf(-1), err
+	}
+	return (MinMax{}).NAdd(n, math.Inf(1)), nil
+}
+
+// Value parses a scenario assignment as the tuple's clearance level.
+func (MinMax) Value(x float64) (float64, error) {
+	if math.IsNaN(x) {
+		return 0, fmt.Errorf("clearance level is NaN")
+	}
+	return x, nil
+}
+
+// Chainable reports false: the idempotent carriers use identity-baseline
+// deltas only.
+func (MinMax) Chainable() bool { return false }
+
 // Viterbi is the Viterbi semiring ([0,1], max, ·, 0, 1): most likely
 // derivation.
 type Viterbi struct{}
@@ -103,6 +212,35 @@ func (Viterbi) Add(a, b float64) float64 { return math.Max(a, b) }
 func (Viterbi) Mul(a, b float64) float64 { return a * b }
 func (Viterbi) Equal(a, b float64) bool  { return a == b }
 
+// NAdd keeps x for any positive multiplicity (max is idempotent).
+func (Viterbi) NAdd(n int64, x float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return x
+}
+
+// FromCoeff maps any positive multiplicity to the certain One.
+func (Viterbi) FromCoeff(c float64) (float64, error) {
+	n, err := provenance.NaturalCoeff(c)
+	if err != nil {
+		return 0, err
+	}
+	return (Viterbi{}).NAdd(n, 1), nil
+}
+
+// Value parses a scenario assignment as the tuple's probability.
+func (Viterbi) Value(x float64) (float64, error) {
+	if !(x >= 0 && x <= 1) {
+		return 0, fmt.Errorf("probability %v is outside [0,1]", x)
+	}
+	return x, nil
+}
+
+// Chainable reports false: the idempotent carriers use identity-baseline
+// deltas only.
+func (Viterbi) Chainable() bool { return false }
+
 // Fuzzy is the fuzzy semiring ([0,1], max, min, 0, 1).
 type Fuzzy struct{}
 
@@ -111,6 +249,35 @@ func (Fuzzy) One() float64             { return 1 }
 func (Fuzzy) Add(a, b float64) float64 { return math.Max(a, b) }
 func (Fuzzy) Mul(a, b float64) float64 { return math.Min(a, b) }
 func (Fuzzy) Equal(a, b float64) bool  { return a == b }
+
+// NAdd keeps x for any positive multiplicity (max is idempotent).
+func (Fuzzy) NAdd(n int64, x float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return x
+}
+
+// FromCoeff maps any positive multiplicity to the fully-true One.
+func (Fuzzy) FromCoeff(c float64) (float64, error) {
+	n, err := provenance.NaturalCoeff(c)
+	if err != nil {
+		return 0, err
+	}
+	return (Fuzzy{}).NAdd(n, 1), nil
+}
+
+// Value parses a scenario assignment as the tuple's membership degree.
+func (Fuzzy) Value(x float64) (float64, error) {
+	if !(x >= 0 && x <= 1) {
+		return 0, fmt.Errorf("membership degree %v is outside [0,1]", x)
+	}
+	return x, nil
+}
+
+// Chainable reports false: the idempotent carriers use identity-baseline
+// deltas only.
+func (Fuzzy) Chainable() bool { return false }
 
 // Witnesses is an element of the Why semiring: a set of witness sets, each
 // witness a sorted set of variable names. The canonical encoding keeps sets
@@ -163,6 +330,33 @@ func (Why) Equal(a, b Witnesses) bool {
 	return true
 }
 
+// NAdd keeps x for any positive multiplicity (union is idempotent).
+func (Why) NAdd(n int64, x Witnesses) Witnesses {
+	if n <= 0 {
+		return Witnesses{}
+	}
+	return x
+}
+
+// FromCoeff maps any positive multiplicity to One.
+func (Why) FromCoeff(c float64) (Witnesses, error) {
+	n, err := provenance.NaturalCoeff(c)
+	if err != nil {
+		return Witnesses{}, err
+	}
+	return (Why{}).NAdd(n, Witnesses{{}}), nil
+}
+
+// Value reports an error: witness sets cannot be parsed from a number —
+// valuate Why polynomials programmatically with Singleton.
+func (Why) Value(x float64) (Witnesses, error) {
+	return nil, fmt.Errorf("why-provenance has no numeric valuation")
+}
+
+// Chainable reports false: the idempotent carriers use identity-baseline
+// deltas only.
+func (Why) Chainable() bool { return false }
+
 // Singleton returns the Why value of a base tuple annotated with name.
 func Singleton(name string) Witnesses { return Witnesses{{name}} }
 
@@ -183,12 +377,6 @@ func canonWitnesses(ws Witnesses) Witnesses {
 }
 
 // Numeric is the standard (R, +, ·) semiring — the aggregate reading of
-// model 2, equivalent to Polynomial.Eval but exposed through the same
-// interface for uniformity.
-type Numeric struct{}
-
-func (Numeric) Zero() float64            { return 0 }
-func (Numeric) One() float64             { return 1 }
-func (Numeric) Add(a, b float64) float64 { return a + b }
-func (Numeric) Mul(a, b float64) float64 { return a * b }
-func (Numeric) Equal(a, b float64) bool  { return a == b }
+// model 2. It is provenance.Float, the carrier the whole pre-generic stack
+// evaluated in, re-exported here so the semiring API is complete.
+type Numeric = provenance.Float

@@ -68,6 +68,16 @@ func TestSemiringLaws(t *testing.T) {
 		}
 		return float64(r.Intn(50))
 	})
+	checkLaws[float64](t, "minmax", MinMax{}, func(r *rand.Rand) float64 {
+		switch r.Intn(10) {
+		case 0:
+			return math.Inf(1)
+		case 1:
+			return math.Inf(-1)
+		default:
+			return float64(r.Intn(9))
+		}
+	})
 	// Binary fractions multiply exactly in float64, keeping associativity
 	// checkable with exact equality.
 	binFrac := []float64{0, 0.125, 0.25, 0.5, 1}
@@ -165,6 +175,29 @@ func TestEvalRejectsNonNaturalCoefficients(t *testing.T) {
 		if _, err := Eval[bool](Boolean{}, p, func(provenance.Var) bool { return true }); err == nil {
 			t.Errorf("Eval(%q) accepted a non-natural coefficient", src)
 		}
+	}
+}
+
+// Regression: coefficients within provenance.NaturalTolerance of an integer
+// are accepted — the summarize compression path accumulates multiplicities
+// in float64 and can emit 2.9999999999 where 3 is meant. A strict integer
+// check used to reject those polynomials outright.
+func TestEvalAcceptsNearIntegerCoefficients(t *testing.T) {
+	vb := provenance.NewVocab()
+	p := provenance.NewPolynomial()
+	p.AddTerm(2.9999999999, vb.Var("x")) // within 1e-9 of 3
+	got, err := Eval[int64](Counting{}, p, func(provenance.Var) int64 { return 2 })
+	if err != nil {
+		t.Fatalf("Eval rejected a near-integer coefficient: %v", err)
+	}
+	if got != 6 { // 3·2: the multiplicity rounds to 3
+		t.Errorf("counting eval = %d, want 6", got)
+	}
+	// Just past the tolerance still fails.
+	q := provenance.NewPolynomial()
+	q.AddTerm(2.99, vb.Var("x"))
+	if _, err := Eval[int64](Counting{}, q, func(provenance.Var) int64 { return 1 }); err == nil {
+		t.Error("Eval accepted a coefficient 0.01 from an integer")
 	}
 }
 

@@ -23,7 +23,13 @@
 // designated default session; they answer with a "Deprecation: true"
 // header and will be removed once clients migrate.
 //
-// Scenario lines are {"assign": {"var": value, …}}. Per-scenario semantic
+// Scenario lines are {"assign": {"var": value, …}}. A what-if body may add
+// "semiring": "bool"|"count"|"tropical"|"minmax" to evaluate in that
+// provenance semiring instead of the float default (deletion propagation,
+// derivation counting, min-plus cost, max-min clearance); streams pick the
+// carrier once for the whole connection with ?semiring=. Non-finite
+// tropical/minmax answers are encoded as the strings "+Inf"/"-Inf".
+// Per-scenario semantic
 // errors (an unknown variable, say) are reported in-band as
 // {"index": i, "error": "…"} without tearing down the stream; malformed
 // JSON terminates the stream with a final {"error": "…"} line, since the
@@ -40,7 +46,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -51,6 +59,7 @@ import (
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
 	"provabs/internal/registry"
+	"provabs/internal/semiring"
 	"provabs/internal/session"
 )
 
@@ -62,6 +71,17 @@ const defaultMaxLineBytes = 1 << 20
 // defaultMaxCreateBytes bounds a session-create body, which may carry a
 // whole encoded provenance set inline.
 const defaultMaxCreateBytes = 64 << 20
+
+// maxStreamDrainBytes bounds how much of an unread stream body the handler
+// consumes before returning. A full-duplex handler that returns with the
+// body part-read leaves the drain to the server's post-handler Close; an
+// EOF first reached there starts a background read that races the next
+// request's read on a reused keep-alive connection (net/http's "invalid
+// concurrent Body.Read call" panic). Draining in-handler — up to the same
+// bound net/http uses for non-duplex handlers — reaches EOF before the
+// handler returns, and past the bound the server closes the connection
+// instead of reusing it.
+const maxStreamDrainBytes = 256 << 10
 
 // Server serves a session registry.
 type Server struct {
@@ -352,9 +372,13 @@ func (s *Server) handleAggregateStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, s.reg.Stats())
 }
 
-// scenarioRequest is one hypothetical scenario on the wire.
+// scenarioRequest is one hypothetical scenario on the wire. Semiring picks
+// the evaluation carrier ("" and "float" are the numeric default; "bool",
+// "count", "tropical", "minmax" select that carrier's kernel — see
+// semiring.ParseKind for the accepted aliases).
 type scenarioRequest struct {
-	Assign map[string]float64 `json:"assign"`
+	Assign   map[string]float64 `json:"assign"`
+	Semiring string             `json:"semiring,omitempty"`
 }
 
 func (req *scenarioRequest) scenario() *hypo.Scenario {
@@ -365,16 +389,31 @@ func (req *scenarioRequest) scenario() *hypo.Scenario {
 	return sc
 }
 
-// answerJSON is one tagged answer on the wire.
+// answerJSON is one tagged answer on the wire. Value is the evaluation
+// carrier's value — a float64 magnitude, a bool, an int64 count — except
+// that the non-finite tropical/minmax identities, which JSON cannot carry
+// as numbers, are encoded as the strings "+Inf" and "-Inf".
 type answerJSON struct {
-	Tag   string  `json:"tag"`
-	Value float64 `json:"value"`
+	Tag   string `json:"tag"`
+	Value any    `json:"value"`
 }
 
-func toAnswerJSON(answers []hypo.Answer) []answerJSON {
+// wireValue maps a carrier value to its JSON encoding (±Inf as strings;
+// encoding/json rejects non-finite floats).
+func wireValue(v any) any {
+	if f, ok := v.(float64); ok && math.IsInf(f, 0) {
+		if f > 0 {
+			return "+Inf"
+		}
+		return "-Inf"
+	}
+	return v
+}
+
+func toAnswerJSON(answers []hypo.ValueAnswer) []answerJSON {
 	out := make([]answerJSON, len(answers))
 	for i, a := range answers {
-		out[i] = answerJSON{Tag: a.Tag, Value: a.Value}
+		out[i] = answerJSON{Tag: a.Tag, Value: wireValue(a.Value)}
 	}
 	return out
 }
@@ -391,7 +430,12 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, sess *regi
 	if !s.decodeJSON(w, r, s.maxLine, &req, "scenario") {
 		return
 	}
-	answers, err := sess.Engine().WhatIf(req.scenario())
+	kind, err := semiring.ParseKind(req.Semiring)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	answers, err := sess.Engine().WhatIfIn(kind, req.scenario())
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return
@@ -400,12 +444,18 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, sess *regi
 }
 
 // handleStream is the streaming batch endpoint: scenarios are read off the
-// request body line by line and fed to Engine.Stream; each answer line is
+// request body line by line and fed to Engine.StreamIn; each answer line is
 // flushed as soon as it is computed, so a long-lived client sees results
-// while it is still sending scenarios. The stream ends early when the
-// client goes away (a failed write or flush) or the session is closed
-// (DELETE /v1/sessions/{name} while streaming).
+// while it is still sending scenarios. A ?semiring= query parameter picks
+// the evaluation carrier for the whole stream (default float). The stream
+// ends early when the client goes away (a failed write or flush) or the
+// session is closed (DELETE /v1/sessions/{name} while streaming).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
+	kind, err := semiring.ParseKind(r.URL.Query().Get("semiring"))
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
 	// The evaluation context dies with the request OR the session: closing
 	// the session mid-stream cancels ctx, which tears down Engine.Stream's
 	// goroutine and ends the response.
@@ -420,7 +470,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 	}()
 
 	in := make(chan *hypo.Scenario)
-	results := sess.Engine().Stream(ctx, in)
+	results := sess.Engine().StreamIn(ctx, kind, in)
 
 	// Feed the engine from the body. The read error is mutex-guarded: on
 	// context cancellation the results channel can close while the reader
@@ -434,6 +484,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 	}
 	go func() {
 		defer close(in)
+		drain := true
+		defer func() {
+			// See maxStreamDrainBytes: reach the body's EOF while the
+			// handler is still running. Skipped when the request is being
+			// torn down (ctx cancelled) — the connection is not reused then,
+			// and a drain could block on a live client.
+			if drain {
+				io.Copy(io.Discard, io.LimitReader(r.Body, maxStreamDrainBytes)) //nolint:errcheck
+			}
+		}()
 		scan := bufio.NewScanner(r.Body)
 		// Scanner enforces max(cap(buf), limit), so the initial buffer must
 		// not exceed the configured line limit.
@@ -455,6 +515,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 			select {
 			case in <- req.scenario():
 			case <-ctx.Done():
+				drain = false
 				return
 			}
 		}
@@ -502,7 +563,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 		}
 	}
 	readMu.Lock()
-	err := readErr
+	err = readErr
 	readMu.Unlock()
 	if err == nil {
 		return

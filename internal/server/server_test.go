@@ -141,7 +141,7 @@ func TestStreamEndpoint(t *testing.T) {
 	if lines[0].Index != 0 || lines[1].Index != 1 || lines[2].Index != 2 {
 		t.Errorf("indices out of order: %+v", lines)
 	}
-	if got := lines[2].Answers[0].Value; got != 0 {
+	if got := lines[2].Answers[0].Value; got != 0.0 { // json decodes value as float64
 		t.Errorf("zeroed scenario value = %v, want 0", got)
 	}
 	if st := e.Stats(); st.Compiles != 1 {
@@ -269,5 +269,177 @@ func TestHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// newSemiringServer starts a server whose default session holds a set with
+// natural coefficients — evaluable in every wire-selectable carrier (the
+// fractional testSet coefficients are rejected by bool/count/tropical/
+// minmax compilation).
+func newSemiringServer(t *testing.T) (*httptest.Server, *session.Engine) {
+	t.Helper()
+	ts, reg := newRegistryServer(t)
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("zip 10001", provenance.MustParse(vb,
+		"2·p1·m1 + 3·p1·m3 + 4·f1·m1 + 5·f1·m3"))
+	sess, err := reg.Create("default", set, testForest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, sess.Engine()
+}
+
+func postWhatIf(t *testing.T, url, body string) (int, any) {
+	t.Helper()
+	resp, err := http.Post(url+"/whatif", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var out struct {
+		Answers []struct {
+			Tag   string `json:"tag"`
+			Value any    `json:"value"`
+		} `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 1 || out.Answers[0].Tag != "zip 10001" {
+		t.Fatalf("answers = %+v, want one for zip 10001", out.Answers)
+	}
+	return resp.StatusCode, out.Answers[0].Value
+}
+
+// TestWhatIfSemirings drives the whatif endpoint through every
+// wire-selectable carrier: the "semiring" request field picks the evaluation
+// semiring, answers come back in that carrier's JSON shape, and the
+// non-finite minmax identity rides the wire as the string "+Inf".
+func TestWhatIfSemirings(t *testing.T) {
+	ts, e := newSemiringServer(t)
+	// 2·p1·m1 + 3·p1·m3 + 4·f1·m1 + 5·f1·m3 in each carrier.
+	for name, tc := range map[string]struct {
+		body string
+		want any
+	}{
+		"bool deleted":    {`{"semiring":"bool","assign":{"m1":0,"m3":0}}`, false},
+		"bool survives":   {`{"semiring":"bool","assign":{"m1":0,"m3":1}}`, true},
+		"count":           {`{"semiring":"count","assign":{"m1":2,"m3":0}}`, 12.0}, // 2·2 + 4·2
+		"tropical":        {`{"semiring":"tropical","assign":{"m1":1,"m3":2}}`, 1.0},
+		"minmax":          {`{"semiring":"minmax","assign":{"m1":3,"m3":7}}`, 7.0},
+		"minmax identity": {`{"semiring":"minmax","assign":{}}`, "+Inf"},
+		"float default":   {`{"assign":{"m1":1,"m3":1}}`, 14.0},
+	} {
+		status, got := postWhatIf(t, ts.URL, tc.body)
+		if status != http.StatusOK {
+			t.Errorf("%s: status = %d, want 200", name, status)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: value = %v (%T), want %v", name, got, got, tc.want)
+		}
+	}
+	// Per-carrier accounting surfaces in Stats.
+	st := e.Stats()
+	for _, kind := range []string{"bool", "count", "tropical", "minmax"} {
+		if st.Semirings[kind].Scenarios == 0 {
+			t.Errorf("Stats.Semirings[%q].Scenarios = 0, want > 0", kind)
+		}
+	}
+	if _, ok := st.Semirings["float"]; ok {
+		t.Error("float accounting leaked into Stats.Semirings")
+	}
+}
+
+// TestWhatIfSemiringErrors covers the two request-level failures: an unknown
+// semiring name, and a carrier the session's provenance cannot compile into
+// (fractional coefficients under the natural-coefficient carriers).
+func TestWhatIfSemiringErrors(t *testing.T) {
+	ts, _ := newTestServer(t) // fractional coefficients (220.8, …)
+	for name, body := range map[string]string{
+		"unknown semiring":       `{"semiring":"galois","assign":{"m1":1}}`,
+		"fractional under count": `{"semiring":"count","assign":{"m1":1}}`,
+		"fractional under bool":  `{"semiring":"bool","assign":{"m1":1}}`,
+		"bad value under count":  `{"semiring":"count","assign":{"m1":0.5}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/whatif", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestStreamEndpointSemiring streams scenarios under ?semiring=: answers
+// arrive in the carrier's shape, per-scenario errors stay in-band, and the
+// float accounting is untouched.
+func TestStreamEndpointSemiring(t *testing.T) {
+	ts, e := newSemiringServer(t)
+	body := strings.Join([]string{
+		`{"assign":{"m1":0,"m3":0}}`,
+		`{"assign":{"bogus":1}}`,
+		`{"assign":{"m1":0,"m3":1}}`,
+	}, "\n")
+	resp, err := http.Post(ts.URL+"/whatif/stream?semiring=bool", "application/x-ndjson",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var lines []streamLine
+	scan := bufio.NewScanner(resp.Body)
+	for scan.Scan() {
+		var l streamLine
+		if err := json.Unmarshal(scan.Bytes(), &l); err != nil {
+			t.Fatalf("bad response line %q: %v", scan.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %+v", len(lines), lines)
+	}
+	if got := lines[0].Answers[0].Value; got != false {
+		t.Errorf("deleted scenario = %v, want false", got)
+	}
+	if lines[1].Error == "" {
+		t.Error("unknown-variable line did not carry an in-band error")
+	}
+	if got := lines[2].Answers[0].Value; got != true {
+		t.Errorf("surviving scenario = %v, want true", got)
+	}
+	st := e.Stats()
+	if st.Semirings["bool"].Scenarios != 2 {
+		t.Errorf("bool scenarios = %d, want 2", st.Semirings["bool"].Scenarios)
+	}
+	if st.Scenarios != 0 {
+		t.Errorf("float scenario counter = %d, want 0", st.Scenarios)
+	}
+}
+
+// TestStreamEndpointSemiringRejected: an unknown ?semiring= fails the whole
+// stream up front with a 400.
+func TestStreamEndpointSemiringRejected(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/whatif/stream?semiring=nope", "application/x-ndjson",
+		strings.NewReader(`{"assign":{"m1":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"provabs/internal/core"
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
+	"provabs/internal/semiring"
 )
 
 // Engine is a hypothetical-reasoning session over one provenance set.
@@ -48,6 +49,9 @@ type Engine struct {
 	deltaCutoff float64 // delta-vs-full density cutoff (0 = hypo default)
 	streamBuf   int     // Stream output-channel capacity (0 = batch size, <0 = unbuffered)
 	streamBatch int     // micro-batch cap for Stream (0 = defaultStreamBatch)
+
+	semMu sync.Mutex                   // guards sems; taken after e.mu
+	sems  map[semiring.Kind]semRuntime // non-float kernels, lazily built
 
 	lastCompiled   atomic.Pointer[provenance.Compiled]
 	compiles       atomic.Int64
@@ -104,6 +108,7 @@ func (e *Engine) Compress(B int, opts ...CompressOption) (*core.Compression, err
 	}
 	e.comp = comp
 	e.active = comp.Abstracted
+	e.dropRuntimesLocked() // semiring kernels compiled the old active set
 	return comp, nil
 }
 
@@ -124,13 +129,16 @@ func (e *Engine) Add(tag string, p *provenance.Polynomial) {
 		e.set.InvalidateCompiled()
 	}
 	e.set.Add(tag, p)
+	active := p
 	if e.comp != nil {
 		ap := p
 		if len(e.comp.Subst) > 0 {
 			ap = p.Substitute(e.comp.Subst)
 		}
 		e.active.Add(tag, ap)
+		active = ap
 	}
+	e.mirrorAddLocked(tag, active)
 	e.added.Add(1)
 }
 
@@ -263,6 +271,12 @@ type Stats struct {
 	DeltaNsPerTerm float64 `json:"delta_ns_per_term,omitempty"`
 	FullNsPerTerm  float64 `json:"full_ns_per_term,omitempty"`
 	AdaptiveCutoff float64 `json:"adaptive_cutoff,omitempty"`
+
+	// Semirings breaks the evaluation accounting down per non-float carrier
+	// (keyed by semiring.Kind wire name). Absent until a non-float what-if
+	// runs — the float default stays in the top-level fields, so float-only
+	// sessions serialize exactly as before.
+	Semirings map[string]SemiringStats `json:"semirings,omitempty"`
 }
 
 // Accumulate adds o's sizes and counters into s, so a multi-session
@@ -299,6 +313,16 @@ func (s *Stats) Accumulate(o Stats) {
 	if o.AdaptiveCutoff > s.AdaptiveCutoff {
 		s.AdaptiveCutoff = o.AdaptiveCutoff
 	}
+	if len(o.Semirings) > 0 {
+		if s.Semirings == nil {
+			s.Semirings = make(map[string]SemiringStats, len(o.Semirings))
+		}
+		for k, ss := range o.Semirings {
+			cur := s.Semirings[k]
+			cur.accumulate(ss)
+			s.Semirings[k] = cur
+		}
+	}
 }
 
 // Stats reports the session's current shape and counters. Compiles counts
@@ -326,6 +350,7 @@ func (e *Engine) Stats() Stats {
 		DeltaNsPerTerm:  e.counters.DeltaNsPerTerm(),
 		FullNsPerTerm:   e.counters.FullNsPerTerm(),
 		AdaptiveCutoff:  e.counters.AdaptiveCutoff(),
+		Semirings:       e.semStatsLocked(),
 	}
 	if e.comp != nil {
 		st.Strategy = e.comp.Strategy

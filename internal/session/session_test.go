@@ -13,6 +13,7 @@ import (
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
 	"provabs/internal/sampling"
+	"provabs/internal/semiring"
 	"provabs/internal/summarize"
 )
 
@@ -696,5 +697,105 @@ func TestStreamChainedCounterSlowConsumer(t *testing.T) {
 	if st.ChainedEvals > st.Scenarios-st.StreamBatches {
 		t.Errorf("ChainedEvals %d exceeds %d scenarios minus %d batch heads",
 			st.ChainedEvals, st.Scenarios, st.StreamBatches)
+	}
+}
+
+// chainFixture returns a set shaped so a correlated stream profits from
+// chaining: variable a owns the big polynomial, m the small one. A scenario
+// assigning both touches every polynomial (identity-baseline delta =
+// recompute everything → full eval), but once a is pinned across the stream
+// the consecutive diff is just {m}, whose affected set is only the small
+// polynomial — so a chained delta is the only way any scenario after the
+// first gets cheap.
+func chainFixture() *provenance.Set {
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("big", provenance.MustParse(vb, "2·a·b + 3·a·c + 4·a·d + 5·a·e + 6·a·f + 7·a·g"))
+	set.Add("small", provenance.MustParse(vb, "m + 2·m·n"))
+	return set
+}
+
+// TestStreamChainsAcrossMicroBatches is the chain-seed regression: with a
+// micro-batch cap of 1 every scenario arrives in its own batch, so chaining
+// is only possible if the chain state survives the batch boundary. On a
+// correlated stream (a pinned, m stepping) every scenario after the first
+// must then delta off its predecessor's answers instead of paying an
+// identity-baseline delta — which on this set degenerates to a full eval.
+func TestStreamChainsAcrossMicroBatches(t *testing.T) {
+	e, err := Open(chainFixture(), nil, WithStreamBatch(1), WithWorkers(1), WithDeltaCutoff(0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	in := make(chan *hypo.Scenario)
+	out := e.Stream(context.Background(), in)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- hypo.NewScenario().Set("a", 0.25).Set("m", 0.5+float64(i)/64)
+		}
+	}()
+	count := 0
+	for r := range out {
+		if r.Err != nil {
+			t.Errorf("result %d errored: %v", r.Index, r.Err)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("stream yielded %d results, want %d", count, n)
+	}
+	st := e.Stats()
+	if st.StreamBatches != n {
+		t.Fatalf("StreamBatches = %d, want %d (cap 1 forces one batch per scenario)", st.StreamBatches, n)
+	}
+	if st.ChainedEvals < n-1 {
+		t.Errorf("ChainedEvals = %d, want >= %d (chain must survive micro-batch boundaries)",
+			st.ChainedEvals, n-1)
+	}
+}
+
+// TestStreamInChainsAcrossMicroBatches: the per-carrier stream carries its
+// own chain state. Counting is chainable, so the same correlated stream
+// chains on the count kernel and the accounting lands in the carrier's own
+// counters; the float ones stay untouched.
+func TestStreamInChainsAcrossMicroBatches(t *testing.T) {
+	e, err := Open(chainFixture(), nil, WithStreamBatch(1), WithWorkers(1), WithDeltaCutoff(0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	in := make(chan *hypo.Scenario)
+	out := e.StreamIn(context.Background(), semiring.KindCount, in)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- hypo.NewScenario().Set("a", 2).Set("m", float64(i%4))
+		}
+	}()
+	count := 0
+	for r := range out {
+		if r.Err != nil {
+			t.Errorf("result %d errored: %v", r.Index, r.Err)
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("stream yielded %d results, want %d", count, n)
+	}
+	st := e.Stats()
+	cs, ok := st.Semirings["count"]
+	if !ok {
+		t.Fatal("no count entry in Stats.Semirings")
+	}
+	if cs.Scenarios != n {
+		t.Errorf("count scenarios = %d, want %d", cs.Scenarios, n)
+	}
+	if cs.ChainedEvals < n-1 {
+		t.Errorf("count ChainedEvals = %d, want >= %d", cs.ChainedEvals, n-1)
+	}
+	if st.Scenarios != 0 || st.ChainedEvals != 0 {
+		t.Errorf("float counters touched by a count stream: Scenarios=%d ChainedEvals=%d",
+			st.Scenarios, st.ChainedEvals)
 	}
 }

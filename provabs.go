@@ -109,6 +109,27 @@
 // learned cutoff in its Stats. Engine.Add extends the compiled form, its
 // indexes and its baseline in place (Compiled.Append), so an Add-heavy
 // session never recompiles.
+//
+// # Semiring-generic evaluation
+//
+// The compiled kernel is generic over the provenance semiring: the same
+// flattening, inverted index, delta routing and chained streaming run on
+// any commutative semiring carrier, with the float64 path bit-identical to
+// the pre-generic kernel. Every evaluation entry point has an -In variant
+// taking a SemiringKind:
+//
+//	alive, _ := eng.WhatIfIn(provabs.SemiringBool, provabs.NewScenario().Set("q1", 0))
+//	counts, _ := eng.WhatIfBatchIn(provabs.SemiringCount, scenarios)
+//	results := eng.StreamIn(ctx, provabs.SemiringTropical, in)
+//
+// Boolean answers deletion propagation (does the tuple survive?), counting
+// reports derivation multiplicities, tropical the cheapest derivation and
+// minmax the best worst-case clearance; answers carry the carrier's own
+// value type (ValueAnswer). Non-numeric carriers read the provenance
+// strictly as N[X] — fractional coefficients are rejected, near-integer
+// ones (within 1e-9, summarize's float accumulation) are accepted. Each
+// carrier compiles once per session and caches independently, and Stats
+// breaks scenario and delta counters out per semiring.
 package provabs
 
 import (
@@ -121,6 +142,7 @@ import (
 	"provabs/internal/provenance"
 	"provabs/internal/registry"
 	"provabs/internal/sampling"
+	"provabs/internal/semiring"
 	"provabs/internal/session"
 	"provabs/internal/summarize"
 )
@@ -182,6 +204,9 @@ type (
 	EngineStats = session.Stats
 	// StreamResult is one streamed what-if outcome of Engine.Stream.
 	StreamResult = session.StreamResult
+	// ValueStreamResult is one streamed outcome of Engine.StreamIn, with
+	// the answers carrier-erased (Value holds the semiring's own type).
+	ValueStreamResult = session.ValueStreamResult
 	// Strategy names a compression algorithm for WithStrategy.
 	Strategy = session.Strategy
 	// Option configures an Engine at Open time.
@@ -205,6 +230,39 @@ const (
 	// StrategyOnline is the §6 sample-then-apply pipeline.
 	StrategyOnline = session.StrategyOnline
 )
+
+// Semiring selection (internal/semiring): every evaluation entry point has
+// an -In variant (Engine.WhatIfIn, Engine.WhatIfBatchIn, Engine.StreamIn)
+// that runs the same compiled kernel on the named carrier.
+type (
+	// SemiringKind names a wire-selectable evaluation carrier.
+	SemiringKind = semiring.Kind
+	// ValueAnswer is a tagged answer in the carrier's own value type
+	// (float64, bool, int64), carrier-erased into an any.
+	ValueAnswer = hypo.ValueAnswer
+)
+
+const (
+	// SemiringFloat is the numeric semiring — the default float64 path.
+	SemiringFloat = semiring.KindFloat
+	// SemiringBool is the boolean semiring: deletion propagation, answers
+	// report whether the tuple survives.
+	SemiringBool = semiring.KindBool
+	// SemiringCount is the counting semiring: derivation counts under
+	// integer multiplicities.
+	SemiringCount = semiring.KindCount
+	// SemiringTropical is the min-plus semiring: cheapest derivation cost.
+	SemiringTropical = semiring.KindTropical
+	// SemiringMinMax is the max-min semiring: best worst-case clearance.
+	SemiringMinMax = semiring.KindMinMax
+)
+
+// ParseSemiring resolves a carrier name ("" = float) for the -In entry
+// points; unknown names list the valid set.
+func ParseSemiring(name string) (SemiringKind, error) { return semiring.ParseKind(name) }
+
+// Semirings lists every wire-selectable carrier, float first.
+func Semirings() []SemiringKind { return semiring.Kinds() }
 
 // Multi-session registry (internal/registry).
 type (

@@ -2,6 +2,7 @@ package provabs_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -257,4 +258,64 @@ func ExampleOptimal() {
 	// Output:
 	// 460.8·p1·q1
 	// 368.64
+}
+
+// TestFacadeSemirings drives the public semiring surface end to end: parse
+// a kind, evaluate the same provenance under several carriers, and stream
+// in a non-float one.
+func TestFacadeSemirings(t *testing.T) {
+	vb := provabs.NewVocab()
+	set := provabs.NewSet(vb)
+	set.Add("q", provabs.MustParse(vb, "2·a·b + 3·c"))
+	eng, err := provabs.Open(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, err := provabs.ParseSemiring("bool"); err != nil || k != provabs.SemiringBool {
+		t.Fatalf("ParseSemiring(bool) = %v, %v", k, err)
+	}
+	if _, err := provabs.ParseSemiring("galois"); err == nil {
+		t.Error("unknown semiring name accepted")
+	}
+	if ks := provabs.Semirings(); len(ks) == 0 || ks[0] != provabs.SemiringFloat {
+		t.Errorf("Semirings() = %v, want float first", ks)
+	}
+
+	sc := provabs.NewScenario().Set("a", 0).Set("c", 0)
+	alive, err := eng.WhatIfIn(provabs.SemiringBool, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive[0].Value != false {
+		t.Errorf("bool what-if = %v, want false (both derivations deleted)", alive[0].Value)
+	}
+	counts, err := eng.WhatIfBatchIn(provabs.SemiringCount,
+		[]*provabs.Scenario{provabs.NewScenario().Set("a", 2).Set("b", 1).Set("c", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0][0].Value != int64(2*2*1+3*1) {
+		t.Errorf("count what-if = %v, want 7", counts[0][0].Value)
+	}
+
+	in := make(chan *provabs.Scenario, 2)
+	in <- provabs.NewScenario().Set("a", 1).Set("b", 4).Set("c", 100)
+	in <- provabs.NewScenario().Set("c", 0)
+	close(in)
+	var got []provabs.ValueStreamResult
+	for r := range eng.StreamIn(context.Background(), provabs.SemiringTropical, in) {
+		if r.Err != nil {
+			t.Fatalf("stream result %d: %v", r.Index, r.Err)
+		}
+		got = append(got, r)
+	}
+	if len(got) != 2 {
+		t.Fatalf("stream yielded %d results, want 2", len(got))
+	}
+	if got[0].Answers[0].Value != 5.0 { // min(1+4, 100)
+		t.Errorf("tropical stream answer 0 = %v, want 5", got[0].Answers[0].Value)
+	}
+	if st := eng.Stats(); st.Semirings["tropical"].Scenarios != 2 {
+		t.Errorf("tropical scenario counter = %+v", st.Semirings)
+	}
 }
