@@ -5,8 +5,9 @@
 #   make test        — the full (slow) test suite, as tier-1 verify runs it
 #   make bench       — go-test microbenchmarks plus the provbench paper
 #                      tables, the delta-kernel report (BENCH_3.json), the
-#                      planner report (BENCH_5.json) and the generic-kernel
-#                      report (BENCH_6.json), then benchdiff gates the
+#                      planner report (BENCH_5.json), the generic-kernel
+#                      report (BENCH_6.json) and the ScenQL generator-vs-
+#                      wire report (BENCH_7.json), then benchdiff gates the
 #                      series consecutive reports share — the perf
 #                      trajectory reproduces and self-checks in one command
 #   make bench-smoke — every benchmark once (-benchtime=1x), the CI guard
@@ -39,10 +40,13 @@ bench:
 	$(GO) run ./cmd/provbench -experiment delta -json BENCH_3.json
 	$(GO) run ./cmd/provbench -experiment planner -json BENCH_5.json
 	$(GO) run ./cmd/provbench -experiment semiring -json BENCH_6.json
+	$(GO) run ./cmd/provbench -experiment scenql -json BENCH_7.json
 	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
 		-series batch100-sparse,batch100-sparse-nodelta BENCH_3.json BENCH_5.json
 	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
 		-series batch100-sparse,batch100-sparse-nodelta BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
+		-series batch100-sparse,batch100-sparse-nodelta BENCH_6.json BENCH_7.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -14,6 +14,8 @@
 //	provabs whatif -in q5c.pvab -scenarios 1000 -workers 0
 //	provabs whatif -in q5c.pvab -sets 's9=0.8;s9=1.1,s4=0.5'
 //	provabs whatif -in q5.pvab -scenarios 1000 -semiring bool
+//	provabs query -in q5c.pvab 'SuppRoot_l1_0 IN [0.5:1.5:0.01] ORDER BY ans[0] DESC LIMIT 5'
+//	provabs query -in q5c.pvab 'EXPLAIN s9 IN [0:1:0.1] USING tropical'
 //	provabs serve -in q5c.pvab -addr :8080
 //	provabs serve -load telco=telco.pvab -load q5=q5c.pvab -default telco -addr :8080
 //
@@ -23,8 +25,11 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -37,6 +42,7 @@ import (
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
 	"provabs/internal/sampling"
+	"provabs/internal/scenql"
 	"provabs/internal/semiring"
 	"provabs/internal/session"
 	"provabs/internal/summarize"
@@ -62,6 +68,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "whatif":
 		err = cmdWhatif(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "trees":
@@ -88,6 +96,7 @@ commands:
   compress   select an abstraction and compress a provenance file
   eval       evaluate a hypothetical scenario over a provenance file
   whatif     batch-evaluate many scenarios on compiled provenance in parallel (any semiring)
+  query      run a ScenQL scenario query (grid sweeps, sampling, ORDER BY, EXPLAIN)
   serve      serve named provenance sessions over HTTP (v1 API + streaming NDJSON)
   trees      print the benchmark abstraction-tree catalog (Table 2)
 
@@ -246,9 +255,9 @@ func cmdEval(args []string) error {
 	}
 	sc := hypo.NewScenario()
 	if *assign != "" {
-		sc, err = parseScenario(*assign)
+		sc, err = scenql.ParseAssignments(*assign)
 		if err != nil {
-			return err
+			return fmt.Errorf("eval: -set: %w", err)
 		}
 	}
 	eng, err := session.Open(set, nil)
@@ -301,15 +310,9 @@ func cmdWhatif(args []string) error {
 	}
 	var scs []*hypo.Scenario
 	if *sets != "" {
-		for _, spec := range strings.Split(*sets, ";") {
-			if strings.TrimSpace(spec) == "" {
-				return fmt.Errorf("whatif: empty scenario in -sets %q", *sets)
-			}
-			sc, err := parseScenario(spec)
-			if err != nil {
-				return err
-			}
-			scs = append(scs, sc)
+		scs, err = scenql.ParseScenarios(*sets)
+		if err != nil {
+			return fmt.Errorf("whatif: -sets: %w", err)
 		}
 	}
 	if *scenarios > 0 {
@@ -370,6 +373,151 @@ func cmdWhatif(args []string) error {
 		}
 	}
 	return nil
+}
+
+// cmdQuery runs one ScenQL statement against a provenance file: the
+// scenarios are generated by the plan's iterator in overlap-maximizing
+// order and evaluated through the session's chained stream path, so a
+// large grid never materializes. EXPLAIN prints the annotated plan tree as
+// indented JSON — the same document POST /v1/sessions/{name}/query returns.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "provenance file (required)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	deltaCutoff := fs.Float64("delta-cutoff", 0,
+		"delta-vs-full density cutoff (0 = adaptive; >0 = static fraction; negative = always full)")
+	jsonOut := fs.Bool("json", false, "emit NDJSON rows instead of text")
+	top := fs.Int("top", 3, "text mode: answers to print per row (0 = all)")
+	fs.Parse(args)
+	stmt := strings.TrimSpace(strings.Join(fs.Args(), " "))
+	if stmt == "" {
+		return fmt.Errorf("query: provide a ScenQL statement, e.g. 'x IN [0:1:0.1] ORDER BY ans[0] DESC LIMIT 5'")
+	}
+	set, err := readSet(*in)
+	if err != nil {
+		return err
+	}
+	eng, err := session.Open(set, nil,
+		session.WithWorkers(*workers), session.WithDeltaCutoff(*deltaCutoff))
+	if err != nil {
+		return err
+	}
+	info, rows, err := eng.QueryStream(context.Background(), stmt)
+	if err != nil {
+		return err
+	}
+	if info.Explain != nil {
+		out, err := json.MarshalIndent(info.Explain, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	if *jsonOut {
+		return queryJSON(info, rows)
+	}
+	return queryText(eng, info, rows, *top)
+}
+
+// queryJSON mirrors the server's /query/stream wire shape on stdout: a
+// header line, then one NDJSON line per scenario.
+func queryJSON(info *session.QueryInfo, rows <-chan session.QueryRow) error {
+	type answerOut struct {
+		Tag   string `json:"tag"`
+		Value any    `json:"value"`
+	}
+	type rowOut struct {
+		Index   int64              `json:"index"`
+		Assign  map[string]float64 `json:"assign,omitempty"`
+		Answers []answerOut        `json:"answers,omitempty"`
+		Error   string             `json:"error,omitempty"`
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(map[string]any{
+		"semiring": info.Semiring.String(), "scenarios": info.Scenarios,
+	}); err != nil {
+		return err
+	}
+	for row := range rows {
+		line := rowOut{Index: row.Index, Assign: row.Assign}
+		if row.Err != nil {
+			line.Error = row.Err.Error()
+		} else {
+			line.Answers = make([]answerOut, len(row.Answers))
+			for i, a := range row.Answers {
+				line.Answers[i] = answerOut{Tag: a.Tag, Value: wireValue(a.Value)}
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wireValue maps a carrier value to a JSON-encodable one (the tropical /
+// minmax identities are ±Inf, which encoding/json rejects as numbers).
+func wireValue(v any) any {
+	if f, ok := v.(float64); ok && math.IsInf(f, 0) {
+		if f > 0 {
+			return "+Inf"
+		}
+		return "-Inf"
+	}
+	return v
+}
+
+// queryText prints a human-readable sweep: one line per scenario with its
+// generated assignments, the top answers indented under it, and a summary
+// with the evaluation-path counters.
+func queryText(eng *session.Engine, info *session.QueryInfo, rows <-chan session.QueryRow, top int) error {
+	start := time.Now()
+	var n, errs int64
+	for row := range rows {
+		n++
+		if row.Err != nil {
+			errs++
+			fmt.Printf("#%-6d %s  error: %v\n", row.Index, formatAssign(row.Assign), row.Err)
+			continue
+		}
+		fmt.Printf("#%-6d %s\n", row.Index, formatAssign(row.Assign))
+		answers := row.Answers
+		if top > 0 && len(answers) > top {
+			answers = answers[:top]
+		}
+		for _, a := range answers {
+			fmt.Printf("        %-40s %14v\n", a.Tag, a.Value)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d of %d scenarios in the %s semiring in %v (%d errors)\n",
+		n, info.Scenarios, info.Semiring, elapsed, errs)
+	st := eng.Stats()
+	if info.Semiring != semiring.KindFloat {
+		ss := st.Semirings[info.Semiring.String()]
+		fmt.Printf("paths: %d delta, %d chained, %d full, %d sharded\n",
+			ss.DeltaEvals, ss.ChainedEvals, ss.FullEvals, ss.ShardedEvals)
+		return nil
+	}
+	fmt.Printf("paths: %d delta, %d chained, %d full, %d sharded\n",
+		st.DeltaEvals, st.ChainedEvals, st.FullEvals, st.ShardedEvals)
+	return nil
+}
+
+// formatAssign renders a scenario's assignments name-sorted, the way the
+// generator's axes are easiest to scan.
+func formatAssign(assign map[string]float64) string {
+	names := make([]string, 0, len(assign))
+	for name := range assign {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%g", name, assign[name])
+	}
+	return strings.Join(parts, " ")
 }
 
 // scenarioValue draws one generated assignment in the carrier's natural
@@ -452,24 +600,6 @@ func resolveBound(bound int, ratio float64, size int) int {
 		b = 1
 	}
 	return b
-}
-
-// parseScenario parses "a=1,b=0.5" into a scenario.
-func parseScenario(spec string) (*hypo.Scenario, error) {
-	sc := hypo.NewScenario()
-	for _, kv := range strings.Split(spec, ",") {
-		kv = strings.TrimSpace(kv)
-		parts := strings.SplitN(kv, "=", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("bad assignment %q", kv)
-		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad value in %q: %v", kv, err)
-		}
-		sc.Set(strings.TrimSpace(parts[0]), v)
-	}
-	return sc, nil
 }
 
 func cmdTrees(args []string) error {

@@ -14,10 +14,14 @@ import (
 	"time"
 
 	"provabs/internal/provenance"
+	"provabs/internal/scenql"
 )
 
-func TestParseScenario(t *testing.T) {
-	sc, err := parseScenario("a=1, b = 0.5 ,c=-2")
+// TestParseScenarioLiterals pins the CLI's -set/-sets syntax, which is the
+// shared ScenQL scenario-literal parser (the same one the server's stream
+// lines use).
+func TestParseScenarioLiterals(t *testing.T) {
+	sc, err := scenql.ParseAssignments("a=1, b = 0.5 ,c=-2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,9 +46,66 @@ func TestParseScenarioMalformed(t *testing.T) {
 		"a=1=2", // value with stray =
 		"a==2",  // double separator
 	} {
-		if _, err := parseScenario(bad); err == nil {
-			t.Errorf("parseScenario(%q) succeeded, want error", bad)
+		_, err := scenql.ParseAssignments(bad)
+		if err == nil {
+			t.Errorf("ParseAssignments(%q) succeeded, want error", bad)
+			continue
 		}
+		if _, ok := err.(*scenql.ParseError); !ok {
+			t.Errorf("ParseAssignments(%q) returned %T, want a positioned *ParseError", bad, err)
+		}
+	}
+}
+
+// TestCmdQuery drives the query verb end to end in-process: a grid sweep
+// with a top-k, the EXPLAIN plan, and the NDJSON mode.
+func TestCmdQuery(t *testing.T) {
+	pvab := filepath.Join(t.TempDir(), "q.pvab")
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("q", provenance.MustParse(vb, "2·a·b + 3·c"))
+	if err := writeSet(pvab, set); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := cmdQuery([]string{"-in", pvab,
+			"a IN [0:1:0.5] ORDER BY ans[0] DESC LIMIT 2"}); err != nil {
+			t.Error(err)
+		}
+	})
+	// DESC on an increasing sweep keeps the last two points, best first.
+	if !strings.Contains(out, "#2") || !strings.Contains(out, "2 of 3 scenarios") {
+		t.Errorf("query text output:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		if err := cmdQuery([]string{"-in", pvab, "EXPLAIN a IN [0:1:0.5] USING tropical"}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, `"node": "generate"`) || !strings.Contains(out, `"semiring": "tropical"`) {
+		t.Errorf("explain output:\n%s", out)
+	}
+	out = captureStdout(t, func() {
+		if err := cmdQuery([]string{"-in", pvab, "-json", "a IN [0:1:0.5]"}); err != nil {
+			t.Error(err)
+		}
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("json mode wrote %d lines, want 4:\n%s", len(lines), out)
+	}
+	var header struct {
+		Semiring  string `json:"semiring"`
+		Scenarios int64  `json:"scenarios"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatal(err)
+	}
+	if header.Semiring != "float" || header.Scenarios != 3 {
+		t.Errorf("header = %+v", header)
+	}
+	if err := cmdQuery([]string{"-in", pvab, "a IN [0:1:"}); err == nil {
+		t.Error("malformed statement accepted, want error")
 	}
 }
 

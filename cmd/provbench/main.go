@@ -10,6 +10,7 @@
 //	provbench -experiment delta -json BENCH_3.json     # delta-kernel report
 //	provbench -experiment planner -json BENCH_5.json   # planner report
 //	provbench -experiment semiring -json BENCH_6.json  # generic-kernel report
+//	provbench -experiment scenql -json BENCH_7.json    # ScenQL generator-vs-wire report
 //	provbench -workloads Q5,telco     # restrict the workload panels
 //	provbench -tpch-sf 0.02 -telco-customers 20000   # larger scale
 //	provbench -csv                    # machine-readable output
@@ -30,8 +31,9 @@ func main() {
 	experiment := flag.String("experiment", "all",
 		"all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig14, table1, table2, "+
 			"delta (the BENCH_3 delta-kernel report), planner (the BENCH_5 "+
-			"self-tuning planner report) or semiring (the BENCH_6 generic-kernel "+
-			"report); the report experiments are not part of all")
+			"self-tuning planner report), semiring (the BENCH_6 generic-kernel "+
+			"report) or scenql (the BENCH_7 generator-vs-wire report); the "+
+			"report experiments are not part of all")
 	workloadsFlag := flag.String("workloads", "Q5,Q10,Q1,telco", "comma-separated workload panels")
 	tpchSF := flag.Float64("tpch-sf", 0.002, "TPC-H scale factor")
 	telcoCustomers := flag.Int("telco-customers", 800, "telco customers")
@@ -192,6 +194,15 @@ func main() {
 	}
 	if *experiment == "semiring" {
 		rep, err := bench.RunSemiringBench(bench.DeltaScale())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "provbench:", err)
+			os.Exit(1)
+		}
+		emit(rep.Table(), nil)
+		writeJSON(rep.JSON())
+	}
+	if *experiment == "scenql" {
+		rep, err := bench.RunScenQLBench(bench.DeltaScale())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "provbench:", err)
 			os.Exit(1)

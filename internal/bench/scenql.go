@@ -1,0 +1,367 @@
+package bench
+
+// ScenQL benchmark harness (BENCH_7 via `provbench -experiment scenql`):
+// what server-side scenario generation buys over shipping the same sweep
+// as NDJSON. Per real workload, one ~100k-point two-axis grid is evaluated
+// twice through the real HTTP server: once as a single ScenQL statement on
+// /query/stream (the generator runs next to the kernel, scenarios iterate
+// in snake order so nearly every point is a chained delta), and once as
+// 100k pre-materialized {"assign":…} lines on /whatif/stream (the wire
+// pays per-line transport and JSON decoding; the request bytes are built
+// before the clock starts, so the comparison charges the wire path nothing
+// for client-side encoding). GeneratorSpeedup is wire over query wall
+// time. A third pass pushes ranking down (ORDER BY … LIMIT 10): the wire
+// client answering the same question still drains the full sweep, so
+// TopKSpeedup isolates what server-side generation saves in response
+// traffic. The float batch100-sparse series is re-measured with the exact
+// BENCH_5/BENCH_6 shape so `benchdiff BENCH_6 BENCH_7` gates it.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"time"
+
+	"provabs/internal/registry"
+	"provabs/internal/scenql"
+	"provabs/internal/server"
+)
+
+// scenqlGridSide is the per-axis point count of the benchmark grid;
+// squared it is the sweep size (317² = 100489 ≥ the 100k floor).
+const scenqlGridSide = 317
+
+// scenqlReps is how many times each path runs; the report records the
+// median, which shrugs off a GC pause or scheduler hiccup in a pass or
+// two.
+const scenqlReps = 5
+
+// ScenQLWorkloadReport is the generator-vs-wire measurement of one
+// workload.
+type ScenQLWorkloadReport struct {
+	Polynomials int `json:"polynomials"`
+	Monomials   int `json:"monomials"`
+	Variables   int `json:"variables"`
+
+	// Statement is the ScenQL grid both paths evaluate.
+	Statement string `json:"statement"`
+	// Scenarios is the sweep size (both paths answered exactly this many).
+	Scenarios int64 `json:"scenarios"`
+
+	// QueryNs / WireNs are wall-clock totals over the whole sweep through
+	// the HTTP server: one POST /query/stream statement vs the same
+	// scenarios POSTed as NDJSON to /whatif/stream by a full-duplex client.
+	QueryNs float64 `json:"query_ns_total"`
+	WireNs  float64 `json:"wire_ns_total"`
+	// QueryNsPerScenario / WireNsPerScenario divide by Scenarios.
+	QueryNsPerScenario float64 `json:"query_ns_per_scenario"`
+	WireNsPerScenario  float64 `json:"wire_ns_per_scenario"`
+	// GeneratorSpeedup is WireNs / QueryNs (> 1: server-side generation
+	// beats the wire).
+	GeneratorSpeedup float64 `json:"generator_speedup"`
+
+	// TopKNs is the same sweep with ranking pushed down (ORDER BY … LIMIT
+	// 10): the server still evaluates every scenario but only the top rows
+	// cross the wire. A wire client answering the same question must drain
+	// the full sweep first, so TopKSpeedup = WireNs / TopKNs is what
+	// server-side generation buys on ranking queries.
+	TopKNs            float64 `json:"topk_ns_total"`
+	TopKNsPerScenario float64 `json:"topk_ns_per_scenario"`
+	TopKSpeedup       float64 `json:"topk_speedup"`
+
+	// Benchmarks carries the BENCH_6-shared float series (batch100-sparse,
+	// batch100-sparse-nodelta) re-measured with the identical shape, so the
+	// benchdiff gate spans BENCH_6 → BENCH_7.
+	Benchmarks map[string]Metric `json:"benchmarks"`
+}
+
+// ScenQLReport is the full BENCH_7 payload.
+type ScenQLReport struct {
+	GOMAXPROCS int                              `json:"gomaxprocs"`
+	Workloads  map[string]*ScenQLWorkloadReport `json:"workloads"`
+}
+
+// RunScenQLBench measures server-side scenario generation against NDJSON
+// wire delivery on the given real workloads (default: telco and Q5, at the
+// BENCH_3..6 scale so the shared series stay comparable).
+func RunScenQLBench(sc Scale, names ...string) (*ScenQLReport, error) {
+	if len(names) == 0 {
+		names = []string{"telco", "Q5"}
+	}
+	report := &ScenQLReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workloads:  map[string]*ScenQLWorkloadReport{},
+	}
+	for _, name := range names {
+		w, err := LoadWorkload(name, sc)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := runScenQLWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		report.Workloads[name] = wr
+	}
+	return report, nil
+}
+
+// scenqlStatement builds the two-axis grid over the workload's first two
+// leaf variables. The swept values are integer grid indices — the delta
+// kernel's cost depends on which variables move, not on their magnitudes.
+func scenqlStatement(w *Workload) (string, []string, error) {
+	var names []string
+	for i := 0; len(names) < 2 && i < w.LeafCount; i++ {
+		name := fmt.Sprintf("%s%d", w.LeafPrefix, i)
+		if _, ok := w.Set.Vocab.Lookup(name); ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) < 2 {
+		return "", nil, fmt.Errorf("workload has only %d of 2 leaf variables", len(names))
+	}
+	hi := scenqlGridSide - 1
+	stmt := fmt.Sprintf("%s IN [0:%d:1] %s IN [0:%d:1]", names[0], hi, names[1], hi)
+	return stmt, names, nil
+}
+
+func runScenQLWorkload(w *Workload) (*ScenQLWorkloadReport, error) {
+	stmt, names, err := scenqlStatement(w)
+	if err != nil {
+		return nil, err
+	}
+	reg := registry.New()
+	sess, err := reg.Create("bench", w.Set, nil)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(server.New(reg).Handler())
+	defer ts.Close()
+
+	// Warm: compile the kernel outside the clock.
+	if _, err := sess.Engine().Query(fmt.Sprintf("%s IN [0:3:1]", names[0])); err != nil {
+		return nil, err
+	}
+
+	wr := &ScenQLWorkloadReport{
+		Polynomials: w.Set.Len(),
+		Monomials:   w.Set.Size(),
+		Variables:   w.Set.Granularity(),
+		Statement:   stmt,
+		Benchmarks:  map[string]Metric{},
+	}
+
+	body, scenarios, err := wireBody(w, stmt)
+	if err != nil {
+		return nil, err
+	}
+	topStmt := stmt + " ORDER BY ans[0] DESC LIMIT 10"
+	var queryRuns, wireRuns, topKRuns []float64
+	for rep := 0; rep < scenqlReps; rep++ { // interleaved so drift hits all paths alike
+		ns, rows, err := timeQueryStream(ts.URL, stmt)
+		if err != nil {
+			return nil, err
+		}
+		if rows != scenarios {
+			return nil, fmt.Errorf("query streamed %d rows, generator yields %d", rows, scenarios)
+		}
+		queryRuns = append(queryRuns, ns)
+		ns, rows, err = timeWireStream(ts.Listener.Addr().String(), body)
+		if err != nil {
+			return nil, err
+		}
+		if rows != scenarios {
+			return nil, fmt.Errorf("wire streamed %d rows, want %d", rows, scenarios)
+		}
+		wireRuns = append(wireRuns, ns)
+		ns, rows, err = timeQueryStream(ts.URL, topStmt)
+		if err != nil {
+			return nil, err
+		}
+		if rows != 10 {
+			return nil, fmt.Errorf("top-k streamed %d rows, want 10", rows)
+		}
+		topKRuns = append(topKRuns, ns)
+	}
+	queryNs, wireNs, topKNs := median(queryRuns), median(wireRuns), median(topKRuns)
+
+	wr.Scenarios = scenarios
+	wr.QueryNs = queryNs
+	wr.WireNs = wireNs
+	wr.TopKNs = topKNs
+	wr.QueryNsPerScenario = queryNs / float64(scenarios)
+	wr.WireNsPerScenario = wireNs / float64(scenarios)
+	wr.TopKNsPerScenario = topKNs / float64(scenarios)
+	if queryNs > 0 {
+		wr.GeneratorSpeedup = wireNs / queryNs
+	}
+	if topKNs > 0 {
+		wr.TopKSpeedup = wireNs / topKNs
+	}
+
+	// The BENCH_6-shared float series, identical shape and options.
+	c := w.Set.Compile()
+	floatBatch, err := carrierBatch(w, func(int) float64 { return 0.8 })
+	if err != nil {
+		return nil, err
+	}
+	wr.Benchmarks["batch100-sparse"] = benchBatch(c, floatBatch, 0.5)
+	wr.Benchmarks["batch100-sparse-nodelta"] = benchBatch(c, floatBatch, -1)
+	return wr, nil
+}
+
+// timeQueryStream runs one statement through POST /query/stream and drains
+// the NDJSON response, returning the wall time and the row count (the
+// header line is not counted).
+func timeQueryStream(base, stmt string) (float64, int64, error) {
+	req, err := json.Marshal(map[string]string{"query": stmt})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/sessions/bench/query/stream",
+		"application/json", bytes.NewReader(req))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("query stream status %d", resp.StatusCode)
+	}
+	rows, err := countLines(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()), rows - 1, nil
+}
+
+// wireBody pre-materializes the statement's scenarios as NDJSON request
+// bytes — outside the measured window, so the wire path is charged for
+// transport, decoding and evaluation only, not for client-side encoding.
+func wireBody(w *Workload, stmt string) (*bytes.Buffer, int64, error) {
+	q, err := scenql.Parse(stmt)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := scenql.Compile(q, w.Set.Vocab, w.Set.Tags)
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	n := int64(0)
+	it := p.Iter()
+	for {
+		sc, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(map[string]any{"assign": sc.Assign}); err != nil {
+			return nil, 0, err
+		}
+		n++
+	}
+	return &buf, n, nil
+}
+
+// timeWireStream POSTs the pre-built NDJSON body to /whatif/stream over a
+// raw connection and drains the response while the body is still being
+// written. net/http's client is half-duplex (it sends the whole request
+// before reading the response), which against a 100k-line streaming
+// endpoint means the response backs up into TCP buffers and the measurement
+// collapses into window-sized lockstep; a real streaming what-if client —
+// like the server side of this endpoint — reads and writes concurrently.
+func timeWireStream(addr string, body *bytes.Buffer) (float64, int64, error) {
+	start := time.Now()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := fmt.Fprintf(conn, "POST /v1/sessions/bench/whatif/stream HTTP/1.1\r\n"+
+			"Host: bench\r\nContent-Type: application/x-ndjson\r\nContent-Length: %d\r\n\r\n",
+			body.Len())
+		if err == nil {
+			_, err = conn.Write(body.Bytes())
+		}
+		writeErr <- err
+	}()
+	req, err := http.NewRequest("POST", "/v1/sessions/bench/whatif/stream", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("whatif stream status %d", resp.StatusCode)
+	}
+	rows, err := countLines(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := <-writeErr; err != nil {
+		return 0, 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()), rows, nil
+}
+
+func median(runs []float64) float64 {
+	s := append([]float64(nil), runs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func countLines(r io.Reader) (int64, error) {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := int64(0)
+	for scan.Scan() {
+		if len(bytes.TrimSpace(scan.Bytes())) > 0 {
+			n++
+		}
+	}
+	return n, scan.Err()
+}
+
+// JSON serializes the report, indented for diff-friendly commits.
+func (r *ScenQLReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Table renders the report for provbench's stdout.
+func (r *ScenQLReport) Table() *Table {
+	tab := &Table{
+		Title:   fmt.Sprintf("ScenQL generator vs NDJSON wire (GOMAXPROCS=%d)", r.GOMAXPROCS),
+		Headers: []string{"workload", "scenarios", "query ns/scn", "wire ns/scn", "speedup", "top-k speedup"},
+	}
+	names := make([]string, 0, len(r.Workloads))
+	for name := range r.Workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		wr := r.Workloads[name]
+		tab.AddRow(name, wr.Scenarios,
+			fmt.Sprintf("%.0f", wr.QueryNsPerScenario),
+			fmt.Sprintf("%.0f", wr.WireNsPerScenario),
+			fmt.Sprintf("%.2fx", wr.GeneratorSpeedup),
+			fmt.Sprintf("%.2fx", wr.TopKSpeedup))
+	}
+	return tab
+}

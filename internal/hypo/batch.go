@@ -54,6 +54,10 @@ const DefaultDeltaCutoff = 0.5
 // across goroutines; below it, spawn-and-join overhead dominates.
 const shardMinTerms = 2048
 
+// ShardMinTerms exports the sharding floor so planners (ScenQL EXPLAIN)
+// can predict whether a full evaluation would shard.
+const ShardMinTerms = shardMinTerms
+
 // probeInterval is the adaptive cost model's exploration cadence once the
 // model is complete (both per-term estimates observed): every
 // probeInterval-th routed scenario runs the path the model did *not* pick,

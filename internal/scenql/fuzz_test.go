@@ -1,0 +1,90 @@
+package scenql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's crash-safety contract: any input either
+// parses or fails with a *ParseError carrying a real (1-based) source
+// position — never a panic, never an anonymous error. Inputs that parse
+// are re-checked for basic AST sanity so the fuzzer also exercises the
+// accessors EXPLAIN walks.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"x IN [0:1:0.1]",
+		"EXPLAIN x IN [0:1:0.25] ORDER BY ans[0] DESC LIMIT 5",
+		"SET a = 1, b = -2.5e3",
+		"CROSS (a,b) IN {(0,1),(1,0)}",
+		"SAMPLE 100 u, v IN [0.5:1.5] SEED 42",
+		"USING tropical LIMIT 10",
+		"order by ans['total'] asc limit 1",
+		"-- comment\nx IN [0:1:0.5] -- trailing",
+		"x IN [0:1:0.1] CROSS (a,b) IN {(1,2)} SAMPLE 3 c IN [0:1] USING bool",
+		"x IN [1:0:-0.5]",
+		"SET x = 1e",
+		"ORDER BY ans['unterminated",
+		"\x00\xff{:[(",
+		"SAMPLE 9223372036854775807 x IN [0:1]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("Parse(%q) returned %T, want *ParseError", src, err)
+			}
+			if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+				t.Fatalf("Parse(%q) error position %+v is not 1-based", src, pe.Pos)
+			}
+			if !strings.Contains(pe.Error(), pe.Pos.String()) {
+				t.Fatalf("Parse(%q) error %q does not include its position", src, err)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", src)
+		}
+		for _, ax := range q.Axes {
+			if ax.Points() < 1 {
+				t.Fatalf("Parse(%q) accepted an axis with %d points", src, ax.Points())
+			}
+			if len(ax.Vars()) == 0 {
+				t.Fatalf("Parse(%q) accepted an axis with no variables", src)
+			}
+		}
+		if q.Order != nil {
+			_ = q.Order.Key()
+		}
+	})
+}
+
+// FuzzParseAssignments holds the literal parser to the same contract; it
+// feeds the CLI -sets flag and the server's per-line scenario decoding.
+func FuzzParseAssignments(f *testing.F) {
+	for _, s := range []string{
+		"", "x=1", "x = 0.5, y = -1.5e1", "x==", "a=1,", "3=1", "x='s'",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := ParseAssignments(spec)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("ParseAssignments(%q) returned %T, want *ParseError", spec, err)
+			}
+			if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+				t.Fatalf("ParseAssignments(%q) error position %+v is not 1-based", spec, pe.Pos)
+			}
+			return
+		}
+		if sc == nil || len(sc.Assign) == 0 {
+			t.Fatalf("ParseAssignments(%q) returned an empty scenario without error", spec)
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// Package scenql implements ScenQL, the scenario query language: a tiny
+// DSL that describes *families* of hypothetical scenarios — grid sweeps,
+// cartesian products over variable groups, seeded sampled perturbations —
+// together with the evaluation carrier and a top-k answer filter, so that
+// a million-scenario exploration crosses the wire as one statement instead
+// of a million JSON lines. The package follows the statement→plan→execute
+// shape of a small query engine: Parse produces a Query (the AST), Compile
+// resolves it against a provenance vocabulary into a Plan, and the Plan's
+// Iter yields scenarios lazily in an overlap-maximizing order so adjacent
+// points ride the chained-delta kernel. Execution lives with the owner of
+// the kernels (the session Engine); EXPLAIN support is split the same way —
+// the Plan describes the generator tree, the executor annotates it with its
+// routing and cost model.
+//
+// The grammar (clauses in any order; keywords are case-insensitive,
+// variable names are case-sensitive; see README "Scenario queries"):
+//
+//	query   := [ "EXPLAIN" ] clause { clause }
+//	clause  := ident "IN" "[" num ":" num ":" num "]"          -- grid sweep
+//	         | "CROSS" "(" ident {"," ident} ")" "IN"
+//	               "{" tuple {"," tuple} "}"                   -- tuple product
+//	         | "SAMPLE" int ident {"," ident}
+//	               "IN" "[" num ":" num "]" [ "SEED" int ]     -- seeded uniform draws
+//	         | "SET" ident "=" num { "," ident "=" num }       -- fixed overlay
+//	         | "USING" ident                                   -- semiring carrier
+//	         | "ORDER" "BY" "ans" "[" (int | string) "]"
+//	               [ "ASC" | "DESC" ] [ "LIMIT" int ]          -- streaming top-k
+//	         | "LIMIT" int                                     -- cap generation
+//	tuple   := "(" num {"," num} ")"
+//
+// Generator clauses (sweep, CROSS, SAMPLE) multiply: each is one axis of a
+// cartesian product, in clause order, with the last clause varying fastest.
+package scenql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Pos is a position in the query source, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// ParseError is any scanning or parsing failure, carrying the position the
+// parser had reached. Compile-time failures (an unknown variable, say) are
+// *CompileError instead.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("scenql: parse error at %s: %s", e.Pos, e.Msg)
+}
+
+// tokenKind discriminates lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma
+	tokColon
+	tokEquals
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return `"("`
+	case tokRParen:
+		return `")"`
+	case tokLBracket:
+		return `"["`
+	case tokRBracket:
+		return `"]"`
+	case tokLBrace:
+		return `"{"`
+	case tokRBrace:
+		return `"}"`
+	case tokComma:
+		return `","`
+	case tokColon:
+		return `":"`
+	case tokEquals:
+		return `"="`
+	}
+	return "token"
+}
+
+// token is one lexed token. Text is the raw source slice (unquoted for
+// strings); Num is parsed for tokNumber.
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  Pos
+}
+
+// lexer scans a query source string into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// advance consumes one rune, maintaining line/col.
+func (l *lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch r := l.peek(); {
+		case r == '-' && strings.HasPrefix(l.src[l.off:], "--"):
+			// Line comment, SQL style.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	case unicode.IsDigit(r), r == '.', r == '+', r == '-':
+		return l.number(pos)
+	case r == '\'' || r == '"':
+		return l.quoted(pos)
+	}
+	l.advance()
+	single := map[rune]tokenKind{
+		'(': tokLParen, ')': tokRParen,
+		'[': tokLBracket, ']': tokRBracket,
+		'{': tokLBrace, '}': tokRBrace,
+		',': tokComma, ':': tokColon, '=': tokEquals,
+	}
+	if k, ok := single[r]; ok {
+		return token{kind: k, text: string(r), pos: pos}, nil
+	}
+	return token{}, &ParseError{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", r)}
+}
+
+// number scans a signed decimal with optional fraction and exponent. The
+// sign is part of the literal — ScenQL has no arithmetic, so "-" only ever
+// introduces a number.
+func (l *lexer) number(pos Pos) (token, error) {
+	start := l.off
+	if r := l.peek(); r == '+' || r == '-' {
+		l.advance()
+	}
+	digits := 0
+	for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+		l.advance()
+		digits++
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+			digits++
+		}
+	}
+	if digits == 0 {
+		return token{}, &ParseError{Pos: pos, Msg: fmt.Sprintf("malformed number %q", l.src[start:l.off])}
+	}
+	if r := l.peek(); r == 'e' || r == 'E' {
+		l.advance()
+		if r := l.peek(); r == '+' || r == '-' {
+			l.advance()
+		}
+		expDigits := 0
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+			expDigits++
+		}
+		if expDigits == 0 {
+			return token{}, &ParseError{Pos: pos, Msg: fmt.Sprintf("malformed exponent in %q", l.src[start:l.off])}
+		}
+	}
+	text := l.src[start:l.off]
+	x, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, &ParseError{Pos: pos, Msg: fmt.Sprintf("malformed number %q", text)}
+	}
+	return token{kind: tokNumber, text: text, num: x, pos: pos}, nil
+}
+
+// quoted scans a single- or double-quoted string (no escapes; tags with
+// quotes in them are not addressable, which is fine for answer tags).
+func (l *lexer) quoted(pos Pos) (token, error) {
+	quote := l.advance()
+	start := l.off
+	for l.off < len(l.src) {
+		if l.peek() == quote {
+			text := l.src[start:l.off]
+			l.advance()
+			return token{kind: tokString, text: text, pos: pos}, nil
+		}
+		if l.peek() == '\n' {
+			break
+		}
+		l.advance()
+	}
+	return token{}, &ParseError{Pos: pos, Msg: "unterminated string"}
+}

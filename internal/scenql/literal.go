@@ -1,0 +1,94 @@
+package scenql
+
+import (
+	"fmt"
+	"strings"
+
+	"provabs/internal/hypo"
+)
+
+// Scenario assignment literals — the "x=0.5, y=1.1" syntax shared by the
+// ScenQL SET clause, the CLI's -set/-sets flags, and the server's NDJSON
+// stream (a line that does not start with '{' is parsed as a literal).
+// One parser, one error shape, everywhere.
+
+// ParseAssignments parses one scenario literal: name "=" num
+// { "," name "=" num }. Errors are *ParseError positioned within the
+// literal.
+func ParseAssignments(spec string) (*hypo.Scenario, error) {
+	lex := newLexer(spec)
+	sc := hypo.NewScenario()
+	for n := 0; ; n++ {
+		t, err := lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			if n == 0 {
+				return nil, &ParseError{Pos: t.pos, Msg: "empty scenario: expected name=value"}
+			}
+			return nil, &ParseError{Pos: t.pos, Msg: "trailing comma: expected name=value"}
+		}
+		if t.kind != tokIdent {
+			return nil, errAt(t.pos, "expected a variable name, got %s", tokenDesc(t))
+		}
+		eq, err := lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if eq.kind != tokEquals {
+			return nil, errAt(eq.pos, `expected "=" after %q, got %s`, t.text, tokenDesc(eq))
+		}
+		val, err := lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if val.kind != tokNumber {
+			return nil, errAt(val.pos, "expected a number for %q, got %s", t.text, tokenDesc(val))
+		}
+		sc.Set(t.text, val.num)
+		sep, err := lex.next()
+		if err != nil {
+			return nil, err
+		}
+		if sep.kind == tokEOF {
+			return sc, nil
+		}
+		if sep.kind != tokComma {
+			return nil, errAt(sep.pos, `expected "," or end of scenario, got %s`, tokenDesc(sep))
+		}
+	}
+}
+
+// ParseScenarios parses a ";"-separated list of scenario literals
+// ("a=1; b=2, c=3"). Whitespace-only segments are skipped, so a trailing
+// ";" is harmless; an all-empty spec is an error.
+func ParseScenarios(spec string) ([]*hypo.Scenario, error) {
+	var out []*hypo.Scenario
+	for i, seg := range strings.Split(spec, ";") {
+		if strings.TrimSpace(seg) == "" {
+			continue
+		}
+		sc, err := ParseAssignments(seg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i+1, err)
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scenarios in %q: expected name=value[,name=value][;...]", spec)
+	}
+	return out, nil
+}
+
+func tokenDesc(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent, tokNumber:
+		return fmt.Sprintf("%q", t.text)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	}
+	return t.kind.String()
+}

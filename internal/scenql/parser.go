@@ -1,0 +1,570 @@
+package scenql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Query is the parsed AST of one ScenQL statement. Parse validates shape
+// only; names and the carrier are resolved against a provenance vocabulary
+// by Compile.
+type Query struct {
+	Src     string
+	Explain bool
+	Sets    []SetAssign
+	Axes    []AxisSpec
+	Using   string // semiring name ("" = the float default)
+	Order   *OrderSpec
+	Limit   int64 // standalone LIMIT: cap generation (0 = none)
+
+	usingPos Pos
+	limitPos Pos
+}
+
+// SetAssign is one fixed assignment of a SET clause, overlaid on every
+// generated scenario.
+type SetAssign struct {
+	Name  string
+	Value float64
+	Pos   Pos
+}
+
+// AxisSpec is one generator clause of the AST: a sweep, a CROSS tuple
+// product, or a SAMPLE perturbation. Axes multiply into a cartesian
+// product in clause order, the last clause varying fastest.
+type AxisSpec interface {
+	// Vars lists the variables the axis assigns.
+	Vars() []string
+	// Points is the axis cardinality.
+	Points() int
+	// Position reports where the clause started, for compile errors.
+	Position() Pos
+}
+
+// SweepSpec is a grid sweep: var IN [from:to:step], both endpoints
+// included (the last point clamps to To against float drift).
+type SweepSpec struct {
+	Var            string
+	From, To, Step float64
+	Pos            Pos
+
+	points int
+}
+
+func (s *SweepSpec) Vars() []string { return []string{s.Var} }
+func (s *SweepSpec) Points() int    { return s.points }
+func (s *SweepSpec) Position() Pos  { return s.Pos }
+
+// CrossSpec is a cartesian-product clause over a variable group:
+// CROSS (a,b) IN {(0,1),(1,0)} — each tuple assigns the group jointly.
+type CrossSpec struct {
+	Names  []string
+	Tuples [][]float64
+	Pos    Pos
+}
+
+func (s *CrossSpec) Vars() []string { return s.Names }
+func (s *CrossSpec) Points() int    { return len(s.Tuples) }
+func (s *CrossSpec) Position() Pos  { return s.Pos }
+
+// SampleSpec draws Count independent scenarios, each assigning every
+// listed variable a uniform value in [Lo, Hi]. Draws are a pure hash of
+// (Seed, point index, variable position) — deterministic, order-free, and
+// O(1) memory however large Count is.
+type SampleSpec struct {
+	Count int
+	Names []string
+	Lo    float64
+	Hi    float64
+	Seed  int64
+	Pos   Pos
+}
+
+func (s *SampleSpec) Vars() []string { return s.Names }
+func (s *SampleSpec) Points() int    { return s.Count }
+func (s *SampleSpec) Position() Pos  { return s.Pos }
+
+// OrderSpec is the streaming top-k filter: ORDER BY ans[key] [DESC]
+// LIMIT k. Key is a polynomial index (ans[3]) or a tag (ans['total']);
+// exactly one of Tag/ByTag and Index is meaningful.
+type OrderSpec struct {
+	Index int    // ans[3]
+	Tag   string // ans['total']
+	ByTag bool
+	Desc  bool
+	K     int64 // inline LIMIT; 0 until attached (see Compile)
+	Pos   Pos
+}
+
+// Key renders the order key as it appears in EXPLAIN ("ans[3]",
+// "ans['total']").
+func (o *OrderSpec) Key() string {
+	if o.ByTag {
+		return fmt.Sprintf("ans['%s']", o.Tag)
+	}
+	return fmt.Sprintf("ans[%d]", o.Index)
+}
+
+// parser consumes the token stream.
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+// Parse parses one ScenQL statement. Errors are *ParseError and carry the
+// source position.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q := &Query{Src: src}
+	if p.isKeyword("EXPLAIN") {
+		q.Explain = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	seenClause := false
+	for p.cur.kind != tokEOF {
+		if err := p.clause(q); err != nil {
+			return nil, err
+		}
+		seenClause = true
+	}
+	if !seenClause {
+		return nil, &ParseError{Pos: p.cur.pos, Msg: "empty query: expected at least one clause"}
+	}
+	return q, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// keyword returns the uppercased text of an identifier token, "" otherwise.
+func (p *parser) keyword() string {
+	if p.cur.kind != tokIdent {
+		return ""
+	}
+	return strings.ToUpper(p.cur.text)
+}
+
+func (p *parser) isKeyword(kw string) bool { return p.keyword() == kw }
+
+// expectKeyword consumes the given case-insensitive keyword.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.describe())
+	}
+	return p.advance()
+}
+
+// expect consumes a token of the given kind, returning it.
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.cur.kind != k {
+		return token{}, p.errf("expected %s, got %s", k, p.describe())
+	}
+	t := p.cur
+	return t, p.advance()
+}
+
+func (p *parser) describe() string {
+	switch p.cur.kind {
+	case tokEOF:
+		return "end of query"
+	case tokIdent, tokNumber:
+		return fmt.Sprintf("%q", p.cur.text)
+	case tokString:
+		return fmt.Sprintf("string %q", p.cur.text)
+	}
+	return p.cur.kind.String()
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errAt positions an error on an already-consumed token.
+func errAt(pos Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// clause dispatches one clause. A leading identifier that is not a
+// reserved keyword starts a sweep; the keywords are reserved — a variable
+// literally named "set" or "limit" cannot head a sweep clause.
+func (p *parser) clause(q *Query) error {
+	switch p.keyword() {
+	case "":
+		return p.errf("expected a clause (sweep, SET, CROSS, SAMPLE, USING, ORDER BY, LIMIT), got %s", p.describe())
+	case "EXPLAIN":
+		return p.errf("EXPLAIN must be the first word of the query")
+	case "SET":
+		return p.setClause(q)
+	case "CROSS":
+		return p.crossClause(q)
+	case "SAMPLE":
+		return p.sampleClause(q)
+	case "USING":
+		return p.usingClause(q)
+	case "ORDER":
+		return p.orderClause(q)
+	case "LIMIT":
+		return p.limitClause(q)
+	case "IN", "BY", "ANS", "ASC", "DESC", "SEED":
+		return p.errf("unexpected keyword %q", p.cur.text)
+	default:
+		return p.sweepClause(q)
+	}
+}
+
+func (p *parser) setClause(q *Query) error {
+	if err := p.advance(); err != nil { // SET
+		return err
+	}
+	for {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if kw := strings.ToUpper(name.text); reservedWords[kw] {
+			return errAt(name.pos, "%q is a reserved word and cannot name a variable", name.text)
+		}
+		if _, err := p.expect(tokEquals); err != nil {
+			return err
+		}
+		val, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		q.Sets = append(q.Sets, SetAssign{Name: name.text, Value: val.num, Pos: name.pos})
+		if p.cur.kind != tokComma {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) sweepClause(q *Query) error {
+	name := p.cur
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return err
+	}
+	from, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	to, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	step, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return err
+	}
+	points, perr := sweepPoints(from.num, to.num, step.num)
+	if perr != "" {
+		return errAt(name.pos, "sweep %s: %s", name.text, perr)
+	}
+	q.Axes = append(q.Axes, &SweepSpec{
+		Var: name.text, From: from.num, To: to.num, Step: step.num,
+		Pos: name.pos, points: points,
+	})
+	return nil
+}
+
+// sweepPoints derives the grid cardinality of [from:to:step], validating
+// direction. A small epsilon absorbs float drift so [0:1:0.1] has 11
+// points, not 10.
+func sweepPoints(from, to, step float64) (int, string) {
+	switch {
+	case step == 0 || math.IsNaN(step) || math.IsInf(step, 0):
+		return 0, fmt.Sprintf("step must be finite and non-zero, got %v", step)
+	case math.IsNaN(from) || math.IsInf(from, 0) || math.IsNaN(to) || math.IsInf(to, 0):
+		return 0, "bounds must be finite"
+	}
+	span := (to - from) / step
+	if span < 0 {
+		return 0, fmt.Sprintf("step %v moves away from %v", step, to)
+	}
+	n := int(math.Floor(span+1e-9)) + 1
+	if n > maxScenarios {
+		return 0, fmt.Sprintf("%d grid points exceed the %d-scenario cap", n, maxScenarios)
+	}
+	return n, ""
+}
+
+func (p *parser) crossClause(q *Query) error {
+	pos := p.cur.pos
+	if err := p.advance(); err != nil { // CROSS
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var names []string
+	for {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		names = append(names, name.text)
+		if p.cur.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	var tuples [][]float64
+	for {
+		tpos := p.cur.pos
+		if _, err := p.expect(tokLParen); err != nil {
+			return err
+		}
+		var tuple []float64
+		for {
+			val, err := p.expect(tokNumber)
+			if err != nil {
+				return err
+			}
+			tuple = append(tuple, val.num)
+			if p.cur.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		if len(tuple) != len(names) {
+			return errAt(tpos, "CROSS tuple has %d values for %d variables", len(tuple), len(names))
+		}
+		tuples = append(tuples, tuple)
+		if p.cur.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return err
+	}
+	q.Axes = append(q.Axes, &CrossSpec{Names: names, Tuples: tuples, Pos: pos})
+	return nil
+}
+
+func (p *parser) sampleClause(q *Query) error {
+	pos := p.cur.pos
+	if err := p.advance(); err != nil { // SAMPLE
+		return err
+	}
+	count, err := p.expectInt("SAMPLE count", 1, maxScenarios)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		names = append(names, name.text)
+		if p.cur.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return err
+	}
+	lo, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	hi, err := p.expect(tokNumber)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return err
+	}
+	if hi.num < lo.num {
+		return errAt(pos, "SAMPLE range [%v:%v] is reversed", lo.num, hi.num)
+	}
+	seed := int64(1)
+	if p.isKeyword("SEED") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		seed, err = p.expectInt("SEED", math.MinInt64, math.MaxInt64)
+		if err != nil {
+			return err
+		}
+	}
+	q.Axes = append(q.Axes, &SampleSpec{
+		Count: int(count), Names: names, Lo: lo.num, Hi: hi.num, Seed: seed, Pos: pos,
+	})
+	return nil
+}
+
+func (p *parser) usingClause(q *Query) error {
+	pos := p.cur.pos
+	if q.Using != "" {
+		return errAt(pos, "duplicate USING clause")
+	}
+	if err := p.advance(); err != nil { // USING
+		return err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	q.Using = name.text
+	q.usingPos = name.pos
+	return nil
+}
+
+func (p *parser) orderClause(q *Query) error {
+	pos := p.cur.pos
+	if q.Order != nil {
+		return errAt(pos, "duplicate ORDER BY clause")
+	}
+	if err := p.advance(); err != nil { // ORDER
+		return err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("ANS"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return err
+	}
+	o := &OrderSpec{Pos: pos}
+	switch p.cur.kind {
+	case tokNumber:
+		idx, err := p.expectInt("answer index", 0, math.MaxInt32)
+		if err != nil {
+			return err
+		}
+		o.Index = int(idx)
+	case tokString:
+		o.Tag, o.ByTag = p.cur.text, true
+		if err := p.advance(); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected an answer index or a quoted tag, got %s", p.describe())
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return err
+	}
+	switch p.keyword() {
+	case "ASC":
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case "DESC":
+		o.Desc = true
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if p.isKeyword("LIMIT") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		k, err := p.expectInt("LIMIT", 1, maxScenarios)
+		if err != nil {
+			return err
+		}
+		o.K = k
+	}
+	q.Order = o
+	return nil
+}
+
+func (p *parser) limitClause(q *Query) error {
+	pos := p.cur.pos
+	if q.Limit != 0 {
+		return errAt(pos, "duplicate LIMIT clause")
+	}
+	if err := p.advance(); err != nil { // LIMIT
+		return err
+	}
+	n, err := p.expectInt("LIMIT", 1, maxScenarios)
+	if err != nil {
+		return err
+	}
+	q.Limit = n
+	q.limitPos = pos
+	return nil
+}
+
+// expectInt consumes a number token that must be an integer in [lo, hi].
+func (p *parser) expectInt(what string, lo, hi int64) (int64, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(t.num)
+	if float64(n) != t.num {
+		return 0, errAt(t.pos, "%s must be an integer, got %q", what, t.text)
+	}
+	if n < lo || n > hi {
+		return 0, errAt(t.pos, "%s %d out of range [%d, %d]", what, n, lo, hi)
+	}
+	return n, nil
+}
+
+// reservedWords are the keywords a SET/sweep variable name may not shadow.
+var reservedWords = map[string]bool{
+	"EXPLAIN": true, "SET": true, "CROSS": true, "SAMPLE": true,
+	"USING": true, "ORDER": true, "BY": true, "ANS": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "IN": true, "SEED": true,
+}

@@ -1,0 +1,312 @@
+package scenql
+
+import (
+	"fmt"
+
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/semiring"
+)
+
+// maxScenarios caps the number of scenarios a single plan may describe.
+// The iterator is lazy, so the cap is not about memory — it bounds how
+// much work one statement can queue against a shared session.
+const maxScenarios = 100_000_000
+
+// CompileError is a failure resolving a parsed query against a provenance
+// set: unknown variable, unknown semiring, out-of-range answer index.
+type CompileError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("scenql: compile error at %s: %s", e.Pos, e.Msg)
+}
+
+// Order is the resolved top-k filter of a plan.
+type Order struct {
+	Index int    // resolved polynomial index
+	Key   string // as written: "ans[3]" or "ans['total']"
+	Desc  bool
+	K     int // top-k size
+}
+
+// Plan is a compiled ScenQL query: a validated scenario generator plus the
+// execution directives (carrier, top-k, generation cap) an executor needs.
+// Plans are immutable and safe for concurrent use; each Iter carries its
+// own cursor.
+type Plan struct {
+	Explain bool
+	Kind    semiring.Kind // carrier to evaluate under
+	Order   *Order        // nil: no top-k filter
+	Limit   int64         // generation cap (0 = none); exclusive with Order
+
+	sets  []SetAssign
+	axes  []axis
+	total int64 // cartesian product size, pre-Limit
+}
+
+// axis is one compiled generator dimension.
+type axis struct {
+	spec  AxisSpec
+	names []string
+	card  int64
+}
+
+// apply assigns the axis's variables for grid position i.
+func (a *axis) apply(i int64, sc *hypo.Scenario) {
+	switch s := a.spec.(type) {
+	case *SweepSpec:
+		v := s.From + float64(i)*s.Step
+		if i == int64(s.points-1) {
+			v = s.To // clamp the final point against float drift
+		}
+		sc.Set(s.Var, v)
+	case *CrossSpec:
+		for j, name := range s.Names {
+			sc.Set(name, s.Tuples[i][j])
+		}
+	case *SampleSpec:
+		for j, name := range s.Names {
+			sc.Set(name, s.draw(i, j))
+		}
+	}
+}
+
+// draw is the SAMPLE axis's uniform value for (point i, variable j): a pure
+// splitmix64 hash of (seed, i, j) mapped into [lo, hi]. Being stateless it
+// is independent of iteration order and costs no memory however large the
+// sample is.
+func (s *SampleSpec) draw(i int64, j int) float64 {
+	x := uint64(s.Seed)
+	x ^= uint64(i)*0x9E3779B97F4A7C15 + uint64(j+1)*0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	u := float64(x>>11) / (1 << 53) // uniform in [0, 1)
+	return s.Lo + (s.Hi-s.Lo)*u
+}
+
+// Compile resolves a parsed query against a provenance vocabulary and the
+// answer tags (tags[i] labels polynomial i; len(tags) is the polynomial
+// count). Variables must already exist in the vocabulary — a hypothetical
+// scenario over variables the provenance never mentions is a typo, not a
+// no-op.
+func Compile(q *Query, vb *provenance.Vocab, tags []string) (*Plan, error) {
+	p := &Plan{Explain: q.Explain, Kind: semiring.KindFloat, Limit: q.Limit}
+
+	kind, err := compileUsing(q)
+	if err != nil {
+		return nil, err
+	}
+	p.Kind = kind
+
+	seen := map[string]Pos{}
+	claim := func(name string, pos Pos) error {
+		if prev, dup := seen[name]; dup {
+			return &CompileError{Pos: pos, Msg: fmt.Sprintf("variable %q already assigned at %s", name, prev)}
+		}
+		seen[name] = pos
+		if _, ok := vb.Lookup(name); !ok {
+			return &CompileError{Pos: pos, Msg: fmt.Sprintf("unknown variable %q", name)}
+		}
+		return nil
+	}
+	for _, s := range q.Sets {
+		if err := claim(s.Name, s.Pos); err != nil {
+			return nil, err
+		}
+	}
+	p.sets = q.Sets
+
+	p.total = 1
+	for _, spec := range q.Axes {
+		for _, name := range spec.Vars() {
+			if err := claim(name, spec.Position()); err != nil {
+				return nil, err
+			}
+		}
+		card := int64(spec.Points())
+		if card == 0 {
+			return nil, &CompileError{Pos: spec.Position(), Msg: "axis generates no scenarios"}
+		}
+		if p.total > maxScenarios/card {
+			return nil, &CompileError{
+				Pos: spec.Position(),
+				Msg: fmt.Sprintf("plan exceeds the %d-scenario cap", int64(maxScenarios)),
+			}
+		}
+		p.total *= card
+		p.axes = append(p.axes, axis{spec: spec, names: spec.Vars(), card: card})
+	}
+
+	if q.Order != nil {
+		if q.Limit != 0 {
+			return nil, &CompileError{Pos: q.limitPos, Msg: "LIMIT and ORDER BY ... LIMIT cannot both be given"}
+		}
+		o, err := compileOrder(q.Order, tags)
+		if err != nil {
+			return nil, err
+		}
+		p.Order = o
+	}
+	return p, nil
+}
+
+func compileUsing(q *Query) (semiring.Kind, error) {
+	if q.Using == "" {
+		return semiring.KindFloat, nil
+	}
+	kind, err := semiring.ParseKind(q.Using)
+	if err != nil {
+		return kind, &CompileError{Pos: q.usingPos, Msg: err.Error()}
+	}
+	return kind, nil
+}
+
+func compileOrder(o *OrderSpec, tags []string) (*Order, error) {
+	if o.K == 0 {
+		return nil, &CompileError{Pos: o.Pos, Msg: "ORDER BY needs a LIMIT: an unbounded sweep cannot be fully ranked"}
+	}
+	idx := o.Index
+	if o.ByTag {
+		idx = -1
+		for i, t := range tags {
+			if t == o.Tag {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, &CompileError{Pos: o.Pos, Msg: fmt.Sprintf("no answer tagged %q", o.Tag)}
+		}
+	} else if idx >= len(tags) {
+		return nil, &CompileError{
+			Pos: o.Pos,
+			Msg: fmt.Sprintf("answer index %d out of range: the provenance has %d polynomials", idx, len(tags)),
+		}
+	}
+	return &Order{Index: idx, Key: o.Key(), Desc: o.Desc, K: int(o.K)}, nil
+}
+
+// Count is the full cartesian-product size, before any LIMIT.
+func (p *Plan) Count() int64 { return p.total }
+
+// Scenarios is the number of scenarios the iterator will actually yield:
+// Count capped by a standalone LIMIT.
+func (p *Plan) Scenarios() int64 {
+	if p.Limit > 0 && p.Limit < p.total {
+		return p.Limit
+	}
+	return p.total
+}
+
+// Class describes one transition class of the snake iteration for EXPLAIN:
+// which variables change between consecutive scenarios, and how often. The
+// first class is always the seed scenario (everything assigned at once);
+// each axis contributes one class whose transitions step only that axis.
+type Class struct {
+	Label       string   `json:"label"`
+	Vars        []string `json:"vars"`
+	Transitions int64    `json:"transitions"`
+}
+
+// Classes enumerates the transition classes of the full product in snake
+// order. Transition counts telescope: 1 (seed) + Σ prefix(j)·(card_j − 1)
+// = Count().
+func (p *Plan) Classes() []Class {
+	var all []string
+	for _, s := range p.sets {
+		all = append(all, s.Name)
+	}
+	for _, ax := range p.axes {
+		all = append(all, ax.names...)
+	}
+	classes := []Class{{Label: "seed", Vars: all, Transitions: 1}}
+	prefix := int64(1)
+	for _, ax := range p.axes {
+		label := "step " + ax.names[0]
+		if len(ax.names) > 1 {
+			label = "step ("
+			for i, n := range ax.names {
+				if i > 0 {
+					label += ","
+				}
+				label += n
+			}
+			label += ")"
+		}
+		classes = append(classes, Class{
+			Label:       label,
+			Vars:        ax.names,
+			Transitions: prefix * (ax.card - 1),
+		})
+		prefix *= ax.card
+	}
+	return classes
+}
+
+// Iter starts a fresh scenario iterator over the plan.
+//
+// The iteration order is a "snake" (reflected mixed-radix Gray) walk of the
+// cartesian product: the last axis sweeps forward, then the second-to-last
+// steps once and the last sweeps *backward*, and so on. Exactly one axis
+// changes between consecutive scenarios, so the symmetric difference two
+// adjacent scenarios hand the chained-delta kernel is always a single
+// axis's variable set — the overlap-maximizing order the delta router
+// wants.
+func (p *Plan) Iter() *Iter {
+	it := &Iter{p: p}
+	if len(p.axes) > 0 {
+		it.digits = make([]int64, len(p.axes))
+		it.dirs = make([]int64, len(p.axes))
+		for i := range it.dirs {
+			it.dirs[i] = 1
+		}
+	}
+	return it
+}
+
+// Iter walks a plan's scenarios lazily. Not safe for concurrent use; take
+// one per consumer.
+type Iter struct {
+	p      *Plan
+	n      int64   // scenarios yielded so far
+	digits []int64 // current grid position per axis
+	dirs   []int64 // +1 forward, -1 backward (snake direction)
+}
+
+// Next yields the next scenario, or ok=false when the plan (or its LIMIT)
+// is exhausted. The returned scenario is freshly allocated; callers may
+// retain it.
+func (it *Iter) Next() (*hypo.Scenario, bool) {
+	if it.n >= it.p.Scenarios() {
+		return nil, false
+	}
+	if it.n > 0 {
+		// Advance the snake odometer: step the innermost axis that can move
+		// in its current direction; axes that cannot reverse direction and
+		// defer to the next axis out.
+		for i := len(it.digits) - 1; i >= 0; i-- {
+			next := it.digits[i] + it.dirs[i]
+			if next >= 0 && next < it.p.axes[i].card {
+				it.digits[i] = next
+				break
+			}
+			it.dirs[i] = -it.dirs[i]
+		}
+	}
+	sc := hypo.NewScenario()
+	for _, s := range it.p.sets {
+		sc.Set(s.Name, s.Value)
+	}
+	for i := range it.p.axes {
+		it.p.axes[i].apply(it.digits[i], sc)
+	}
+	it.n++
+	return sc, true
+}
+
+// Remaining reports how many scenarios Next will still yield.
+func (it *Iter) Remaining() int64 { return it.p.Scenarios() - it.n }

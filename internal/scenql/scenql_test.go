@@ -1,0 +1,488 @@
+package scenql
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/semiring"
+)
+
+// testVocab interns the variable names the test queries use.
+func testVocab(names ...string) *provenance.Vocab {
+	vb := provenance.NewVocab()
+	vb.Vars(names...)
+	return vb
+}
+
+func mustPlan(t *testing.T, src string, vb *provenance.Vocab, tags []string) *Plan {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	p, err := Compile(q, vb, tags)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseFullQuery(t *testing.T) {
+	src := `EXPLAIN
+		SET base = 2 -- fixed overlay
+		x IN [0:1:0.25]
+		CROSS (a, b) IN {(0, 1), (1, 0), (1, 1)}
+		SAMPLE 5 u, v IN [0.5:1.5] SEED 42
+		USING tropical
+		ORDER BY ans['total'] DESC LIMIT 3`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain {
+		t.Error("Explain flag not set")
+	}
+	if len(q.Sets) != 1 || q.Sets[0].Name != "base" || q.Sets[0].Value != 2 {
+		t.Errorf("Sets = %+v", q.Sets)
+	}
+	if len(q.Axes) != 3 {
+		t.Fatalf("got %d axes, want 3", len(q.Axes))
+	}
+	sweep := q.Axes[0].(*SweepSpec)
+	if sweep.Var != "x" || sweep.Points() != 5 {
+		t.Errorf("sweep = %+v with %d points, want x with 5", sweep, sweep.Points())
+	}
+	cross := q.Axes[1].(*CrossSpec)
+	if len(cross.Names) != 2 || cross.Points() != 3 {
+		t.Errorf("cross = %+v", cross)
+	}
+	sample := q.Axes[2].(*SampleSpec)
+	if sample.Count != 5 || sample.Seed != 42 || sample.Lo != 0.5 || sample.Hi != 1.5 {
+		t.Errorf("sample = %+v", sample)
+	}
+	if q.Using != "tropical" {
+		t.Errorf("Using = %q", q.Using)
+	}
+	if q.Order == nil || !q.Order.ByTag || q.Order.Tag != "total" || !q.Order.Desc || q.Order.K != 3 {
+		t.Errorf("Order = %+v", q.Order)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+		pos  Pos    // expected position (zero Pos = don't check)
+	}{
+		{"empty", "", "empty query", Pos{}},
+		{"comment only", "-- nothing\n", "empty query", Pos{}},
+		{"bad char", "x IN [0:1:0.1] ?", "unexpected character", Pos{1, 16}},
+		{"sweep missing in", "x [0:1:0.1]", "expected IN", Pos{}},
+		{"sweep two-part range", "x IN [0:1]", `expected ":"`, Pos{}},
+		{"sweep zero step", "x IN [0:1:0]", "step must be finite and non-zero", Pos{1, 1}},
+		{"sweep wrong direction", "x IN [1:0:0.5]", "moves away", Pos{}},
+		{"sweep over cap", "x IN [0:1e9:0.001]", "scenario cap", Pos{}},
+		{"explain not first", "x IN [0:1:1] EXPLAIN", "EXPLAIN must be the first word", Pos{1, 14}},
+		{"reserved set var", "SET limit = 3", "reserved word", Pos{1, 5}},
+		{"set missing value", "SET x =", "expected number", Pos{}},
+		{"cross arity", "CROSS (a,b) IN {(1,2,3)}", "3 values for 2 variables", Pos{1, 17}},
+		{"cross empty", "CROSS (a,b) IN {}", `expected "("`, Pos{}},
+		{"sample fractional count", "SAMPLE 2.5 x IN [0:1]", "must be an integer", Pos{1, 8}},
+		{"sample zero count", "SAMPLE 0 x IN [0:1]", "out of range", Pos{}},
+		{"sample three-part range", "SAMPLE 3 x IN [0:1:0.1]", `expected "]"`, Pos{}},
+		{"sample reversed", "SAMPLE 3 x IN [2:1]", "reversed", Pos{1, 1}},
+		{"order without ans", "ORDER BY foo[0] LIMIT 1", "expected ANS", Pos{}},
+		{"order bad key", "ORDER BY ans[x] LIMIT 1", "answer index or a quoted tag", Pos{}},
+		{"order negative index", "ORDER BY ans[-1] LIMIT 1", "out of range", Pos{}},
+		{"duplicate limit", "x IN [0:1:1] LIMIT 2 LIMIT 3", "duplicate LIMIT", Pos{1, 22}},
+		{"duplicate using", "USING bool USING count", "duplicate USING", Pos{}},
+		{"duplicate order", "ORDER BY ans[0] LIMIT 1 ORDER BY ans[1] LIMIT 1", "duplicate ORDER BY", Pos{}},
+		{"unterminated string", "ORDER BY ans['total LIMIT 1", "unterminated string", Pos{1, 14}},
+		{"malformed number", "SET x = 1e", "malformed exponent", Pos{}},
+		{"lone keyword", "IN [0:1:1]", "unexpected keyword", Pos{}},
+		{"stray token", "x IN [0:1:1] )", "expected a clause", Pos{1, 14}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("Parse(%q) error is %T, want *ParseError", tc.src, err)
+			}
+			if !strings.Contains(pe.Error(), tc.want) {
+				t.Errorf("Parse(%q) = %v, want substring %q", tc.src, err, tc.want)
+			}
+			if pe.Pos.Line == 0 || pe.Pos.Col == 0 {
+				t.Errorf("Parse(%q) error has zero position: %+v", tc.src, pe.Pos)
+			}
+			if tc.pos != (Pos{}) && pe.Pos != tc.pos {
+				t.Errorf("Parse(%q) error at %v, want %v", tc.src, pe.Pos, tc.pos)
+			}
+		})
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	vb := testVocab("x", "y")
+	tags := []string{"first", "total"}
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown sweep var", "z IN [0:1:0.5]", `unknown variable "z"`},
+		{"unknown set var", "SET z = 1", `unknown variable "z"`},
+		{"duplicate var", "x IN [0:1:0.5] SET x = 2", "already assigned"},
+		{"duplicate across axes", "x IN [0:1:0.5] CROSS (x,y) IN {(1,2)}", "already assigned"},
+		{"unknown semiring", "x IN [0:1:0.5] USING frobnitz", "unknown semiring"},
+		{"order index range", "x IN [0:1:0.5] ORDER BY ans[7] LIMIT 2", "out of range"},
+		{"order unknown tag", "x IN [0:1:0.5] ORDER BY ans['nope'] LIMIT 2", `no answer tagged "nope"`},
+		{"order without limit", "x IN [0:1:0.5] ORDER BY ans[0]", "ORDER BY needs a LIMIT"},
+		{"order plus limit", "x IN [0:1:0.5] ORDER BY ans[0] LIMIT 2 LIMIT 3", "cannot both"},
+		{"product over cap", "x IN [0:1:0.0001] y IN [0:1:0.0001]", "exceeds the 100000000-scenario cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			_, err = Compile(q, vb, tags)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			ce, ok := err.(*CompileError)
+			if !ok {
+				t.Fatalf("Compile(%q) error is %T, want *CompileError", tc.src, err)
+			}
+			if !strings.Contains(ce.Error(), tc.want) {
+				t.Errorf("Compile(%q) = %v, want substring %q", tc.src, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompileResolvesTagAndKind(t *testing.T) {
+	vb := testVocab("x")
+	p := mustPlan(t, "x IN [0:1:0.5] USING minmax ORDER BY ans['total'] ASC LIMIT 2", vb, []string{"a", "total"})
+	if p.Kind != semiring.KindMinMax {
+		t.Errorf("Kind = %v", p.Kind)
+	}
+	if p.Order == nil || p.Order.Index != 1 || p.Order.Desc || p.Order.K != 2 {
+		t.Errorf("Order = %+v", p.Order)
+	}
+	if p.Order.Key != "ans['total']" {
+		t.Errorf("Order.Key = %q", p.Order.Key)
+	}
+}
+
+// TestSnakeOrder is the load-bearing property of the iterator: consecutive
+// scenarios differ in exactly one axis's variables, and every grid point is
+// visited exactly once.
+func TestSnakeOrder(t *testing.T) {
+	vb := testVocab("x", "a", "b", "u")
+	p := mustPlan(t, "x IN [0:1:0.5] CROSS (a,b) IN {(0,0),(0,1),(1,1)} SAMPLE 4 u IN [0:1] SEED 7", vb, nil)
+	if p.Count() != 3*3*4 {
+		t.Fatalf("Count = %d, want 36", p.Count())
+	}
+	it := p.Iter()
+	var prev *hypo.Scenario
+	seen := map[string]bool{}
+	n := 0
+	for {
+		sc, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+		key := ""
+		for _, name := range []string{"x", "a", "b", "u"} {
+			v, ok := sc.Assign[name]
+			if !ok {
+				t.Fatalf("scenario %d missing %q: %v", n, name, sc.Assign)
+			}
+			key += name + "=" + strconv.FormatFloat(v, 'g', -1, 64) + ";"
+		}
+		if seen[key] {
+			t.Fatalf("scenario %d revisits %s", n, key)
+		}
+		seen[key] = true
+		if prev != nil {
+			changed := map[string]bool{}
+			for name, v := range sc.Assign {
+				if prev.Assign[name] != v {
+					changed[name] = true
+				}
+			}
+			if len(changed) == 0 {
+				t.Fatalf("scenario %d identical to its predecessor", n)
+			}
+			// The changed set must be exactly one axis's variable set.
+			switch {
+			case len(changed) == 1 && (changed["x"] || changed["u"]):
+			case changed["a"] || changed["b"]:
+				for name := range changed {
+					if name != "a" && name != "b" {
+						t.Fatalf("scenario %d changes %v: crosses axes", n, changed)
+					}
+				}
+			default:
+				t.Fatalf("scenario %d changes %v: crosses axes", n, changed)
+			}
+		}
+		prev = sc
+	}
+	if n != 36 {
+		t.Fatalf("iterated %d scenarios, want 36", n)
+	}
+}
+
+func TestSweepEndpointsClamp(t *testing.T) {
+	vb := testVocab("x")
+	p := mustPlan(t, "x IN [0:1:0.1]", vb, nil)
+	if p.Count() != 11 {
+		t.Fatalf("Count = %d, want 11", p.Count())
+	}
+	it := p.Iter()
+	var last *hypo.Scenario
+	first := true
+	for {
+		sc, ok := it.Next()
+		if !ok {
+			break
+		}
+		if first {
+			if sc.Assign["x"] != 0 {
+				t.Errorf("first point x = %v, want 0", sc.Assign["x"])
+			}
+			first = false
+		}
+		last = sc
+	}
+	if last.Assign["x"] != 1 {
+		t.Errorf("last point x = %v, want exactly 1 (clamped)", last.Assign["x"])
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	vb := testVocab("u", "v")
+	run := func() []float64 {
+		p := mustPlan(t, "SAMPLE 16 u, v IN [2:4] SEED 99", vb, nil)
+		var vals []float64
+		it := p.Iter()
+		for {
+			sc, ok := it.Next()
+			if !ok {
+				break
+			}
+			for _, name := range []string{"u", "v"} {
+				v := sc.Assign[name]
+				if v < 2 || v > 4 {
+					t.Fatalf("%s = %v out of [2,4]", name, v)
+				}
+				vals = append(vals, v)
+			}
+		}
+		return vals
+	}
+	a, b := run(), run()
+	if len(a) != 32 {
+		t.Fatalf("got %d draws, want 32", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Different seed, different draws.
+	q, _ := Parse("SAMPLE 16 u, v IN [2:4] SEED 100")
+	p2, err := Compile(q, vb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := p2.Iter()
+	sc, _ := it.Next()
+	if sc.Assign["u"] == a[0] && sc.Assign["v"] == a[1] {
+		t.Error("seed 100 reproduced seed 99's first draw")
+	}
+}
+
+func TestLimitCapsIteration(t *testing.T) {
+	vb := testVocab("x")
+	p := mustPlan(t, "x IN [0:1:0.01] LIMIT 7", vb, nil)
+	if p.Count() != 101 || p.Scenarios() != 7 {
+		t.Fatalf("Count = %d, Scenarios = %d; want 101, 7", p.Count(), p.Scenarios())
+	}
+	it := p.Iter()
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Fatalf("iterated %d, want 7", n)
+	}
+}
+
+func TestNoAxesYieldsSingleScenario(t *testing.T) {
+	vb := testVocab("x")
+	p := mustPlan(t, "SET x = 0.5", vb, nil)
+	if p.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", p.Count())
+	}
+	it := p.Iter()
+	sc, ok := it.Next()
+	if !ok || sc.Assign["x"] != 0.5 {
+		t.Fatalf("Next = %v, %v", sc, ok)
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("iterator yielded a second scenario")
+	}
+}
+
+func TestClassesTelescope(t *testing.T) {
+	vb := testVocab("x", "a", "b", "u")
+	p := mustPlan(t, "x IN [0:1:0.5] CROSS (a,b) IN {(0,0),(1,1)} SAMPLE 5 u IN [0:1]", vb, nil)
+	classes := p.Classes()
+	if len(classes) != 4 {
+		t.Fatalf("got %d classes, want 4 (seed + 3 axes)", len(classes))
+	}
+	if classes[0].Label != "seed" || classes[0].Transitions != 1 {
+		t.Errorf("seed class = %+v", classes[0])
+	}
+	total := int64(0)
+	for _, c := range classes {
+		total += c.Transitions
+	}
+	if total != p.Count() {
+		t.Errorf("transitions sum to %d, want Count() = %d", total, p.Count())
+	}
+	// Outermost axis steps least: x transitions = (3-1); the innermost
+	// sample axis steps 3·2·(5-1) times.
+	if classes[1].Transitions != 2 {
+		t.Errorf("x class transitions = %d, want 2", classes[1].Transitions)
+	}
+	if classes[3].Transitions != 3*2*4 {
+		t.Errorf("sample class transitions = %d, want 24", classes[3].Transitions)
+	}
+	if classes[2].Label != "step (a,b)" {
+		t.Errorf("cross class label = %q", classes[2].Label)
+	}
+}
+
+func TestGenerateNodeShape(t *testing.T) {
+	vb := testVocab("x", "u")
+	p := mustPlan(t, "SET u = 1 x IN [0:1:0.5]", vb, nil)
+	g := p.GenerateNode()
+	if g.Node != "generate" || g.Order != "snake" || g.Scenarios != 3 {
+		t.Errorf("generate node = %+v", g)
+	}
+	if g.Set["u"] != 1 {
+		t.Errorf("Set = %v", g.Set)
+	}
+	if len(g.Axes) != 1 || g.Axes[0].Node != "sweep" || *g.Axes[0].From != 0 || *g.Axes[0].To != 1 {
+		t.Errorf("Axes = %+v", g.Axes)
+	}
+}
+
+func TestParseAssignments(t *testing.T) {
+	sc, err := ParseAssignments(" x = 0.5 , y_2 = -1.5e1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Assign["x"] != 0.5 || sc.Assign["y_2"] != -15 {
+		t.Errorf("Assign = %v", sc.Assign)
+	}
+
+	errCases := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{"empty", "", "empty scenario"},
+		{"blank", "   ", "empty scenario"},
+		{"missing equals", "x 0.5", `expected "="`},
+		{"missing value", "x =", "expected a number"},
+		{"bad value", "x = oops", "expected a number"},
+		{"trailing comma", "x = 1,", "trailing comma"},
+		{"bad separator", "x = 1 : y = 2", `expected ","`},
+		{"number first", "3 = 1", "expected a variable name"},
+		{"bad char", "x = 1 @", "unexpected character"},
+	}
+	for _, tc := range errCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAssignments(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseAssignments(%q) succeeded, want %q", tc.spec, tc.want)
+			}
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("error is %T, want *ParseError", err)
+			}
+			if !strings.Contains(pe.Error(), tc.want) {
+				t.Errorf("ParseAssignments(%q) = %v, want substring %q", tc.spec, err, tc.want)
+			}
+			if pe.Pos.Line == 0 || pe.Pos.Col == 0 {
+				t.Errorf("error has zero position: %+v", pe.Pos)
+			}
+		})
+	}
+}
+
+func TestParseScenarios(t *testing.T) {
+	scs, err := ParseScenarios("a=1; b=2, c=3 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(scs))
+	}
+	if scs[0].Assign["a"] != 1 || scs[1].Assign["b"] != 2 || scs[1].Assign["c"] != 3 {
+		t.Errorf("scenarios = %v, %v", scs[0].Assign, scs[1].Assign)
+	}
+	if _, err := ParseScenarios(" ; ; "); err == nil {
+		t.Error("all-empty spec parsed")
+	}
+	if _, err := ParseScenarios("a=1; b="); err == nil || !strings.Contains(err.Error(), "scenario 2") {
+		t.Errorf("error %v does not name the failing scenario", err)
+	}
+}
+
+func TestSweepPointsEdgeCases(t *testing.T) {
+	cases := []struct {
+		from, to, step float64
+		want           int
+	}{
+		{0, 1, 0.1, 11},
+		{0, 1, 0.25, 5},
+		{0, 0, 1, 1},         // degenerate single point
+		{5, 1, -2, 3},        // descending
+		{0, 0.9999, 0.1, 10}, // just short of the next point
+	}
+	for _, tc := range cases {
+		got, msg := sweepPoints(tc.from, tc.to, tc.step)
+		if msg != "" {
+			t.Errorf("sweepPoints(%v,%v,%v) error %q", tc.from, tc.to, tc.step, msg)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("sweepPoints(%v,%v,%v) = %d, want %d", tc.from, tc.to, tc.step, got, tc.want)
+		}
+	}
+	if _, msg := sweepPoints(0, 1, math.Inf(1)); msg == "" {
+		t.Error("infinite step accepted")
+	}
+	if _, msg := sweepPoints(math.NaN(), 1, 0.1); msg == "" {
+		t.Error("NaN bound accepted")
+	}
+}

@@ -14,6 +14,12 @@
 //	POST   /v1/sessions/{name}/whatif         one scenario in, answers out
 //	POST   /v1/sessions/{name}/whatif/stream  NDJSON in, NDJSON out, flushed
 //	                                          per line as answers compute
+//	POST   /v1/sessions/{name}/query          one ScenQL statement in, the
+//	                                          sweep's rows (or the EXPLAIN
+//	                                          plan tree) out
+//	POST   /v1/sessions/{name}/query/stream   ScenQL in, NDJSON rows out,
+//	                                          generated server-side and
+//	                                          flushed per scenario
 //	GET    /v1/sessions/{name}/stats          per-session statistics
 //	GET    /v1/stats                          aggregate across all sessions
 //	GET    /healthz                           liveness
@@ -23,7 +29,8 @@
 // designated default session; they answer with a "Deprecation: true"
 // header and will be removed once clients migrate.
 //
-// Scenario lines are {"assign": {"var": value, …}}. A what-if body may add
+// Scenario lines are {"assign": {"var": value, …}}, or — on streams — a
+// bare ScenQL scenario literal like "x=0.5, y=1". A what-if body may add
 // "semiring": "bool"|"count"|"tropical"|"minmax" to evaluate in that
 // provenance semiring instead of the float default (deletion propagation,
 // derivation counting, min-plus cost, max-min clearance); streams pick the
@@ -59,6 +66,7 @@ import (
 	"provabs/internal/hypo"
 	"provabs/internal/provenance"
 	"provabs/internal/registry"
+	"provabs/internal/scenql"
 	"provabs/internal/semiring"
 	"provabs/internal/session"
 )
@@ -148,6 +156,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{name}/compress", s.withSession(s.handleCompress))
 	mux.HandleFunc("POST /v1/sessions/{name}/whatif", s.withSession(s.handleWhatIf))
 	mux.HandleFunc("POST /v1/sessions/{name}/whatif/stream", s.withSession(s.handleStream))
+	mux.HandleFunc("POST /v1/sessions/{name}/query", s.withSession(s.handleQuery))
+	mux.HandleFunc("POST /v1/sessions/{name}/query/stream", s.withSession(s.handleQueryStream))
 	mux.HandleFunc("GET /v1/sessions/{name}/stats", s.withSession(s.handleStats))
 	mux.HandleFunc("GET /v1/stats", s.handleAggregateStats)
 
@@ -507,13 +517,25 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 			if len(line) == 0 {
 				continue
 			}
-			var req scenarioRequest
-			if err := json.Unmarshal(line, &req); err != nil {
-				setReadErr(fmt.Errorf("bad scenario line: %v", err))
-				return
+			var sc *hypo.Scenario
+			if line[0] == '{' {
+				var req scenarioRequest
+				if err := json.Unmarshal(line, &req); err != nil {
+					setReadErr(fmt.Errorf("bad scenario line: %v", err))
+					return
+				}
+				sc = req.scenario()
+			} else {
+				// A bare line is a ScenQL scenario literal ("x=0.5, y=1"),
+				// the same syntax the CLI's -set/-sets flags accept.
+				var err error
+				if sc, err = scenql.ParseAssignments(string(line)); err != nil {
+					setReadErr(fmt.Errorf("bad scenario line: %v", err))
+					return
+				}
 			}
 			select {
-			case in <- req.scenario():
+			case in <- sc:
 			case <-ctx.Done():
 				drain = false
 				return

@@ -1,0 +1,475 @@
+package session
+
+// ScenQL execution: the Engine is the executor behind internal/scenql's
+// statement→plan→execute pipeline. A plan's scenarios are pulled off its
+// snake-order iterator in micro-batches and pushed through the same
+// chained, delta-routed stream path Engine.Stream uses — consecutive grid
+// points differ in one axis, so almost every scenario is a chained delta —
+// and ORDER BY runs as a streaming top-k, so a million-point sweep holds k
+// rows, not a million. EXPLAIN stops before evaluation and reports the plan
+// tree annotated with this executor's routing and live cost model.
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"runtime"
+	"sort"
+
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/scenql"
+	"provabs/internal/semiring"
+)
+
+// maxQueryRows caps an unranked, unlimited Query's materialized result.
+// Queries wanting more rows than this should use QueryStream (unbounded)
+// or an ORDER BY ... LIMIT top-k.
+const maxQueryRows = 1000
+
+// QueryRow is one scenario's outcome: its generation index, the
+// assignments the generator chose, and the answers (carrier-erased, as at
+// every dynamic boundary). Err is per-scenario and in-band, like a stream.
+type QueryRow struct {
+	Index   int64
+	Assign  map[string]float64
+	Answers []hypo.ValueAnswer
+	Err     error
+}
+
+// QueryResult is a non-streaming Query outcome.
+type QueryResult struct {
+	Semiring  semiring.Kind
+	Scenarios int64 // what the generator yielded (or would yield, for EXPLAIN)
+	Rows      []QueryRow
+	Errors    int64 // scenarios that failed in-band
+	Truncated bool  // hit maxQueryRows before the generator finished
+	Explain   *scenql.ExplainPlan
+}
+
+// QueryInfo is the statement-level header of a streaming query.
+type QueryInfo struct {
+	Semiring  semiring.Kind
+	Scenarios int64
+	Explain   *scenql.ExplainPlan // non-nil for EXPLAIN: no rows follow
+}
+
+// compileQuery parses and resolves one statement against the active set.
+func (e *Engine) compileQuery(src string) (*scenql.Plan, error) {
+	q, err := scenql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return scenql.Compile(q, e.active.Vocab, e.active.Tags)
+}
+
+// Query runs one ScenQL statement to completion. An EXPLAIN statement
+// returns the annotated plan without evaluating; ORDER BY runs a streaming
+// top-k over the whole sweep; anything else materializes rows up to
+// maxQueryRows (Truncated reports hitting the cap — use QueryStream for
+// full unranked sweeps). Parse and resolution failures return *ParseError /
+// *CompileError from internal/scenql.
+func (e *Engine) Query(src string) (*QueryResult, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query, cancellable between micro-batches.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*QueryResult, error) {
+	p, err := e.compileQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	e.queries.Add(1)
+	res := &QueryResult{Semiring: p.Kind, Scenarios: p.Scenarios()}
+	if p.Explain {
+		res.Explain, err = e.explain(p, src)
+		return res, err
+	}
+	if p.Order != nil {
+		top := newTopK(p.Order)
+		err = e.runPlan(ctx, p, func(row QueryRow) bool {
+			if row.Err != nil {
+				res.Errors++
+				return true
+			}
+			top.offer(row)
+			return true
+		})
+		res.Rows = top.ranked()
+		return res, err
+	}
+	err = e.runPlan(ctx, p, func(row QueryRow) bool {
+		if row.Err != nil {
+			res.Errors++
+		}
+		if len(res.Rows) >= maxQueryRows {
+			res.Truncated = true
+			return false
+		}
+		res.Rows = append(res.Rows, row)
+		return true
+	})
+	return res, err
+}
+
+// QueryStream runs one statement with rows delivered on a channel as they
+// are computed (ORDER BY still consumes the full sweep before emitting its
+// k ranked rows — top-k cannot stream). The channel closes when the sweep
+// completes or ctx is cancelled. For EXPLAIN the returned channel is
+// already closed and QueryInfo.Explain carries the plan.
+func (e *Engine) QueryStream(ctx context.Context, src string) (*QueryInfo, <-chan QueryRow, error) {
+	p, err := e.compileQuery(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.queries.Add(1)
+	info := &QueryInfo{Semiring: p.Kind, Scenarios: p.Scenarios()}
+	if p.Explain {
+		info.Explain, err = e.explain(p, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		done := make(chan QueryRow)
+		close(done)
+		return info, done, nil
+	}
+	_, buf := e.streamParams()
+	out := make(chan QueryRow, buf)
+	emit := func(row QueryRow) bool {
+		select {
+		case out <- row:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	go func() {
+		defer close(out)
+		if p.Order != nil {
+			top := newTopK(p.Order)
+			if e.runPlan(ctx, p, func(row QueryRow) bool {
+				if row.Err != nil {
+					return emit(row) // errors stream in-band even under top-k
+				}
+				top.offer(row)
+				return true
+			}) != nil {
+				return
+			}
+			for _, row := range top.ranked() {
+				if !emit(row) {
+					return
+				}
+			}
+			return
+		}
+		e.runPlan(ctx, p, emit) //nolint:errcheck // cancellation just ends the stream
+	}()
+	return info, out, nil
+}
+
+// runPlan drains the plan's iterator in micro-batches through the chained
+// stream-evaluation path (one RLock per batch, the chain state carried
+// across), invoking emit per scenario in generation order. emit returning
+// false stops the sweep. Returns ctx's error on cancellation.
+func (e *Engine) runPlan(ctx context.Context, p *scenql.Plan, emit func(QueryRow) bool) error {
+	it := p.Iter()
+	cs := &hypo.ChainState{}
+	defer cs.Release()
+	maxBatch, _ := e.streamParams()
+	isFloat := p.Kind == semiring.KindFloat
+	scs := make([]*hypo.Scenario, 0, maxBatch)
+	base := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		scs = scs[:0]
+		for len(scs) < maxBatch {
+			sc, ok := it.Next()
+			if !ok {
+				break
+			}
+			scs = append(scs, sc)
+		}
+		if len(scs) == 0 {
+			return nil
+		}
+		var results []ValueStreamResult
+		if isFloat {
+			results = eraseResults(e.evalStream(base, scs, cs))
+		} else {
+			results = e.evalStreamIn(p.Kind, base, scs, cs)
+		}
+		for i, res := range results {
+			row := QueryRow{Index: int64(res.Index), Assign: scs[i].Assign, Answers: res.Answers, Err: res.Err}
+			if !emit(row) {
+				return nil
+			}
+		}
+		base += len(scs)
+	}
+}
+
+// kernelDesc is the carrier-independent kernel summary EXPLAIN annotates
+// the eval node with.
+type kernelDesc struct {
+	polys, terms  int
+	chainable     bool
+	counters      *hypo.BatchCounters
+	vocab         *provenance.Vocab
+	termsTouching func([]provenance.Var) int
+}
+
+// describeKernel summarizes the kernel the plan's carrier evaluates on,
+// compiling it if this is its first use (EXPLAIN tells the truth about the
+// kernel that would run, so it builds what Query would build).
+func (e *Engine) describeKernel(kind semiring.Kind) (kernelDesc, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if kind == semiring.KindFloat || kind == "" {
+		c := e.compiledLocked()
+		return kernelDesc{
+			polys: c.Len(), terms: c.Size(),
+			chainable:     provenance.Float{}.Chainable(),
+			counters:      &e.counters,
+			vocab:         c.Vocab,
+			termsTouching: c.TermsTouching,
+		}, nil
+	}
+	rt, err := e.runtimeLocked(kind)
+	if err != nil {
+		return kernelDesc{}, err
+	}
+	return rt.describe(), nil
+}
+
+// costModel mirrors hypo's routing configuration for EXPLAIN: the
+// effective cutoff, where it came from, and the affected-terms threshold
+// it implies on this kernel. Returns the threshold in terms and whether
+// the delta path is on at all.
+func (e *Engine) costModel(desc kernelDesc) (scenql.CostModel, int, bool) {
+	cm := scenql.CostModel{
+		DeltaNsPerTerm: desc.counters.DeltaNsPerTerm(),
+		FullNsPerTerm:  desc.counters.FullNsPerTerm(),
+	}
+	cutoff := e.deltaCutoff
+	switch {
+	case cutoff < 0:
+		cm.Source = "disabled"
+		return cm, -1, false
+	case cutoff > 0:
+		cm.Source = "static"
+	default:
+		if ac := desc.counters.AdaptiveCutoff(); ac > 0 {
+			cm.Source = "adaptive"
+			cutoff = math.Min(ac, 1)
+		} else {
+			cm.Source = "bootstrap"
+			cutoff = hypo.DefaultDeltaCutoff
+		}
+	}
+	cm.Cutoff = cutoff
+	threshold := int(cutoff * float64(desc.terms))
+	cm.ThresholdTerms = float64(threshold)
+	return cm, threshold, true
+}
+
+// explain builds the annotated plan tree: the generator half from the
+// plan, the eval node from this engine's kernel, routing and cost model.
+func (e *Engine) explain(p *scenql.Plan, src string) (*scenql.ExplainPlan, error) {
+	desc, err := e.describeKernel(p.Kind)
+	if err != nil {
+		return nil, err
+	}
+	cm, threshold, deltaOn := e.costModel(desc)
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	classes := p.Classes()
+	routes := make([]scenql.Route, len(classes))
+	vars := make([]provenance.Var, 0, 8)
+	for i, cl := range classes {
+		vars = vars[:0]
+		for _, name := range cl.Vars {
+			if v, ok := desc.vocab.Lookup(name); ok {
+				vars = append(vars, v)
+			}
+		}
+		affected := desc.termsTouching(vars)
+		routes[i] = scenql.Route{
+			Class:         cl.Label,
+			Vars:          cl.Vars,
+			Transitions:   cl.Transitions,
+			AffectedTerms: affected,
+			Route:         routeLabel(cl.Label, affected, threshold, deltaOn, desc.chainable, desc.terms, workers),
+		}
+	}
+	var input any = p.GenerateNode()
+	if p.Limit > 0 {
+		input = &scenql.LimitNode{Node: "limit", Limit: p.Limit, Input: input}
+	}
+	eval := &scenql.EvalNode{
+		Node:        "eval",
+		Semiring:    p.Kind.String(),
+		Polynomials: desc.polys,
+		Terms:       desc.terms,
+		Chained:     deltaOn && desc.chainable,
+		CostModel:   cm,
+		Routes:      routes,
+		Input:       input,
+	}
+	var root any = eval
+	if p.Order != nil {
+		dir := "asc"
+		if p.Order.Desc {
+			dir = "desc"
+		}
+		root = &scenql.TopKNode{Node: "topk", Key: p.Order.Key, Dir: dir, K: p.Order.K, Input: eval}
+	}
+	return &scenql.ExplainPlan{
+		Statement: src,
+		Semiring:  p.Kind.String(),
+		Scenarios: p.Scenarios(),
+		Plan:      root,
+	}, nil
+}
+
+// routeLabel predicts the evaluation route of one transition class, the
+// way evalState would decide it: delta when the affected terms fit the
+// threshold (chained for step transitions on a chainable carrier — their
+// diff is one axis, always no wider than the scenario), otherwise full —
+// sharded when the kernel is big enough to split and workers are spare.
+func routeLabel(class string, affected, threshold int, deltaOn, chainable bool, terms, workers int) string {
+	if deltaOn && affected <= threshold {
+		if class != "seed" && chainable {
+			return "chained"
+		}
+		return "delta"
+	}
+	if workers > 1 && terms >= hypo.ShardMinTerms {
+		return "sharded"
+	}
+	return "full"
+}
+
+// topK is the streaming ORDER BY ... LIMIT k accumulator: a bounded heap
+// whose root is the currently worst kept row, so a sweep of any size holds
+// k rows. Answer values order on their natural float mapping (bool as 0/1,
+// counts as magnitude); a NaN answer always loses.
+type topK struct {
+	index int // polynomial whose answer is the key
+	desc  bool
+	k     int
+	keys  []float64
+	rows  []QueryRow
+}
+
+func newTopK(o *scenql.Order) *topK {
+	return &topK{index: o.Index, desc: o.Desc, k: o.K}
+}
+
+func (t *topK) Len() int { return len(t.rows) }
+
+// Less puts the worst kept row at the root: the smallest key when keeping
+// the largest (DESC), the largest key when keeping the smallest (ASC);
+// among equal keys the later scenario is worse, so ties keep the earliest.
+func (t *topK) Less(i, j int) bool {
+	if t.keys[i] != t.keys[j] {
+		if t.desc {
+			return t.keys[i] < t.keys[j]
+		}
+		return t.keys[i] > t.keys[j]
+	}
+	return t.rows[i].Index > t.rows[j].Index
+}
+
+func (t *topK) Swap(i, j int) {
+	t.keys[i], t.keys[j] = t.keys[j], t.keys[i]
+	t.rows[i], t.rows[j] = t.rows[j], t.rows[i]
+}
+
+func (t *topK) Push(x any) {
+	p := x.(struct {
+		key float64
+		row QueryRow
+	})
+	t.keys = append(t.keys, p.key)
+	t.rows = append(t.rows, p.row)
+}
+
+func (t *topK) Pop() any {
+	n := len(t.rows) - 1
+	out := t.rows[n]
+	t.keys, t.rows = t.keys[:n], t.rows[:n]
+	return out
+}
+
+// offer considers one row for the top k.
+func (t *topK) offer(row QueryRow) {
+	key := t.keyOf(row)
+	if len(t.rows) < t.k {
+		heap.Push(t, struct {
+			key float64
+			row QueryRow
+		}{key, row})
+		return
+	}
+	// Better than the worst kept? Strictly, with earlier index on ties.
+	worst := t.keys[0]
+	better := key > worst
+	if !t.desc {
+		better = key < worst
+	}
+	if !better && !(key == worst && row.Index < t.rows[0].Index) {
+		return
+	}
+	t.keys[0], t.rows[0] = key, row
+	heap.Fix(t, 0)
+}
+
+// keyOf maps the row's ordering answer to a float; NaN (and non-numeric
+// values that should not occur) map to the always-losing infinity.
+func (t *topK) keyOf(row QueryRow) float64 {
+	var f float64 = math.NaN()
+	if t.index < len(row.Answers) {
+		switch x := row.Answers[t.index].Value.(type) {
+		case float64:
+			f = x
+		case int64:
+			f = float64(x)
+		case bool:
+			f = 0
+			if x {
+				f = 1
+			}
+		}
+	}
+	if math.IsNaN(f) {
+		if t.desc {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	return f
+}
+
+// ranked returns the kept rows best-first (ties by generation order).
+func (t *topK) ranked() []QueryRow {
+	rows, keys := t.rows, t.keys
+	sort.SliceStable(rows, func(i, j int) bool {
+		if keys[i] != keys[j] {
+			if t.desc {
+				return keys[i] > keys[j]
+			}
+			return keys[i] < keys[j]
+		}
+		return rows[i].Index < rows[j].Index
+	})
+	return rows
+}

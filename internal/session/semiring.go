@@ -69,6 +69,8 @@ type semRuntime interface {
 	mirror(tag string, p *provenance.Polynomial) bool
 	// stats snapshots the runtime's accounting.
 	stats() SemiringStats
+	// describe summarizes the kernel for ScenQL EXPLAIN.
+	describe() kernelDesc
 }
 
 // semState is one carrier's compiled kernel plus its private accounting.
@@ -148,6 +150,16 @@ func (st *semState[T, C]) evalStreamBatch(e *Engine, base int, scs []*hypo.Scena
 
 func (st *semState[T, C]) mirror(tag string, p *provenance.Polynomial) bool {
 	return st.kernel.Append([]*provenance.Polynomial{p}, []string{tag})
+}
+
+func (st *semState[T, C]) describe() kernelDesc {
+	return kernelDesc{
+		polys: st.kernel.Len(), terms: st.kernel.Size(),
+		chainable:     st.kernel.Carrier().Chainable(),
+		counters:      &st.counters,
+		vocab:         st.kernel.Vocab,
+		termsTouching: st.kernel.TermsTouching,
+	}
 }
 
 func (st *semState[T, C]) stats() SemiringStats {

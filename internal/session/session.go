@@ -57,6 +57,7 @@ type Engine struct {
 	compiles       atomic.Int64
 	scenarios      atomic.Int64
 	batches        atomic.Int64
+	queries        atomic.Int64
 	added          atomic.Int64
 	counters       hypo.BatchCounters // delta/full/sharded evaluation accounting
 	streamBatches  atomic.Int64
@@ -255,6 +256,7 @@ type Stats struct {
 	Adequate        bool   `json:"adequate"`
 	Scenarios       int64  `json:"scenarios_evaluated"`
 	Batches         int64  `json:"batches"` // WhatIfBatch calls; singles/streams count in Scenarios only
+	Queries         int64  `json:"queries"` // ScenQL statements run (Query/QueryStream, EXPLAIN included)
 	Compiles        int64  `json:"compiles"`
 	Added           int64  `json:"added_polynomials"`
 	DeltaEvals      int64  `json:"delta_evals"`      // scenarios answered via the identity-baseline delta path
@@ -294,6 +296,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.SourceMonomials += o.SourceMonomials
 	s.Scenarios += o.Scenarios
 	s.Batches += o.Batches
+	s.Queries += o.Queries
 	s.Compiles += o.Compiles
 	s.Added += o.Added
 	s.DeltaEvals += o.DeltaEvals
@@ -339,6 +342,7 @@ func (e *Engine) Stats() Stats {
 		Compressed:      e.comp != nil,
 		Scenarios:       e.scenarios.Load(),
 		Batches:         e.batches.Load(),
+		Queries:         e.queries.Load(),
 		Compiles:        e.compiles.Load(),
 		Added:           e.added.Load(),
 		DeltaEvals:      e.counters.DeltaEvals.Load(),

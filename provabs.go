@@ -142,6 +142,7 @@ import (
 	"provabs/internal/provenance"
 	"provabs/internal/registry"
 	"provabs/internal/sampling"
+	"provabs/internal/scenql"
 	"provabs/internal/semiring"
 	"provabs/internal/session"
 	"provabs/internal/summarize"
@@ -214,6 +215,35 @@ type (
 	// CompressOption tunes a single Engine.Compress call.
 	CompressOption = session.CompressOption
 )
+
+// ScenQL (internal/scenql): a scenario query language over a session —
+// grid sweeps, cross products and samples compiled into a lazily iterated
+// plan and evaluated through the chained delta kernel, with streaming
+// top-k and an EXPLAIN that reports routes and live cost estimates:
+//
+//	res, _ := eng.Query("price IN [0.5:1.5:0.01] ORDER BY ans[0] DESC LIMIT 10")
+//	info, rows, _ := eng.QueryStream(ctx, "SAMPLE 100000 a, b IN [0:1] SEED 7")
+type (
+	// QueryResult is a non-streaming Engine.Query outcome.
+	QueryResult = session.QueryResult
+	// QueryRow is one scenario's outcome within a query.
+	QueryRow = session.QueryRow
+	// QueryInfo is the statement-level header of Engine.QueryStream.
+	QueryInfo = session.QueryInfo
+	// QueryParseError is a positioned ScenQL syntax error.
+	QueryParseError = scenql.ParseError
+	// QueryCompileError is a positioned ScenQL resolution error (an unknown
+	// variable, an unsatisfiable ORDER BY, …).
+	QueryCompileError = scenql.CompileError
+)
+
+// ParseScenarioLiteral parses one "x=0.5, y=1" scenario literal — the
+// syntax shared by the CLI's -set/-sets flags, ScenQL's SET clause, and
+// the server's bare stream lines.
+func ParseScenarioLiteral(spec string) (*Scenario, error) { return scenql.ParseAssignments(spec) }
+
+// ParseScenarioLiterals parses a ";"-separated list of scenario literals.
+func ParseScenarioLiterals(spec string) ([]*Scenario, error) { return scenql.ParseScenarios(spec) }
 
 // Compression strategies for Engine.Compress.
 const (
