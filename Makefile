@@ -1,7 +1,9 @@
 # Standard checks for the provabs repo.
 #
 #   make check       — vet + build + fast race-enabled tests with a
-#                      total-coverage summary (the CI gate)
+#                      total-coverage summary, then the binary-level
+#                      crash-recovery leg (kill a durable serve process at
+#                      a WAL crash point, restart, verify) — the CI gate
 #   make test        — the full (slow) test suite, as tier-1 verify runs it
 #   make bench       — go-test microbenchmarks plus the provbench paper
 #                      tables, the delta-kernel report (BENCH_3.json), the
@@ -17,9 +19,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test-short test bench bench-smoke serve
+.PHONY: check vet build test-short test crash-recovery bench bench-smoke serve
 
-check: vet build test-short
+check: vet build test-short crash-recovery
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +35,12 @@ test-short:
 
 test:
 	$(GO) test ./...
+
+# The -short suite skips binary-level integration tests; run the durability
+# acceptance check (crash mid-add-stream → restart → identical answers,
+# Compiles == 1, SIGTERM exits 0) explicitly, race-enabled.
+crash-recovery:
+	$(GO) test -race -count=1 -run '^TestServeCrashRecovery$$' ./cmd/provabs
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,14 +1,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"provabs/internal/abstree"
+	"provabs/internal/durable"
 	"provabs/internal/registry"
 	"provabs/internal/server"
 	"provabs/internal/session"
@@ -44,6 +51,13 @@ func (l *loadFlags) Set(v string) error {
 // startup), then serve the versioned v1 API — session lifecycle, what-ifs,
 // NDJSON streams, per-session and aggregate stats. The legacy unversioned
 // routes alias onto the -default session.
+//
+// With -durable the -session-dir doubles as a durable store root: every
+// session persists (initial snapshot + write-ahead-logged adds), a restart
+// finds the previous process's sessions dormant and recovers each lazily
+// on first touch, and SIGINT/SIGTERM shuts down gracefully — stop
+// accepting, drain live NDJSON streams within -drain-timeout, checkpoint
+// every session (final snapshot + fsync), exit 0.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var loads loadFlags
@@ -67,13 +81,22 @@ func cmdServe(args []string) error {
 	streamBatch := fs.Int("stream-batch", 0,
 		"max scenarios drained into one micro-batched stream evaluation (0 = default 64)")
 	sessionDir := fs.String("session-dir", ".",
-		"root for POST /v1/sessions {\"path\":...} provenance files (empty = disable path loading)")
+		"root for POST /v1/sessions {\"path\":...} provenance files (empty = disable path loading); with -durable, also the durable store root")
+	durableFlag := fs.Bool("durable", false,
+		"persist sessions under -session-dir: snapshot + WAL per session, lazy recovery on restart")
+	walSyncWindow := fs.Duration("wal-sync-window", 0,
+		"group-commit window for durable adds (0 = fsync every add; a small window batches concurrent adds into one fsync)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
+		"graceful-shutdown deadline: how long SIGINT/SIGTERM waits for live streams to finish before closing connections")
 	fs.Parse(args)
 
 	if *in != "" {
 		loads = append(loadFlags{{name: "default", path: *in}}, loads...)
 	}
-	if len(loads) == 0 {
+	if *durableFlag && *sessionDir == "" {
+		return fmt.Errorf("serve: -durable needs a -session-dir to persist into")
+	}
+	if len(loads) == 0 && !*durableFlag {
 		return fmt.Errorf("serve: provide at least one session via -load name=path (or -in path)")
 	}
 	if (*bound > 0 || *ratio > 0) && *treeSrc == "" && *shapeSrc == "" {
@@ -88,17 +111,39 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	engineOpts := []session.Option{
+		session.WithWorkers(*workers),
+		session.WithDeltaCutoff(*deltaCutoff),
+		session.WithStreamBuffer(*streamBuffer),
+		session.WithStreamBatch(*streamBatch),
+	}
 	reg := registry.New()
+	if *durableFlag {
+		err := reg.EnableDurability(*sessionDir, durable.Options{
+			GroupWindow: *walSyncWindow,
+			Logf:        log.Printf,
+		}, engineOpts...)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if dormant := reg.DormantNames(); len(dormant) > 0 {
+			fmt.Printf("found %d durable session(s) in %s: %s (recovered lazily on first touch)\n",
+				len(dormant), *sessionDir, strings.Join(dormant, ", "))
+		}
+	}
 	for _, load := range loads {
 		set, err := readSet(load.path)
 		if err != nil {
 			return fmt.Errorf("serve: session %q: %w", load.name, err)
 		}
-		sess, err := reg.Create(load.name, set, forest,
-			session.WithWorkers(*workers),
-			session.WithDeltaCutoff(*deltaCutoff),
-			session.WithStreamBuffer(*streamBuffer),
-			session.WithStreamBatch(*streamBatch))
+		sess, err := reg.Create(load.name, set, forest, engineOpts...)
+		if errors.Is(err, registry.ErrExists) && *durableFlag {
+			// A warm restart already holds this session's durable state; the
+			// on-disk copy — which includes any adds since the original load —
+			// wins over re-loading the file.
+			fmt.Printf("session %q already durable in %s; skipping -load\n", load.name, *sessionDir)
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
@@ -135,8 +180,53 @@ func cmdServe(args []string) error {
 	fmt.Printf("serving %d session(s) on http://%s (default %q)\n",
 		reg.Len(), ln.Addr(), reg.DefaultName())
 	fmt.Println("endpoints: POST/GET /v1/sessions, GET|DELETE /v1/sessions/{name}, " +
-		"POST /v1/sessions/{name}/whatif[/stream], POST /v1/sessions/{name}/compress, " +
+		"POST /v1/sessions/{name}/whatif[/stream], POST /v1/sessions/{name}/add, " +
+		"POST /v1/sessions/{name}/export, POST /v1/sessions/{name}/compress, " +
 		"GET /v1/sessions/{name}/stats, GET /v1/stats")
 	fmt.Println("legacy aliases on the default session: POST /whatif, POST /whatif/stream, POST /compress, GET /stats")
-	return http.Serve(ln, server.New(reg, server.WithSessionDir(*sessionDir)).Handler())
+
+	srv := server.New(reg, server.WithSessionDir(*sessionDir))
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// Slowloris protection: a client must finish its request header
+		// promptly, and idle keep-alive connections are reclaimed. No
+		// blanket ReadTimeout/WriteTimeout — NDJSON streams are long-lived
+		// by design.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// SIGINT/SIGTERM starts the graceful exit: stop accepting, kick live
+	// NDJSON streams off their body reads (in-flight micro-batches still
+	// answer), and give connections -drain-timeout to finish before they
+	// are closed. The durable checkpoint below waits for the drain, so a
+	// clean shutdown snapshots exactly what was acknowledged.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		fmt.Println("shutting down: draining live streams")
+		srv.Drain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("serve: drain deadline exceeded, closing connections: %v", err)
+			httpSrv.Close()
+		}
+	}()
+
+	err = httpSrv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained
+	if reg.Durable() {
+		if err := reg.Shutdown(); err != nil {
+			return fmt.Errorf("serve: final checkpoint: %w", err)
+		}
+		fmt.Println("sessions checkpointed; bye")
+	}
+	return nil
 }

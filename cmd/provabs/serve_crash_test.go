@@ -1,0 +1,298 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"provabs/internal/hypo"
+	"provabs/internal/provenance"
+	"provabs/internal/session"
+)
+
+// crashBasePoly is the seed polynomial; crashAddPoly(i) is the i-th add the
+// test streams in (the new variable "extra" exercises vocab-record replay).
+const crashBasePoly = "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3"
+
+func crashAddPoly(i int) string {
+	return fmt.Sprintf("%d·p1·extra + %d·m1", i+2, i+1)
+}
+
+// buildProvabs compiles the real binary once per test into dir.
+func buildProvabs(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "provabs")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServe launches the binary with args (plus env), waits for the
+// "serving … on http://ADDR" line, and returns the process and base URL.
+func startServe(t *testing.T, bin string, env []string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	srv := exec.Command(bin, append([]string{"serve"}, args...)...)
+	srv.Env = append(os.Environ(), env...)
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		scan := bufio.NewScanner(stdout)
+		for scan.Scan() {
+			line := scan.Text()
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addrCh <- strings.Fields(line[i:])[0]
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full stdout pipe.
+		for scan.Scan() {
+		}
+	}()
+	select {
+	case base := <-addrCh:
+		return srv, base
+	case <-time.After(30 * time.Second):
+		srv.Process.Kill()
+		srv.Wait()
+		t.Fatal("server did not report its address in time")
+		return nil, ""
+	}
+}
+
+// TestServeCrashRecovery is the binary-level acceptance check for the
+// durability tentpole: a `provabs serve -durable -session-dir` process is
+// killed mid-add-stream at a WAL crash point, restarted over the same
+// directory, and the recovered session must hold the acknowledged prefix
+// of the stream and answer the golden what-if batch bit-identically to an
+// engine rebuilt from scratch — with Compiles == 1, so recovery replayed
+// appends instead of recompiling. A final SIGTERM must exit 0 and leave a
+// rotated (empty) WAL behind.
+func TestServeCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary-level integration test in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildProvabs(t, dir)
+
+	pvab := filepath.Join(dir, "s.pvab")
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("base", provenance.MustParse(vb, crashBasePoly))
+	if err := writeSet(pvab, set); err != nil {
+		t.Fatal(err)
+	}
+	store := filepath.Join(dir, "store")
+
+	// First life: crash after the 8th add's WAL frame is written, before
+	// its fsync — the add stream dies mid-append with 7 acknowledged.
+	srv, base := startServe(t, bin,
+		[]string{"PROVABS_CRASH_POINT=wal.append:8"},
+		"-durable", "-session-dir", store, "-load", "s="+pvab, "-addr", "127.0.0.1:0")
+
+	const total = 20
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", base+"/v1/sessions/s/add", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type respOrErr struct {
+		resp *http.Response
+		err  error
+	}
+	respCh := make(chan respOrErr, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		respCh <- respOrErr{resp, err}
+	}()
+	line := func(i int) string {
+		return fmt.Sprintf("{\"tag\":\"t%d\",\"poly\":%q}\n", i, crashAddPoly(i))
+	}
+	if _, err := pw.Write([]byte(line(0))); err != nil {
+		t.Fatal(err)
+	}
+	first := <-respCh
+	acked := 0
+	if first.err == nil {
+		defer first.resp.Body.Close()
+		scan := bufio.NewScanner(first.resp.Body)
+		for i := 0; i < total; i++ {
+			if i > 0 {
+				if _, err := pw.Write([]byte(line(i))); err != nil {
+					break
+				}
+			}
+			if !scan.Scan() {
+				break
+			}
+			var ack struct {
+				Index int    `json:"index"`
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(scan.Bytes(), &ack); err != nil || ack.Error != "" {
+				t.Fatalf("ack %d = %q (%v)", i, scan.Text(), err)
+			}
+			acked++
+		}
+	}
+	pw.Close()
+	if acked == 0 || acked >= total {
+		t.Fatalf("acked %d of %d adds; the crash point did not fire mid-stream", acked, total)
+	}
+	werr := srv.Wait()
+	var exit *exec.ExitError
+	if !errors.As(werr, &exit) || exit.ExitCode() != 42 {
+		t.Fatalf("crashed process exit = %v, want crash-point code 42", werr)
+	}
+
+	// Second life: warm restart over the same store, no -load needed. The
+	// session recovers lazily on first touch.
+	srv2, base2 := startServe(t, bin, nil,
+		"-durable", "-session-dir", store, "-addr", "127.0.0.1:0")
+	defer func() {
+		srv2.Process.Kill()
+		srv2.Wait()
+	}()
+
+	var stats struct {
+		Polynomials int64 `json:"polynomials"`
+		Compiles    int64 `json:"compiles"`
+	}
+	getStats := func(base string) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/sessions/s/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats status = %d, want 200 (session did not recover)", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getStats(base2)
+	recovered := int(stats.Polynomials) - 1 // minus the -load seed polynomial
+	if recovered < acked || recovered >= total {
+		t.Fatalf("recovered %d adds, acked %d: every acknowledged add must survive", recovered, acked)
+	}
+
+	// Golden what-if batch: the recovered session must answer bit-identically
+	// to an engine rebuilt from the seed set plus the recovered add prefix.
+	refVb := provenance.NewVocab()
+	refSet := provenance.NewSet(refVb)
+	refSet.Add("base", provenance.MustParse(refVb, crashBasePoly))
+	for i := 0; i < recovered; i++ {
+		refSet.Add(fmt.Sprintf("t%d", i), provenance.MustParse(refVb, crashAddPoly(i)))
+	}
+	ref, err := session.Open(refSet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []*hypo.Scenario{
+		hypo.NewScenario().Set("m1", 0.5),
+		hypo.NewScenario().Set("p1", 0.25).Set("extra", 2),
+		hypo.NewScenario().Set("m1", 0).Set("m3", 0).Set("extra", 0),
+		hypo.NewScenario().Set("f1", 3).Set("m3", 0.125),
+	}
+	goldenJSON := []string{
+		`{"assign":{"m1":0.5}}`,
+		`{"assign":{"p1":0.25,"extra":2}}`,
+		`{"assign":{"m1":0,"m3":0,"extra":0}}`,
+		`{"assign":{"f1":3,"m3":0.125}}`,
+	}
+	rows, err := ref.WhatIfBatch(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, body := range goldenJSON {
+		resp, err := http.Post(base2+"/v1/sessions/s/whatif", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			Answers []struct {
+				Tag   string  `json:"tag"`
+				Value float64 `json:"value"`
+			} `json:"answers"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Answers) != len(rows[i]) {
+			t.Fatalf("scenario %d: %d answers, want %d", i, len(got.Answers), len(rows[i]))
+		}
+		for j, want := range rows[i] {
+			if got.Answers[j].Tag != want.Tag ||
+				math.Float64bits(got.Answers[j].Value) != math.Float64bits(want.Value) {
+				t.Errorf("scenario %d answer %d = %s %v, want %s %v (bit-exact)",
+					i, j, got.Answers[j].Tag, got.Answers[j].Value, want.Tag, want.Value)
+			}
+		}
+	}
+	getStats(base2)
+	if stats.Compiles != 1 {
+		t.Errorf("recovered Compiles = %d, want 1 (WAL replay must append, not recompile)", stats.Compiles)
+	}
+
+	// Graceful exit: SIGTERM drains, checkpoints (snapshot + fsync, WAL
+	// rotated empty) and exits 0.
+	if err := srv2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit = %v, want 0", err)
+	}
+
+	// Third life: a clean shutdown means recovery replays zero WAL records.
+	srv3, base3 := startServe(t, bin, nil,
+		"-durable", "-session-dir", store, "-addr", "127.0.0.1:0")
+	defer func() {
+		srv3.Process.Signal(syscall.SIGTERM)
+		srv3.Wait()
+	}()
+	getStats(base3) // touch: triggers recovery
+	if int(stats.Polynomials)-1 != recovered {
+		t.Errorf("third life holds %d adds, want %d", stats.Polynomials-1, recovered)
+	}
+	resp, err := http.Get(base3 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg struct {
+		Recoveries int64 `json:"recoveries"`
+		WALRecords int64 `json:"wal_records_replayed"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&agg)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Recoveries != 1 || agg.WALRecords != 0 {
+		t.Errorf("after clean shutdown: recoveries=%d wal_records_replayed=%d, want 1/0 (snapshot covers everything)",
+			agg.Recoveries, agg.WALRecords)
+	}
+}

@@ -1,0 +1,62 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Crash points let the crash-recovery end-to-end test kill a live provabs
+// process at a precise persistence step instead of racing a signal against
+// I/O. Setting PROVABS_CRASH_POINT="name:N" makes the Nth hit of the named
+// point call os.Exit immediately — after the bytes the point follows, and
+// before anything the point precedes, exactly like a power cut there.
+//
+// Instrumented points:
+//
+//	wal.append       after a record's frame is written, before it is synced
+//	wal.sync         after a WAL fsync returns (the record is durable,
+//	                 the caller has not yet been acknowledged)
+//	snapshot.write   after the new snapshot's bytes are written, before
+//	                 its fsync
+//	snapshot.rename  after the snapshot rename, before the directory sync
+//	                 and the WAL truncate
+//
+// The variable is read once per process; production runs never pay more
+// than one empty-string comparison per hit.
+const crashPointEnv = "PROVABS_CRASH_POINT"
+
+var (
+	crashSpec   = os.Getenv(crashPointEnv)
+	crashTarget int64
+	crashName   string
+	crashHits   atomic.Int64
+)
+
+func init() {
+	if crashSpec == "" {
+		return
+	}
+	name, n, ok := strings.Cut(crashSpec, ":")
+	crashName = name
+	crashTarget = 1
+	if ok {
+		if v, err := strconv.ParseInt(n, 10, 64); err == nil && v > 0 {
+			crashTarget = v
+		}
+	}
+}
+
+// hitCrashpoint exits the process if the named point is the configured one
+// and this is its Nth hit.
+func hitCrashpoint(name string) {
+	if crashSpec == "" || name != crashName {
+		return
+	}
+	if crashHits.Add(1) == crashTarget {
+		fmt.Fprintf(os.Stderr, "durable: crash point %s hit %d — exiting\n", crashName, crashTarget)
+		os.Exit(42)
+	}
+}

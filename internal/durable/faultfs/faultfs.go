@@ -1,0 +1,428 @@
+// Package faultfs is an in-memory filesystem for fault-injection tests.
+// It models the page cache explicitly: every file has volatile content
+// (what reads see now) and durable content (what survives a crash), and
+// every directory entry is likewise volatile until its directory is
+// synced. Sync promotes a file's bytes, SyncDir promotes a directory's
+// entries, and Crash reverts everything volatile — the exact semantics a
+// WAL's fsync discipline is designed against.
+//
+// Fault injection is step-counted: StopAfter(k) lets the next k mutating
+// operations through, then fails every later one with ErrInjected — a
+// failing Write applies a partial write first, modeling a torn frame.
+// Sweeping k across a workload's full operation count visits a crash at
+// every persistence step. FlipBit corrupts durable bytes in place, for
+// checksum-detection tests.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"provabs/internal/durable"
+)
+
+// ErrInjected is the error every operation past the StopAfter budget
+// fails with.
+var ErrInjected = fmt.Errorf("faultfs: injected fault")
+
+// inode is one file's content, page-cache style.
+type inode struct {
+	volatile []byte
+	durable  []byte
+}
+
+// FS is the fault-injecting filesystem. The zero value is not usable;
+// call New.
+type FS struct {
+	mu sync.Mutex
+
+	files   map[string]*inode // current namespace
+	durable map[string]*inode // namespace surviving a crash
+	dirs    map[string]bool   // directories (durable immediately — see New)
+
+	steps    int64 // mutating ops remaining before injection; <0 = unlimited
+	injected bool  // a fault has fired
+	ops      int64 // mutating ops performed (successful or failing)
+}
+
+// New returns an empty filesystem with injection disabled.
+//
+// Directories are modeled as durable upon creation: the store syncs its
+// directories at the points that matter for file entries, and collapsing
+// mkdir durability keeps the model focused on the append/fsync/rename
+// invariants the WAL discipline actually depends on.
+func New() *FS {
+	return &FS{
+		files:   make(map[string]*inode),
+		durable: make(map[string]*inode),
+		dirs:    map[string]bool{".": true, "/": true},
+		steps:   -1,
+	}
+}
+
+// StopAfter allows k more mutating operations, then fails the rest with
+// ErrInjected. A negative k disables injection.
+func (f *FS) StopAfter(k int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.steps = k
+	f.injected = false
+}
+
+// Injected reports whether a fault has fired since the last StopAfter.
+func (f *FS) Injected() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Ops reports the number of mutating operations attempted so far — the
+// sweep bound for crash-at-every-step tests.
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crash discards everything volatile: unsynced file bytes and unsynced
+// directory entries vanish, exactly like a power cut. Injection is
+// disabled so recovery code runs against the surviving state unimpeded.
+func (f *FS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files = make(map[string]*inode, len(f.durable))
+	for p, ino := range f.durable {
+		ino.volatile = append([]byte(nil), ino.durable...)
+		f.files[p] = ino
+	}
+	f.steps = -1
+	f.injected = false
+}
+
+// FlipBit flips one bit of a file's durable (and volatile) content —
+// silent media corruption for checksum tests.
+func (f *FS) FlipBit(p string, byteOff int64, bit uint) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.files[path.Clean(p)]
+	if !ok {
+		return &iofs.PathError{Op: "flipbit", Path: p, Err: iofs.ErrNotExist}
+	}
+	if byteOff < 0 || byteOff >= int64(len(ino.durable)) {
+		return fmt.Errorf("faultfs: flip offset %d outside %d durable bytes", byteOff, len(ino.durable))
+	}
+	ino.durable[byteOff] ^= 1 << (bit % 8)
+	if byteOff < int64(len(ino.volatile)) {
+		ino.volatile[byteOff] ^= 1 << (bit % 8)
+	}
+	return nil
+}
+
+// ReadFile returns a copy of a file's current content (test convenience).
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.files[path.Clean(p)]
+	if !ok {
+		return nil, &iofs.PathError{Op: "read", Path: p, Err: iofs.ErrNotExist}
+	}
+	return append([]byte(nil), ino.volatile...), nil
+}
+
+// step consumes one mutating-operation budget slot. It returns ErrInjected
+// once the budget is exhausted. Callers hold f.mu.
+func (f *FS) step() error {
+	f.ops++
+	if f.steps < 0 {
+		return nil
+	}
+	if f.steps == 0 {
+		f.injected = true
+		return ErrInjected
+	}
+	f.steps--
+	return nil
+}
+
+// file is an open handle.
+type file struct {
+	fs     *FS
+	ino    *inode
+	path   string
+	flag   int
+	off    int // read offset
+	closed bool
+}
+
+// OpenFile implements durable.FS.
+func (f *FS) OpenFile(p string, flag int, perm os.FileMode) (durable.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p = path.Clean(p)
+	ino, ok := f.files[p]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &iofs.PathError{Op: "open", Path: p, Err: iofs.ErrNotExist}
+		}
+		if !f.dirs[path.Dir(p)] {
+			return nil, &iofs.PathError{Op: "open", Path: p, Err: iofs.ErrNotExist}
+		}
+		if err := f.step(); err != nil {
+			return nil, &iofs.PathError{Op: "create", Path: p, Err: err}
+		}
+		ino = &inode{}
+		f.files[p] = ino
+		// The entry is volatile until SyncDir(dir) promotes it.
+	} else if flag&os.O_TRUNC != 0 {
+		if err := f.step(); err != nil {
+			return nil, &iofs.PathError{Op: "truncate", Path: p, Err: err}
+		}
+		ino.volatile = nil
+	}
+	return &file{fs: f, ino: ino, path: p, flag: flag}, nil
+}
+
+func (h *file) Read(b []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, iofs.ErrClosed
+	}
+	if h.off >= len(h.ino.volatile) {
+		return 0, io.EOF
+	}
+	n := copy(b, h.ino.volatile[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *file) Write(b []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, iofs.ErrClosed
+	}
+	if err := h.fs.step(); err != nil {
+		// A torn write: some prefix of the buffer lands in the page cache
+		// before the fault. Half is arbitrary but deterministic.
+		n := len(b) / 2
+		h.ino.volatile = append(h.ino.volatile, b[:n]...)
+		return n, &iofs.PathError{Op: "write", Path: h.path, Err: err}
+	}
+	h.ino.volatile = append(h.ino.volatile, b...)
+	return len(b), nil
+}
+
+func (h *file) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return iofs.ErrClosed
+	}
+	if err := h.fs.step(); err != nil {
+		return &iofs.PathError{Op: "sync", Path: h.path, Err: err}
+	}
+	h.ino.durable = append([]byte(nil), h.ino.volatile...)
+	return nil
+}
+
+func (h *file) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return iofs.ErrClosed
+	}
+	if err := h.fs.step(); err != nil {
+		return &iofs.PathError{Op: "truncate", Path: h.path, Err: err}
+	}
+	if size < 0 || size > int64(len(h.ino.volatile)) {
+		return &iofs.PathError{Op: "truncate", Path: h.path, Err: fmt.Errorf("size %d out of range", size)}
+	}
+	h.ino.volatile = h.ino.volatile[:size]
+	return nil
+}
+
+func (h *file) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// Rename implements durable.FS. The new name is volatile until SyncDir.
+func (f *FS) Rename(oldPath, newPath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldPath, newPath = path.Clean(oldPath), path.Clean(newPath)
+	ino, ok := f.files[oldPath]
+	if !ok {
+		return &iofs.PathError{Op: "rename", Path: oldPath, Err: iofs.ErrNotExist}
+	}
+	if err := f.step(); err != nil {
+		return &iofs.PathError{Op: "rename", Path: oldPath, Err: err}
+	}
+	delete(f.files, oldPath)
+	f.files[newPath] = ino
+	return nil
+}
+
+// Remove implements durable.FS. Volatile until SyncDir.
+func (f *FS) Remove(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p = path.Clean(p)
+	if _, ok := f.files[p]; !ok {
+		return &iofs.PathError{Op: "remove", Path: p, Err: iofs.ErrNotExist}
+	}
+	if err := f.step(); err != nil {
+		return &iofs.PathError{Op: "remove", Path: p, Err: err}
+	}
+	delete(f.files, p)
+	return nil
+}
+
+// RemoveAll implements durable.FS. Volatile until SyncDir, like Remove.
+func (f *FS) RemoveAll(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p = path.Clean(p)
+	if err := f.step(); err != nil {
+		return &iofs.PathError{Op: "removeall", Path: p, Err: err}
+	}
+	for q := range f.files {
+		if q == p || strings.HasPrefix(q, p+"/") {
+			delete(f.files, q)
+		}
+	}
+	for q := range f.dirs {
+		if q == p || strings.HasPrefix(q, p+"/") {
+			delete(f.dirs, q)
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements durable.FS. Directories are durable immediately
+// (see New).
+func (f *FS) MkdirAll(p string, perm os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p = path.Clean(p)
+	if err := f.step(); err != nil {
+		return &iofs.PathError{Op: "mkdir", Path: p, Err: err}
+	}
+	for q := p; q != "." && q != "/"; q = path.Dir(q) {
+		f.dirs[q] = true
+	}
+	return nil
+}
+
+// SyncDir implements durable.FS: every entry directly inside p — created,
+// renamed, or removed since the last SyncDir — becomes durable.
+func (f *FS) SyncDir(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p = path.Clean(p)
+	if !f.dirs[p] {
+		return &iofs.PathError{Op: "syncdir", Path: p, Err: iofs.ErrNotExist}
+	}
+	if err := f.step(); err != nil {
+		return &iofs.PathError{Op: "syncdir", Path: p, Err: err}
+	}
+	for q := range f.durable {
+		if path.Dir(q) == p {
+			if _, live := f.files[q]; !live {
+				delete(f.durable, q)
+			}
+		}
+	}
+	for q, ino := range f.files {
+		if path.Dir(q) == p {
+			f.durable[q] = ino
+		}
+	}
+	return nil
+}
+
+// ReadDir implements durable.FS.
+func (f *FS) ReadDir(p string) ([]iofs.DirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p = path.Clean(p)
+	if !f.dirs[p] {
+		return nil, &iofs.PathError{Op: "readdir", Path: p, Err: iofs.ErrNotExist}
+	}
+	seen := map[string]iofs.DirEntry{}
+	for q, ino := range f.files {
+		if path.Dir(q) == p {
+			seen[path.Base(q)] = dirEntry{name: path.Base(q), size: int64(len(ino.volatile))}
+		}
+	}
+	for q := range f.dirs {
+		if q != p && path.Dir(q) == p {
+			seen[path.Base(q)] = dirEntry{name: path.Base(q), dir: true}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]iofs.DirEntry, 0, len(names))
+	for _, n := range names {
+		out = append(out, seen[n])
+	}
+	return out, nil
+}
+
+// Stat implements durable.FS.
+func (f *FS) Stat(p string) (iofs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p = path.Clean(p)
+	if ino, ok := f.files[p]; ok {
+		return fileInfo{name: path.Base(p), size: int64(len(ino.volatile))}, nil
+	}
+	if f.dirs[p] {
+		return fileInfo{name: path.Base(p), dir: true}, nil
+	}
+	return nil, &iofs.PathError{Op: "stat", Path: p, Err: iofs.ErrNotExist}
+}
+
+type dirEntry struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (d dirEntry) Name() string        { return d.name }
+func (d dirEntry) IsDir() bool         { return d.dir }
+func (d dirEntry) Type() iofs.FileMode { return fileInfo{dir: d.dir}.Mode() }
+func (d dirEntry) Info() (iofs.FileInfo, error) {
+	return fileInfo{name: d.name, size: d.size, dir: d.dir}, nil
+}
+
+type fileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (fi fileInfo) Name() string { return fi.name }
+func (fi fileInfo) Size() int64  { return fi.size }
+func (fi fileInfo) Mode() iofs.FileMode {
+	if fi.dir {
+		return iofs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.dir }
+func (fi fileInfo) Sys() any           { return nil }

@@ -1,0 +1,139 @@
+package durable
+
+// Fuzzers for the two recovery-path decoders. Both parse bytes that, in
+// production, come off a disk that may have crashed mid-write or rotted:
+// the contract is an error — never a panic, never an allocation sized by
+// an unvalidated length field. The committed seed corpus under
+// testdata/fuzz (regenerated with PROVABS_WRITE_FUZZ_CORPUS=1) starts the
+// fuzzers from structurally valid inputs so mutation explores deep paths
+// instead of bouncing off the magic check.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"provabs/internal/abstree"
+	"provabs/internal/provenance"
+	"provabs/internal/session"
+)
+
+// seedWAL builds a small valid log: a vocab record and two add records.
+func seedWAL(tb testing.TB) []byte {
+	vb := provenance.NewVocab()
+	p1 := provenance.MustParse(vb, "2·x·y + 3·z")
+	p2 := provenance.MustParse(vb, "0.5·x^2")
+	var b []byte
+	b = appendFrame(b, appendVocabRecord(nil, 1, []string{"x", "y", "z"}))
+	b = appendFrame(b, appendAddRecord(nil, 2, "first", p1))
+	b = appendFrame(b, appendAddRecord(nil, 3, "second", p2))
+	return b
+}
+
+// seedSnapshot encodes the session-test fixture, compressed and not.
+func seedSnapshot(tb testing.TB, compress bool) []byte {
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("zip 10001", provenance.MustParse(vb,
+		"220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 + "+
+			"75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3"))
+	set.Add("zip 10002", provenance.MustParse(vb, "100·p1·m1 + 50·f1·m3 + 25·y1·m1"))
+	forest, err := abstree.NewForest(abstree.MustParseTree("Year(q1(m1,m3))"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := session.Open(set, forest)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if compress {
+		if _, err := eng.Compress(7); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := eng.WithState(func(st *session.SnapshotState) error {
+		return EncodeSnapshot(&buf, st, 42)
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzWALScan(f *testing.F) {
+	valid := seedWAL(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])               // torn tail
+	f.Add(append(valid, make([]byte, 32)...)) // zero-filled tail
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := scanWAL(data)
+		if s.validLen < 0 || s.validLen > int64(len(data)) {
+			t.Fatalf("validLen %d outside [0, %d]", s.validLen, len(data))
+		}
+		if err != nil {
+			return
+		}
+		// Accepted records must survive application: building polynomials
+		// from them may reject out-of-vocabulary variables but must not
+		// panic.
+		vocab := 0
+		for _, rec := range s.records {
+			switch rec.kind {
+			case recVocab:
+				vocab += len(rec.names)
+			case recAdd:
+				buildPoly(rec.terms, vocab)
+			}
+		}
+	})
+}
+
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(seedSnapshot(f, false))
+	f.Add(seedSnapshot(f, true))
+	f.Add([]byte("PVSN"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, _, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must restore into a working engine.
+		if _, err := session.Restore(st); err != nil {
+			t.Fatalf("decoded snapshot failed Restore: %v", err)
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus when
+// PROVABS_WRITE_FUZZ_CORPUS=1 is set; otherwise it only checks the files
+// exist, so a refactor that forgets to regenerate fails loudly.
+func TestWriteFuzzCorpus(t *testing.T) {
+	seeds := map[string][][]byte{
+		"FuzzWALScan":        {seedWAL(t)},
+		"FuzzSnapshotDecode": {seedSnapshot(t, false), seedSnapshot(t, true)},
+	}
+	write := os.Getenv("PROVABS_WRITE_FUZZ_CORPUS") == "1"
+	for target, inputs := range seeds {
+		dir := filepath.Join("testdata", "fuzz", target)
+		for i, in := range inputs {
+			path := filepath.Join(dir, fmt.Sprintf("seed-%d", i))
+			if write {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", in)
+				if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("missing fuzz seed %s (regenerate with PROVABS_WRITE_FUZZ_CORPUS=1): %v", path, err)
+			}
+		}
+	}
+}

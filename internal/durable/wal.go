@@ -1,0 +1,244 @@
+package durable
+
+// The write-ahead log: an append-only file of CRC-framed records with
+// fsync-on-commit and an optional group-commit window, plus the recovery
+// scanner with the torn-tail-vs-corrupt-middle distinction.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+)
+
+// wal is the append side of one session's log. Appends return a commit
+// wait function; with a zero group window every append fsyncs before its
+// wait resolves, with a positive window appends from concurrent callers
+// share one fsync per window — the throughput/latency trade every WAL
+// offers.
+type wal struct {
+	mu      sync.Mutex
+	f       File
+	window  time.Duration
+	size    int64
+	records int64
+
+	pending  []chan error // waiters of the not-yet-synced tail
+	flushSet bool         // a timer-driven flush is scheduled
+	closed   bool
+	syncErr  error // sticky: a failed fsync poisons the log
+}
+
+func newWAL(f File, size int64, records int64, window time.Duration) *wal {
+	return &wal{f: f, window: window, size: size, records: records}
+}
+
+// append writes one framed payload and returns a wait function that
+// resolves once the record is durable (fsynced). The write order under the
+// lock is the commit order; callers serialize their own apply step with
+// the append (not with the wait), so log order always matches apply order.
+func (w *wal) append(frames []byte, n int64) (wait func() error, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("durable: WAL is closed")
+	}
+	if w.syncErr != nil {
+		return nil, w.syncErr
+	}
+	if _, err := w.f.Write(frames); err != nil {
+		// A partial frame may be on disk now — exactly a torn tail, which
+		// recovery repairs. Poison the log so no later record can commit
+		// after the hole.
+		w.syncErr = fmt.Errorf("durable: WAL write: %w", err)
+		return nil, w.syncErr
+	}
+	w.size += int64(len(frames))
+	w.records += n
+	hitCrashpoint("wal.append")
+	if w.window <= 0 {
+		err := w.syncLocked()
+		return func() error { return err }, err
+	}
+	ch := make(chan error, 1)
+	w.pending = append(w.pending, ch)
+	if !w.flushSet {
+		w.flushSet = true
+		time.AfterFunc(w.window, w.flush)
+	}
+	return func() error { return <-ch }, nil
+}
+
+// flush is the group-commit timer body: one fsync resolves every pending
+// waiter.
+func (w *wal) flush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushSet = false
+	w.notifyLocked(w.syncLocked())
+}
+
+func (w *wal) syncLocked() error {
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	if err := w.f.Sync(); err != nil {
+		w.syncErr = fmt.Errorf("durable: WAL fsync: %w", err)
+		return w.syncErr
+	}
+	hitCrashpoint("wal.sync")
+	return nil
+}
+
+func (w *wal) notifyLocked(err error) {
+	for _, ch := range w.pending {
+		ch <- err
+	}
+	w.pending = nil
+}
+
+// barrier fsyncs any unsynced tail immediately (used before snapshot
+// rotation and on shutdown).
+func (w *wal) barrier() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	w.notifyLocked(err)
+	return err
+}
+
+// truncate empties the log after a successful snapshot rotation. Callers
+// hold no other lock; pending records were synced by the barrier the
+// rotation takes first.
+func (w *wal) truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	w.notifyLocked(nil)
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: WAL truncate: %w", err)
+	}
+	hitCrashpoint("wal.truncate")
+	if err := w.f.Sync(); err != nil {
+		w.syncErr = fmt.Errorf("durable: WAL fsync: %w", err)
+		return w.syncErr
+	}
+	w.size, w.records = 0, 0
+	return nil
+}
+
+func (w *wal) stats() (size, records int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size, w.records
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.syncLocked()
+	w.notifyLocked(err)
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// walScan is the outcome of scanning a log file at recovery.
+type walScan struct {
+	records  []walRecord
+	validLen int64 // bytes up to and including the last valid frame
+	torn     bool  // a torn/truncated tail was dropped past validLen
+	tornWhy  string
+}
+
+// scanWAL walks the framed records in b. A frame that runs past the end of
+// the file, a zero-filled tail, or a CRC mismatch on the *final* frame are
+// all the expected shape of a crash mid-write: the scan stops there,
+// reports the tail torn, and the caller truncates to validLen and
+// continues. Anything else — a CRC mismatch with valid-looking data after
+// it, an undecodable payload, a sequence number that does not follow its
+// predecessor — is ErrCorrupt: the middle of the log cannot be trusted,
+// and silently dropping acknowledged records would be worse than refusing
+// to start.
+func scanWAL(b []byte) (walScan, error) {
+	var s walScan
+	var lastSeq uint64
+	off := 0
+	for off < len(b) {
+		if len(b)-off < frameHeaderLen {
+			return tornTail(s, off, b, "truncated frame header")
+		}
+		n := binary.LittleEndian.Uint32(b[off:])
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		if n == 0 || n > maxRecordLen {
+			// A zero-filled tail is preallocation/torn-write debris; an
+			// implausible length over non-zero data is mid-log corruption.
+			if zeroTail(b[off:]) {
+				return tornTail(s, off, b, "zero-filled tail")
+			}
+			return s, fmt.Errorf("%w: implausible frame length %d at offset %d", ErrCorrupt, n, off)
+		}
+		end := off + frameHeaderLen + int(n)
+		if end > len(b) {
+			return tornTail(s, off, b, "frame runs past end of log")
+		}
+		payload := b[off+frameHeaderLen : end]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			if end == len(b) {
+				// The final frame: indistinguishable from a torn write of
+				// that frame, so repairable.
+				return tornTail(s, off, b, "checksum mismatch on final record")
+			}
+			return s, fmt.Errorf("%w: WAL checksum mismatch at offset %d with %d bytes following", ErrCorrupt, off, len(b)-end)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return s, fmt.Errorf("WAL record at offset %d: %w", off, err)
+		}
+		if lastSeq != 0 && rec.seq != lastSeq+1 {
+			return s, fmt.Errorf("%w: WAL sequence %d follows %d at offset %d", ErrCorrupt, rec.seq, lastSeq, off)
+		}
+		if rec.seq == 0 {
+			return s, fmt.Errorf("%w: WAL record with sequence 0 at offset %d", ErrCorrupt, off)
+		}
+		lastSeq = rec.seq
+		s.records = append(s.records, rec)
+		off = end
+		s.validLen = int64(off)
+	}
+	return s, nil
+}
+
+// tornTail records a repairable stop: everything past the last valid
+// frame is crash debris (scanWAL made the torn-vs-corrupt call before
+// coming here). validLen is where the caller truncates.
+func tornTail(s walScan, off int, b []byte, why string) (walScan, error) {
+	s.torn = off < len(b)
+	s.tornWhy = why
+	s.validLen = int64(off)
+	return s, nil
+}
+
+// zeroTail reports whether b is all zero bytes.
+func zeroTail(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// openWALForAppend opens (creating if needed) a session's log for append.
+func openWALForAppend(fsys FS, path string) (File, error) {
+	return fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,206 @@
+package registry
+
+// Durable registry: sessions survive process restarts. EnableDurability
+// attaches a durable.Store; from then on every Create writes an initial
+// snapshot, every Session.Add is write-ahead logged before it is
+// acknowledged, and on-disk sessions from a previous process appear as
+// *dormant* names that recover lazily — the first Get (or Default) that
+// touches one replays its snapshot + WAL into a live Engine. A warm
+// restart therefore pays recovery cost only for the sessions actually
+// used, and Stats reports how much replaying happened (Recoveries,
+// WALRecords).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"provabs/internal/durable"
+	"provabs/internal/provenance"
+	"provabs/internal/session"
+)
+
+// EnableDurability attaches a durable store rooted at root. Sessions
+// already on disk become dormant: listed in Stats, recovered on first
+// touch with recoverOpts as their engine options (engine tuning is
+// per-process, not persisted). When no default is designated, the first
+// dormant name (sorted) becomes the default, so a warm-restarted server
+// keeps answering unversioned routes without re-loading anything.
+func (r *Registry) EnableDurability(root string, dopts durable.Options, recoverOpts ...session.Option) error {
+	store, err := durable.NewStore(root, dopts)
+	if err != nil {
+		return err
+	}
+	names, err := store.List()
+	if err != nil {
+		return fmt.Errorf("registry: list durable sessions: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.store != nil {
+		return fmt.Errorf("registry: durability already enabled")
+	}
+	r.store = store
+	r.recoverOpts = recoverOpts
+	r.dormant = make(map[string]bool)
+	for _, n := range names {
+		if _, live := r.sessions[n]; !live && store.Exists(n) {
+			r.dormant[n] = true
+		}
+	}
+	if r.defaultName == "" && len(r.dormant) > 0 {
+		sorted := make([]string, 0, len(r.dormant))
+		for n := range r.dormant {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		r.defaultName = sorted[0]
+	}
+	return nil
+}
+
+// Durable reports whether the registry persists sessions.
+func (r *Registry) Durable() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store != nil
+}
+
+// DormantNames returns the on-disk sessions not yet recovered, sorted.
+func (r *Registry) DormantNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.dormant))
+	for n := range r.dormant {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recoverDormant replays a dormant session into a live one. It holds the
+// registry write lock for the whole replay: recovery happens once per
+// session per process (typically at the first request after a warm
+// restart), and serializing it is what makes the lost-the-race recheck
+// trivially correct.
+func (r *Registry) recoverDormant(name string) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sessions[name]; ok {
+		return s, nil
+	}
+	if r.store == nil || !r.dormant[name] {
+		return nil, fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
+	}
+	eng, ss, info, err := r.store.Recover(name, r.recoverOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("registry: recover session %q: %w", name, err)
+	}
+	delete(r.dormant, name)
+	s := newSession(name, eng)
+	s.store = ss
+	r.sessions[name] = s
+	if r.defaultName == "" {
+		r.defaultName = name
+	}
+	r.recoveries.Add(1)
+	r.walRecords.Add(info.WALRecords)
+	return s, nil
+}
+
+// Adopt registers an already-open engine under name — the import path for
+// sessions restored from an exported snapshot. Under durability the
+// adopted session gets its own on-disk state, starting with an initial
+// snapshot of the engine as imported.
+func (r *Registry) Adopt(name string, eng *session.Engine) (*Session, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("registry: Adopt needs an engine")
+	}
+	return r.register(name, eng)
+}
+
+// Shutdown checkpoints every durable session (final snapshot + fsync) and
+// closes the registry — the graceful half of the crash-recovery story: a
+// clean exit leaves every session recoverable from its snapshot alone,
+// with an empty WAL.
+func (r *Registry) Shutdown() error {
+	var firstErr error
+	for _, s := range r.List() {
+		if err := s.Checkpoint(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	r.CloseAll()
+	return firstErr
+}
+
+// Durable reports whether this session's adds are persisted.
+func (s *Session) Durable() bool { return s.store != nil }
+
+// Add appends a polynomial to the session. Under durability the add is
+// write-ahead logged and fsynced (subject to the store's group-commit
+// window) before Add returns nil — an acknowledged add survives any
+// subsequent crash. The lock ordering is the recovery invariant: addMu
+// serializes {log, apply} pairs so WAL order equals apply order, and the
+// fsync wait happens outside it so group commit can batch concurrent adds.
+func (s *Session) Add(tag string, p *provenance.Polynomial) error {
+	if s.store == nil {
+		s.eng.Add(tag, p)
+		return nil
+	}
+	s.addMu.Lock()
+	wait, err := s.store.LogAdd(s.eng, tag, p)
+	if err != nil {
+		s.addMu.Unlock()
+		return err
+	}
+	s.eng.Add(tag, p)
+	s.addMu.Unlock()
+	if err := wait(); err != nil {
+		return err
+	}
+	s.store.RotateIfNeeded(s.eng)
+	return nil
+}
+
+// AddText parses a polynomial in text form ("2·x·y + 3·z"), interning any
+// new variables, and applies it durably — the ingestion entry point for
+// the HTTP add stream.
+func (s *Session) AddText(tag, src string) error {
+	p, err := s.eng.ParsePoly(src)
+	if err != nil {
+		return err
+	}
+	return s.Add(tag, p)
+}
+
+// Checkpoint writes a fresh snapshot and truncates the WAL. A no-op
+// without durability.
+func (s *Session) Checkpoint() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.WriteSnapshot(s.eng)
+}
+
+// Export writes the session's state as a self-contained snapshot — the
+// same format the durable store rotates on disk — usable as a backup or
+// as the body of a create-from-export import. Works with or without
+// durability; the engine's read lock holds the state consistent.
+func (s *Session) Export(w io.Writer) error {
+	return s.eng.WithState(func(st *session.SnapshotState) error {
+		return durable.EncodeSnapshot(w, st, 0)
+	})
+}
+
+// WALStats reports the session's WAL size in bytes and records (zeros
+// without durability).
+func (s *Session) WALStats() (size, records int64) {
+	if s.store == nil {
+		return 0, 0
+	}
+	return s.store.WALStats()
+}

@@ -28,9 +28,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"provabs/internal/abstree"
+	"provabs/internal/durable"
 	"provabs/internal/provenance"
 	"provabs/internal/session"
 )
@@ -55,6 +57,18 @@ type Session struct {
 	eng     *session.Engine
 	ctx     context.Context
 	cancel  context.CancelFunc
+
+	// Durable side (nil without EnableDurability). addMu serializes the
+	// {WAL log, engine apply} pair inside Session.Add so log order equals
+	// apply order — the invariant recovery replays against.
+	addMu sync.Mutex
+	store *durable.SessionStore
+}
+
+// newSession wraps an engine in the registry-level lifecycle.
+func newSession(name string, eng *session.Engine) *Session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Session{name: name, created: time.Now(), eng: eng, ctx: ctx, cancel: cancel}
 }
 
 // Name returns the session's registry name.
@@ -85,6 +99,15 @@ type Registry struct {
 	mu          sync.RWMutex
 	sessions    map[string]*Session
 	defaultName string
+
+	// Durable side (nil/empty without EnableDurability). dormant holds
+	// on-disk session names from a previous process, recovered lazily on
+	// first touch.
+	store       *durable.Store
+	dormant     map[string]bool
+	recoverOpts []session.Option
+	recoveries  atomic.Int64
+	walRecords  atomic.Int64
 }
 
 // New returns an empty registry.
@@ -100,6 +123,11 @@ func validateName(name string) error {
 	}
 	if strings.ContainsAny(name, "/?#% \t\r\n") {
 		return fmt.Errorf("registry: session name %q contains a reserved character (no slashes, spaces or URL metacharacters)", name)
+	}
+	// Names become directory names under a durable store: a leading dot
+	// would hide the directory (and "." / ".." would escape it).
+	if strings.HasPrefix(name, ".") {
+		return fmt.Errorf("registry: session name %q must not start with a dot", name)
 	}
 	return nil
 }
@@ -119,13 +147,30 @@ func (r *Registry) Create(name string, set *provenance.Set, forest *abstree.Fore
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &Session{name: name, created: time.Now(), eng: eng, ctx: ctx, cancel: cancel}
+	return r.register(name, eng)
+}
+
+// register commits an engine to a name. Under durability it also writes
+// the session's initial snapshot, holding the registry lock across it so
+// the name is never observable without its on-disk state: a Create that
+// cannot persist fails whole. Dormant names conflict like live ones — the
+// on-disk session must be recovered or deleted first, never silently
+// shadowed.
+func (r *Registry) register(name string, eng *session.Engine) (*Session, error) {
+	s := newSession(name, eng)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.sessions[name]; ok {
-		cancel()
+	if _, ok := r.sessions[name]; ok || r.dormant[name] {
+		s.cancel()
 		return nil, fmt.Errorf("registry: session %q: %w", name, ErrExists)
+	}
+	if r.store != nil {
+		ss, err := r.store.Create(name, eng)
+		if err != nil {
+			s.cancel()
+			return nil, fmt.Errorf("registry: persist session %q: %w", name, err)
+		}
+		s.store = ss
 	}
 	r.sessions[name] = s
 	if r.defaultName == "" {
@@ -134,15 +179,21 @@ func (r *Registry) Create(name string, set *provenance.Set, forest *abstree.Fore
 	return s, nil
 }
 
-// Get returns the live session registered under name.
+// Get returns the session registered under name. A dormant session (on
+// disk from a previous process, not yet recovered) is recovered here, on
+// first touch.
 func (r *Registry) Get(name string) (*Session, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	s, ok := r.sessions[name]
-	if !ok {
-		return nil, fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
+	dormant := !ok && r.dormant[name]
+	r.mu.RUnlock()
+	if ok {
+		return s, nil
 	}
-	return s, nil
+	if dormant {
+		return r.recoverDormant(name)
+	}
+	return nil, fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
 }
 
 // List returns the live sessions sorted by name.
@@ -176,15 +227,36 @@ func (r *Registry) Close(name string) error {
 			r.defaultName = ""
 		}
 	}
+	dormant := false
+	if !ok && r.dormant[name] {
+		delete(r.dormant, name)
+		dormant = true
+	}
+	store := r.store
 	r.mu.Unlock()
+	if dormant {
+		// Deleting a dormant session removes its on-disk state without
+		// recovering it first.
+		return store.Drop(name)
+	}
 	if !ok {
 		return fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
 	}
 	s.cancel()
+	if s.store != nil {
+		// A deleted session must not come back dormant on the next restart:
+		// close the WAL and drop the directory.
+		s.store.Close()
+		if err := store.Drop(name); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// CloseAll closes every session (a server shutdown).
+// CloseAll closes every session (a server shutdown). Unlike Close it
+// leaves durable state on disk — the sessions come back dormant on the
+// next start.
 func (r *Registry) CloseAll() {
 	r.mu.Lock()
 	sessions := r.sessions
@@ -193,6 +265,9 @@ func (r *Registry) CloseAll() {
 	r.mu.Unlock()
 	for _, s := range sessions {
 		s.cancel()
+		if s.store != nil {
+			s.store.Close()
+		}
 	}
 }
 
@@ -201,7 +276,7 @@ func (r *Registry) CloseAll() {
 func (r *Registry) SetDefault(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.sessions[name]; !ok {
+	if _, ok := r.sessions[name]; !ok && !r.dormant[name] {
 		return fmt.Errorf("registry: session %q: %w", name, ErrNotFound)
 	}
 	r.defaultName = name
@@ -215,15 +290,17 @@ func (r *Registry) DefaultName() string {
 	return r.defaultName
 }
 
-// Default returns the designated default session.
+// Default returns the designated default session, recovering it first if
+// it is dormant.
 func (r *Registry) Default() (*Session, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.defaultName == "" {
+	name := r.defaultName
+	r.mu.RUnlock()
+	if name == "" {
 		return nil, ErrNoDefault
 	}
-	s, ok := r.sessions[r.defaultName]
-	if !ok {
+	s, err := r.Get(name)
+	if err != nil {
 		return nil, ErrNoDefault
 	}
 	return s, nil
@@ -238,6 +315,13 @@ type AggregateStats struct {
 	Default    string                   `json:"default,omitempty"`
 	Totals     session.Stats            `json:"totals"`
 	PerSession map[string]session.Stats `json:"per_session"`
+
+	// Durability counters (zero/empty without EnableDurability): sessions
+	// recovered from disk this process, WAL records replayed doing so, and
+	// on-disk sessions not yet touched.
+	Recoveries int64    `json:"recoveries,omitempty"`
+	WALRecords int64    `json:"wal_records_replayed,omitempty"`
+	Dormant    []string `json:"dormant,omitempty"`
 }
 
 // Stats snapshots every live session and the cross-session totals. The
@@ -252,11 +336,19 @@ func (r *Registry) Stats() AggregateStats {
 		sessions[name] = s
 	}
 	defaultName := r.defaultName
+	var dormant []string
+	for n := range r.dormant {
+		dormant = append(dormant, n)
+	}
 	r.mu.RUnlock()
+	sort.Strings(dormant)
 	agg := AggregateStats{
 		Sessions:   len(sessions),
 		Default:    defaultName,
 		PerSession: make(map[string]session.Stats, len(sessions)),
+		Recoveries: r.recoveries.Load(),
+		WALRecords: r.walRecords.Load(),
+		Dormant:    dormant,
 	}
 	for name, s := range sessions {
 		st := s.eng.Stats()

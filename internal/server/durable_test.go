@@ -1,0 +1,399 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"provabs/internal/provenance"
+	"provabs/internal/registry"
+)
+
+// naturalSet builds a set with natural coefficients, evaluable in every
+// wire-selectable semiring carrier.
+func naturalSet(t *testing.T) *provenance.Set {
+	t.Helper()
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("zip 10001", provenance.MustParse(vb,
+		"2·p1·m1 + 3·p1·m3 + 4·f1·m1 + 5·f1·m3"))
+	return set
+}
+
+// postAddStream runs one add-stream request and decodes the ack lines.
+func postAddStream(t *testing.T, url, name, body string) (*http.Response, []ackLine) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sessions/"+name+"/add", "application/x-ndjson",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var acks []ackLine
+	scan := bufio.NewScanner(resp.Body)
+	for scan.Scan() {
+		var a ackLine
+		if err := json.Unmarshal(scan.Bytes(), &a); err != nil {
+			t.Fatalf("bad ack line %q: %v", scan.Text(), err)
+		}
+		acks = append(acks, a)
+	}
+	if err := scan.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, acks
+}
+
+func TestV1AddStream(t *testing.T) {
+	ts, reg := newRegistryServer(t)
+	if _, err := reg.Create("s", testSet(t), testForest(t)); err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Join([]string{
+		`{"tag":"t1","poly":"2·p1·extra + 1·f1"}`,
+		``, // blank lines are skipped
+		`{"tag":"bad","poly":"2·(("}`,
+		`{"tag":"t2","poly":"3·m1"}`,
+	}, "\n")
+	resp, acks := postAddStream(t, ts.URL, "s", body)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(acks) != 3 {
+		t.Fatalf("got %d acks, want 3: %+v", len(acks), acks)
+	}
+	if acks[0].Error != "" || acks[2].Error != "" {
+		t.Errorf("valid adds errored: %+v", acks)
+	}
+	if acks[1].Error == "" {
+		t.Error("malformed polynomial did not carry an in-band error")
+	}
+	if acks[0].Index != 0 || acks[1].Index != 1 || acks[2].Index != 2 {
+		t.Errorf("indices out of order: %+v", acks)
+	}
+
+	// The added polynomials (and the new variable "extra") answer queries.
+	resp2, body2 := doJSON(t, "POST", ts.URL+"/v1/sessions/s/whatif",
+		`{"assign":{"extra":0.5,"m1":0,"m3":0,"f1":0}}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("whatif status = %d: %v", resp2.StatusCode, body2)
+	}
+	answers, _ := body2["answers"].([]any)
+	if len(answers) != 3 { // original tag + t1 + t2
+		t.Fatalf("answers = %v, want 3 tags", body2)
+	}
+	s, err := reg.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Engine().Stats(); st.Added != 2 || st.Compiles != 1 {
+		t.Errorf("stats = %+v, want Added 2 at Compiles 1 (appends, no recompile)", st)
+	}
+}
+
+func TestV1AddStreamMalformedLine(t *testing.T) {
+	ts, reg := newRegistryServer(t)
+	if _, err := reg.Create("s", testSet(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"tag":"t1","poly":"1·p1"}` + "\n" + `not json` + "\n" + `{"tag":"t2","poly":"1·f1"}`
+	resp, acks := postAddStream(t, ts.URL, "s", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// One good ack, then a terminal error line (decoded with Index 0 but a
+	// non-empty Error and no preceding ack for it); the line after the
+	// malformed one is not applied.
+	if len(acks) != 2 {
+		t.Fatalf("got %d lines, want 2: %+v", len(acks), acks)
+	}
+	if acks[0].Error != "" {
+		t.Errorf("first ack errored: %+v", acks[0])
+	}
+	if !strings.Contains(acks[1].Error, "bad add line") {
+		t.Errorf("terminal line = %+v, want bad-add-line error", acks[1])
+	}
+	s, err := reg.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Engine().Stats(); st.Added != 1 {
+		t.Errorf("Added = %d, want 1 (nothing after the malformed line)", st.Added)
+	}
+}
+
+// TestV1ExportImportRoundTrip pins the export→import contract: a session
+// exported after compression and appends re-imports under a new name and
+// answers a golden what-if batch identically in every semiring carrier —
+// bit-identical for float — with Compiles == 1 on the imported side.
+func TestV1ExportImportRoundTrip(t *testing.T) {
+	ts, reg := newRegistryServer(t)
+	orig, err := reg.Create("orig", naturalSet(t), testForest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Engine().Compress(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, acks := postAddStream(t, ts.URL, "orig",
+		`{"tag":"t1","poly":"7·p1·extra + 2·m1"}`); len(acks) != 1 || acks[0].Error != "" {
+		t.Fatalf("add acks = %+v", acks)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sessions/orig/export", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("export Content-Type = %q", ct)
+	}
+
+	impBody, err := json.Marshal(map[string]any{
+		"name":         "copy",
+		"snapshot_b64": base64.StdEncoding.EncodeToString(snap),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp, cbody := doJSON(t, "POST", ts.URL+"/v1/sessions", string(impBody))
+	if cresp.StatusCode != http.StatusCreated {
+		t.Fatalf("import status = %d: %v", cresp.StatusCode, cbody)
+	}
+
+	// The golden batch, in every carrier, against both sessions.
+	queries := []string{
+		`{"assign":{"m1":0.25,"extra":0.5}}`,
+		`{"assign":{"p1":0.125,"f1":3}}`,
+		`{"semiring":"bool","assign":{"m1":0,"m3":0,"extra":0}}`,
+		`{"semiring":"bool","assign":{"m1":0,"m3":1}}`,
+		`{"semiring":"count","assign":{"m1":2,"extra":0}}`,
+		`{"semiring":"tropical","assign":{"m1":1,"m3":2,"extra":4}}`,
+		`{"semiring":"minmax","assign":{"m1":3,"m3":7,"extra":1}}`,
+		`{"semiring":"minmax","assign":{}}`,
+	}
+	for i, q := range queries {
+		_, want := doJSON(t, "POST", ts.URL+"/v1/sessions/orig/whatif", q)
+		gresp, got := doJSON(t, "POST", ts.URL+"/v1/sessions/copy/whatif", q)
+		if gresp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d on copy: status = %d: %v", i, gresp.StatusCode, got)
+		}
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("query %d: imported answers %s, want %s", i, gotJSON, wantJSON)
+		}
+		// Float answers additionally compare bit-exact, not just as decimal
+		// strings.
+		wa, _ := want["answers"].([]any)
+		ga, _ := got["answers"].([]any)
+		for j := range wa {
+			wv, wok := wa[j].(map[string]any)["value"].(float64)
+			gv, gok := ga[j].(map[string]any)["value"].(float64)
+			if wok != gok || (wok && math.Float64bits(wv) != math.Float64bits(gv)) {
+				t.Errorf("query %d answer %d: %v vs %v, want bit-exact", i, j, gv, wv)
+			}
+		}
+	}
+
+	copySess, err := reg.Get("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := copySess.Engine().Stats()
+	if st.Compiles != 1 {
+		t.Errorf("imported Compiles = %d, want 1 (restore must not recompile)", st.Compiles)
+	}
+	// The append travelled inside the snapshot's set (counters are
+	// process-lifetime and start fresh on import).
+	if !st.Compressed || st.Polynomials != 2 {
+		t.Errorf("imported stats = %+v, want compressed with both polynomials", st)
+	}
+}
+
+func TestV1CreateFromSnapshotErrors(t *testing.T) {
+	ts, reg := newRegistryServer(t)
+	orig, err := reg.Create("orig", testSet(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapB64 := base64.StdEncoding.EncodeToString(buf.Bytes())
+
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+	}{
+		"snapshot plus trees": {
+			fmt.Sprintf(`{"name":"x","snapshot_b64":%q,"trees":["Year(q1(m1,m3))"]}`, snapB64),
+			http.StatusBadRequest,
+		},
+		"snapshot plus provenance": {
+			fmt.Sprintf(`{"name":"x","snapshot_b64":%q,"provenance_b64":"AAAA"}`, snapB64),
+			http.StatusBadRequest,
+		},
+		"bad base64":         {`{"name":"x","snapshot_b64":"!!!"}`, http.StatusBadRequest},
+		"truncated snapshot": {fmt.Sprintf(`{"name":"x","snapshot_b64":%q}`, snapB64[:24]), http.StatusBadRequest},
+		"name taken":         {fmt.Sprintf(`{"name":"orig","snapshot_b64":%q}`, snapB64), http.StatusConflict},
+	} {
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/sessions", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d: %v", name, resp.StatusCode, tc.status, body)
+		}
+	}
+	if _, err := reg.Get("x"); err == nil {
+		t.Error("a failed import registered a session")
+	}
+}
+
+// TestDrainFinishesInFlightStream pins the graceful-shutdown contract for
+// live NDJSON streams: a client holding its request body open does not
+// hold the server open — Drain ends the stream — but the scenario already
+// submitted still answers before the stream closes, with no error line.
+func TestDrainFinishesInFlightStream(t *testing.T) {
+	reg := registry.New()
+	srv := New(reg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if _, err := reg.Create("s", testSet(t), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sessions/s/whatif/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	go func() {
+		// One in-flight scenario; the body then stays open — a quiet client.
+		pw.Write([]byte(`{"assign":{"m1":1,"m3":1}}` + "\n")) //nolint:errcheck
+	}()
+	resp, err := http.DefaultClient.Do(req) // returns at the first flushed answer
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	defer pw.Close()
+
+	scan := bufio.NewScanner(resp.Body)
+	if !scan.Scan() {
+		t.Fatalf("no answer line before drain: %v", scan.Err())
+	}
+	var first streamLine
+	if err := json.Unmarshal(scan.Bytes(), &first); err != nil {
+		t.Fatalf("bad answer line %q: %v", scan.Text(), err)
+	}
+	if first.Error != "" || len(first.Answers) != 1 {
+		t.Fatalf("in-flight answer = %+v", first)
+	}
+
+	srv.Drain()
+
+	// The stream must now end cleanly — EOF, no terminal error line — even
+	// though the request body is still open. Reading the body in a goroutine
+	// bounds the wait so a drain regression fails fast instead of hanging.
+	type tail struct {
+		lines []string
+		err   error
+	}
+	done := make(chan tail, 1)
+	go func() {
+		var tl tail
+		for scan.Scan() {
+			tl.lines = append(tl.lines, scan.Text())
+		}
+		tl.err = scan.Err()
+		done <- tl
+	}()
+	select {
+	case tl := <-done:
+		if tl.err != nil {
+			t.Fatalf("stream ended with transport error: %v", tl.err)
+		}
+		if len(tl.lines) != 0 {
+			t.Fatalf("unexpected lines after drain: %q", tl.lines)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not end the live stream")
+	}
+}
+
+// TestDrainEndsAddStream: the ingestion stream obeys Drain the same way —
+// acknowledged adds stay acknowledged, the stream ends without an error
+// line.
+func TestDrainEndsAddStream(t *testing.T) {
+	reg := registry.New()
+	srv := New(reg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if _, err := reg.Create("s", testSet(t), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sessions/s/add", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go pw.Write([]byte(`{"tag":"t1","poly":"1·p1"}` + "\n")) //nolint:errcheck
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	defer pw.Close()
+
+	scan := bufio.NewScanner(resp.Body)
+	if !scan.Scan() {
+		t.Fatalf("no ack before drain: %v", scan.Err())
+	}
+	var ack ackLine
+	if err := json.Unmarshal(scan.Bytes(), &ack); err != nil || ack.Error != "" {
+		t.Fatalf("ack = %q (%v)", scan.Text(), err)
+	}
+
+	srv.Drain()
+	done := make(chan error, 1)
+	go func() {
+		for scan.Scan() {
+			done <- fmt.Errorf("unexpected line after drain: %q", scan.Text())
+			return
+		}
+		done <- scan.Err()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not end the add stream")
+	}
+	s, err := reg.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Engine().Stats(); st.Added != 1 {
+		t.Errorf("Added = %d, want the acknowledged add applied", st.Added)
+	}
+}

@@ -4,9 +4,11 @@
 // and resource-oriented, mounted at /v1:
 //
 //	POST   /v1/sessions                       create a session (inline
-//	                                          provenance, or a file path
-//	                                          inside the configured session
-//	                                          dir — see WithSessionDir)
+//	                                          provenance, a file path inside
+//	                                          the configured session dir —
+//	                                          see WithSessionDir — or an
+//	                                          exported snapshot via
+//	                                          snapshot_b64)
 //	GET    /v1/sessions                       list sessions, name-sorted
 //	GET    /v1/sessions/{name}                one session's info + stats
 //	DELETE /v1/sessions/{name}                close it (ends its streams)
@@ -20,6 +22,14 @@
 //	POST   /v1/sessions/{name}/query/stream   ScenQL in, NDJSON rows out,
 //	                                          generated server-side and
 //	                                          flushed per scenario
+//	POST   /v1/sessions/{name}/add            NDJSON {"tag","poly"} lines in,
+//	                                          per-line acks out; under a
+//	                                          durable registry an ack means
+//	                                          the add is fsynced
+//	POST   /v1/sessions/{name}/export         the session as a versioned,
+//	                                          checksummed snapshot (round-
+//	                                          trips through create's
+//	                                          snapshot_b64)
 //	GET    /v1/sessions/{name}/stats          per-session statistics
 //	GET    /v1/stats                          aggregate across all sessions
 //	GET    /healthz                           liveness
@@ -98,6 +108,12 @@ type Server struct {
 	maxLine    int64
 	maxCreate  int64
 	sessionDir string // root for create-by-path ("" = path loading disabled)
+
+	// draining is closed by Drain: live NDJSON streams stop reading new
+	// input, finish what is in flight, and return, letting an
+	// http.Server.Shutdown complete within its deadline.
+	drainOnce sync.Once
+	draining  chan struct{}
 }
 
 // Option configures a Server.
@@ -135,6 +151,7 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 		logger:    log.Default(),
 		maxLine:   defaultMaxLineBytes,
 		maxCreate: defaultMaxCreateBytes,
+		draining:  make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -144,6 +161,46 @@ func New(reg *registry.Registry, opts ...Option) *Server {
 
 // Registry returns the registry the server routes into.
 func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Drain begins a graceful shutdown of the streaming surface: every live
+// NDJSON stream stops reading new input (in-flight micro-batches still
+// finish and flush), so a subsequent http.Server.Shutdown is not held
+// open by clients that keep their request bodies streaming. Idempotent.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// unblockOnDrain arms a watcher that kicks a blocked request-body read
+// when the server drains (or stops watching when the request ends). The
+// zero read deadline trick: a deadline in the past fails the in-flight
+// Read with os.ErrDeadlineExceeded, which stream handlers treat as a
+// clean end of input.
+func (s *Server) unblockOnDrain(ctx context.Context, rc *http.ResponseController) {
+	go func() {
+		select {
+		case <-s.draining:
+			rc.SetReadDeadline(time.Now()) //nolint:errcheck // best effort; HTTP/2 lacks it
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// drainedErr filters the read error a drain kick produces: past the
+// deadline the body read fails with os.ErrDeadlineExceeded, which is the
+// expected shape of a graceful drain, not a client error.
+func (s *Server) drainedErr(err error) error {
+	if err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		return nil
+	}
+	select {
+	case <-s.draining:
+		// Some transports surface the kicked read differently; during a
+		// drain any read error is the drain.
+		return nil
+	default:
+		return err
+	}
+}
 
 // Handler returns the HTTP handler serving the v1 API and the legacy
 // aliases. Method mismatches on any route answer 405 via the mux.
@@ -158,6 +215,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{name}/whatif/stream", s.withSession(s.handleStream))
 	mux.HandleFunc("POST /v1/sessions/{name}/query", s.withSession(s.handleQuery))
 	mux.HandleFunc("POST /v1/sessions/{name}/query/stream", s.withSession(s.handleQueryStream))
+	mux.HandleFunc("POST /v1/sessions/{name}/add", s.withSession(s.handleAddStream))
+	mux.HandleFunc("POST /v1/sessions/{name}/export", s.withSession(s.handleExport))
 	mux.HandleFunc("GET /v1/sessions/{name}/stats", s.withSession(s.handleStats))
 	mux.HandleFunc("GET /v1/stats", s.handleAggregateStats)
 
@@ -254,6 +313,12 @@ type createRequest struct {
 	DeltaCutoff   float64  `json:"delta_cutoff,omitempty"`
 	StreamBuffer  int      `json:"stream_buffer,omitempty"`
 	StreamBatch   int      `json:"stream_batch,omitempty"`
+
+	// SnapshotB64 imports a session from an exported snapshot (the body a
+	// POST .../export returns, base64). Mutually exclusive with every
+	// other provenance source: the snapshot carries the set, the trees,
+	// and any compression state of the exporting session.
+	SnapshotB64 string `json:"snapshot_b64,omitempty"`
 }
 
 // loadSet materializes the request's provenance source.
@@ -320,6 +385,10 @@ func (s *Server) info(sess *registry.Session) sessionInfo {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if !s.decodeJSON(w, r, s.maxCreate, &req, "create request") {
+		return
+	}
+	if req.SnapshotB64 != "" {
+		s.handleCreateFromSnapshot(w, r, &req)
 		return
 	}
 	set, err := s.loadSet(&req)
@@ -482,6 +551,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 	in := make(chan *hypo.Scenario)
 	results := sess.Engine().StreamIn(ctx, kind, in)
 
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	// A graceful drain must be able to end this stream even while the
+	// reader goroutine below is blocked mid-Scan on a quiet client.
+	s.unblockOnDrain(ctx, rc)
+
 	// Feed the engine from the body. The read error is mutex-guarded: on
 	// context cancellation the results channel can close while the reader
 	// goroutine is still finishing.
@@ -541,7 +616,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 				return
 			}
 		}
-		if err := scan.Err(); err != nil {
+		// A drain kick surfaces as a deadline error: treat it as a clean end
+		// of input — scenarios already submitted still answer below.
+		if err := s.drainedErr(scan.Err()); err != nil {
 			if errors.Is(err, bufio.ErrTooLong) {
 				err = fmt.Errorf("scenario line exceeds the %d-byte limit: %w", s.maxLine, err)
 			}
@@ -552,8 +629,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *regi
 	// Headers are deferred until the first result so a body that fails
 	// before producing anything (an oversized first line, say) can still
 	// get a proper error status instead of a 200 with a trailing error.
-	enc := json.NewEncoder(w)
-	rc := http.NewResponseController(w)
 	// An HTTP/1 server drains the unread request body before its first
 	// response write; without full duplex an interactive client that keeps
 	// its request open would deadlock the first flush. (HTTP/2 is duplex
