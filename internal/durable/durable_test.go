@@ -168,7 +168,7 @@ func TestDecodeSnapshotRejectsCorruption(t *testing.T) {
 	}
 }
 
-// addPoly parses, logs, applies and waits — the durable add sequence every
+// addPoly parses, logs+applies and waits — the durable add sequence every
 // caller follows.
 func addPoly(t testing.TB, ss *durable.SessionStore, eng *session.Engine, tag, src string) {
 	t.Helper()
@@ -176,11 +176,10 @@ func addPoly(t testing.TB, ss *durable.SessionStore, eng *session.Engine, tag, s
 	if err != nil {
 		t.Fatal(err)
 	}
-	wait, err := ss.LogAdd(eng, tag, p)
+	wait, err := ss.Add(eng, tag, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.Add(tag, p)
 	if err := wait(); err != nil {
 		t.Fatal(err)
 	}
@@ -382,12 +381,11 @@ func TestGroupCommitWindow(t *testing.T) {
 				return
 			}
 			tag := fmt.Sprintf("g%d", i)
-			wait, err := ss.LogAdd(eng, tag, p)
+			wait, err := ss.Add(eng, tag, p)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			eng.Add(tag, p)
 			if err := wait(); err != nil {
 				t.Error(err)
 			}
@@ -434,11 +432,10 @@ func sweepWorkload(t testing.TB, fs *faultfs.FS) (acked []string) {
 			t.Fatal(err)
 		}
 		tag := fmt.Sprintf("t%d", i)
-		wait, err := ss.LogAdd(eng, tag, p)
+		wait, err := ss.Add(eng, tag, p)
 		if err != nil {
 			return acked
 		}
-		eng.Add(tag, p)
 		if err := wait(); err != nil {
 			return acked
 		}

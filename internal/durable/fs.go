@@ -16,10 +16,12 @@
 package durable
 
 import (
+	"errors"
 	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // File is the slice of *os.File the durable layer needs. Writes append
@@ -85,11 +87,7 @@ func (OSFS) SyncDir(path string) error {
 // isSyncUnsupported reports whether a directory fsync failed only
 // because the platform does not support it.
 func isSyncUnsupported(err error) bool {
-	pe, ok := err.(*fs.PathError)
-	if !ok {
-		return false
-	}
-	return pe.Err.Error() == "invalid argument" || pe.Err.Error() == "operation not supported"
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
 }
 
 // readAll reads a whole file through the FS.

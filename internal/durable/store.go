@@ -122,8 +122,10 @@ func (s *Store) Drop(name string) error {
 
 // SessionStore is one session's durable side: its open WAL plus the
 // bookkeeping (sequence counter, logged vocabulary size) that keeps log
-// records self-describing. Callers serialize LogAdd with the engine apply
-// it mirrors; SessionStore adds no ordering of its own beyond the WAL's.
+// records self-describing. Add performs the {WAL log, engine apply} pair
+// under ss.mu — the same mutex WriteSnapshot captures under — so the
+// logged sequence number never runs ahead of applied engine state and a
+// concurrent rotation can never snapshot a sequence whose add is missing.
 type SessionStore struct {
 	store *Store
 	name  string
@@ -184,16 +186,20 @@ func (s *Store) Create(name string, eng *session.Engine) (*SessionStore, error) 
 	return ss, nil
 }
 
-// LogAdd appends one add (with any vocabulary delta) to the WAL and
-// returns a wait function that resolves once the record is durable. The
-// caller must hold whatever lock serializes its engine applies across the
-// LogAdd call, and must only acknowledge the add after wait returns nil.
-func (ss *SessionStore) LogAdd(eng *session.Engine, tag string, p *provenance.Polynomial) (wait func() error, err error) {
+// Add appends one add (with any vocabulary delta) to the WAL and applies
+// it to the engine, both under ss.mu, so WAL order equals apply order and
+// the logged sequence number never runs ahead of applied engine state —
+// the invariant WriteSnapshot relies on when it records ss.seq as covered.
+// It returns a wait function that resolves once the record is durable; the
+// caller must only acknowledge the add after wait returns nil. On error
+// nothing was applied, and the WAL is poisoned against later appends.
+func (ss *SessionStore) Add(eng *session.Engine, tag string, p *provenance.Polynomial) (wait func() error, err error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	if ss.closed {
 		return nil, fmt.Errorf("durable: session store %q is closed", ss.name)
 	}
+	seq0, vocab0 := ss.seq, ss.vocabCount
 	var frames []byte
 	var n int64
 	if names := eng.VocabTail(ss.vocabCount); len(names) > 0 {
@@ -207,8 +213,13 @@ func (ss *SessionStore) LogAdd(eng *session.Engine, tag string, p *provenance.Po
 	n++
 	wait, err = ss.w.append(frames, n)
 	if err != nil {
+		// Nothing applied: rewind the counters so ss.seq stays in step with
+		// engine state (the failed append poisoned the WAL, so no later
+		// record can land under the rewound sequence).
+		ss.seq, ss.vocabCount = seq0, vocab0
 		return nil, err
 	}
+	eng.Add(tag, p)
 	return wait, nil
 }
 
@@ -241,9 +252,9 @@ func (ss *SessionStore) RotateIfNeeded(eng *session.Engine) {
 }
 
 // WriteSnapshot rotates: it captures the engine's state, writes a new
-// snapshot atomically, and truncates the WAL. Concurrent LogAdds are
-// excluded (ss.mu) so the captured state and the recorded sequence number
-// agree.
+// snapshot atomically, and truncates the WAL. Concurrent Adds are excluded
+// (ss.mu, which Add holds across its {log, apply} pair) so the captured
+// state and the recorded sequence number agree.
 func (ss *SessionStore) WriteSnapshot(eng *session.Engine) error {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()

@@ -141,29 +141,59 @@ func (r *Registry) Shutdown() error {
 func (s *Session) Durable() bool { return s.store != nil }
 
 // Add appends a polynomial to the session. Under durability the add is
-// write-ahead logged and fsynced (subject to the store's group-commit
-// window) before Add returns nil — an acknowledged add survives any
-// subsequent crash. The lock ordering is the recovery invariant: addMu
-// serializes {log, apply} pairs so WAL order equals apply order, and the
-// fsync wait happens outside it so group commit can batch concurrent adds.
+// write-ahead logged, applied, and fsynced (subject to the store's
+// group-commit window) before Add returns nil — an acknowledged add
+// survives any subsequent crash. The store performs the {log, apply} pair
+// atomically so WAL order equals apply order and a concurrent snapshot
+// rotation can never cover a sequence whose add is missing; the fsync wait
+// happens outside that critical section so group commit can batch
+// concurrent adds.
+//
+// A persistence error fails the session for writes (see PersistErr): once
+// the fsync wait fails, the in-memory engine holds an add that was never
+// durable, and accepting more writes would silently widen the gap between
+// live and recovered answers. Reads keep working; a restart recovers the
+// session from its durable state (without the failed add).
 func (s *Session) Add(tag string, p *provenance.Polynomial) error {
 	if s.store == nil {
 		s.eng.Add(tag, p)
 		return nil
 	}
-	s.addMu.Lock()
-	wait, err := s.store.LogAdd(s.eng, tag, p)
-	if err != nil {
-		s.addMu.Unlock()
+	if err := s.PersistErr(); err != nil {
 		return err
 	}
-	s.eng.Add(tag, p)
-	s.addMu.Unlock()
+	wait, err := s.store.Add(s.eng, tag, p)
+	if err != nil {
+		return s.failPersistence(err)
+	}
 	if err := wait(); err != nil {
-		return err
+		return s.failPersistence(err)
 	}
 	s.store.RotateIfNeeded(s.eng)
 	return nil
+}
+
+// PersistErr returns the sticky persistence failure, if any. A non-nil
+// error means a WAL write or fsync failed: the session refuses further
+// writes because its in-memory state can no longer be guaranteed durable.
+// Only a process restart (recovering from the durable state) clears it.
+func (s *Session) PersistErr() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.persistErr
+}
+
+// failPersistence records a persistence failure, closes the WAL so no
+// later append can land past the hole, and returns the sticky error every
+// subsequent write will see.
+func (s *Session) failPersistence(err error) error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if s.persistErr == nil {
+		s.persistErr = fmt.Errorf("registry: session %q persistence failed, writes disabled until restart: %w", s.name, err)
+		s.store.Close()
+	}
+	return s.persistErr
 }
 
 // AddText parses a polynomial in text form ("2·x·y + 3·z"), interning any
@@ -178,10 +208,14 @@ func (s *Session) AddText(tag, src string) error {
 }
 
 // Checkpoint writes a fresh snapshot and truncates the WAL. A no-op
-// without durability.
+// without durability; refused after a persistence failure (the WAL can no
+// longer vouch for what is durable).
 func (s *Session) Checkpoint() error {
 	if s.store == nil {
 		return nil
+	}
+	if err := s.PersistErr(); err != nil {
+		return err
 	}
 	return s.store.WriteSnapshot(s.eng)
 }

@@ -3,12 +3,15 @@ package registry
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"provabs/internal/durable"
+	"provabs/internal/durable/faultfs"
 	"provabs/internal/hypo"
 	"provabs/internal/session"
 )
@@ -199,6 +202,130 @@ func TestExportAdoptRoundTrip(t *testing.T) {
 	}
 	if s := imp.Engine().Stats(); s.Compiles != 1 || !s.Compressed {
 		t.Fatalf("imported stats = %+v, want Compiles 1 and Compressed", s)
+	}
+}
+
+// TestSnapshotDuringConcurrentAddsLosesNothing pins the {log, apply}
+// atomicity invariant: snapshot rotations racing with concurrent adds
+// (explicit Checkpoints plus RotateIfNeeded tripping every few records)
+// must never capture a sequence number whose add is missing from the
+// captured engine state — recovery after an unclean stop answers exactly
+// like the live session did.
+func TestSnapshotDuringConcurrentAddsLosesNothing(t *testing.T) {
+	root := t.TempDir()
+	reg := New()
+	if err := reg.EnableDurability(root, durable.Options{RotateRecords: 4}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := reg.Create("s", testSet("pa"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				src := fmt.Sprintf("2·p1 + %d·g%dx%d", i+1, g, i)
+				if err := s.AddText(fmt.Sprintf("g%d-%d", g, i), src); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	var cp sync.WaitGroup
+	cp.Add(1)
+	go func() {
+		defer cp.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := s.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	cp.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	want := answers(t, s)
+
+	// Unclean stop: no Shutdown, so whatever the last rotation left on
+	// disk (snapshot + WAL tail) is what recovery gets.
+	reg.CloseAll()
+	reg2 := durableReg(t, root)
+	s2, err := reg2.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answers(t, s2)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("answer %d = %v, want %v (an acknowledged add was lost)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPersistenceFailureFailsSessionWrites pins the failure discipline: a
+// WAL write/fsync error marks the session write-failed — further adds and
+// checkpoints refuse with a sticky error even if the disk "heals", and
+// reads keep serving the pre-failure state.
+func TestPersistenceFailureFailsSessionWrites(t *testing.T) {
+	fs := faultfs.New()
+	reg := New()
+	if err := reg.EnableDurability("root", durable.Options{FS: fs}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := reg.Create("s", testSet("pa"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddText("ok", "2·p1 + 1·f1"); err != nil {
+		t.Fatal(err)
+	}
+	pre := answers(t, s)
+
+	fs.StopAfter(0) // the disk dies: every further mutating op fails
+	if err := s.AddText("lost", "3·m1"); err == nil {
+		t.Fatal("Add over a dead disk succeeded")
+	}
+	if s.PersistErr() == nil {
+		t.Fatal("PersistErr = nil after a failed add")
+	}
+	fs.StopAfter(-1) // the disk heals — the failure must stay sticky
+	if err := s.AddText("after", "1·p1"); err == nil {
+		t.Fatal("Add after persistence failure succeeded, want sticky refusal")
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint after persistence failure succeeded, want sticky refusal")
+	}
+	got := answers(t, s)
+	for i := range pre {
+		if math.Float64bits(got[i]) != math.Float64bits(pre[i]) {
+			t.Fatalf("read answer %d changed after failed add: %v, want %v", i, got[i], pre[i])
+		}
+	}
+}
+
+func TestValidateNameRejectsPathSeparators(t *testing.T) {
+	reg := New()
+	for _, bad := range []string{`\`, `..\..`, `a\b`, "a/b"} {
+		if _, err := reg.Create(bad, testSet("p"), nil); err == nil {
+			t.Fatalf("Create(%q) succeeded, want error", bad)
+		}
 	}
 }
 

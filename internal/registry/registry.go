@@ -58,11 +58,15 @@ type Session struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 
-	// Durable side (nil without EnableDurability). addMu serializes the
-	// {WAL log, engine apply} pair inside Session.Add so log order equals
-	// apply order — the invariant recovery replays against.
-	addMu sync.Mutex
-	store *durable.SessionStore
+	// Durable side (nil without EnableDurability). The store serializes
+	// each {WAL log, engine apply} pair internally so log order equals
+	// apply order — the invariant recovery replays against. A persistence
+	// failure is sticky (persistErr): the engine may be ahead of the log,
+	// so further writes are refused until a restart recovers from durable
+	// state.
+	store      *durable.SessionStore
+	failMu     sync.Mutex
+	persistErr error
 }
 
 // newSession wraps an engine in the registry-level lifecycle.
@@ -121,8 +125,8 @@ func validateName(name string) error {
 	if name == "" {
 		return fmt.Errorf("registry: session name must not be empty")
 	}
-	if strings.ContainsAny(name, "/?#% \t\r\n") {
-		return fmt.Errorf("registry: session name %q contains a reserved character (no slashes, spaces or URL metacharacters)", name)
+	if strings.ContainsAny(name, "/\\?#% \t\r\n") {
+		return fmt.Errorf("registry: session name %q contains a reserved character (no slashes, backslashes, spaces or URL metacharacters)", name)
 	}
 	// Names become directory names under a durable store: a leading dot
 	// would hide the directory (and "." / ".." would escape it).
