@@ -8,8 +8,9 @@
 #   make bench       — go-test microbenchmarks plus the provbench paper
 #                      tables, the delta-kernel report (BENCH_3.json), the
 #                      planner report (BENCH_5.json), the generic-kernel
-#                      report (BENCH_6.json) and the ScenQL generator-vs-
-#                      wire report (BENCH_7.json), then benchdiff gates the
+#                      report (BENCH_6.json), the ScenQL generator-vs-wire
+#                      report (BENCH_7.json) and the gateway pool-router
+#                      report (BENCH_9.json), then benchdiff gates the
 #                      series consecutive reports share — the perf
 #                      trajectory reproduces and self-checks in one command
 #   make bench-smoke — every benchmark once (-benchtime=1x), the CI guard
@@ -19,9 +20,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test-short test crash-recovery bench bench-smoke serve
+.PHONY: check vet build test-short test crash-recovery gateway-e2e bench bench-smoke serve
 
-check: vet build test-short crash-recovery
+check: vet build test-short crash-recovery gateway-e2e
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,13 @@ test:
 crash-recovery:
 	$(GO) test -race -count=1 -run '^TestServeCrashRecovery$$' ./cmd/provabs
 
+# The gateway acceptance leg: two real backends behind a real gateway —
+# create/add/query through it, a backend killed mid-stream must surface an
+# in-band terminal error, a drain must live-migrate with bit-identical
+# answers (Compiles == 1 on the importer, no acked add lost).
+gateway-e2e:
+	$(GO) test -race -count=1 -run '^TestGateway' ./internal/gateway
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/provbench
@@ -49,12 +57,15 @@ bench:
 	$(GO) run ./cmd/provbench -experiment planner -json BENCH_5.json
 	$(GO) run ./cmd/provbench -experiment semiring -json BENCH_6.json
 	$(GO) run ./cmd/provbench -experiment scenql -json BENCH_7.json
+	$(GO) run ./cmd/provbench -experiment gateway -json BENCH_9.json
 	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
 		-series batch100-sparse,batch100-sparse-nodelta BENCH_3.json BENCH_5.json
 	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
 		-series batch100-sparse,batch100-sparse-nodelta BENCH_5.json BENCH_6.json
 	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
 		-series batch100-sparse,batch100-sparse-nodelta BENCH_6.json BENCH_7.json
+	$(GO) run ./cmd/benchdiff -tolerance 0.25 \
+		-series batch100-sparse,batch100-sparse-nodelta BENCH_7.json BENCH_9.json
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"provabs/internal/gateway"
+)
+
+// backendFlags collects repeated -backend host:port flags (a comma-joined
+// list in one flag works too).
+type backendFlags []string
+
+func (b *backendFlags) String() string { return strings.Join(*b, ",") }
+
+func (b *backendFlags) Set(v string) error {
+	for _, addr := range strings.Split(v, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		*b = append(*b, addr)
+	}
+	return nil
+}
+
+// cmdGateway runs the pool router: a stateless gateway consistent-hashing
+// session names across a pool of provabs serve backends, forwarding every
+// /v1 verb (NDJSON streams full-duplex, per-line acks preserved),
+// health-checking the pool, merging GET /v1/stats, enforcing per-tenant
+// limits, and live-migrating sessions when the pool changes (drain/add via
+// the /gateway admin endpoints).
+func cmdGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	var backends backendFlags
+	fs.Var(&backends, "backend", "backend address host:port (repeatable, or comma-separated)")
+	addr := fs.String("addr", ":8090", "listen address (use :0 for an ephemeral port)")
+	vnodes := fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "health-check period per backend")
+	probeTimeout := fs.Duration("probe-timeout", time.Second, "health-check request timeout")
+	failThreshold := fs.Int("fail-threshold", 2, "consecutive probe failures that eject a backend")
+	backendInflight := fs.Int("backend-inflight", 256,
+		"max concurrently proxied requests per backend; past it 503 + Retry-After")
+	quiesceTimeout := fs.Duration("quiesce-timeout", 10*time.Second,
+		"how long a migration waits for in-flight write streams before aborting")
+	maxSessions := fs.Int("tenant-max-sessions", 0, "per-tenant session cap (0 = unlimited)")
+	scenarioRate := fs.Float64("tenant-scenario-rate", 0,
+		"per-tenant scenarios/sec; one-shots past it get 429 + Retry-After, stream lines are throttled (0 = unlimited)")
+	scenarioBurst := fs.Float64("tenant-scenario-burst", 0,
+		"scenario token-bucket burst (0 = the rate, min 1)")
+	maxStreams := fs.Int("tenant-max-streams", 0, "per-tenant concurrent NDJSON stream cap (0 = unlimited)")
+	fs.Parse(args)
+
+	if len(backends) == 0 {
+		return fmt.Errorf("gateway: provide at least one -backend host:port")
+	}
+	g, err := gateway.New(backends, gateway.Options{
+		VNodes:         *vnodes,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailThreshold:  *failThreshold,
+		MaxInflight:    *backendInflight,
+		QuiesceTimeout: *quiesceTimeout,
+		Limits: gateway.TenantLimits{
+			MaxSessions:     *maxSessions,
+			ScenariosPerSec: *scenarioRate,
+			Burst:           *scenarioBurst,
+			MaxStreams:      *maxStreams,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	g.Start()
+	defer g.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gateway on http://%s over %d backend(s): %s\n", ln.Addr(), len(backends), backends.String())
+	fmt.Println("admin: GET /gateway/backends, POST /gateway/backends {\"addr\":...}, " +
+		"POST /gateway/backends/{addr}/drain, DELETE /gateway/backends/{addr}")
+
+	httpSrv := &http.Server{
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		fmt.Println("gateway shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			httpSrv.Close()
+		}
+	}()
+	err = httpSrv.Serve(ln)
+	if !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-done
+	return nil
+}

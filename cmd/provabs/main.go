@@ -18,6 +18,7 @@
 //	provabs query -in q5c.pvab 'EXPLAIN s9 IN [0:1:0.1] USING tropical'
 //	provabs serve -in q5c.pvab -addr :8080
 //	provabs serve -load telco=telco.pvab -load q5=q5c.pvab -default telco -addr :8080
+//	provabs gateway -backend 127.0.0.1:8081 -backend 127.0.0.1:8082 -addr :8090
 //
 // Every compression and evaluation path runs through the session Engine
 // (provabs.Open): one object owning the provenance, the abstraction, and
@@ -72,6 +73,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "gateway":
+		err = cmdGateway(os.Args[2:])
 	case "trees":
 		err = cmdTrees(os.Args[2:])
 	case "help", "-h", "--help":
@@ -98,6 +101,7 @@ commands:
   whatif     batch-evaluate many scenarios on compiled provenance in parallel (any semiring)
   query      run a ScenQL scenario query (grid sweeps, sampling, ORDER BY, EXPLAIN)
   serve      serve named provenance sessions over HTTP (v1 API + streaming NDJSON)
+  gateway    route /v1 traffic across a pool of serve backends (consistent hashing, live migration)
   trees      print the benchmark abstraction-tree catalog (Table 2)
 
 run 'provabs <command> -h' for command flags`)

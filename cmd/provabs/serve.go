@@ -88,6 +88,8 @@ func cmdServe(args []string) error {
 		"group-commit window for durable adds (0 = fsync every add; a small window batches concurrent adds into one fsync)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second,
 		"graceful-shutdown deadline: how long SIGINT/SIGTERM waits for live streams to finish before closing connections")
+	maxStreams := fs.Int("max-streams", 0,
+		"max concurrently open NDJSON streams; past it new streams get 503 + Retry-After (0 = unbounded)")
 	fs.Parse(args)
 
 	if *in != "" {
@@ -185,7 +187,7 @@ func cmdServe(args []string) error {
 		"GET /v1/sessions/{name}/stats, GET /v1/stats")
 	fmt.Println("legacy aliases on the default session: POST /whatif, POST /whatif/stream, POST /compress, GET /stats")
 
-	srv := server.New(reg, server.WithSessionDir(*sessionDir))
+	srv := server.New(reg, server.WithSessionDir(*sessionDir), server.WithMaxStreams(*maxStreams))
 	httpSrv := &http.Server{
 		Handler: srv.Handler(),
 		// Slowloris protection: a client must finish its request header

@@ -11,6 +11,7 @@
 //	provbench -experiment planner -json BENCH_5.json   # planner report
 //	provbench -experiment semiring -json BENCH_6.json  # generic-kernel report
 //	provbench -experiment scenql -json BENCH_7.json    # ScenQL generator-vs-wire report
+//	provbench -experiment gateway -json BENCH_9.json   # gateway pool-router report
 //	provbench -workloads Q5,telco     # restrict the workload panels
 //	provbench -tpch-sf 0.02 -telco-customers 20000   # larger scale
 //	provbench -csv                    # machine-readable output
@@ -32,7 +33,8 @@ func main() {
 		"all, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig14, table1, table2, "+
 			"delta (the BENCH_3 delta-kernel report), planner (the BENCH_5 "+
 			"self-tuning planner report), semiring (the BENCH_6 generic-kernel "+
-			"report) or scenql (the BENCH_7 generator-vs-wire report); the "+
+			"report), scenql (the BENCH_7 generator-vs-wire report) or gateway "+
+			"(the BENCH_9 pool-router report); the "+
 			"report experiments are not part of all")
 	workloadsFlag := flag.String("workloads", "Q5,Q10,Q1,telco", "comma-separated workload panels")
 	tpchSF := flag.Float64("tpch-sf", 0.002, "TPC-H scale factor")
@@ -203,6 +205,15 @@ func main() {
 	}
 	if *experiment == "scenql" {
 		rep, err := bench.RunScenQLBench(bench.DeltaScale())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "provbench:", err)
+			os.Exit(1)
+		}
+		emit(rep.Table(), nil)
+		writeJSON(rep.JSON())
+	}
+	if *experiment == "gateway" {
+		rep, err := bench.RunGatewayBench(bench.DeltaScale())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "provbench:", err)
 			os.Exit(1)

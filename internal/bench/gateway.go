@@ -1,0 +1,475 @@
+package bench
+
+// Gateway benchmark harness (BENCH_9 via `provbench -experiment gateway`):
+// what the pool router costs and buys. Three measurements:
+//
+//   - Pools: sustained what-if throughput through a real gateway over real
+//     backend servers at pool sizes 1, 2 and 4 — concurrent NDJSON stream
+//     clients, sessions consistent-hashed across the pool, every byte
+//     crossing the proxy hop. The backends share this process's CPUs, so
+//     the numbers measure routing overhead and contention relief, not
+//     linear machine scaling.
+//
+//   - TenantIsolation: a hog tenant blasting one-shot what-ifs into a
+//     rate-limited gateway while a polite tenant issues paced requests.
+//     The hog must be capped near the configured scenarios/sec (429 +
+//     Retry-After past the bucket); the polite tenant's median latency
+//     under contention is recorded against its uncontended baseline.
+//
+//   - Workloads: the batch100-sparse float series re-measured with the
+//     exact BENCH_5/6/7 shape, so `benchdiff BENCH_7 BENCH_9` gates the
+//     kernel's perf trajectory across this PR.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"provabs/internal/gateway"
+	"provabs/internal/provenance"
+	"provabs/internal/registry"
+	"provabs/internal/server"
+)
+
+// gatewayPoolSizes are the backend counts the throughput sweep covers.
+var gatewayPoolSizes = []int{1, 2, 4}
+
+const (
+	gatewayClients      = 8   // concurrent stream clients per pool size
+	gatewayScenarios    = 500 // scenarios per client per rep
+	gatewayReps         = 3   // median-of over reps
+	gatewayHogWorkers   = 4   // concurrent hog requesters
+	gatewayPoliteProbes = 60  // paced polite-tenant requests per phase
+	gatewayTenantRate   = 100 // scenarios/sec cap in the isolation run
+)
+
+// GatewayPoolReport is the throughput measurement at one pool size.
+type GatewayPoolReport struct {
+	Backends        int     `json:"backends"`
+	Clients         int     `json:"clients"`
+	Sessions        int     `json:"sessions"`
+	Scenarios       int64   `json:"scenarios"`
+	Ns              float64 `json:"ns_total"`
+	ScenariosPerSec float64 `json:"scenarios_per_sec"`
+}
+
+// GatewayTenantReport is the isolation measurement: the hog capped, the
+// polite tenant unharmed.
+type GatewayTenantReport struct {
+	// RatePerSec is the configured per-tenant scenarios/sec cap.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// HogOffered / HogAdmitted count the hog's attempts and 200s over the
+	// window; HogPerSec is the admitted rate the cap held it to.
+	HogOffered  int64   `json:"hog_offered"`
+	HogAdmitted int64   `json:"hog_admitted"`
+	HogPerSec   float64 `json:"hog_admitted_per_sec"`
+	// PoliteBaselineP50Ns / PoliteContendedP50Ns are the polite tenant's
+	// median one-shot latencies without and with the hog running.
+	PoliteBaselineP50Ns  float64 `json:"polite_baseline_p50_ns"`
+	PoliteContendedP50Ns float64 `json:"polite_contended_p50_ns"`
+	// LatencyRatio is contended over baseline (≈1: isolation holds).
+	LatencyRatio float64 `json:"latency_ratio"`
+}
+
+// GatewayWorkloadReport carries one workload's benchdiff-shared series.
+type GatewayWorkloadReport struct {
+	Polynomials int               `json:"polynomials"`
+	Monomials   int               `json:"monomials"`
+	Variables   int               `json:"variables"`
+	Benchmarks  map[string]Metric `json:"benchmarks"`
+}
+
+// GatewayReport is the full BENCH_9 payload.
+type GatewayReport struct {
+	GOMAXPROCS int                               `json:"gomaxprocs"`
+	Pools      map[string]*GatewayPoolReport     `json:"pools"`
+	Tenant     *GatewayTenantReport              `json:"tenant_isolation"`
+	Workloads  map[string]*GatewayWorkloadReport `json:"workloads"`
+}
+
+// RunGatewayBench measures proxied throughput at pool sizes 1/2/4, tenant
+// isolation under a rate-limited gateway, and the benchdiff-shared float
+// series (default workloads: telco and Q5, at the BENCH_3..7 scale).
+func RunGatewayBench(sc Scale, names ...string) (*GatewayReport, error) {
+	if len(names) == 0 {
+		names = []string{"telco", "Q5"}
+	}
+	report := &GatewayReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Pools:      map[string]*GatewayPoolReport{},
+		Workloads:  map[string]*GatewayWorkloadReport{},
+	}
+
+	// Throughput and isolation run on Q5 — small enough that the proxy hop
+	// is a visible fraction of a scenario, which is the thing under test.
+	w, err := LoadWorkload("Q5", sc)
+	if err != nil {
+		return nil, err
+	}
+	for _, size := range gatewayPoolSizes {
+		pr, err := runGatewayPool(w, size)
+		if err != nil {
+			return nil, fmt.Errorf("bench: gateway pool %d: %w", size, err)
+		}
+		report.Pools[fmt.Sprintf("pool%d", size)] = pr
+	}
+	tr, err := runGatewayTenantIsolation(w)
+	if err != nil {
+		return nil, fmt.Errorf("bench: gateway tenants: %w", err)
+	}
+	report.Tenant = tr
+
+	for _, name := range names {
+		w, err := LoadWorkload(name, sc)
+		if err != nil {
+			return nil, err
+		}
+		c := w.Set.Compile()
+		floatBatch, err := carrierBatch(w, func(int) float64 { return 0.8 })
+		if err != nil {
+			return nil, err
+		}
+		report.Workloads[name] = &GatewayWorkloadReport{
+			Polynomials: w.Set.Len(),
+			Monomials:   w.Set.Size(),
+			Variables:   w.Set.Granularity(),
+			Benchmarks: map[string]Metric{
+				"batch100-sparse":         benchBatch(c, floatBatch, 0.5),
+				"batch100-sparse-nodelta": benchBatch(c, floatBatch, -1),
+			},
+		}
+	}
+	return report, nil
+}
+
+// gatewayPool stands up n real backends and a gateway over them, with the
+// workload loaded into gatewayClients sessions through the gateway (so the
+// ring spreads them), pre-warmed so the clock below measures evaluation
+// and proxying, not compilation.
+type gatewayPool struct {
+	gw       *gateway.Gateway
+	ts       *httptest.Server
+	backends []*httptest.Server
+	sessions []string
+}
+
+func (p *gatewayPool) close() {
+	p.ts.Close()
+	p.gw.Stop()
+	for _, b := range p.backends {
+		b.Close()
+	}
+}
+
+func newGatewayPool(w *Workload, n int, limits gateway.TenantLimits) (*gatewayPool, error) {
+	p := &gatewayPool{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(server.New(registry.New()).Handler())
+		p.backends = append(p.backends, ts)
+		addrs[i] = strings.TrimPrefix(ts.URL, "http://")
+	}
+	gw, err := gateway.New(addrs, gateway.Options{
+		Limits: limits,
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		p.close()
+		return nil, err
+	}
+	p.gw = gw
+	p.ts = httptest.NewServer(gw.Handler())
+
+	var buf bytes.Buffer
+	if err := provenance.Encode(&buf, w.Set); err != nil {
+		p.close()
+		return nil, err
+	}
+	setB64 := base64.StdEncoding.EncodeToString(buf.Bytes())
+	for i := 0; i < gatewayClients; i++ {
+		name := fmt.Sprintf("bench-%d", i)
+		body, err := json.Marshal(map[string]any{
+			"name": name, "provenance_b64": setB64,
+		})
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		resp, err := http.Post(p.ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			p.close()
+			return nil, fmt.Errorf("create %s: status %d: %s", name, resp.StatusCode, msg)
+		}
+		p.sessions = append(p.sessions, name)
+		// Warm: compile each session's kernel outside the clock.
+		if _, _, err := gatewayWhatIf(p.ts.URL, name, "", map[string]float64{}); err != nil {
+			p.close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// gatewayStreamBody pre-materializes one client's NDJSON scenario lines —
+// two leaf variables swept, so the backend's delta path sees realistic
+// adjacent scenarios.
+func gatewayStreamBody(w *Workload, scenarios int) (*bytes.Buffer, error) {
+	var names []string
+	for i := 0; len(names) < 2 && i < w.LeafCount; i++ {
+		name := fmt.Sprintf("%s%d", w.LeafPrefix, i)
+		if _, ok := w.Set.Vocab.Lookup(name); ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) < 2 {
+		return nil, fmt.Errorf("workload has only %d of 2 leaf variables", len(names))
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < scenarios; i++ {
+		line := map[string]any{"assign": map[string]float64{
+			names[0]: float64(i % 17),
+			names[1]: float64(i % 13),
+		}}
+		if err := enc.Encode(line); err != nil {
+			return nil, err
+		}
+	}
+	return &buf, nil
+}
+
+func runGatewayPool(w *Workload, size int) (*GatewayPoolReport, error) {
+	p, err := newGatewayPool(w, size, gateway.TenantLimits{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+
+	body, err := gatewayStreamBody(w, gatewayScenarios)
+	if err != nil {
+		return nil, err
+	}
+	raw := body.Bytes()
+
+	var runs []float64
+	for rep := 0; rep < gatewayReps; rep++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, gatewayClients)
+		start := time.Now()
+		for i := 0; i < gatewayClients; i++ {
+			wg.Add(1)
+			go func(sess string) {
+				defer wg.Done()
+				resp, err := http.Post(p.ts.URL+"/v1/sessions/"+sess+"/whatif/stream",
+					"application/x-ndjson", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("stream status %d", resp.StatusCode)
+					return
+				}
+				n, err := countLines(resp.Body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != int64(gatewayScenarios) {
+					errs <- fmt.Errorf("streamed %d answers, want %d", n, gatewayScenarios)
+				}
+			}(p.sessions[i])
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+		runs = append(runs, float64(time.Since(start).Nanoseconds()))
+	}
+	ns := median(runs)
+	total := int64(gatewayClients) * int64(gatewayScenarios)
+	return &GatewayPoolReport{
+		Backends:        size,
+		Clients:         gatewayClients,
+		Sessions:        len(p.sessions),
+		Scenarios:       total,
+		Ns:              ns,
+		ScenariosPerSec: float64(total) / (ns / 1e9),
+	}, nil
+}
+
+// gatewayWhatIf posts one one-shot scenario, returning its latency and
+// status (0 on transport failure).
+func gatewayWhatIf(base, sess, tenant string, assign map[string]float64) (time.Duration, int, error) {
+	body, err := json.Marshal(map[string]any{"assign": assign})
+	if err != nil {
+		return 0, 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions/"+sess+"/whatif", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return time.Since(start), resp.StatusCode, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return time.Since(start), resp.StatusCode, nil
+}
+
+// runGatewayTenantIsolation measures the cap and the bystander: the hog
+// tenant is throttled to the configured rate while the polite tenant's
+// paced one-shots stay near their uncontended latency.
+func runGatewayTenantIsolation(w *Workload) (*GatewayTenantReport, error) {
+	p, err := newGatewayPool(w, 1, gateway.TenantLimits{
+		ScenariosPerSec: gatewayTenantRate,
+		Burst:           gatewayTenantRate / 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	sess := p.sessions[0]
+
+	politeP50 := func() (float64, error) {
+		lat := make([]float64, 0, gatewayPoliteProbes)
+		for i := 0; i < gatewayPoliteProbes; i++ {
+			d, _, err := gatewayWhatIf(p.ts.URL, sess, "polite", map[string]float64{})
+			if err != nil {
+				return 0, fmt.Errorf("polite request: %w", err)
+			}
+			lat = append(lat, float64(d.Nanoseconds()))
+			time.Sleep(10 * time.Millisecond) // paced: well under the rate cap
+		}
+		sort.Float64s(lat)
+		return lat[len(lat)/2], nil
+	}
+
+	baseline, err := politeP50()
+	if err != nil {
+		return nil, err
+	}
+
+	// Contended phase: hog workers blast one-shots for the whole polite
+	// probe window; past the bucket they see 429 + Retry-After and count as
+	// offered-but-refused.
+	var (
+		offered, admitted int64
+		countMu           sync.Mutex
+	)
+	stop := make(chan struct{})
+	var hogs sync.WaitGroup
+	hogStart := time.Now()
+	for i := 0; i < gatewayHogWorkers; i++ {
+		hogs.Add(1)
+		go func() {
+			defer hogs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, status, err := gatewayWhatIf(p.ts.URL, sess, "hog", map[string]float64{})
+				countMu.Lock()
+				offered++
+				if err == nil {
+					admitted++
+				}
+				countMu.Unlock()
+				if status == http.StatusTooManyRequests {
+					// A well-behaved hog honors Retry-After instead of busy-
+					// looping refusals (which on a small machine would measure
+					// request-churn CPU, not limiter isolation).
+					select {
+					case <-stop:
+						return
+					case <-time.After(20 * time.Millisecond):
+					}
+				}
+			}
+		}()
+	}
+	contended, perr := politeP50()
+	hogWindow := time.Since(hogStart)
+	close(stop)
+	hogs.Wait()
+	if perr != nil {
+		return nil, perr
+	}
+
+	tr := &GatewayTenantReport{
+		RatePerSec:           gatewayTenantRate,
+		HogOffered:           offered,
+		HogAdmitted:          admitted,
+		HogPerSec:            float64(admitted) / hogWindow.Seconds(),
+		PoliteBaselineP50Ns:  baseline,
+		PoliteContendedP50Ns: contended,
+	}
+	if baseline > 0 {
+		tr.LatencyRatio = contended / baseline
+	}
+	return tr, nil
+}
+
+// JSON renders the machine-readable BENCH_9 payload.
+func (r *GatewayReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Table renders the report for provbench's stdout.
+func (r *GatewayReport) Table() *Table {
+	tab := &Table{
+		Title:   fmt.Sprintf("Gateway pool throughput and tenant isolation (GOMAXPROCS=%d)", r.GOMAXPROCS),
+		Headers: []string{"measurement", "value"},
+	}
+	keys := make([]string, 0, len(r.Pools))
+	for k := range r.Pools {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		pr := r.Pools[k]
+		tab.AddRow(fmt.Sprintf("%s scenarios/sec", k),
+			fmt.Sprintf("%.0f (%d clients, %d sessions)", pr.ScenariosPerSec, pr.Clients, pr.Sessions))
+	}
+	if t := r.Tenant; t != nil {
+		tab.AddRow("tenant rate cap", fmt.Sprintf("%.0f/s", t.RatePerSec))
+		tab.AddRow("hog admitted", fmt.Sprintf("%.0f/s of %d offered", t.HogPerSec, t.HogOffered))
+		tab.AddRow("polite p50 baseline", fmt.Sprintf("%.2fms", t.PoliteBaselineP50Ns/1e6))
+		tab.AddRow("polite p50 contended",
+			fmt.Sprintf("%.2fms (%.2fx baseline)", t.PoliteContendedP50Ns/1e6, t.LatencyRatio))
+	}
+	return tab
+}

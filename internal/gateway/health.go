@@ -1,0 +1,146 @@
+package gateway
+
+// Health checking: a single loop probes every backend's /healthz. A
+// healthy backend is probed every ProbeInterval; FailThreshold consecutive
+// failures eject it — off the ring, no new sessions, session-scoped
+// requests answered 503 + Retry-After until it returns. An ejected
+// backend keeps being probed on an exponential backoff (ProbeInterval
+// doubling up to ReadmitBackoffMax); the first success readmits it, puts
+// it back on the ring (unless it is draining) and triggers a rebalance so
+// the sessions that hash to it migrate back in.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// probeLoop drives the pool's health until Stop.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-ticker.C:
+			if g.probeAll() {
+				// Membership changed (a readmit): move sessions onto the
+				// returning owner in the background; a failed sweep retries
+				// at the next change (or drain request).
+				g.wg.Add(1)
+				go func() {
+					defer g.wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+					defer cancel()
+					if _, err := g.Rebalance(ctx); err != nil {
+						g.opts.Logger.Printf("gateway: rebalance after readmit: %v", err)
+					}
+				}()
+			}
+		}
+	}
+}
+
+// probeAll probes every due backend once; reports whether any backend was
+// readmitted to the ring.
+func (g *Gateway) probeAll() (ringChanged bool) {
+	g.mu.RLock()
+	targets := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		targets = append(targets, b)
+	}
+	g.mu.RUnlock()
+	now := time.Now()
+	for _, b := range targets {
+		b.mu.Lock()
+		due := b.healthy || !now.Before(b.nextAt)
+		b.mu.Unlock()
+		if !due {
+			continue
+		}
+		if g.probeOne(b) {
+			ringChanged = true
+		}
+	}
+	return ringChanged
+}
+
+// probeOne probes b and applies the eject/readmit state machine; reports
+// whether b was readmitted to the ring. The ring mutation happens after
+// b.mu is released — handleBackends takes g.mu before b.mu, so holding
+// them in the opposite order here would be a lock-order inversion.
+func (g *Gateway) probeOne(b *backend) (readmitted bool) {
+	err := g.probeHealthz(b)
+	eject, readmit := false, false
+	b.mu.Lock()
+	if err != nil {
+		b.failures++
+		if b.healthy && b.failures >= g.opts.FailThreshold {
+			b.healthy = false
+			b.backoff = g.opts.ProbeInterval
+			b.nextAt = time.Now().Add(b.backoff)
+			eject = true
+			g.opts.Logger.Printf("gateway: backend %s ejected after %d failed probes: %v", b.addr, b.failures, err)
+		} else if !b.healthy {
+			b.backoff *= 2
+			if b.backoff > g.opts.ReadmitBackoffMax {
+				b.backoff = g.opts.ReadmitBackoffMax
+			}
+			b.nextAt = time.Now().Add(b.backoff)
+		}
+	} else {
+		b.failures = 0
+		if !b.healthy {
+			b.healthy = true
+			b.backoff = 0
+			// A drained backend returning healthy stays off the ring on
+			// purpose.
+			readmit = !b.draining
+			g.opts.Logger.Printf("gateway: backend %s readmitted", b.addr)
+		}
+	}
+	b.mu.Unlock()
+	if eject {
+		g.mu.Lock()
+		g.ring.Remove(b.addr)
+		g.mu.Unlock()
+	}
+	if readmit {
+		g.mu.Lock()
+		changed := g.ring.Add(b.addr)
+		g.mu.Unlock()
+		return changed
+	}
+	return false
+}
+
+// probeHealthz performs one bounded GET /healthz.
+func (g *Gateway) probeHealthz(b *backend) error {
+	ctx, cancel := context.WithTimeout(context.Background(), g.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.probe.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// suspect records a proxy-observed backend failure. It does not eject by
+// itself — transient single-request errors happen — but it zeroes the
+// probe grace so the next loop tick re-examines the backend immediately.
+func (g *Gateway) suspect(b *backend) {
+	b.mu.Lock()
+	b.nextAt = time.Time{}
+	b.mu.Unlock()
+}

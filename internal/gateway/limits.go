@@ -1,0 +1,261 @@
+package gateway
+
+// Per-tenant resource limits. A tenant is whatever the X-Tenant request
+// header names ("default" when absent) — the gateway has no auth layer, so
+// the header is a cooperative label, but the limits it keys are real: max
+// live sessions created through the gateway, a token-bucket cap on
+// scenario throughput, and a cap on concurrent streams. Every rejection
+// carries Retry-After so a well-behaved client backs off instead of
+// hammering; the scenario bucket additionally throttles *inside* a live
+// stream by delaying body reads, which propagates as TCP backpressure all
+// the way to the sender — one hot tenant slows itself down, not the pool.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantLimits configures per-tenant resource caps. Zero values mean
+// unlimited.
+type TenantLimits struct {
+	// MaxSessions caps the live sessions a tenant may have created through
+	// the gateway.
+	MaxSessions int
+	// ScenariosPerSec caps a tenant's scenario throughput (one token per
+	// what-if or query request, one per NDJSON scenario/add line).
+	ScenariosPerSec float64
+	// Burst is the token-bucket capacity (defaults to max(1,
+	// ScenariosPerSec) when zero).
+	Burst float64
+	// MaxStreams caps a tenant's concurrently open NDJSON streams.
+	MaxStreams int
+}
+
+func (l TenantLimits) enabled() bool {
+	return l.MaxSessions > 0 || l.ScenariosPerSec > 0 || l.MaxStreams > 0
+}
+
+// tokenBucket is a standard token bucket. take consumes unconditionally
+// and returns how long the caller must stall to honor the rate (streams:
+// the debt throttles the next body read); allow consumes only if the
+// tokens are there and otherwise returns the wait a client should
+// Retry-After (one-shot requests).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64, now time.Time) *tokenBucket {
+	if burst <= 0 {
+		burst = math.Max(1, rate)
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+func (b *tokenBucket) refillLocked(now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+}
+
+// take consumes n tokens, letting the balance go negative, and returns the
+// stall needed to pay the debt off.
+func (b *tokenBucket) take(n float64, now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	b.tokens -= n
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}
+
+// allow consumes n tokens only if available; otherwise it reports the wait
+// until they would be.
+func (b *tokenBucket) allow(n float64, now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	return false, time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+}
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	bucket   *tokenBucket    // nil without a rate limit
+	sessions map[string]bool // session names created through the gateway
+	streams  int             // open NDJSON streams
+}
+
+// limiter maps tenants to their state. All methods are safe for concurrent
+// use.
+type limiter struct {
+	cfg TenantLimits
+	mu  sync.Mutex
+	// tenants holds per-tenant state; sessionOwner maps a session name back
+	// to the tenant that created it, so DELETE (and migration bookkeeping)
+	// can release the right slot without trusting headers twice.
+	tenants      map[string]*tenantState
+	sessionOwner map[string]string
+}
+
+func newLimiter(cfg TenantLimits) *limiter {
+	return &limiter{
+		cfg:          cfg,
+		tenants:      make(map[string]*tenantState),
+		sessionOwner: make(map[string]string),
+	}
+}
+
+func (l *limiter) stateLocked(tenant string) *tenantState {
+	st, ok := l.tenants[tenant]
+	if !ok {
+		st = &tenantState{sessions: make(map[string]bool)}
+		if l.cfg.ScenariosPerSec > 0 {
+			st.bucket = newTokenBucket(l.cfg.ScenariosPerSec, l.cfg.Burst, time.Now())
+		}
+		l.tenants[tenant] = st
+	}
+	return st
+}
+
+// errLimited is a rejection with the backoff a client should honor.
+type errLimited struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *errLimited) Error() string { return e.msg }
+
+// retrySeconds renders a Retry-After value: at least 1, rounded up.
+func retrySeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// registerSession claims a session slot for tenant. The name is reserved
+// before the create is forwarded and released again if it fails, so a
+// racing pair cannot both land under the cap.
+func (l *limiter) registerSession(tenant, name string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stateLocked(tenant)
+	if l.cfg.MaxSessions > 0 && !st.sessions[name] && len(st.sessions) >= l.cfg.MaxSessions {
+		return &errLimited{
+			msg:        fmt.Sprintf("tenant %q is at its session limit (%d)", tenant, l.cfg.MaxSessions),
+			retryAfter: time.Second,
+		}
+	}
+	st.sessions[name] = true
+	l.sessionOwner[name] = tenant
+	return nil
+}
+
+// releaseSession frees the slot a session occupied (no-op for sessions the
+// gateway never saw created).
+func (l *limiter) releaseSession(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if tenant, ok := l.sessionOwner[name]; ok {
+		delete(l.sessionOwner, name)
+		if st := l.tenants[tenant]; st != nil {
+			delete(st.sessions, name)
+		}
+	}
+}
+
+// acquireStream claims a concurrent-stream slot. The returned release must
+// be called when the stream ends.
+func (l *limiter) acquireStream(tenant string) (release func(), err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stateLocked(tenant)
+	if l.cfg.MaxStreams > 0 && st.streams >= l.cfg.MaxStreams {
+		return nil, &errLimited{
+			msg:        fmt.Sprintf("tenant %q is at its concurrent-stream limit (%d)", tenant, l.cfg.MaxStreams),
+			retryAfter: time.Second,
+		}
+	}
+	st.streams++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			st.streams--
+			l.mu.Unlock()
+		})
+	}, nil
+}
+
+// allowScenarios charges n scenarios against the tenant's bucket for a
+// one-shot request (whatif, query); a refusal reports the backoff.
+func (l *limiter) allowScenarios(tenant string, n float64) error {
+	l.mu.Lock()
+	st := l.stateLocked(tenant)
+	l.mu.Unlock()
+	if st.bucket == nil {
+		return nil
+	}
+	if ok, wait := st.bucket.allow(n, time.Now()); !ok {
+		return &errLimited{
+			msg:        fmt.Sprintf("tenant %q exceeds %g scenarios/sec", tenant, l.cfg.ScenariosPerSec),
+			retryAfter: wait,
+		}
+	}
+	return nil
+}
+
+// throttleBody wraps a stream's request body so each NDJSON line costs one
+// token; once the bucket runs dry the read stalls, which backpressures the
+// sender through TCP instead of buffering the hot tenant's flood in the
+// gateway. Returns body unwrapped when the tenant is unlimited.
+func (l *limiter) throttleBody(ctx context.Context, tenant string, body io.ReadCloser) io.ReadCloser {
+	l.mu.Lock()
+	st := l.stateLocked(tenant)
+	l.mu.Unlock()
+	if st.bucket == nil {
+		return body
+	}
+	return &throttledReader{ctx: ctx, body: body, bucket: st.bucket}
+}
+
+type throttledReader struct {
+	ctx    context.Context
+	body   io.ReadCloser
+	bucket *tokenBucket
+}
+
+func (t *throttledReader) Read(p []byte) (int, error) {
+	n, err := t.body.Read(p)
+	if n > 0 {
+		if lines := bytes.Count(p[:n], []byte{'\n'}); lines > 0 {
+			if wait := t.bucket.take(float64(lines), time.Now()); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-t.ctx.Done():
+					timer.Stop()
+				}
+			}
+		}
+	}
+	return n, err
+}
+
+func (t *throttledReader) Close() error { return t.body.Close() }

@@ -1,0 +1,119 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketAllow(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTokenBucket(10, 5, now) // 10/s, burst 5
+
+	// The burst drains without waiting.
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.allow(1, now); !ok {
+			t.Fatalf("allow #%d refused inside the burst", i)
+		}
+	}
+	ok, wait := b.allow(1, now)
+	if ok {
+		t.Fatal("allow granted past the burst with no time elapsed")
+	}
+	if wait <= 0 || wait > 200*time.Millisecond {
+		t.Fatalf("Retry-After wait = %v, want ~100ms at 10/s", wait)
+	}
+
+	// Refill: 0.5s later 5 tokens are back.
+	now = now.Add(500 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.allow(1, now); !ok {
+			t.Fatalf("allow #%d refused after refill", i)
+		}
+	}
+	if ok, _ := b.allow(1, now); ok {
+		t.Fatal("allow granted past the refill")
+	}
+}
+
+func TestTokenBucketTakeDebt(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newTokenBucket(100, 10, now)
+	if wait := b.take(10, now); wait != 0 {
+		t.Fatalf("burst take should not wait, got %v", wait)
+	}
+	// 50 tokens over at 100/s → 500ms of stall.
+	wait := b.take(50, now)
+	if wait < 450*time.Millisecond || wait > 550*time.Millisecond {
+		t.Fatalf("debt stall = %v, want ~500ms", wait)
+	}
+}
+
+func TestLimiterSessions(t *testing.T) {
+	l := newLimiter(TenantLimits{MaxSessions: 2})
+	if err := l.registerSession("t1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.registerSession("t1", "b"); err != nil {
+		t.Fatal(err)
+	}
+	err := l.registerSession("t1", "c")
+	if err == nil {
+		t.Fatal("third session admitted past MaxSessions=2")
+	}
+	var lim *errLimited
+	if !errors.As(err, &lim) {
+		t.Fatalf("limit rejection has type %T, want *errLimited", err)
+	}
+	// Re-registering a held name is not a new slot.
+	if err := l.registerSession("t1", "a"); err != nil {
+		t.Fatalf("re-register of held name: %v", err)
+	}
+	// Another tenant has its own budget.
+	if err := l.registerSession("t2", "c"); err != nil {
+		t.Fatalf("second tenant blocked by first tenant's cap: %v", err)
+	}
+	// Releasing frees the slot.
+	l.releaseSession("a")
+	if err := l.registerSession("t1", "c2"); err != nil {
+		t.Fatalf("register after release: %v", err)
+	}
+}
+
+func TestLimiterStreams(t *testing.T) {
+	l := newLimiter(TenantLimits{MaxStreams: 1})
+	rel, err := l.acquireStream("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.acquireStream("t1"); err == nil {
+		t.Fatal("second concurrent stream admitted past MaxStreams=1")
+	}
+	if _, err := l.acquireStream("t2"); err != nil {
+		t.Fatalf("second tenant blocked by first tenant's streams: %v", err)
+	}
+	rel()
+	rel() // double release must not underflow
+	rel2, err := l.acquireStream("t1")
+	if err != nil {
+		t.Fatalf("stream after release: %v", err)
+	}
+	rel2()
+}
+
+func TestRetrySeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	} {
+		if got := retrySeconds(tc.d); got != tc.want {
+			t.Errorf("retrySeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package gateway
+
+// Live migration: moving a session between backends while the pool keeps
+// serving, built on the export/import primitive (POST …/export → create
+// from snapshot_b64, pinned bit-identical per carrier with Compiles == 1
+// on the importer). The sequence per session:
+//
+//  1. quiesce — mark the session moving; new write requests (add streams,
+//     compress, delete) answer 503 + Retry-After, reads keep flowing to
+//     the current holder;
+//  2. wait for in-flight write streams to finish (bounded by
+//     QuiesceTimeout) — every acknowledged add is applied under the
+//     engine's lock before its ack, so once the writers are gone the
+//     export below contains all of them: acked ⊆ exported;
+//  3. export at the holder, import at the new owner;
+//  4. cut over routing (the placement table), so the next request lands
+//     on the new owner;
+//  5. delete at the old holder and lift the quiesce.
+//
+// A failure before the cutover leaves the session untouched on the old
+// holder (the import is deleted best-effort); a failure after the cutover
+// leaves at worst an orphaned copy on the old holder, which the next
+// rebalance sweep retires. Reads are never interrupted; writes see a
+// bounded 503 window and a Retry-After they can honor.
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Rebalance sweeps the pool once: list each healthy backend's sessions,
+// heal the placement table, and live-migrate every session whose ring
+// owner is not its holder. Returns how many sessions moved. Sweeps are
+// serialized; concurrent callers queue.
+func (g *Gateway) Rebalance(ctx context.Context) (moved int, err error) {
+	g.rebalanceMu.Lock()
+	defer g.rebalanceMu.Unlock()
+
+	type holderSession struct{ name, holder string }
+	var all []holderSession
+	seen := map[string][]string{} // session -> holders (dup = orphan from a past cutover)
+	g.mu.RLock()
+	backends := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		backends = append(backends, b)
+	}
+	g.mu.RUnlock()
+	sort.Slice(backends, func(i, j int) bool { return backends[i].addr < backends[j].addr })
+	for _, b := range backends {
+		if !b.isHealthy() {
+			continue
+		}
+		names, lerr := g.listSessions(ctx, b)
+		if lerr != nil {
+			// A backend that cannot be listed cannot be rebalanced safely;
+			// report and let the caller retry.
+			return moved, fmt.Errorf("list sessions on %s: %w", b.addr, lerr)
+		}
+		for _, n := range names {
+			all = append(all, holderSession{name: n, holder: b.addr})
+			seen[n] = append(seen[n], b.addr)
+		}
+	}
+
+	// Heal the placement table: a session the gateway did not place (made
+	// directly against a backend, or surviving a gateway restart) routes to
+	// its holder from here on. When two backends hold the same name, the
+	// recorded placement (the cutover winner) is authoritative and the
+	// other copy is an orphan — retire it.
+	g.mu.Lock()
+	for name, holders := range seen {
+		if cur, ok := g.placements[name]; ok && contains(holders, cur) {
+			continue
+		}
+		g.placements[name] = holders[0]
+	}
+	placed := make(map[string]string, len(g.placements))
+	for k, v := range g.placements {
+		placed[k] = v
+	}
+	g.mu.Unlock()
+	for name, holders := range seen {
+		for _, h := range holders {
+			if len(holders) > 1 && h != placed[name] {
+				g.opts.Logger.Printf("gateway: retiring orphaned copy of %q on %s", name, h)
+				g.deleteSession(ctx, g.lookup(h), name) //nolint:errcheck // best effort; next sweep retries
+			}
+		}
+	}
+
+	var firstErr error
+	for _, hs := range all {
+		if hs.holder != placed[hs.name] {
+			continue // orphan copy, handled above
+		}
+		g.mu.RLock()
+		owner, ok := g.ring.Owner(hs.name)
+		g.mu.RUnlock()
+		if !ok || owner == hs.holder {
+			continue
+		}
+		if err := g.moveSession(ctx, hs.name, hs.holder, owner); err != nil {
+			g.opts.Logger.Printf("gateway: migrate %q %s -> %s: %v", hs.name, hs.holder, owner, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("migrate %q: %w", hs.name, err)
+			}
+			continue
+		}
+		moved++
+	}
+	return moved, firstErr
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// moveSession live-migrates one session from holder to owner.
+func (g *Gateway) moveSession(ctx context.Context, name, holder, owner string) error {
+	src, dst := g.lookup(holder), g.lookup(owner)
+	if src == nil || dst == nil {
+		return fmt.Errorf("pool changed under the migration")
+	}
+	if !dst.isHealthy() {
+		return fmt.Errorf("destination %s is unhealthy", owner)
+	}
+
+	// Quiesce: writes start answering 503 + Retry-After now.
+	g.mu.Lock()
+	if g.moving[name] {
+		g.mu.Unlock()
+		return fmt.Errorf("already migrating")
+	}
+	g.moving[name] = true
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.moving, name)
+		g.mu.Unlock()
+	}()
+
+	// Wait out in-flight write streams; past the deadline the migration
+	// aborts rather than strand a writer's acks.
+	deadline := time.Now().Add(g.opts.QuiesceTimeout)
+	for {
+		g.mu.RLock()
+		writers := g.writers[name]
+		g.mu.RUnlock()
+		if writers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("session still has %d write stream(s) after %v", writers, g.opts.QuiesceTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	snapshot, err := g.exportSession(ctx, src, name)
+	if err != nil {
+		return fmt.Errorf("export from %s: %w", holder, err)
+	}
+	if err := g.importSession(ctx, dst, name, snapshot); err != nil {
+		return fmt.Errorf("import at %s: %w", owner, err)
+	}
+
+	// Cutover: from here every new request routes to the new owner.
+	g.mu.Lock()
+	g.placements[name] = owner
+	g.mu.Unlock()
+	g.migrations.Add(1)
+
+	if err := g.deleteSession(ctx, src, name); err != nil {
+		// The authoritative copy moved; the old one is an orphan the next
+		// sweep retires. Not a migration failure.
+		g.opts.Logger.Printf("gateway: delete migrated %q on %s: %v", name, holder, err)
+	}
+	g.opts.Logger.Printf("gateway: migrated session %q %s -> %s (%d bytes)", name, holder, owner, len(snapshot))
+	return nil
+}
+
+// listSessions returns the session names a backend holds.
+func (g *Gateway) listSessions(ctx context.Context, b *backend) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/sessions", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var lr struct {
+		Sessions []struct {
+			Name string `json:"name"`
+		} `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(lr.Sessions))
+	for _, s := range lr.Sessions {
+		names = append(names, s.Name)
+	}
+	return names, nil
+}
+
+// exportSession pulls a session's snapshot bytes off its holder.
+func (g *Gateway) exportSession(ctx context.Context, b *backend, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/sessions/"+name+"/export", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// importSession creates the session at its new owner from snapshot bytes.
+// The importing backend validates checksums and restores without
+// recompiling, so its Compiles counter is 1 and answers are bit-identical
+// to the exporter's.
+func (g *Gateway) importSession(ctx context.Context, b *backend, name string, snapshot []byte) error {
+	body, err := json.Marshal(map[string]string{
+		"name":         name,
+		"snapshot_b64": base64.StdEncoding.EncodeToString(snapshot),
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// deleteSession removes a session from a backend.
+func (g *Gateway) deleteSession(ctx context.Context, b *backend, name string) error {
+	if b == nil {
+		return fmt.Errorf("backend gone")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, b.base+"/v1/sessions/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

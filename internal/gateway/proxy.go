@@ -1,0 +1,182 @@
+package gateway
+
+// The forwarding layer. Two shapes:
+//
+//   - proxyBuffered: request body already in memory (create, whose name
+//     the gateway had to read) or bodiless (info, delete, list-like).
+//     Plain request/response copy.
+//
+//   - proxyStream: everything else, including the NDJSON streams. The
+//     inbound side is switched to full duplex (an HTTP/1 server otherwise
+//     drains the request body before the first response write — the exact
+//     deadlock the backend solves the same way), the request body streams
+//     through to the backend while response bytes flow back, and every
+//     chunk read from the backend is flushed immediately so per-line ack
+//     latency survives the extra hop. A backend that dies mid-stream
+//     surfaces as an in-band {"error": …} terminal line — never a
+//     silently hung client.
+//
+// Hop-by-hop headers are stripped both ways per RFC 9110 §7.6.1.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// hopHeaders never cross a proxy.
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		dst.Del(h)
+	}
+}
+
+// outgoing builds the backend request mirroring the inbound one.
+func (g *Gateway) outgoing(r *http.Request, b *backend, body io.Reader, length int64) (*http.Request, error) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, b.base+r.URL.RequestURI(), body)
+	if err != nil {
+		return nil, err
+	}
+	out.Header = make(http.Header, len(r.Header))
+	copyHeaders(out.Header, r.Header)
+	out.ContentLength = length
+	return out, nil
+}
+
+// admit claims a backend proxy slot, answering 503 + Retry-After when the
+// backend is saturated. The release func is nil when admission failed.
+func (g *Gateway) admit(w http.ResponseWriter, b *backend) func() {
+	if !b.acquire() {
+		g.writeUnavailable(w, 1,
+			fmt.Errorf("backend %s is at its in-flight limit (%d); retry shortly", b.addr, g.opts.MaxInflight))
+		return nil
+	}
+	g.proxied.Add(1)
+	return b.release
+}
+
+// proxyBuffered forwards a request whose body (possibly nil) is already in
+// memory and copies the response back whole. Returns the upstream status
+// (0 when the backend was unreachable, with the 502 already written).
+func (g *Gateway) proxyBuffered(w http.ResponseWriter, r *http.Request, b *backend, body []byte) (int, error) {
+	release := g.admit(w, b)
+	if release == nil {
+		return 0, errSaturated
+	}
+	defer release()
+	var reader io.Reader
+	length := int64(0)
+	if body != nil {
+		reader = strings.NewReader(string(body))
+		length = int64(len(body))
+	}
+	out, err := g.outgoing(r, b, reader, length)
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, err)
+		return 0, err
+	}
+	resp, err := g.client.Do(out)
+	if err != nil {
+		g.suspect(b)
+		err = fmt.Errorf("gateway: backend %s: %w", b.addr, err)
+		g.writeError(w, http.StatusBadGateway, err)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		g.opts.Logger.Printf("gateway: %s %s via %s: response copy: %v", r.Method, r.URL.Path, b.addr, err)
+	}
+	return resp.StatusCode, nil
+}
+
+var errSaturated = errors.New("backend saturated")
+
+// proxyStream forwards a request end to end, streaming both directions.
+// With stream=true the copy flushes per chunk and a mid-body backend
+// failure is reported in-band; otherwise it behaves like a plain proxy
+// that happens not to buffer.
+func (g *Gateway) proxyStream(w http.ResponseWriter, r *http.Request, b *backend, stream bool) {
+	release := g.admit(w, b)
+	if release == nil {
+		return
+	}
+	defer release()
+	rc := http.NewResponseController(w)
+	if stream {
+		// Respond while the request body is still streaming in (HTTP/2 is
+		// duplex already and reports ErrNotSupported — safe to ignore).
+		if err := rc.EnableFullDuplex(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			g.opts.Logger.Printf("gateway: %s %s: full duplex: %v", r.Method, r.URL.Path, err)
+		}
+	}
+	out, err := g.outgoing(r, b, r.Body, r.ContentLength)
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := g.client.Do(out)
+	if err != nil {
+		g.suspect(b)
+		g.writeError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend %s: %w", b.addr, err))
+		return
+	}
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+
+	buf := make([]byte, 32*1024)
+	wrote := false
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				// Client went away; closing resp.Body (deferred) tears the
+				// backend side down too.
+				g.opts.Logger.Printf("gateway: %s %s via %s: client write: %v", r.Method, r.URL.Path, b.addr, werr)
+				return
+			}
+			wrote = true
+			if stream {
+				if ferr := rc.Flush(); ferr != nil {
+					g.opts.Logger.Printf("gateway: %s %s via %s: flush: %v", r.Method, r.URL.Path, b.addr, ferr)
+					return
+				}
+			}
+		}
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			// The backend died (or was killed) mid-stream. The status line is
+			// long gone; for NDJSON surfaces the contract is an in-band
+			// terminal error line so the client unblocks with a reason
+			// instead of hanging on a half-open connection.
+			g.suspect(b)
+			g.opts.Logger.Printf("gateway: %s %s via %s: backend read: %v", r.Method, r.URL.Path, b.addr, rerr)
+			if stream {
+				line := map[string]string{"error": fmt.Sprintf("gateway: backend %s failed mid-stream: %v", b.addr, rerr)}
+				if encErr := json.NewEncoder(w).Encode(line); encErr == nil {
+					rc.Flush() //nolint:errcheck // best effort: the conversation is over either way
+				}
+			} else if !wrote {
+				g.writeError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend %s: %v", b.addr, rerr))
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package gateway is the horizontal scale-out layer: a thin, stateless
+// router that consistent-hashes session names across a pool of backend
+// provabs serve processes and forwards every /v1 verb — the NDJSON
+// what-if, query and add-ingestion streams included, full-duplex and
+// per-line-ack semantics preserved end to end — while health-checking the
+// pool, aggregating GET /v1/stats across it, enforcing per-tenant resource
+// limits, and rebalancing sessions between backends through the
+// export/import primitive as *live migration*: quiesce writes, export,
+// import at the new owner, cut over routing, delete at the old owner.
+// Answers before and after a migration are bit-identical — the snapshot
+// carries the compiled form, so the importing backend's Compiles counter
+// stays 1.
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is placed
+// at vnodes pseudo-random points on a 64-bit circle; a key is owned by the
+// member of the first point at or clockwise after the key's hash. Adding or
+// removing one member therefore remaps only ~1/n of the key space, which is
+// what keeps a pool change from migrating every session at once.
+//
+// Ring is not safe for concurrent use; the Gateway guards it with its own
+// lock.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (values below 1 fall back to 64, enough to spread a handful of
+// backends to within a few percent of even).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. FNV alone avalanches
+// poorly on inputs differing in a byte or two — exactly what vnode suffixes
+// and session-name counters look like — and clusters the ring badly; the
+// finalizer scatters it. Cheap, dependency-free, and stable across
+// processes (the routing decision must be reproducible by any gateway
+// replica over the same pool).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Vigna), a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// vnodeHash places member's i-th virtual node.
+func vnodeHash(member string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member)) //nolint:errcheck
+	h.Write([]byte{'#', byte(i), byte(i >> 8)})
+	return mix64(h.Sum64())
+}
+
+// Add places member on the ring. Reports false if it was already present.
+func (r *Ring) Add(member string) bool {
+	if r.members[member] {
+		return false
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(member, i), member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return true
+}
+
+// Remove takes member off the ring. Reports false if it was not present.
+func (r *Ring) Remove(member string) bool {
+	if !r.members[member] {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool { return r.members[member] }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the members, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the member owning key — the first virtual node at or after
+// the key's hash, wrapping around. ok is false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}

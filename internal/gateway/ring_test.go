@@ -1,0 +1,112 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	for i := 0; i < 100; i++ {
+		owner, ok := r.Owner(fmt.Sprintf("session-%d", i))
+		if !ok || owner != "a" {
+			t.Fatalf("Owner(session-%d) = %q, %v; want a", i, owner, ok)
+		}
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		r.Add("b1:8080")
+		r.Add("b2:8080")
+		r.Add("b3:8080")
+		return r
+	}
+	r1, r2 := build(), build()
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("s%d", i)
+		o1, _ := r1.Owner(key)
+		o2, _ := r2.Owner(key)
+		if o1 != o2 {
+			t.Fatalf("Owner(%q) differs across identically built rings: %q vs %q", key, o1, o2)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"b1:8080", "b2:8080", "b3:8080", "b4:8080"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("session-%d", i))
+		counts[owner]++
+	}
+	for _, m := range members {
+		// With 64 vnodes the spread is not perfect, but every member must
+		// carry a real share — a quarter of the fair share is far below any
+		// healthy distribution and far above a broken one (zero).
+		if counts[m] < n/len(members)/4 {
+			t.Errorf("member %s owns only %d of %d keys — distribution collapsed: %v", m, counts[m], n, counts)
+		}
+	}
+}
+
+func TestRingRemovalRemapsOnlyTheRemovedShare(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"b1:8080", "b2:8080", "b3:8080", "b4:8080"} {
+		r.Add(m)
+	}
+	const n = 4000
+	before := make([]string, n)
+	for i := range before {
+		before[i], _ = r.Owner(fmt.Sprintf("session-%d", i))
+	}
+	r.Remove("b2:8080")
+	movedFromOthers := 0
+	for i := range before {
+		after, _ := r.Owner(fmt.Sprintf("session-%d", i))
+		if before[i] == "b2:8080" {
+			if after == "b2:8080" {
+				t.Fatalf("session-%d still owned by the removed member", i)
+			}
+			continue
+		}
+		if after != before[i] {
+			movedFromOthers++
+		}
+	}
+	// Consistent hashing's whole point: removing one member must not remap
+	// keys the other members owned.
+	if movedFromOthers != 0 {
+		t.Errorf("%d keys moved between surviving members on removal, want 0", movedFromOthers)
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(16)
+	if !r.Add("a") || r.Add("a") {
+		t.Fatal("Add should report true once, false on repeat")
+	}
+	if !r.Remove("a") || r.Remove("a") {
+		t.Fatal("Remove should report true once, false on repeat")
+	}
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after removal: %d members, %d points", r.Len(), len(r.points))
+	}
+}

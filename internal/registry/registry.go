@@ -314,6 +314,22 @@ func (r *Registry) Default() (*Session, error) {
 // per-session snapshots plus one Totals row summing every counter
 // (scenarios, compiles, delta/full/sharded evaluations, stream batches)
 // across tenants.
+//
+// The payload has a stable merge shape, because a gateway aggregates it
+// across a pool of backend processes (see Merge):
+//
+//   - PerSession is the source of truth: one entry per session name, and a
+//     session name identifies at most one live session pool-wide (the
+//     gateway shards by name).
+//   - Totals is derived — always exactly the Accumulate of PerSession —
+//     so counters sum once per session and can never double-count, even
+//     when two backends briefly report the same name (the export→delete
+//     window of a live migration).
+//   - Default is a per-process gauge with no pool-wide meaning; a merged
+//     payload clears it. Per-backend values stay visible in the gateway's
+//     per-backend breakdown.
+//   - Recoveries/WALRecords are per-process counters that sum; Dormant is
+//     a name union.
 type AggregateStats struct {
 	Sessions   int                      `json:"sessions"`
 	Default    string                   `json:"default,omitempty"`
@@ -360,4 +376,46 @@ func (r *Registry) Stats() AggregateStats {
 		agg.Totals.Accumulate(st)
 	}
 	return agg
+}
+
+// Merge folds another registry's aggregate payload into a — the pool-wide
+// view a gateway serves across backends. The contract (documented on
+// AggregateStats) that makes the merge double-count-proof: entries merge
+// by session name, and when two payloads both carry a name — the
+// export→delete window of a live migration, when source and destination
+// both report the session — the entry with the larger Scenarios counter
+// wins (counters are monotonic on the long-lived copy; the freshly
+// imported one starts its process-local counters at zero). Sessions and
+// Totals are then re-derived from the merged PerSession map, so every
+// session counts exactly once no matter how many backends reported it.
+// Default, a per-process gauge, is cleared.
+func (a *AggregateStats) Merge(o AggregateStats) {
+	if a.PerSession == nil {
+		a.PerSession = make(map[string]session.Stats, len(o.PerSession))
+	}
+	for name, st := range o.PerSession {
+		if cur, ok := a.PerSession[name]; !ok || st.Scenarios > cur.Scenarios {
+			a.PerSession[name] = st
+		}
+	}
+	a.Sessions = len(a.PerSession)
+	a.Totals = session.Stats{}
+	for _, st := range a.PerSession {
+		a.Totals.Accumulate(st)
+	}
+	a.Default = ""
+	a.Recoveries += o.Recoveries
+	a.WALRecords += o.WALRecords
+	if len(o.Dormant) > 0 {
+		have := make(map[string]bool, len(a.Dormant))
+		for _, n := range a.Dormant {
+			have[n] = true
+		}
+		for _, n := range o.Dormant {
+			if !have[n] {
+				a.Dormant = append(a.Dormant, n)
+			}
+		}
+		sort.Strings(a.Dormant)
+	}
 }

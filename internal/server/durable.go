@@ -104,6 +104,11 @@ type ackLine struct {
 // close or server drain — the ack sequence tells the client where it
 // stopped.
 func (s *Server) handleAddStream(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
+	releaseStream, ok := s.acquireStream(w, r)
+	if !ok {
+		return
+	}
+	defer releaseStream()
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	go func() {

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMaxStreamsRefusesWithRetryAfter pins the stream-slot backpressure
+// contract: past -max-streams concurrently open NDJSON streams, a new
+// stream is refused up front with 503 and a Retry-After header — a
+// well-defined signal the gateway (or any client) can obey — and the slot
+// frees as soon as a held stream finishes.
+func TestMaxStreamsRefusesWithRetryAfter(t *testing.T) {
+	ts, reg := newRegistryServer(t, WithMaxStreams(1))
+	if _, err := reg.Create("default", testSet(t), testForest(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single slot: a stream held open by an unclosed pipe body.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions/default/whatif/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	go func() {
+		// One in-flight scenario; the body then stays open, pinning the
+		// stream slot. Written before Do: the response headers only flush
+		// with the first answer, so Do blocks until this line is consumed.
+		io.WriteString(pw, `{"assign":{"m1":1,"m3":1}}`+"\n") //nolint:errcheck
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first stream status = %d, want 200", resp.StatusCode)
+	}
+	// Round-trip one line so the handler has provably acquired its slot.
+	scan := bufio.NewScanner(resp.Body)
+	if !scan.Scan() {
+		t.Fatalf("no answer line from held stream: %v", scan.Err())
+	}
+
+	// Saturated: the next stream gets 503 + Retry-After, body carries the
+	// JSON error shape.
+	resp2, err := http.Post(ts.URL+"/v1/sessions/default/whatif/stream",
+		"application/x-ndjson", strings.NewReader(`{"assign":{"m1":1}}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated stream status = %d, want 503 (body %s)", resp2.StatusCode, body2)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 without a Retry-After header")
+	}
+	var errLine struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body2, &errLine); err != nil || errLine.Error == "" {
+		t.Errorf("503 body %q is not the JSON error shape", body2)
+	}
+
+	// Non-stream verbs are not gated by the stream limit.
+	resp3, err := http.Post(ts.URL+"/v1/sessions/default/whatif", "application/json",
+		strings.NewReader(`{"scenario":{"m1":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("one-shot whatif during stream saturation = %d, want 200", resp3.StatusCode)
+	}
+
+	// Finish the held stream; the freed slot admits a new one.
+	pw.Close()
+	for scan.Scan() {
+	}
+	resp4, err := http.Post(ts.URL+"/v1/sessions/default/whatif/stream",
+		"application/x-ndjson", strings.NewReader(`{"assign":{"m1":1}}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp4.Body) //nolint:errcheck
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK {
+		t.Errorf("stream after slot release = %d, want 200", resp4.StatusCode)
+	}
+}

@@ -168,6 +168,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, sess *regis
 // annotated plan. The stream ends early when the client goes away or the
 // session is closed.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
+	releaseStream, ok := s.acquireStream(w, r)
+	if !ok {
+		return
+	}
+	defer releaseStream()
 	var req queryRequest
 	if !s.decodeJSON(w, r, s.maxLine, &req, "query request") {
 		return

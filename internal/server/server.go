@@ -52,7 +52,9 @@
 // JSON terminates the stream with a final {"error": "…"} line, since the
 // remainder of the body cannot be trusted to be line-aligned. Requests
 // exceeding the body limits are answered with 413; unknown session names
-// with 404; creating a name already in use with 409.
+// with 404; creating a name already in use with 409. With WithMaxStreams a
+// saturated server refuses new streams with 503 + Retry-After, so clients
+// back off instead of hammering.
 package server
 
 import (
@@ -109,6 +111,11 @@ type Server struct {
 	maxCreate  int64
 	sessionDir string // root for create-by-path ("" = path loading disabled)
 
+	// streamSem bounds concurrently open NDJSON streams (nil = unbounded).
+	// At the bound new streams answer 503 with Retry-After — backpressure a
+	// well-behaved client honors by backing off instead of hammering.
+	streamSem chan struct{}
+
 	// draining is closed by Drain: live NDJSON streams stop reading new
 	// input, finish what is in flight, and return, letting an
 	// http.Server.Shutdown complete within its deadline.
@@ -133,6 +140,19 @@ func WithMaxLineBytes(n int64) Option {
 // WithMaxCreateBytes overrides the session-create body limit.
 func WithMaxCreateBytes(n int64) Option {
 	return func(s *Server) { s.maxCreate = n }
+}
+
+// WithMaxStreams bounds the concurrently open NDJSON streams (what-if,
+// query and add streams together). Past the bound a new stream is refused
+// with 503 + Retry-After rather than queued without limit — the
+// backpressure half of serving many tenants from one process. n <= 0
+// leaves streams unbounded.
+func WithMaxStreams(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.streamSem = make(chan struct{}, n)
+		}
+	}
 }
 
 // WithSessionDir enables creating sessions from server-side provenance
@@ -231,6 +251,25 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// acquireStream claims a stream slot when a bound is configured. When the
+// server is saturated it answers 503 with Retry-After (the satellite
+// contract: a backpressure response always tells the client when to come
+// back) and returns ok=false with release=nil.
+func (s *Server) acquireStream(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.streamSem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.streamSem <- struct{}{}:
+		return func() { <-s.streamSem }, true
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusServiceUnavailable,
+			fmt.Errorf("server is at its concurrent-stream limit (%d); retry shortly", cap(s.streamSem)))
+		return nil, false
+	}
 }
 
 // sessionHandler is a handler bound to one resolved session.
@@ -530,6 +569,11 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request, sess *regi
 // ends early when the client goes away (a failed write or flush) or the
 // session is closed (DELETE /v1/sessions/{name} while streaming).
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *registry.Session) {
+	releaseStream, ok := s.acquireStream(w, r)
+	if !ok {
+		return
+	}
+	defer releaseStream()
 	kind, err := semiring.ParseKind(r.URL.Query().Get("semiring"))
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
