@@ -233,7 +233,13 @@ func (g *Gateway) route(name string) (*backend, error) {
 	if !ok {
 		return nil, fmt.Errorf("gateway: no routable backends in the pool")
 	}
-	return g.backends[addr], nil
+	b := g.backends[addr]
+	if b == nil {
+		// The ring and the pool can diverge for an instant (a remove racing
+		// a readmit); never hand a nil backend to a caller that will deref it.
+		return nil, fmt.Errorf("gateway: ring owner %s for %q left the pool; retry shortly", addr, name)
+	}
+	return b, nil
 }
 
 // tenantFor names the requesting tenant ("default" when the cooperative
@@ -330,15 +336,43 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantFor(r)
+
+	// A name the gateway already routes must go to its recorded holder, not
+	// the ring owner: after an ejection or before a rebalance the two can
+	// differ, and creating on the ring owner would fork the session — 201
+	// instead of 409, and the next sweep would retire the real copy as an
+	// orphan. The holder answers 409 authoritatively; no quota is claimed
+	// (a 201 here means the placement was stale and the session is adopted
+	// like any backend-created one, outside tenant accounting).
+	g.mu.RLock()
+	placedAddr, placed := g.placements[req.Name]
+	var b *backend
+	if placed {
+		b = g.backends[placedAddr]
+	} else if addr, ok := g.ring.Owner(req.Name); ok {
+		b = g.backends[addr]
+	}
+	g.mu.RUnlock()
+	if placed {
+		if b == nil || !b.isHealthy() {
+			g.writeUnavailable(w, 2, fmt.Errorf(
+				"session %q already exists on backend %s, which is unreachable; retry shortly", req.Name, placedAddr))
+			return
+		}
+		g.proxyBuffered(w, r, b, body) //nolint:errcheck // holder's verdict (409) already written
+		return
+	}
+
 	if err := g.limits.registerSession(tenant, req.Name); err != nil {
+		if errors.Is(err, errSessionTaken) {
+			// Registered but not yet placed: a concurrent create is mid-flight.
+			g.writeError(w, http.StatusConflict, fmt.Errorf("session %q already exists", req.Name))
+			return
+		}
 		g.writeLimited(w, err)
 		return
 	}
-	g.mu.RLock()
-	addr, ok := g.ring.Owner(req.Name)
-	b := g.backends[addr]
-	g.mu.RUnlock()
-	if !ok || b == nil {
+	if b == nil {
 		g.limits.releaseSession(req.Name)
 		g.writeUnavailable(w, 1, fmt.Errorf("gateway: no routable backends in the pool"))
 		return
@@ -370,6 +404,18 @@ func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		g.writeUnavailable(w, 1, err)
 		return
+	}
+	if r.Method == http.MethodDelete {
+		// DELETE is a write for migration purposes: register as a writer and
+		// re-check the quiesce flag, same as handleSessionVerb's write verbs.
+		// Otherwise a delete racing moveSession can land on the old holder
+		// after the export and the cutover silently resurrects the session.
+		g.addWriter(name)
+		defer g.removeWriter(name)
+		if g.quiesced(name) {
+			g.writeUnavailable(w, 1, fmt.Errorf("session %q is migrating; retry shortly", name))
+			return
+		}
 	}
 	status, err := g.proxyBuffered(w, r, b, nil)
 	if r.Method == http.MethodDelete && err == nil && status == http.StatusOK {
@@ -670,17 +716,24 @@ func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusNotFound, fmt.Errorf("backend %s is not in the pool", addr))
 		return
 	}
+	// Validate before mutating: a rejected drain must leave the backend on
+	// the ring and not draining, or the pool is stuck with no recovery
+	// endpoint (health readmit deliberately skips draining backends).
 	g.mu.Lock()
+	left := g.ring.Len()
+	if g.ring.Has(addr) {
+		left--
+	}
+	if left == 0 {
+		g.mu.Unlock()
+		g.writeError(w, http.StatusConflict, fmt.Errorf("draining %s would leave the ring empty", addr))
+		return
+	}
 	b.mu.Lock()
 	b.draining = true
 	b.mu.Unlock()
 	g.ring.Remove(addr)
-	left := g.ring.Len()
 	g.mu.Unlock()
-	if left == 0 {
-		g.writeError(w, http.StatusConflict, fmt.Errorf("draining %s would leave the ring empty", addr))
-		return
-	}
 	moved, err := g.Rebalance(r.Context())
 	if err != nil {
 		g.writeUnavailable(w, 2, fmt.Errorf("drain %s: %w (migrated %d; retry to finish)", addr, err, moved))

@@ -565,3 +565,221 @@ func TestGatewayRebalanceHealsUnknownPlacements(t *testing.T) {
 		t.Fatal("healed session did not answer through the gateway")
 	}
 }
+
+// TestGatewayDuplicateCreateRoutesToHolder pins the duplicate-create
+// policy: a name the gateway already placed is forwarded to its recorded
+// holder — even when the ring owner differs (ejection, pending rebalance)
+// — so the backend answers 409 instead of forking the session with a 201,
+// and the failed attempt must leave the tenant's quota accounting intact.
+func TestGatewayDuplicateCreateRoutesToHolder(t *testing.T) {
+	b1 := newPoolBackend(t)
+	b2 := newPoolBackend(t)
+	g, gts := newTestGateway(t, Options{Limits: TenantLimits{MaxSessions: 2}}, b1, b2)
+
+	if resp := createSession(t, gts.URL, "dup", "tenant-a"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	holderAddr := g.placementsSnapshot()["dup"]
+	holder, other := b1, b2
+	if holderAddr == b2.addr() {
+		holder, other = b2, b1
+	}
+
+	// Take the holder off the ring (an ejection not yet rebalanced): the
+	// ring owner for "dup" is now the other backend, but the placement
+	// still names the holder.
+	g.mu.Lock()
+	g.ring.Remove(holderAddr)
+	g.mu.Unlock()
+
+	resp := createSession(t, gts.URL, "dup", "tenant-a")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d, want 409", resp.StatusCode)
+	}
+	if holder.reg.Len() != 1 || other.reg.Len() != 0 {
+		t.Fatalf("duplicate create forked the session: holder=%d other=%d sessions",
+			holder.reg.Len(), other.reg.Len())
+	}
+	// A second tenant's attempt on the held name is refused the same way
+	// and must not steal ownership.
+	if resp := createSession(t, gts.URL, "dup", "tenant-b"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cross-tenant duplicate create: status %d, want 409", resp.StatusCode)
+	}
+
+	g.mu.Lock()
+	g.ring.Add(holderAddr)
+	g.mu.Unlock()
+
+	// The failed duplicates must not have released tenant-a's live slot:
+	// at MaxSessions=2 exactly one more create fits.
+	if resp := createSession(t, gts.URL, "second", "tenant-a"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create under cap after failed duplicate: status %d", resp.StatusCode)
+	}
+	if resp := createSession(t, gts.URL, "third", "tenant-a"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create past cap: status %d, want 429 — the failed duplicate leaked a slot", resp.StatusCode)
+	}
+	// And DELETE still releases the slot it actually owns.
+	delReq, err := http.NewRequest(http.MethodDelete, gts.URL+"/v1/sessions/dup", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", delResp.StatusCode)
+	}
+	if resp := createSession(t, gts.URL, "third", "tenant-a"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create after delete freed the slot: status %d", resp.StatusCode)
+	}
+}
+
+// TestGatewayDrainLastBackendRejected: draining the only ring member is
+// refused up front and leaves no scar — the backend stays on the ring,
+// not draining, and creates keep working.
+func TestGatewayDrainLastBackendRejected(t *testing.T) {
+	b1 := newPoolBackend(t)
+	g, gts := newTestGateway(t, Options{}, b1)
+
+	req, err := http.NewRequest(http.MethodPost, gts.URL+"/gateway/backends/"+b1.addr()+"/drain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("drain of last backend: status %d, want 409", resp.StatusCode)
+	}
+	g.mu.RLock()
+	onRing := g.ring.Has(b1.addr())
+	g.mu.RUnlock()
+	if !onRing {
+		t.Fatal("rejected drain removed the backend from the ring")
+	}
+	if g.lookup(b1.addr()).isDraining() {
+		t.Fatal("rejected drain left the backend marked draining")
+	}
+	if resp := createSession(t, gts.URL, "after-drain", ""); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create after rejected drain: status %d", resp.StatusCode)
+	}
+}
+
+// TestGatewayRingPoolDivergence pins both halves of the ring/pool
+// consistency fix: a probe readmit cannot re-add a backend that was
+// concurrently removed from the pool, and route() answers an error (not a
+// nil backend the caller would deref) if the ring does name a non-member.
+func TestGatewayRingPoolDivergence(t *testing.T) {
+	b1 := newPoolBackend(t)
+	b2 := newPoolBackend(t)
+	g, gts := newTestGateway(t, Options{}, b1, b2)
+
+	// Simulate probeOne racing handleRemoveBackend: eject b2, remove it
+	// from the pool, then run the readmit path against the stale pointer
+	// (b2's server is still up, so the probe itself succeeds).
+	stale := g.lookup(b2.addr())
+	stale.mu.Lock()
+	stale.healthy = false
+	stale.mu.Unlock()
+	g.mu.Lock()
+	g.ring.Remove(b2.addr())
+	g.mu.Unlock()
+
+	req, err := http.NewRequest(http.MethodDelete, gts.URL+"/gateway/backends/"+b2.addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remove backend: status %d", resp.StatusCode)
+	}
+
+	if g.probeOne(stale) {
+		t.Fatal("probeOne readmitted a backend that left the pool")
+	}
+	g.mu.RLock()
+	has := g.ring.Has(b2.addr())
+	g.mu.RUnlock()
+	if has {
+		t.Fatal("removed backend is back on the ring")
+	}
+
+	// Force the divergence anyway: a ring member with no pool entry must
+	// surface as a routing error.
+	g.mu.Lock()
+	g.ring.Add(b2.addr())
+	g.mu.Unlock()
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("phantom-%d", i)
+		g.mu.RLock()
+		owner, _ := g.ring.Owner(name)
+		g.mu.RUnlock()
+		if owner != b2.addr() {
+			continue
+		}
+		b, err := g.route(name)
+		if err == nil || b != nil {
+			t.Fatalf("route to phantom ring owner: backend=%v err=%v, want error", b, err)
+		}
+		break
+	}
+}
+
+// TestGatewayDeleteQuiescedDuringMigration: DELETE is a write for
+// migration purposes — while a session is quiesced it answers 503 +
+// Retry-After instead of racing the export/cutover, and proceeds normally
+// once the quiesce lifts.
+func TestGatewayDeleteQuiescedDuringMigration(t *testing.T) {
+	b1 := newPoolBackend(t)
+	g, gts := newTestGateway(t, Options{}, b1)
+	if resp := createSession(t, gts.URL, "moving", ""); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+
+	g.mu.Lock()
+	g.moving["moving"] = true
+	g.mu.Unlock()
+
+	req, err := http.NewRequest(http.MethodDelete, gts.URL+"/v1/sessions/moving", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("delete during quiesce: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("quiesced delete 503 without a Retry-After header")
+	}
+	if b1.reg.Len() != 1 {
+		t.Fatal("quiesced delete reached the backend")
+	}
+
+	g.mu.Lock()
+	delete(g.moving, "moving")
+	g.mu.Unlock()
+
+	resp2, err := http.DefaultClient.Do(req.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("delete after quiesce lifted: status %d", resp2.StatusCode)
+	}
+	if b1.reg.Len() != 0 {
+		t.Fatal("session survived the delete")
+	}
+}

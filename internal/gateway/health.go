@@ -110,7 +110,12 @@ func (g *Gateway) probeOne(b *backend) (readmitted bool) {
 	}
 	if readmit {
 		g.mu.Lock()
-		changed := g.ring.Add(b.addr)
+		// A concurrent pool removal can race this readmit; re-adding the
+		// ring member then would leave an owner with no backends entry.
+		changed := false
+		if _, stillPooled := g.backends[b.addr]; stillPooled {
+			changed = g.ring.Add(b.addr)
+		}
 		g.mu.Unlock()
 		return changed
 	}

@@ -13,6 +13,7 @@ package gateway
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -149,14 +150,25 @@ func retrySeconds(d time.Duration) int {
 	return s
 }
 
+// errSessionTaken rejects a create for a name some tenant already holds.
+// The caller maps it to 409 — and, critically, must not release a slot it
+// never claimed: re-claiming a held name used to no-op the cap check and
+// clobber sessionOwner across tenants, so the failure path's release would
+// free the LIVE session's slot.
+var errSessionTaken = errors.New("session name already registered")
+
 // registerSession claims a session slot for tenant. The name is reserved
 // before the create is forwarded and released again if it fails, so a
-// racing pair cannot both land under the cap.
+// racing pair cannot both land under the cap. A name already registered —
+// by any tenant — is a conflict, never a fresh claim.
 func (l *limiter) registerSession(tenant, name string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if _, taken := l.sessionOwner[name]; taken {
+		return errSessionTaken
+	}
 	st := l.stateLocked(tenant)
-	if l.cfg.MaxSessions > 0 && !st.sessions[name] && len(st.sessions) >= l.cfg.MaxSessions {
+	if l.cfg.MaxSessions > 0 && len(st.sessions) >= l.cfg.MaxSessions {
 		return &errLimited{
 			msg:        fmt.Sprintf("tenant %q is at its session limit (%d)", tenant, l.cfg.MaxSessions),
 			retryAfter: time.Second,

@@ -65,15 +65,22 @@ func TestLimiterSessions(t *testing.T) {
 	if !errors.As(err, &lim) {
 		t.Fatalf("limit rejection has type %T, want *errLimited", err)
 	}
-	// Re-registering a held name is not a new slot.
-	if err := l.registerSession("t1", "a"); err != nil {
-		t.Fatalf("re-register of held name: %v", err)
+	// Re-registering a held name is a conflict, not a fresh claim: the
+	// caller must not get a slot it would later release out from under the
+	// live session.
+	if err := l.registerSession("t1", "a"); !errors.Is(err, errSessionTaken) {
+		t.Fatalf("re-register of held name: got %v, want errSessionTaken", err)
+	}
+	// A second tenant claiming the same name is also a conflict and must
+	// not clobber the first tenant's ownership.
+	if err := l.registerSession("t2", "a"); !errors.Is(err, errSessionTaken) {
+		t.Fatalf("cross-tenant register of held name: got %v, want errSessionTaken", err)
 	}
 	// Another tenant has its own budget.
 	if err := l.registerSession("t2", "c"); err != nil {
 		t.Fatalf("second tenant blocked by first tenant's cap: %v", err)
 	}
-	// Releasing frees the slot.
+	// Releasing frees the slot for the real owner.
 	l.releaseSession("a")
 	if err := l.registerSession("t1", "c2"); err != nil {
 		t.Fatalf("register after release: %v", err)
