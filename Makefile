@@ -3,7 +3,9 @@
 #   make check       — vet + build + fast race-enabled tests with a
 #                      total-coverage summary, then the binary-level
 #                      crash-recovery leg (kill a durable serve process at
-#                      a WAL crash point, restart, verify) — the CI gate
+#                      a WAL crash point, restart, verify), the gateway
+#                      e2e leg and the seeded pool chaos sweep — the CI
+#                      gate
 #   make test        — the full (slow) test suite, as tier-1 verify runs it
 #   make bench       — go-test microbenchmarks plus the provbench paper
 #                      tables, the delta-kernel report (BENCH_3.json), the
@@ -20,9 +22,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test-short test crash-recovery gateway-e2e bench bench-smoke serve
+.PHONY: check vet build test-short test crash-recovery gateway-e2e chaos bench bench-smoke serve
 
-check: vet build test-short crash-recovery gateway-e2e
+check: vet build test-short crash-recovery gateway-e2e chaos
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +51,14 @@ crash-recovery:
 # answers (Compiles == 1 on the importer, no acked add lost).
 gateway-e2e:
 	$(GO) test -race -count=1 -run '^TestGateway' ./internal/gateway
+
+# The pool-level chaos sweep: real backends behind seeded fault proxies
+# (latency, resets, torn chunks, kill/revive outage windows) while clients
+# stream adds through the gateway. Deterministic fault schedules — a
+# failure replays from its seed. Asserts zero lost acked writes, no
+# invented writes, and bit-identical answers gateway-vs-holder.
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaos' ./internal/gateway/gatewaychaos
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -52,6 +52,26 @@ func cmdGateway(args []string) error {
 		"max concurrently proxied requests per backend; past it 503 + Retry-After")
 	quiesceTimeout := fs.Duration("quiesce-timeout", 10*time.Second,
 		"how long a migration waits for in-flight write streams before aborting")
+	statePath := fs.String("state", "",
+		"durable state journal path; placements and tenant quotas survive a gateway restart (empty = in-memory only)")
+	migrateParallel := fs.Int("migrate-parallel", 4,
+		"concurrent session migrations per rebalance/drain sweep")
+	retryAttempts := fs.Int("retry-attempts", 3,
+		"total attempts per idempotent backend call (1 disables retries)")
+	attemptTimeout := fs.Duration("attempt-timeout", 30*time.Second,
+		"per-attempt timeout for one-shot backend calls (streams are exempt)")
+	retryBudget := fs.Float64("retry-budget", 10,
+		"retries/sec each backend's retry budget refills at")
+	breakerThreshold := fs.Int("breaker-threshold", 3,
+		"consecutive transport failures that open a backend's circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second,
+		"circuit breaker's first open window (doubles per trip, capped by -breaker-cooldown-max)")
+	breakerCooldownMax := fs.Duration("breaker-cooldown-max", 30*time.Second,
+		"cap on the circuit breaker's doubling cooldown")
+	journalLines := fs.Int("journal-lines", 4096,
+		"max add-stream lines queued per stream during a migration (past it the client stalls)")
+	parkLimit := fs.Int("park-limit", 256,
+		"max one-shot writes parked per migrating session (past it 503 + Retry-After)")
 	maxSessions := fs.Int("tenant-max-sessions", 0, "per-tenant session cap (0 = unlimited)")
 	scenarioRate := fs.Float64("tenant-scenario-rate", 0,
 		"per-tenant scenarios/sec; one-shots past it get 429 + Retry-After, stream lines are throttled (0 = unlimited)")
@@ -64,12 +84,24 @@ func cmdGateway(args []string) error {
 		return fmt.Errorf("gateway: provide at least one -backend host:port")
 	}
 	g, err := gateway.New(backends, gateway.Options{
-		VNodes:         *vnodes,
-		ProbeInterval:  *probeInterval,
-		ProbeTimeout:   *probeTimeout,
-		FailThreshold:  *failThreshold,
-		MaxInflight:    *backendInflight,
-		QuiesceTimeout: *quiesceTimeout,
+		VNodes:          *vnodes,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		FailThreshold:   *failThreshold,
+		MaxInflight:     *backendInflight,
+		QuiesceTimeout:  *quiesceTimeout,
+		StatePath:       *statePath,
+		MigrateParallel: *migrateParallel,
+		Retry: gateway.RetryPolicy{
+			MaxAttempts:       *retryAttempts,
+			AttemptTimeout:    *attemptTimeout,
+			RetryBudgetPerSec: *retryBudget,
+		},
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		BreakerCooldownMax: *breakerCooldownMax,
+		JournalLines:       *journalLines,
+		ParkLimit:          *parkLimit,
 		Limits: gateway.TenantLimits{
 			MaxSessions:     *maxSessions,
 			ScenariosPerSec: *scenarioRate,

@@ -1,0 +1,84 @@
+package durable
+
+// Generic frame codec — the WAL's length+CRC32-C framing exported for
+// other subsystems (the gateway's placement/quota journal) that want the
+// same crash discipline without the session-record payload format. The
+// frame shape is identical to the session WAL's:
+//
+//	u32 LE payload length | u32 LE CRC32-C of payload | payload
+//
+// and the scanner keeps the same torn-tail-vs-corrupt-middle contract:
+// debris after the last whole frame (a truncated header, a frame running
+// past EOF, a zero-filled tail, a checksum mismatch on the *final* frame)
+// is the expected shape of a crash and is reported as a torn tail the
+// caller truncates; a checksum mismatch or implausible length with valid
+// data after it is ErrCorrupt, because silently dropping interior records
+// would be worse than refusing to start.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// AppendFrame appends one length+CRC-framed payload to dst and returns
+// the extended slice.
+func AppendFrame(dst, payload []byte) []byte {
+	return appendFrame(dst, payload)
+}
+
+// FrameScan is the outcome of scanning a framed file at recovery.
+type FrameScan struct {
+	// Payloads are the whole frames' payloads, in file order. They alias
+	// the scanned buffer.
+	Payloads [][]byte
+	// ValidLen is the byte length up to and including the last whole
+	// frame — where a caller repairing a torn tail truncates to.
+	ValidLen int64
+	// Torn reports that debris past ValidLen was dropped; TornWhy says
+	// what shape it had.
+	Torn    bool
+	TornWhy string
+}
+
+// ScanFrames walks the frames in b. Returns ErrCorrupt for interior
+// corruption; a damaged tail is reported via Torn/ValidLen instead.
+func ScanFrames(b []byte) (FrameScan, error) {
+	var s FrameScan
+	off := 0
+	for off < len(b) {
+		if len(b)-off < frameHeaderLen {
+			return tornFrames(s, off, b, "truncated frame header")
+		}
+		n := binary.LittleEndian.Uint32(b[off:])
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		if n == 0 || n > maxRecordLen {
+			if zeroTail(b[off:]) {
+				return tornFrames(s, off, b, "zero-filled tail")
+			}
+			return s, fmt.Errorf("%w: implausible frame length %d at offset %d", ErrCorrupt, n, off)
+		}
+		end := off + frameHeaderLen + int(n)
+		if end > len(b) {
+			return tornFrames(s, off, b, "frame runs past end of file")
+		}
+		payload := b[off+frameHeaderLen : end]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			if end == len(b) {
+				return tornFrames(s, off, b, "checksum mismatch on final frame")
+			}
+			return s, fmt.Errorf("%w: frame checksum mismatch at offset %d with %d bytes following", ErrCorrupt, off, len(b)-end)
+		}
+		s.Payloads = append(s.Payloads, payload)
+		off = end
+		s.ValidLen = int64(off)
+	}
+	return s, nil
+}
+
+func tornFrames(s FrameScan, off int, b []byte, why string) (FrameScan, error) {
+	s.Torn = off < len(b)
+	s.TornWhy = why
+	s.ValidLen = int64(off)
+	return s, nil
+}

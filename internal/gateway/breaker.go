@@ -1,0 +1,140 @@
+package gateway
+
+// Per-backend circuit breaker. The health prober decides pool membership
+// on a seconds-scale cadence; the breaker reacts on the request path, so
+// a backend that accepts TCP but stalls or resets every proxied call
+// stops costing callers a full timeout each. States:
+//
+//	closed    — requests flow; consecutive transport failures count up.
+//	open      — requests fail fast (503 + Retry-After = remaining
+//	            cooldown); no backend round trip at all.
+//	half-open — after the cooldown one trial request is admitted; its
+//	            success closes the breaker, its failure re-opens it with
+//	            a doubled cooldown (capped).
+//
+// Only transport-level failures (dial errors, resets, per-attempt
+// timeouts) count: an HTTP response of any status is the backend talking,
+// which is what the breaker exists to detect the absence of. The breaker
+// is integrated with the health prober both ways: tripping zeroes the
+// probe grace (suspect) so the prober re-examines the backend at the next
+// tick, and a successful health probe resets the breaker, so readmission
+// by probe and by trial request cannot disagree for long.
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int           // consecutive failures that trip it
+	cooldown    time.Duration // first trip's open window
+	maxCooldown time.Duration // cap for the doubling on repeated trips
+
+	state    breakerState
+	failures int           // consecutive failures while closed
+	openFor  time.Duration // current trip's window
+	until    time.Time     // when the open state ends
+	trial    bool          // a half-open trial request is in flight
+	trips    int64         // total trips, for observability
+}
+
+func newBreaker(threshold int, cooldown, maxCooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, maxCooldown: maxCooldown}
+}
+
+// allow reports whether a request may proceed; when it may not, it
+// returns how long the caller should tell the client to wait. In
+// half-open, exactly one caller at a time is admitted as the trial.
+func (b *breaker) allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false, b.until.Sub(now)
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return true, 0
+	default: // half-open
+		if b.trial {
+			return false, b.openFor
+		}
+		b.trial = true
+		return true, 0
+	}
+}
+
+// onSuccess records a completed round trip (any HTTP status): the backend
+// is talking, so the breaker closes.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.openFor = 0
+	b.trial = false
+}
+
+// onFailure records a transport failure and reports whether the breaker
+// just tripped (the caller zeroes the probe grace then).
+func (b *breaker) onFailure(now time.Time) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures < b.threshold {
+			return false
+		}
+		b.openFor = b.cooldown
+	case breakerHalfOpen:
+		// The trial failed: back to open, twice the window.
+		b.openFor *= 2
+		if b.openFor > b.maxCooldown {
+			b.openFor = b.maxCooldown
+		}
+	case breakerOpen:
+		// Failures while already open (concurrent requests that were in
+		// flight when it tripped) don't extend the window.
+		return false
+	}
+	b.state = breakerOpen
+	b.trial = false
+	b.until = now.Add(b.openFor)
+	b.trips++
+	return true
+}
+
+// reset closes the breaker outright — the health prober's success path,
+// so probe-observed recovery readmits the request path immediately.
+func (b *breaker) reset() { b.onSuccess() }
+
+// snapshot returns the state name and total trips for observability.
+func (b *breaker) snapshot() (state string, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.trips
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"provabs/internal/durable"
 	"provabs/internal/registry"
 )
 
@@ -46,6 +47,41 @@ type Options struct {
 	QuiesceTimeout time.Duration
 	// Limits are the per-tenant resource caps (zero: unlimited).
 	Limits TenantLimits
+	// Retry tunes gateway→backend retries for idempotent calls (see
+	// RetryPolicy; zero values take the documented defaults).
+	Retry RetryPolicy
+	// BreakerThreshold is how many consecutive transport failures open a
+	// backend's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's first open window (default 2s); it
+	// doubles on repeated trips up to BreakerCooldownMax (default 30s).
+	BreakerCooldown    time.Duration
+	BreakerCooldownMax time.Duration
+	// StatePath, when set, makes placements and tenant-session ownership
+	// durable in a checksummed journal there; a restarted gateway recovers
+	// its routing and quota counts instead of re-learning by sweep.
+	StatePath string
+	// StateFS is the filesystem the state journal lives on (default the
+	// real one; tests inject a fault-injecting FS).
+	StateFS durable.FS
+	// MigrateParallel bounds concurrent session migrations in one
+	// rebalance/drain sweep (default 4).
+	MigrateParallel int
+	// JournalLines / JournalBytes bound one add stream's queue-and-replay
+	// journal during a migration (defaults 4096 lines, 8 MiB). A full
+	// journal stops reading the client's body (TCP backpressure) rather
+	// than failing the stream.
+	JournalLines int
+	JournalBytes int64
+	// ParkLimit bounds how many one-shot writes may queue per migrating
+	// session (default 256); past it the gateway answers 503 again.
+	ParkLimit int
+	// ParkTimeout bounds how long a parked write waits out a migration
+	// (default 2×QuiesceTimeout).
+	ParkTimeout time.Duration
+	// MaxLineBytes bounds one NDJSON line through the add proxy (default
+	// 1 MiB, matching the backend).
+	MaxLineBytes int64
 	// Logger receives routing and migration diagnostics (default
 	// log.Default()).
 	Logger *log.Logger
@@ -76,6 +112,37 @@ func (o *Options) fillDefaults() {
 	if o.QuiesceTimeout <= 0 {
 		o.QuiesceTimeout = 10 * time.Second
 	}
+	o.Retry.fillDefaults()
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.BreakerCooldownMax <= 0 {
+		o.BreakerCooldownMax = 30 * time.Second
+	}
+	if o.StateFS == nil {
+		o.StateFS = durable.OSFS{}
+	}
+	if o.MigrateParallel <= 0 {
+		o.MigrateParallel = 4
+	}
+	if o.JournalLines <= 0 {
+		o.JournalLines = 4096
+	}
+	if o.JournalBytes <= 0 {
+		o.JournalBytes = 8 << 20
+	}
+	if o.ParkLimit <= 0 {
+		o.ParkLimit = 256
+	}
+	if o.ParkTimeout <= 0 {
+		o.ParkTimeout = 2 * o.QuiesceTimeout
+	}
+	if o.MaxLineBytes <= 0 {
+		o.MaxLineBytes = 1 << 20
+	}
 	if o.Logger == nil {
 		o.Logger = log.Default()
 	}
@@ -93,7 +160,9 @@ type backend struct {
 	backoff  time.Duration
 	nextAt   time.Time // earliest next probe while ejected
 
-	inflight chan struct{} // bounded proxy slots
+	inflight    chan struct{} // bounded proxy slots
+	breaker     *breaker      // request-path circuit breaker
+	retryBudget *tokenBucket  // caps retry amplification per backend
 }
 
 func (b *backend) isHealthy() bool {
@@ -127,12 +196,16 @@ type Gateway struct {
 	probe  *http.Client // health probes, tightly bounded
 	limits *limiter
 
+	state *stateStore // durable placements + quota ownership; nil without StatePath
+
 	mu         sync.RWMutex
 	backends   map[string]*backend
 	ring       *Ring
-	placements map[string]string // session name -> backend addr it lives on
-	moving     map[string]bool   // sessions quiesced for migration (writes 503)
-	writers    map[string]int    // in-flight write streams per session
+	placements map[string]string         // session name -> backend addr it lives on
+	moving     map[string]time.Time      // sessions quiesced for migration -> quiesce start
+	writers    map[string]int            // in-flight one-shot writes per session
+	parked     map[string]*parkedSession // bounded wait queues for quiesced writes
+	addProxies map[string][]*addProxy    // live add streams per session
 
 	rebalanceMu sync.Mutex // one rebalance sweep at a time
 
@@ -141,13 +214,21 @@ type Gateway struct {
 	wg       sync.WaitGroup
 
 	// counters for GET /gateway/backends observability
-	proxied    atomic.Int64
-	migrations atomic.Int64
+	proxied          atomic.Int64
+	migrations       atomic.Int64
+	retries          atomic.Int64 // idempotent round trips retried
+	parkedWrites     atomic.Int64 // one-shot writes that waited out a quiesce
+	journaledLines   atomic.Int64 // add lines buffered during migrations
+	replayedLines    atomic.Int64 // journaled lines replayed onto a new holder
+	journalStalls    atomic.Int64 // forwards blocked on a full journal
+	journalHighWater atomic.Int64 // deepest single-stream journal observed
 }
 
 // New builds a gateway over the given backend addresses (host:port). The
 // backends are assumed healthy until the first probe says otherwise; call
-// Start to begin probing.
+// Start to begin probing. With Options.StatePath set, placements and
+// tenant-session ownership recover from the durable journal before the
+// first request is served.
 func New(addrs []string, opts Options) (*Gateway, error) {
 	opts.fillDefaults()
 	if len(addrs) == 0 {
@@ -164,13 +245,31 @@ func New(addrs []string, opts Options) (*Gateway, error) {
 		backends:   make(map[string]*backend),
 		ring:       NewRing(opts.VNodes),
 		placements: make(map[string]string),
-		moving:     make(map[string]bool),
+		moving:     make(map[string]time.Time),
 		writers:    make(map[string]int),
+		parked:     make(map[string]*parkedSession),
+		addProxies: make(map[string][]*addProxy),
 		stopCh:     make(chan struct{}),
 	}
 	for _, addr := range addrs {
 		if err := g.addBackendLocked(addr); err != nil {
 			return nil, err
+		}
+	}
+	if opts.StatePath != "" {
+		st, recovered, err := openStateStore(opts.StateFS, opts.StatePath, opts.Logger)
+		if err != nil {
+			return nil, err
+		}
+		g.state = st
+		for name, e := range recovered {
+			g.placements[name] = e.Backend
+			if e.Tenant != "" {
+				// Re-seed the quota counters from the durable facts. adopt
+				// bypasses the cap check: these sessions already exist, and
+				// refusing to count them would under-charge, not protect.
+				g.limits.adopt(e.Tenant, name)
+			}
 		}
 	}
 	return g, nil
@@ -188,26 +287,34 @@ func (g *Gateway) addBackendLocked(addr string) error {
 		return fmt.Errorf("gateway: backend %s already in the pool", addr)
 	}
 	b := &backend{
-		addr:     addr,
-		base:     "http://" + addr,
-		healthy:  true,
-		inflight: make(chan struct{}, g.opts.MaxInflight),
+		addr:        addr,
+		base:        "http://" + addr,
+		healthy:     true,
+		inflight:    make(chan struct{}, g.opts.MaxInflight),
+		breaker:     newBreaker(g.opts.BreakerThreshold, g.opts.BreakerCooldown, g.opts.BreakerCooldownMax),
+		retryBudget: newTokenBucket(g.opts.Retry.RetryBudgetPerSec, g.opts.Retry.RetryBudgetBurst, time.Now()),
 	}
 	g.backends[addr] = b
 	g.ring.Add(addr)
 	return nil
 }
 
-// Start launches the health-probe loop. Stop ends it.
+// Start launches the health-probe loop. Stop ends it. Initial probe
+// times are staggered across the interval so a fleet of gateways (or one
+// gateway's backends) never probe in the same instant; tests that drive
+// probeAll by hand never call Start and keep the probe-everything-now
+// zero values.
 func (g *Gateway) Start() {
+	g.staggerProbes()
 	g.wg.Add(1)
 	go g.probeLoop()
 }
 
-// Stop ends background work and waits for it.
+// Stop ends background work, waits for it, and closes the state journal.
 func (g *Gateway) Stop() {
 	g.stopOnce.Do(func() { close(g.stopCh) })
 	g.wg.Wait()
+	g.state.close()
 }
 
 // lookup resolves a backend by addr.
@@ -354,12 +461,17 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	g.mu.RUnlock()
 	if placed {
-		if b == nil || !b.isHealthy() {
-			g.writeUnavailable(w, 2, fmt.Errorf(
+		if b == nil {
+			g.writeUnavailable(w, 1, fmt.Errorf(
+				"session %q already exists on backend %s, which left the pool; retry shortly", req.Name, placedAddr))
+			return
+		}
+		if !b.isHealthy() {
+			g.writeUnavailable(w, g.probeRetrySeconds(b), fmt.Errorf(
 				"session %q already exists on backend %s, which is unreachable; retry shortly", req.Name, placedAddr))
 			return
 		}
-		g.proxyBuffered(w, r, b, body) //nolint:errcheck // holder's verdict (409) already written
+		g.proxyBuffered(w, r, b, body, false) //nolint:errcheck // holder's verdict (409) already written
 		return
 	}
 
@@ -377,13 +489,14 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 		g.writeUnavailable(w, 1, fmt.Errorf("gateway: no routable backends in the pool"))
 		return
 	}
-	status, err := g.proxyBuffered(w, r, b, body)
+	status, err := g.proxyBuffered(w, r, b, body, false)
 	if err != nil || status != http.StatusCreated {
 		g.limits.releaseSession(req.Name)
 		return
 	}
 	g.mu.Lock()
 	g.placements[req.Name] = b.addr
+	g.statePlace(req.Name, b.addr, tenant)
 	g.mu.Unlock()
 }
 
@@ -396,59 +509,79 @@ func (g *Gateway) handleSession(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
-	if r.Method == http.MethodDelete && g.quiesced(name) {
-		g.writeUnavailable(w, 1, fmt.Errorf("session %q is migrating; retry shortly", name))
-		return
+	if r.Method == http.MethodDelete {
+		// DELETE is a write for migration purposes: it parks through a
+		// quiesce window like any one-shot write, then registers as a
+		// writer and re-checks — otherwise a delete racing moveSession can
+		// land on the old holder after the export and the cutover silently
+		// resurrects the session. Routing happens after the park: the whole
+		// point of waiting is that the holder may change.
+		if !g.claimWrite(w, r, name) {
+			return
+		}
+		defer g.removeWriter(name)
 	}
 	b, err := g.route(name)
 	if err != nil {
 		g.writeUnavailable(w, 1, err)
 		return
 	}
-	if r.Method == http.MethodDelete {
-		// DELETE is a write for migration purposes: register as a writer and
-		// re-check the quiesce flag, same as handleSessionVerb's write verbs.
-		// Otherwise a delete racing moveSession can land on the old holder
-		// after the export and the cutover silently resurrects the session.
-		g.addWriter(name)
-		defer g.removeWriter(name)
-		if g.quiesced(name) {
-			g.writeUnavailable(w, 1, fmt.Errorf("session %q is migrating; retry shortly", name))
-			return
-		}
-	}
-	status, err := g.proxyBuffered(w, r, b, nil)
+	status, err := g.proxyBuffered(w, r, b, nil, r.Method == http.MethodGet)
 	if r.Method == http.MethodDelete && err == nil && status == http.StatusOK {
 		g.mu.Lock()
 		delete(g.placements, name)
+		g.stateUnplace(name)
 		g.mu.Unlock()
 		g.limits.releaseSession(name)
+	}
+}
+
+// claimWrite parks the caller through any in-flight migration of name and
+// registers it as a writer. It reports false with the 503 already written
+// when the park queue overflows or outlives ParkTimeout. The
+// register-then-recheck loop closes the race with a quiesce that begins
+// between awaitWritable's answer and the registration.
+func (g *Gateway) claimWrite(w http.ResponseWriter, r *http.Request, name string) bool {
+	for {
+		ra, err := g.awaitWritable(r.Context(), name)
+		if err != nil {
+			g.writeUnavailable(w, ra, err)
+			return false
+		}
+		g.addWriter(name)
+		if !g.quiesced(name) {
+			return true
+		}
+		g.removeWriter(name)
 	}
 }
 
 // verbClass classifies a session sub-verb for routing policy.
 type verbClass struct {
 	stream bool // NDJSON in or out: proxy full-duplex, flush per line
-	write  bool // mutates the session: quiesced during migration
-	cost   int  // scenarios charged up front (streams meter per line instead)
+	write  bool // mutates the session: parked/journaled during migration
+	// idempotent marks verbs safe to retry on transport failure: repeating
+	// them cannot change state twice. whatif/query/export/stats only read;
+	// create, add, compress and delete get exactly one attempt, because a
+	// lost response leaves their effect in doubt.
+	idempotent bool
+	cost       int // scenarios charged up front (streams meter per line instead)
 }
 
 // classify maps the {verb...} path tail. Unknown verbs proxy as plain
 // requests — the backend answers 404/405 authoritatively.
 func classify(verb string) verbClass {
 	switch verb {
-	case "whatif":
-		return verbClass{cost: 1}
-	case "query":
-		return verbClass{cost: 1}
+	case "whatif", "query":
+		return verbClass{cost: 1, idempotent: true}
 	case "whatif/stream", "query/stream":
-		return verbClass{stream: true}
+		return verbClass{stream: true, idempotent: true} // read-only, but streams never retry
 	case "add":
 		return verbClass{stream: true, write: true}
 	case "compress":
 		return verbClass{write: true}
 	case "export", "stats":
-		return verbClass{}
+		return verbClass{idempotent: true}
 	default:
 		return verbClass{}
 	}
@@ -458,7 +591,8 @@ func classify(verb string) verbClass {
 func (g *Gateway) quiesced(name string) bool {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.moving[name]
+	_, ok := g.moving[name]
+	return ok
 }
 
 // handleSessionVerb proxies every per-session verb, applying tenant
@@ -469,10 +603,6 @@ func (g *Gateway) handleSessionVerb(w http.ResponseWriter, r *http.Request) {
 	class := classify(verb)
 	tenant := tenantFor(r)
 
-	if class.write && g.quiesced(name) {
-		g.writeUnavailable(w, 1, fmt.Errorf("session %q is migrating; retry shortly", name))
-		return
-	}
 	if class.cost > 0 {
 		if err := g.limits.allowScenarios(tenant, float64(class.cost)); err != nil {
 			g.writeLimited(w, err)
@@ -489,29 +619,69 @@ func (g *Gateway) handleSessionVerb(w http.ResponseWriter, r *http.Request) {
 		r.Body = g.limits.throttleBody(r.Context(), tenant, r.Body)
 	}
 
+	// The add-ingestion stream has its own line-aware proxy: it rides out
+	// migrations by journaling and replaying instead of bouncing with 503.
+	if verb == "add" && r.Method == http.MethodPost {
+		g.serveAddStream(w, r, name)
+		return
+	}
+
+	if class.write {
+		// One-shot writes (compress, a mis-methoded add) park through a
+		// migration rather than bounce.
+		if !g.claimWrite(w, r, name) {
+			return
+		}
+		defer g.removeWriter(name)
+	}
+
 	b, err := g.route(name)
 	if err != nil {
 		g.writeUnavailable(w, 1, err)
 		return
 	}
 	if !b.isHealthy() {
-		g.writeUnavailable(w, 2, fmt.Errorf("backend %s holding session %q is unhealthy; retry shortly", b.addr, name))
+		g.writeUnavailable(w, g.probeRetrySeconds(b),
+			fmt.Errorf("backend %s holding session %q is unhealthy; retry shortly", b.addr, name))
 		return
 	}
 
-	if class.write {
-		g.addWriter(name)
-		defer g.removeWriter(name)
-		// The quiesce check races the writer registration: a migration that
-		// marked the session moving between our check and here must not see
-		// this write slip through — its acks would miss the export.
-		if g.quiesced(name) {
-			g.writeUnavailable(w, 1, fmt.Errorf("session %q is migrating; retry shortly", name))
+	if class.stream {
+		g.proxyStream(w, r, b, true)
+		return
+	}
+
+	// One-shot verbs go fully buffered through the retrying round trip: a
+	// retry must never fire after response bytes reached the client, and
+	// buffering is what makes that invariant trivially true.
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet {
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, g.opts.MaxCreateBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				g.writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("%s: request body exceeds the %d-byte limit", verb, tooBig.Limit))
+				return
+			}
+			g.writeError(w, http.StatusBadRequest, fmt.Errorf("%s: reading body: %w", verb, err))
 			return
 		}
 	}
+	g.proxyBuffered(w, r, b, body, class.idempotent) //nolint:errcheck // response already written
+}
 
-	g.proxyStream(w, r, b, class.stream)
+// probeRetrySeconds derives an unhealthy backend's Retry-After from the
+// prober's real schedule: the soonest the pool's view can change is that
+// backend's next probe, so that is what the client is told to wait.
+func (g *Gateway) probeRetrySeconds(b *backend) int {
+	b.mu.Lock()
+	next := b.nextAt
+	b.mu.Unlock()
+	if d := time.Until(next); d > 0 {
+		return retrySeconds(d)
+	}
+	return 1
 }
 
 func (g *Gateway) addWriter(name string) {
@@ -647,6 +817,8 @@ type backendInfo struct {
 	Ring     bool   `json:"on_ring"`
 	Sessions int    `json:"sessions"` // placements routed here
 	Inflight int    `json:"inflight"`
+	Breaker  string `json:"breaker"`       // closed / open / half-open
+	Trips    int64  `json:"breaker_trips"` // total breaker trips
 }
 
 func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
@@ -657,6 +829,7 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 	}
 	infos := make([]backendInfo, 0, len(g.backends))
 	for addr, b := range g.backends {
+		state, trips := b.breaker.snapshot()
 		b.mu.Lock()
 		infos = append(infos, backendInfo{
 			Addr:     addr,
@@ -665,6 +838,8 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 			Ring:     g.ring.Has(addr),
 			Sessions: held[addr],
 			Inflight: len(b.inflight),
+			Breaker:  state,
+			Trips:    trips,
 		})
 		b.mu.Unlock()
 	}
@@ -674,6 +849,15 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 		"backends":   infos,
 		"migrations": g.migrations.Load(),
 		"proxied":    g.proxied.Load(),
+		"resilience": map[string]any{
+			"retries":            g.retries.Load(),
+			"parked_writes":      g.parkedWrites.Load(),
+			"journaled_lines":    g.journaledLines.Load(),
+			"replayed_lines":     g.replayedLines.Load(),
+			"journal_stalls":     g.journalStalls.Load(),
+			"journal_high_water": g.journalHighWater.Load(),
+			"state_durable":      g.state.healthy(),
+		},
 	})
 }
 
@@ -734,9 +918,19 @@ func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
 	b.mu.Unlock()
 	g.ring.Remove(addr)
 	g.mu.Unlock()
-	moved, err := g.Rebalance(r.Context())
+	// The sweep migrates every session it can and reports the ones it
+	// could not per session, instead of aborting at the first failure: a
+	// drain with one wedged session still moves the other N-1.
+	moved, failures, err := g.rebalanceDetail(r.Context())
 	if err != nil {
 		g.writeUnavailable(w, 2, fmt.Errorf("drain %s: %w (migrated %d; retry to finish)", addr, err, moved))
+		return
+	}
+	if len(failures) > 0 {
+		w.Header().Set("Retry-After", "2")
+		g.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"draining": addr, "migrated": moved, "errors": failures,
+		})
 		return
 	}
 	g.writeJSON(w, http.StatusOK, map[string]any{"draining": addr, "migrated": moved})
@@ -755,6 +949,7 @@ func (g *Gateway) handleRemoveBackend(w http.ResponseWriter, r *http.Request) {
 		for name, holder := range g.placements {
 			if holder == addr {
 				delete(g.placements, name)
+				g.stateUnplace(name)
 			}
 		}
 	}

@@ -734,20 +734,23 @@ func TestGatewayRingPoolDivergence(t *testing.T) {
 }
 
 // TestGatewayDeleteQuiescedDuringMigration: DELETE is a write for
-// migration purposes — while a session is quiesced it answers 503 +
-// Retry-After instead of racing the export/cutover, and proceeds normally
-// once the quiesce lifts.
+// migration purposes — while a session is quiesced it parks on the
+// session's bounded queue and proceeds (no client-visible error) once the
+// quiesce lifts; only a park that outlives ParkTimeout degrades to 503 +
+// Retry-After.
 func TestGatewayDeleteQuiescedDuringMigration(t *testing.T) {
 	b1 := newPoolBackend(t)
-	g, gts := newTestGateway(t, Options{}, b1)
+	g, gts := newTestGateway(t, Options{ParkTimeout: 150 * time.Millisecond}, b1)
 	if resp := createSession(t, gts.URL, "moving", ""); resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create: status %d", resp.StatusCode)
 	}
 
-	g.mu.Lock()
-	g.moving["moving"] = true
-	g.mu.Unlock()
-
+	// A quiesce nobody lifts: the parked delete must give up at
+	// ParkTimeout with 503 + Retry-After, and must never have reached the
+	// backend.
+	if !g.quiesceSession("moving") {
+		t.Fatal("quiesceSession refused")
+	}
 	req, err := http.NewRequest(http.MethodDelete, gts.URL+"/v1/sessions/moving", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -758,28 +761,65 @@ func TestGatewayDeleteQuiescedDuringMigration(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("delete during quiesce: status %d, want 503", resp.StatusCode)
+		t.Fatalf("delete past the park window: status %d, want 503", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
-		t.Error("quiesced delete 503 without a Retry-After header")
+		t.Error("parked-out delete 503 without a Retry-After header")
 	}
 	if b1.reg.Len() != 1 {
 		t.Fatal("quiesced delete reached the backend")
 	}
 
-	g.mu.Lock()
-	delete(g.moving, "moving")
-	g.mu.Unlock()
-
-	resp2, err := http.DefaultClient.Do(req.Clone(context.Background()))
-	if err != nil {
-		t.Fatal(err)
+	// A quiesce that lifts while the delete is parked: the client sees a
+	// plain 200, never a 503.
+	g.unquiesceSession("moving")
+	if !g.quiesceSession("moving") {
+		t.Fatal("re-quiesce refused")
 	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("delete after quiesce lifted: status %d", resp2.StatusCode)
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req.Clone(context.Background()))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode}
+	}()
+	// Let the delete reach the park queue, then lift the quiesce.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		g.mu.RLock()
+		parked := g.parked["moving"]
+		n := 0
+		if parked != nil {
+			n = parked.count
+		}
+		g.mu.RUnlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delete never parked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	g.unquiesceSession("moving")
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("parked delete after unquiesce: status %d, want 200", res.status)
 	}
 	if b1.reg.Len() != 0 {
 		t.Fatal("session survived the delete")
+	}
+	if g.parkedWrites.Load() == 0 {
+		t.Error("parked_writes counter never moved")
 	}
 }

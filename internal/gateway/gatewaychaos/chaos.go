@@ -1,0 +1,240 @@
+// Package gatewaychaos is a fault-injecting TCP layer for pool-level
+// resilience tests. A Proxy sits between the gateway and one backend and
+// corrupts the transport the way real networks and dying processes do:
+// added latency, connection resets mid-conversation, torn writes (a chunk
+// truncated mid-NDJSON-line, then the connection killed), and whole-backend
+// outage windows (Kill/Revive). All randomness comes from a caller-supplied
+// seed, so a failing schedule replays.
+//
+// The proxy is deliberately protocol-blind — it tears TCP chunks, not JSON
+// frames — because that is what the gateway's retry/breaker/journal layers
+// must survive: the fault injector must not be polite about line
+// boundaries when the network isn't.
+package gatewaychaos
+
+import (
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config tunes one Proxy's fault mix. Probabilities are per forwarded
+// chunk, in [0, 1].
+type Config struct {
+	Seed       int64
+	LatencyP   float64       // delay this chunk
+	MaxLatency time.Duration // uniform in (0, MaxLatency]
+	ResetP     float64       // drop the connection before the chunk
+	TearP      float64       // forward half the chunk, then drop
+}
+
+// Proxy is one seeded chaos proxy in front of a backend address.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    Config
+	chaos  bool // injection enabled
+	killed bool // outage window: refuse + reset everything
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// New starts a chaos proxy forwarding to target (host:port). Injection
+// starts enabled.
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		rng:    rand.New(rand.NewPCG(uint64(cfg.Seed), 0x9e3779b97f4a7c15)),
+		cfg:    cfg,
+		chaos:  true,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address the gateway should use as the backend.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetChaos toggles fault injection; with it off the proxy forwards
+// faithfully (the verification phase).
+func (p *Proxy) SetChaos(on bool) {
+	p.mu.Lock()
+	p.chaos = on
+	p.mu.Unlock()
+}
+
+// Kill opens an outage window: every live connection is reset and new ones
+// are accepted and immediately closed — the backend process is "dead".
+func (p *Proxy) Kill() {
+	p.mu.Lock()
+	p.killed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Revive ends the outage window.
+func (p *Proxy) Revive() {
+	p.mu.Lock()
+	p.killed = false
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.killed {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.mu.Unlock()
+		go p.serve(conn)
+	}
+}
+
+// track registers a live connection for Kill/Close teardown; the returned
+// func unregisters it.
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+// fault is one chunk's fate, decided under the seeded rng.
+type fault struct {
+	delay time.Duration
+	reset bool
+	tear  bool
+}
+
+func (p *Proxy) roll() fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.chaos {
+		return fault{}
+	}
+	var f fault
+	r := p.rng.Float64()
+	switch {
+	case r < p.cfg.ResetP:
+		f.reset = true
+	case r < p.cfg.ResetP+p.cfg.TearP:
+		f.tear = true
+	}
+	if p.cfg.MaxLatency > 0 && p.rng.Float64() < p.cfg.LatencyP {
+		f.delay = time.Duration(1 + p.rng.Int64N(int64(p.cfg.MaxLatency)))
+	}
+	return f
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer client.Close()
+	untrack := p.track(client)
+	defer untrack()
+
+	backend, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	untrackB := p.track(backend)
+	defer untrackB()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.pump(backend, client)
+		// Half-closing keeps clean EOFs clean (an add stream's half-close
+		// must reach the backend as EOF, not a reset).
+		if tcp, ok := backend.(*net.TCPConn); ok {
+			tcp.CloseWrite() //nolint:errcheck
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		p.pump(client, backend)
+		if tcp, ok := client.(*net.TCPConn); ok {
+			tcp.CloseWrite() //nolint:errcheck
+		}
+	}()
+	wg.Wait()
+}
+
+// pump copies src→dst chunk by chunk, applying the seeded fault mix. A
+// reset or tear closes both directions hard.
+func (p *Proxy) pump(dst, src net.Conn) {
+	buf := make([]byte, 16*1024)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			f := p.roll()
+			if f.delay > 0 {
+				time.Sleep(f.delay)
+			}
+			if f.reset {
+				p.hardClose(dst, src)
+				return
+			}
+			if f.tear {
+				dst.Write(buf[:n/2]) //nolint:errcheck // dying anyway
+				p.hardClose(dst, src)
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				dst.Close()
+			}
+			return
+		}
+	}
+}
+
+// hardClose resets both sides of the relayed conversation.
+func (p *Proxy) hardClose(a, b net.Conn) {
+	if tcp, ok := a.(*net.TCPConn); ok {
+		tcp.SetLinger(0) //nolint:errcheck // RST, not FIN: a crash, not a goodbye
+	}
+	if tcp, ok := b.(*net.TCPConn); ok {
+		tcp.SetLinger(0) //nolint:errcheck
+	}
+	a.Close()
+	b.Close()
+}

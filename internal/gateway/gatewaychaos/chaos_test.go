@@ -1,0 +1,378 @@
+package gatewaychaos
+
+// The pool-level chaos sweep: a real gateway over two real backends, each
+// behind a seeded fault proxy injecting latency, resets, torn NDJSON
+// chunks and whole-backend outage windows — while clients stream adds.
+// The acceptance bar, checked after the storm with injection off:
+//
+//   1. zero lost acked writes — every add line whose ack reached the
+//      client is present in the surviving session;
+//   2. no invented writes — every polynomial present was either acked or
+//      in doubt (sent to a leg that died before acking; adds are not
+//      idempotent, so those may legitimately have landed);
+//   3. bit-identical answers — a what-if through the gateway equals the
+//      holding backend's own answer byte for byte.
+//
+// Clients follow the documented client contract: a 503 (breaker open,
+// backend unhealthy, queue bound) means "not applied, retry"; anything
+// that dies after the stream opened leaves its unacked tail in doubt and
+// is NOT retried — retrying an in-doubt add could double-apply it.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"provabs/internal/gateway"
+	"provabs/internal/provenance"
+	"provabs/internal/registry"
+	"provabs/internal/server"
+)
+
+func TestChaosGatewaySweep(t *testing.T) {
+	seeds := []int64{1, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosSweep(t, seed)
+		})
+	}
+}
+
+// chaosBackend is one real backend plus the chaos proxy fronting it.
+type chaosBackend struct {
+	ts    *httptest.Server
+	reg   *registry.Registry
+	proxy *Proxy
+}
+
+func seedSetB64(t *testing.T) string {
+	t.Helper()
+	vb := provenance.NewVocab()
+	set := provenance.NewSet(vb)
+	set.Add("seed", provenance.MustParse(vb, "220.8·p1·m1 + 240·p1·m3"))
+	var buf bytes.Buffer
+	if err := provenance.Encode(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+func runChaosSweep(t *testing.T, seed int64) {
+	cfg := Config{
+		Seed:       seed,
+		LatencyP:   0.10,
+		MaxLatency: 5 * time.Millisecond,
+		ResetP:     0.01,
+		TearP:      0.01,
+	}
+	backends := make([]*chaosBackend, 2)
+	addrs := make([]string, 2)
+	for i := range backends {
+		reg := registry.New()
+		ts := httptest.NewServer(server.New(reg).Handler())
+		t.Cleanup(ts.Close)
+		pcfg := cfg
+		pcfg.Seed = seed + int64(i)*7919
+		proxy, err := New(strings.TrimPrefix(ts.URL, "http://"), pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(proxy.Close)
+		backends[i] = &chaosBackend{ts: ts, reg: reg, proxy: proxy}
+		addrs[i] = proxy.Addr()
+	}
+
+	g, err := gateway.New(addrs, gateway.Options{
+		ProbeInterval:  150 * time.Millisecond,
+		ProbeTimeout:   100 * time.Millisecond,
+		FailThreshold:  2,
+		QuiesceTimeout: 3 * time.Second,
+		Retry: gateway.RetryPolicy{
+			MaxAttempts:       3,
+			AttemptTimeout:    2 * time.Second,
+			BackoffBase:       2 * time.Millisecond,
+			BackoffMax:        20 * time.Millisecond,
+			RetryBudgetPerSec: 1000,
+			RetryBudgetBurst:  1000,
+		},
+		BreakerThreshold:   4,
+		BreakerCooldown:    50 * time.Millisecond,
+		BreakerCooldownMax: 500 * time.Millisecond,
+		Logger:             log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	t.Cleanup(g.Stop)
+	gts := httptest.NewServer(g.Handler())
+	t.Cleanup(gts.Close)
+
+	deadline := time.Now().Add(25 * time.Second)
+
+	// Create the sessions, retrying through outage windows.
+	const nSessions = 3
+	seedB64 := seedSetB64(t)
+	for si := 0; si < nSessions; si++ {
+		name := fmt.Sprintf("chaos-%d", si)
+		body, _ := json.Marshal(map[string]string{"name": name, "provenance_b64": seedB64})
+		for {
+			resp, err := http.Post(gts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+			if err == nil {
+				status := resp.StatusCode
+				resp.Body.Close()
+				if status == http.StatusCreated || status == http.StatusConflict {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("could not create %s before the deadline", name)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// The outage scheduler: seeded kill/revive windows, one backend at a
+	// time so the pool always has somewhere to fail over to.
+	schedRng := rand.New(rand.NewPCG(uint64(seed), 0xc0ffee))
+	schedStop := make(chan struct{})
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		for {
+			select {
+			case <-schedStop:
+				return
+			case <-time.After(time.Duration(200+schedRng.Int64N(300)) * time.Millisecond):
+			}
+			victim := backends[schedRng.IntN(len(backends))].proxy
+			victim.Kill()
+			select {
+			case <-schedStop:
+				victim.Revive()
+				return
+			case <-time.After(time.Duration(100+schedRng.Int64N(200)) * time.Millisecond):
+			}
+			victim.Revive()
+		}
+	}()
+
+	// Writers: each session streams adds in batches of 5 under the client
+	// contract. acked = tags whose ack arrived; maybe = tags sent to a leg
+	// that died unacked.
+	type outcome struct {
+		acked map[string]bool
+		maybe map[string]bool
+	}
+	outcomes := make([]outcome, nSessions)
+	var wg sync.WaitGroup
+	for si := 0; si < nSessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			name := fmt.Sprintf("chaos-%d", si)
+			out := outcome{acked: map[string]bool{}, maybe: map[string]bool{}}
+			// Paced so the write load spans several kill/revive windows —
+			// 12 batches × 40ms floor ≈ half a second of sustained writes
+			// plus whatever the outages add in 503-retry loops.
+			const total, batch = 60, 5
+			for next := 0; next < total && time.Now().Before(deadline); {
+				n := batch
+				if next+n > total {
+					n = total - next
+				}
+				var sb strings.Builder
+				tags := make([]string, n)
+				for j := 0; j < n; j++ {
+					tags[j] = fmt.Sprintf("s%d-l%03d", si, next+j)
+					fmt.Fprintf(&sb, `{"tag":%q,"poly":"%d*p1*m1 + %d*p1*m3"}`+"\n",
+						tags[j], 3+next+j+100*si, 5+2*(next+j))
+				}
+				ackedN, definitelyNot := runAddBatch(gts.URL, name, sb.String(), n)
+				for j := 0; j < ackedN; j++ {
+					out.acked[tags[j]] = true
+				}
+				if definitelyNot {
+					// 503: the gateway refused before forwarding anything.
+					// Same batch again after a breath.
+					time.Sleep(60 * time.Millisecond)
+					continue
+				}
+				for j := ackedN; j < n; j++ {
+					out.maybe[tags[j]] = true
+				}
+				next += n
+				time.Sleep(40 * time.Millisecond)
+			}
+			outcomes[si] = out
+		}(si)
+	}
+	wg.Wait()
+	close(schedStop)
+	<-schedDone
+
+	// Storm over: faithful transport, revive everything, let the prober
+	// readmit and a final sweep settle placements and retire orphans.
+	for _, cb := range backends {
+		cb.proxy.Revive()
+		cb.proxy.SetChaos(false)
+	}
+	// Settled means: a full Rebalance sweep succeeds AND every session has
+	// exactly one holding backend — a failed mid-storm migration can leave
+	// an orphan copy behind, and the sweep is what retires it.
+	directBySession := make([]map[string]string, nSessions)
+	settle := time.Now().Add(15 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := g.Rebalance(ctx)
+		cancel()
+		if err == nil {
+			holders := 0
+			for si := 0; si < nSessions; si++ {
+				directBySession[si] = nil
+				name := fmt.Sprintf("chaos-%d", si)
+				for _, cb := range backends {
+					if m, ok := tryWhatifAnswers(cb.ts.URL, name); ok {
+						directBySession[si] = m
+						holders++
+					}
+				}
+			}
+			if holders == nSessions {
+				break
+			}
+			err = fmt.Errorf("%d holder(s) for %d sessions", holders, nSessions)
+		}
+		if time.Now().After(settle) {
+			t.Fatalf("pool never settled after the storm: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Verification per session.
+	for si := 0; si < nSessions; si++ {
+		name := fmt.Sprintf("chaos-%d", si)
+		out := outcomes[si]
+		viaGateway := whatifAnswers(t, gts.URL, name)
+
+		for tag := range out.acked {
+			if _, ok := viaGateway[tag]; !ok {
+				t.Errorf("%s: ACKED add %q is missing — an acknowledged write was lost", name, tag)
+			}
+		}
+		for tag := range viaGateway {
+			if tag == "seed" || out.acked[tag] || out.maybe[tag] {
+				continue
+			}
+			t.Errorf("%s: tag %q present but never sent — an invented write", name, tag)
+		}
+
+		// Bit-identity: the holding backend's own answer, compared as raw
+		// JSON — same bytes means same float bits.
+		direct := directBySession[si]
+		if len(direct) != len(viaGateway) {
+			t.Errorf("%s: gateway sees %d tags, holder has %d", name, len(viaGateway), len(direct))
+		}
+		for tag, raw := range viaGateway {
+			if draw, ok := direct[tag]; !ok || draw != raw {
+				t.Errorf("%s: tag %q = %s via gateway, %s direct — the proxy changed the bits", name, tag, raw, draw)
+			}
+		}
+		if testing.Verbose() {
+			t.Logf("%s: %d acked, %d in doubt, %d tags live", name, len(out.acked), len(out.maybe), len(viaGateway)-1)
+		}
+	}
+}
+
+// runAddBatch posts one NDJSON add batch through the gateway and counts
+// consecutive acks from the response. definitelyNot reports the one case
+// the contract lets a client retry verbatim: a 503, issued before any line
+// was forwarded to a backend.
+func runAddBatch(base, name, body string, n int) (acked int, definitelyNot bool) {
+	resp, err := http.Post(base+"/v1/sessions/"+name+"/add", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		return 0, false // transport death mid-request: everything in doubt
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return 0, true
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return 0, false
+	}
+	scan := bufio.NewScanner(resp.Body)
+	for scan.Scan() {
+		var ack struct {
+			Index *int   `json:"index"`
+			Error string `json:"error,omitempty"`
+		}
+		if err := json.Unmarshal(scan.Bytes(), &ack); err != nil || ack.Index == nil || ack.Error != "" {
+			return acked, false // in-band terminal: the tail is in doubt
+		}
+		if *ack.Index != acked {
+			return acked, false
+		}
+		acked++
+	}
+	return acked, false
+}
+
+// whatifAnswers fetches a what-if through base and maps tag → raw JSON
+// value, retrying briefly (the pool may still be reprobing).
+func whatifAnswers(t *testing.T, base, name string) map[string]string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m, ok := tryWhatifAnswers(base, name); ok {
+			return m
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("whatif %s via %s never answered", name, base)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func tryWhatifAnswers(base, name string) (map[string]string, bool) {
+	body := `{"assign":{"p1":0.5,"m1":1,"m3":1}}`
+	resp, err := http.Post(base+"/v1/sessions/"+name+"/whatif", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil, false
+	}
+	var out struct {
+		Answers []struct {
+			Tag   string          `json:"tag"`
+			Value json.RawMessage `json:"value"`
+		} `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, false
+	}
+	m := make(map[string]string, len(out.Answers))
+	for _, a := range out.Answers {
+		m[a.Tag] = string(a.Value)
+	}
+	return m, true
+}

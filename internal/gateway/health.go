@@ -12,14 +12,45 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"time"
 )
 
-// probeLoop drives the pool's health until Stop.
+// staggerProbes assigns every backend a random first probe time within
+// the probe interval, so a pool of N backends is examined N times per
+// interval spread out rather than in one synchronized burst. Only Start
+// calls this: tests that drive probeAll by hand keep the zero nextAt,
+// which means "due now".
+func (g *Gateway) staggerProbes() {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	now := time.Now()
+	for _, b := range g.backends {
+		b.mu.Lock()
+		b.nextAt = now.Add(rand.N(g.opts.ProbeInterval))
+		b.mu.Unlock()
+	}
+}
+
+// probeJitter spreads the next probe across ±15% of the interval, so
+// backends that happened to align (restarts, a suspect() burst zeroing
+// several grace timers at once) drift apart again instead of staying in
+// phase forever.
+func probeJitter(interval time.Duration) time.Duration {
+	return time.Duration(float64(interval) * (0.85 + 0.3*rand.Float64()))
+}
+
+// probeLoop drives the pool's health until Stop. The ticker runs at a
+// fraction of ProbeInterval and each backend carries its own jittered
+// next-due time; the loop only probes what is due.
 func (g *Gateway) probeLoop() {
 	defer g.wg.Done()
-	ticker := time.NewTicker(g.opts.ProbeInterval)
+	tick := g.opts.ProbeInterval / 8
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 	for {
 		select {
@@ -45,7 +76,9 @@ func (g *Gateway) probeLoop() {
 }
 
 // probeAll probes every due backend once; reports whether any backend was
-// readmitted to the ring.
+// readmitted to the ring. A backend is due when its jittered next-probe
+// time has passed (the zero time — a fresh pool, a suspect() report, a
+// test-driven gateway — is always due).
 func (g *Gateway) probeAll() (ringChanged bool) {
 	g.mu.RLock()
 	targets := make([]*backend, 0, len(g.backends))
@@ -56,7 +89,7 @@ func (g *Gateway) probeAll() (ringChanged bool) {
 	now := time.Now()
 	for _, b := range targets {
 		b.mu.Lock()
-		due := b.healthy || !now.Before(b.nextAt)
+		due := !now.Before(b.nextAt)
 		b.mu.Unlock()
 		if !due {
 			continue
@@ -90,9 +123,14 @@ func (g *Gateway) probeOne(b *backend) (readmitted bool) {
 				b.backoff = g.opts.ReadmitBackoffMax
 			}
 			b.nextAt = time.Now().Add(b.backoff)
+		} else {
+			// Still under the threshold: keep probing at the normal jittered
+			// cadence while the count climbs.
+			b.nextAt = time.Now().Add(probeJitter(g.opts.ProbeInterval))
 		}
 	} else {
 		b.failures = 0
+		b.nextAt = time.Now().Add(probeJitter(g.opts.ProbeInterval))
 		if !b.healthy {
 			b.healthy = true
 			b.backoff = 0
@@ -103,6 +141,11 @@ func (g *Gateway) probeOne(b *backend) (readmitted bool) {
 		}
 	}
 	b.mu.Unlock()
+	if err == nil {
+		// Probe-observed recovery reopens the request path immediately; the
+		// breaker's own half-open trial would get there too, just later.
+		b.breaker.reset()
+	}
 	if eject {
 		g.mu.Lock()
 		g.ring.Remove(b.addr)
@@ -142,9 +185,14 @@ func (g *Gateway) probeHealthz(b *backend) error {
 }
 
 // suspect records a proxy-observed backend failure. It does not eject by
-// itself — transient single-request errors happen — but it zeroes the
-// probe grace so the next loop tick re-examines the backend immediately.
+// itself — transient single-request errors happen — but it feeds the
+// backend's circuit breaker (enough consecutive failures open it) and
+// zeroes the probe grace so the next loop tick re-examines the backend
+// immediately.
 func (g *Gateway) suspect(b *backend) {
+	if b.breaker.onFailure(time.Now()) {
+		g.opts.Logger.Printf("gateway: circuit breaker for %s opened", b.addr)
+	}
 	b.mu.Lock()
 	b.nextAt = time.Time{}
 	b.mu.Unlock()

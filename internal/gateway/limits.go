@@ -179,6 +179,31 @@ func (l *limiter) registerSession(tenant, name string) error {
 	return nil
 }
 
+// adopt re-seeds a tenant's session accounting from recovered durable
+// state. It bypasses the MaxSessions cap on purpose: the sessions already
+// exist, and refusing to count them would under-charge the tenant rather
+// than protect the pool. Token buckets are untouched — rate state is
+// deliberately not durable (a restart refills to burst), only the facts
+// (which sessions, whose) are.
+func (l *limiter) adopt(tenant, name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, taken := l.sessionOwner[name]; taken {
+		return
+	}
+	st := l.stateLocked(tenant)
+	st.sessions[name] = true
+	l.sessionOwner[name] = tenant
+}
+
+// ownerOf names the tenant a session is charged to ("" when the gateway
+// never saw it created).
+func (l *limiter) ownerOf(name string) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sessionOwner[name]
+}
+
 // releaseSession frees the slot a session occupied (no-op for sessions the
 // gateway never saw created).
 func (l *limiter) releaseSession(name string) {

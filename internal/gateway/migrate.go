@@ -5,23 +5,27 @@ package gateway
 // from snapshot_b64, pinned bit-identical per carrier with Compiles == 1
 // on the importer). The sequence per session:
 //
-//  1. quiesce — mark the session moving; new write requests (add streams,
-//     compress, delete) answer 503 + Retry-After, reads keep flowing to
-//     the current holder;
-//  2. wait for in-flight write streams to finish (bounded by
-//     QuiesceTimeout) — every acknowledged add is applied under the
-//     engine's lock before its ack, so once the writers are gone the
-//     export below contains all of them: acked ⊆ exported;
+//  1. quiesce — mark the session moving; new one-shot writes (compress,
+//     delete) park on a bounded queue, new add streams start journaling,
+//     reads keep flowing to the current holder;
+//  2. wait for in-flight one-shot writes to finish and detach the live
+//     add streams (bounded by QuiesceTimeout) — each detach half-closes
+//     its backend leg and requires every sent line's ack, so the export
+//     below contains every acknowledged add: acked ⊆ exported. Lines that
+//     arrive during the window pile up in the per-stream journals;
 //  3. export at the holder, import at the new owner;
-//  4. cut over routing (the placement table), so the next request lands
-//     on the new owner;
-//  5. delete at the old holder and lift the quiesce.
+//  4. cut over routing (the placement table, durably when a state journal
+//     is configured), so the next request lands on the new owner;
+//  5. lift the quiesce — parked writes proceed and the add streams
+//     reattach to the new holder, replaying their journals in order —
+//     and delete at the old holder.
 //
 // A failure before the cutover leaves the session untouched on the old
-// holder (the import is deleted best-effort); a failure after the cutover
-// leaves at worst an orphaned copy on the old holder, which the next
-// rebalance sweep retires. Reads are never interrupted; writes see a
-// bounded 503 window and a Retry-After they can honor.
+// holder (the import is deleted best-effort) and the streams reattach to
+// it; a failure after the cutover leaves at worst an orphaned copy on the
+// old holder, which the next rebalance sweep retires. Reads are never
+// interrupted; writes are never refused unless a queue bound or the park
+// window is exceeded — then, and only then, 503 + Retry-After returns.
 
 import (
 	"bytes"
@@ -29,9 +33,9 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -40,6 +44,22 @@ import (
 // owner is not its holder. Returns how many sessions moved. Sweeps are
 // serialized; concurrent callers queue.
 func (g *Gateway) Rebalance(ctx context.Context) (moved int, err error) {
+	moved, failures, err := g.rebalanceDetail(ctx)
+	if err == nil {
+		for name, msg := range failures {
+			err = fmt.Errorf("migrate %q: %s", name, msg)
+			break
+		}
+	}
+	return moved, err
+}
+
+// rebalanceDetail is Rebalance with per-session failure reporting: every
+// movable session is attempted (MigrateParallel at a time), and the ones
+// that could not move come back keyed by name rather than aborting the
+// sweep at the first error. The error return is reserved for sweep-level
+// failures (an unlistable backend).
+func (g *Gateway) rebalanceDetail(ctx context.Context) (moved int, failures map[string]string, err error) {
 	g.rebalanceMu.Lock()
 	defer g.rebalanceMu.Unlock()
 
@@ -61,7 +81,7 @@ func (g *Gateway) Rebalance(ctx context.Context) (moved int, err error) {
 		if lerr != nil {
 			// A backend that cannot be listed cannot be rebalanced safely;
 			// report and let the caller retry.
-			return moved, fmt.Errorf("list sessions on %s: %w", b.addr, lerr)
+			return moved, nil, fmt.Errorf("list sessions on %s: %w", b.addr, lerr)
 		}
 		for _, n := range names {
 			all = append(all, holderSession{name: n, holder: b.addr})
@@ -73,13 +93,16 @@ func (g *Gateway) Rebalance(ctx context.Context) (moved int, err error) {
 	// directly against a backend, or surviving a gateway restart) routes to
 	// its holder from here on. When two backends hold the same name, the
 	// recorded placement (the cutover winner) is authoritative and the
-	// other copy is an orphan — retire it.
+	// other copy is an orphan — retire it. Healed placements carry no
+	// tenant: the gateway never saw them created, so they stay outside
+	// quota accounting, durably.
 	g.mu.Lock()
 	for name, holders := range seen {
 		if cur, ok := g.placements[name]; ok && contains(holders, cur) {
 			continue
 		}
 		g.placements[name] = holders[0]
+		g.statePlace(name, holders[0], g.limits.ownerOf(name))
 	}
 	placed := make(map[string]string, len(g.placements))
 	for k, v := range g.placements {
@@ -95,7 +118,15 @@ func (g *Gateway) Rebalance(ctx context.Context) (moved int, err error) {
 		}
 	}
 
-	var firstErr error
+	// Migrate with bounded concurrency: one wedged session must not stall
+	// the rest of the sweep, and a drain's wall clock divides by the
+	// parallelism instead of summing every export+import serially.
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, g.opts.MigrateParallel)
+		fail = map[string]string{}
+	)
 	for _, hs := range all {
 		if hs.holder != placed[hs.name] {
 			continue // orphan copy, handled above
@@ -106,16 +137,28 @@ func (g *Gateway) Rebalance(ctx context.Context) (moved int, err error) {
 		if !ok || owner == hs.holder {
 			continue
 		}
-		if err := g.moveSession(ctx, hs.name, hs.holder, owner); err != nil {
-			g.opts.Logger.Printf("gateway: migrate %q %s -> %s: %v", hs.name, hs.holder, owner, err)
-			if firstErr == nil {
-				firstErr = fmt.Errorf("migrate %q: %w", hs.name, err)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(name, holder, owner string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := g.moveSession(ctx, name, holder, owner); err != nil {
+				g.opts.Logger.Printf("gateway: migrate %q %s -> %s: %v", name, holder, owner, err)
+				mu.Lock()
+				fail[name] = err.Error()
+				mu.Unlock()
+				return
 			}
-			continue
-		}
-		moved++
+			mu.Lock()
+			moved++
+			mu.Unlock()
+		}(hs.name, hs.holder, owner)
 	}
-	return moved, firstErr
+	wg.Wait()
+	if len(fail) > 0 {
+		failures = fail
+	}
+	return moved, failures, nil
 }
 
 func contains(ss []string, s string) bool {
@@ -127,7 +170,10 @@ func contains(ss []string, s string) bool {
 	return false
 }
 
-// moveSession live-migrates one session from holder to owner.
+// moveSession live-migrates one session from holder to owner with
+// zero-downtime writes: one-shot writes park, add streams detach into
+// their journals, and the unquiesce (which always runs) reattaches them
+// to whatever the routing table then says.
 func (g *Gateway) moveSession(ctx context.Context, name, holder, owner string) error {
 	src, dst := g.lookup(holder), g.lookup(owner)
 	if src == nil || dst == nil {
@@ -137,22 +183,14 @@ func (g *Gateway) moveSession(ctx context.Context, name, holder, owner string) e
 		return fmt.Errorf("destination %s is unhealthy", owner)
 	}
 
-	// Quiesce: writes start answering 503 + Retry-After now.
-	g.mu.Lock()
-	if g.moving[name] {
-		g.mu.Unlock()
+	if !g.quiesceSession(name) {
 		return fmt.Errorf("already migrating")
 	}
-	g.moving[name] = true
-	g.mu.Unlock()
-	defer func() {
-		g.mu.Lock()
-		delete(g.moving, name)
-		g.mu.Unlock()
-	}()
+	defer g.unquiesceSession(name)
 
-	// Wait out in-flight write streams; past the deadline the migration
-	// aborts rather than strand a writer's acks.
+	// Wait out in-flight one-shot writes; past the deadline the migration
+	// aborts rather than strand a caller. New writes are parking, not
+	// failing, so this drains quickly.
 	deadline := time.Now().Add(g.opts.QuiesceTimeout)
 	for {
 		g.mu.RLock()
@@ -162,7 +200,7 @@ func (g *Gateway) moveSession(ctx context.Context, name, holder, owner string) e
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("session still has %d write stream(s) after %v", writers, g.opts.QuiesceTimeout)
+			return fmt.Errorf("session still has %d one-shot write(s) after %v", writers, g.opts.QuiesceTimeout)
 		}
 		select {
 		case <-ctx.Done():
@@ -171,17 +209,28 @@ func (g *Gateway) moveSession(ctx context.Context, name, holder, owner string) e
 		}
 	}
 
+	// Detach the live add streams: each half-closes its backend leg and
+	// collects every outstanding ack, so the export holds everything ever
+	// acknowledged. From here until unquiesce their lines journal.
+	pauseCtx, cancel := context.WithDeadline(ctx, deadline)
+	g.pauseAddStreams(pauseCtx, name)
+	cancel()
+
 	snapshot, err := g.exportSession(ctx, src, name)
 	if err != nil {
 		return fmt.Errorf("export from %s: %w", holder, err)
 	}
 	if err := g.importSession(ctx, dst, name, snapshot); err != nil {
+		// Unquiesce (deferred) reattaches the streams to the old holder;
+		// nothing moved.
 		return fmt.Errorf("import at %s: %w", owner, err)
 	}
 
-	// Cutover: from here every new request routes to the new owner.
+	// Cutover: from here every new request — and the journal replay the
+	// unquiesce triggers — routes to the new owner.
 	g.mu.Lock()
 	g.placements[name] = owner
+	g.statePlace(name, owner, g.limits.ownerOf(name))
 	g.mu.Unlock()
 	g.migrations.Add(1)
 
@@ -194,26 +243,22 @@ func (g *Gateway) moveSession(ctx context.Context, name, holder, owner string) e
 	return nil
 }
 
-// listSessions returns the session names a backend holds.
+// listSessions returns the session names a backend holds. Listing only
+// reads, so it rides the retrying round trip.
 func (g *Gateway) listSessions(ctx context.Context, b *backend) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/sessions", nil)
+	br, err := g.roundTrip(ctx, b, http.MethodGet, b.base+"/v1/sessions", nil, nil, true)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := g.client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	if br.status != http.StatusOK {
+		return nil, fmt.Errorf("status %d", br.status)
 	}
 	var lr struct {
 		Sessions []struct {
 			Name string `json:"name"`
 		} `json:"sessions"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+	if err := json.Unmarshal(br.body, &lr); err != nil {
 		return nil, err
 	}
 	names := make([]string, 0, len(lr.Sessions))
@@ -223,27 +268,25 @@ func (g *Gateway) listSessions(ctx context.Context, b *backend) ([]string, error
 	return names, nil
 }
 
-// exportSession pulls a session's snapshot bytes off its holder.
+// exportSession pulls a session's snapshot bytes off its holder. Export
+// is read-only, so transport failures retry.
 func (g *Gateway) exportSession(ctx context.Context, b *backend, name string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/sessions/"+name+"/export", nil)
+	br, err := g.roundTrip(ctx, b, http.MethodPost, b.base+"/v1/sessions/"+name+"/export", nil, nil, true)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := g.client.Do(req)
-	if err != nil {
-		return nil, err
+	if br.status != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", br.status, bytes.TrimSpace(br.body))
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return io.ReadAll(resp.Body)
+	return br.body, nil
 }
 
 // importSession creates the session at its new owner from snapshot bytes.
 // The importing backend validates checksums and restores without
 // recompiling, so its Compiles counter is 1 and answers are bit-identical
-// to the exporter's.
+// to the exporter's. Import is NOT retried: a lost response is ambiguous
+// (the import may have landed, and the retry's 409 would then lie about a
+// conflict), so a failure aborts the migration instead.
 func (g *Gateway) importSession(ctx context.Context, b *backend, name string, snapshot []byte) error {
 	body, err := json.Marshal(map[string]string{
 		"name":         name,
@@ -252,39 +295,29 @@ func (g *Gateway) importSession(ctx context.Context, b *backend, name string, sn
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/sessions", bytes.NewReader(body))
+	hdr := http.Header{"Content-Type": []string{"application/json"}}
+	br, err := g.roundTrip(ctx, b, http.MethodPost, b.base+"/v1/sessions", hdr, body, false)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := g.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	if br.status != http.StatusCreated {
+		return fmt.Errorf("status %d: %s", br.status, bytes.TrimSpace(br.body))
 	}
 	return nil
 }
 
-// deleteSession removes a session from a backend.
+// deleteSession removes a session from a backend. A 404 counts as gone —
+// retries and sweeps make "already deleted" an expected answer.
 func (g *Gateway) deleteSession(ctx context.Context, b *backend, name string) error {
 	if b == nil {
 		return fmt.Errorf("backend gone")
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, b.base+"/v1/sessions/"+name, nil)
+	br, err := g.roundTrip(ctx, b, http.MethodDelete, b.base+"/v1/sessions/"+name, nil, nil, false)
 	if err != nil {
 		return err
 	}
-	resp, err := g.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+	if br.status != http.StatusOK && br.status != http.StatusNotFound {
+		return fmt.Errorf("status %d", br.status)
 	}
 	return nil
 }

@@ -1,0 +1,315 @@
+package gateway
+
+// Durable gateway state. The placement table and the tenant→session
+// ownership behind the quota counters used to be in-memory only: a
+// gateway restart forgot who holds what and re-learned it via Rebalance —
+// racing in-flight migrations — and forgot every tenant's session count,
+// silently resetting quotas. This file persists both to a single
+// checksummed journal (the internal/durable frame codec: u32 length +
+// CRC32-C per record), so a restarted gateway routes and limits exactly
+// as it did before the restart, without a sweep.
+//
+// The journal holds JSON records:
+//
+//	{"op":"snap","placements":[{name,backend,tenant}...]}  full state
+//	{"op":"place","name":…,"backend":…,"tenant":…}         delta
+//	{"op":"unplace","name":…}                              delta
+//
+// Each delta is fsynced before the mutating request is acknowledged
+// (placement changes ride session lifecycle operations — create, delete,
+// migration cutover — not the per-scenario data plane, so the fsync is
+// off the hot path). Every compactEvery deltas the journal is rewritten
+// as one snap record via the atomic-replace discipline the durable store
+// uses: write tmp → fsync → rename → fsync dir. Recovery tolerates a torn
+// tail (truncate and continue — the record it lost was never
+// acknowledged) but refuses a corrupt middle, exactly like the session
+// WAL. Token buckets are deliberately NOT persisted: a restart refills
+// them to burst, which momentarily over-admits but never over-counts the
+// durable facts (sessions) that quotas exist to bound.
+//
+// Persistence failures after open do not take the gateway down: the
+// router keeps serving on its in-memory state (which Rebalance can
+// re-derive), the store goes sticky-broken, and every skipped write is
+// logged. A router's availability outranks its bookkeeping.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"provabs/internal/durable"
+)
+
+// compactEvery is how many delta records accumulate before the journal is
+// rewritten as a single snapshot record.
+const compactEvery = 1024
+
+// placementEntry is one routed session in the durable state.
+type placementEntry struct {
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	Tenant  string `json:"tenant,omitempty"` // "" = adopted, no quota owner
+}
+
+// stateRecord is one journal record.
+type stateRecord struct {
+	Op         string           `json:"op"` // "snap", "place", "unplace"
+	Name       string           `json:"name,omitempty"`
+	Backend    string           `json:"backend,omitempty"`
+	Tenant     string           `json:"tenant,omitempty"`
+	Placements []placementEntry `json:"placements,omitempty"`
+}
+
+// stateStore owns the journal file. Methods are safe for concurrent use.
+type stateStore struct {
+	fsys   durable.FS
+	path   string
+	logger *log.Logger
+
+	mu      sync.Mutex
+	f       durable.File
+	deltas  int
+	entries map[string]placementEntry // mirror, for compaction
+	broken  error                     // sticky: first persistence failure
+}
+
+// openStateStore opens (creating if absent) the gateway state journal and
+// returns the recovered placements. A torn tail is truncated with a log
+// line; interior corruption is refused — the operator decides whether to
+// delete the file and fall back to Rebalance healing.
+func openStateStore(fsys durable.FS, path string, logger *log.Logger) (*stateStore, map[string]placementEntry, error) {
+	st := &stateStore{
+		fsys:    fsys,
+		path:    path,
+		logger:  logger,
+		entries: make(map[string]placementEntry),
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("gateway state: %w", err)
+		}
+	}
+	raw, err := st.readFile()
+	if err != nil {
+		return nil, nil, err
+	}
+	scan, err := durable.ScanFrames(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway state %s: %w", path, err)
+	}
+	for _, payload := range scan.Payloads {
+		var rec stateRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, nil, fmt.Errorf("gateway state %s: %w: undecodable record: %v", path, durable.ErrCorrupt, err)
+		}
+		st.applyLocked(rec)
+	}
+	if scan.Torn {
+		logger.Printf("gateway: state journal %s has a torn tail (%s); truncating to %d bytes",
+			path, scan.TornWhy, scan.ValidLen)
+		if err := st.truncateTo(scan.ValidLen); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway state: %w", err)
+	}
+	// The create above made the directory entry; without a directory sync a
+	// crash can forget the file even though its fsynced contents survived.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("gateway state: syncing journal directory: %w", err)
+	}
+	st.f = f
+	st.deltas = len(scan.Payloads)
+	recovered := make(map[string]placementEntry, len(st.entries))
+	for k, v := range st.entries {
+		recovered[k] = v
+	}
+	if len(recovered) > 0 || scan.Torn {
+		logger.Printf("gateway: recovered %d placement(s) from %s", len(recovered), path)
+	}
+	// Start compacted: recovery already folded the log into one state.
+	if st.deltas > 1 {
+		if err := st.compactLocked(); err != nil {
+			st.markBroken(err)
+		}
+	}
+	return st, recovered, nil
+}
+
+func (st *stateStore) readFile() ([]byte, error) {
+	f, err := st.fsys.OpenFile(st.path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("gateway state: %w", err)
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("gateway state: %w", err)
+	}
+	return raw, nil
+}
+
+func (st *stateStore) truncateTo(n int64) error {
+	f, err := st.fsys.OpenFile(st.path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("gateway state: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(n); err != nil {
+		return fmt.Errorf("gateway state: truncating torn tail: %w", err)
+	}
+	return f.Sync()
+}
+
+// applyLocked folds one record into the mirror map.
+func (st *stateStore) applyLocked(rec stateRecord) {
+	switch rec.Op {
+	case "snap":
+		st.entries = make(map[string]placementEntry, len(rec.Placements))
+		for _, e := range rec.Placements {
+			st.entries[e.Name] = e
+		}
+	case "place":
+		st.entries[rec.Name] = placementEntry{Name: rec.Name, Backend: rec.Backend, Tenant: rec.Tenant}
+	case "unplace":
+		delete(st.entries, rec.Name)
+	}
+}
+
+// record appends one delta, fsyncs it, and compacts when due. A failure
+// marks the store broken (sticky) and is logged; the caller's in-memory
+// state remains authoritative for this process's lifetime.
+func (st *stateStore) record(rec stateRecord) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.broken != nil {
+		return
+	}
+	st.applyLocked(rec)
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		st.markBroken(err)
+		return
+	}
+	if _, err := st.f.Write(durable.AppendFrame(nil, payload)); err != nil {
+		st.markBroken(err)
+		return
+	}
+	if err := st.f.Sync(); err != nil {
+		st.markBroken(err)
+		return
+	}
+	st.deltas++
+	if st.deltas >= compactEvery {
+		if err := st.compactLocked(); err != nil {
+			st.markBroken(err)
+		}
+	}
+}
+
+// compactLocked rewrites the journal as one snap record via atomic
+// replace: tmp → fsync → rename → fsync dir → reopen for append.
+func (st *stateStore) compactLocked() error {
+	entries := make([]placementEntry, 0, len(st.entries))
+	for _, e := range st.entries {
+		entries = append(entries, e)
+	}
+	payload, err := json.Marshal(stateRecord{Op: "snap", Placements: entries})
+	if err != nil {
+		return err
+	}
+	tmp := st.path + ".tmp"
+	f, err := st.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(durable.AppendFrame(nil, payload)); err != nil {
+		f.Close()
+		st.fsys.Remove(tmp) //nolint:errcheck // best effort
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		st.fsys.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if st.f != nil {
+		st.f.Close() //nolint:errcheck // superseded handle
+	}
+	if err := st.fsys.Rename(tmp, st.path); err != nil {
+		return err
+	}
+	if err := st.fsys.SyncDir(filepath.Dir(st.path)); err != nil {
+		return err
+	}
+	nf, err := st.fsys.OpenFile(st.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st.f = nf
+	st.deltas = 1
+	return nil
+}
+
+func (st *stateStore) markBroken(err error) {
+	if st.broken != nil {
+		return
+	}
+	st.broken = err
+	st.logger.Printf("gateway: state journal %s failed; continuing on in-memory state only: %v", st.path, err)
+}
+
+// healthy reports whether the store is still persisting (observability).
+func (st *stateStore) healthy() bool {
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.broken == nil
+}
+
+func (st *stateStore) close() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f != nil {
+		st.f.Close() //nolint:errcheck
+		st.f = nil
+	}
+}
+
+// statePlace / stateUnplace are the Gateway's persistence hooks; callers
+// hold g.mu so the journal order matches the placement map's mutation
+// order (the fsync rides session lifecycle ops only).
+func (g *Gateway) statePlace(name, backend, tenant string) {
+	if g.state == nil {
+		return
+	}
+	g.state.record(stateRecord{Op: "place", Name: name, Backend: backend, Tenant: tenant})
+}
+
+func (g *Gateway) stateUnplace(name string) {
+	if g.state == nil {
+		return
+	}
+	g.state.record(stateRecord{Op: "unplace", Name: name})
+}

@@ -1,0 +1,296 @@
+package gateway
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"provabs/internal/durable"
+	"provabs/internal/durable/faultfs"
+)
+
+func discardLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// newStatefulGateway stands a gateway whose placement/quota journal lives
+// on the given (fault-injectable) filesystem.
+func newStatefulGateway(t *testing.T, fsys durable.FS, opts Options, backends ...*poolBackend) (*Gateway, *httptest.Server) {
+	t.Helper()
+	opts.StatePath = "gw/state.journal"
+	opts.StateFS = fsys
+	return newTestGateway(t, opts, backends...)
+}
+
+// TestGatewayStateRestartRecovery is the durable-state acceptance test: a
+// gateway restart must recover both halves of its bookkeeping — the
+// placement table (sessions route to their holders without a rebalance
+// sweep) and the tenant quota counts (a tenant at its cap stays at its
+// cap). Token buckets are deliberately NOT durable: a restart refills them
+// to burst. Both semantics are pinned here.
+func TestGatewayStateRestartRecovery(t *testing.T) {
+	b1 := newPoolBackend(t)
+	b2 := newPoolBackend(t)
+	ffs := faultfs.New()
+	limits := TenantLimits{MaxSessions: 2, ScenariosPerSec: 0.1, Burst: 2}
+
+	g1, gts1 := newStatefulGateway(t, ffs, Options{Limits: limits}, b1, b2)
+	for _, name := range []string{"acme-a", "acme-b"} {
+		if resp := createSession(t, gts1.URL, name, "acme"); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: status %d", name, resp.StatusCode)
+		}
+	}
+	// acme is at its 2-session cap.
+	if resp := createSession(t, gts1.URL, "acme-c", "acme"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create past the cap: status %d, want 429", resp.StatusCode)
+	}
+	// Drain the scenario bucket (burst 2, refill ~none within the test).
+	assign := map[string]float64{"p1": 1, "m1": 1, "m3": 1, "f1": 1}
+	want := whatifValues(t, gts1.URL, "acme-a", assign)
+	whatifValues(t, gts1.URL, "acme-a", assign)
+	resp, err := http.Post(gts1.URL+"/v1/sessions/acme-a/whatif", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained bucket: status %d, want 429", resp.StatusCode)
+	}
+	placementsBefore := g1.placementsSnapshot()
+	g1.Stop()
+	gts1.Close()
+
+	// Restart: same journal, same pool.
+	g2, gts2 := newStatefulGateway(t, ffs, Options{Limits: limits}, b1, b2)
+
+	// Placements recovered verbatim — no Rebalance ran.
+	after := g2.placementsSnapshot()
+	if len(after) != len(placementsBefore) {
+		t.Fatalf("recovered %d placements, want %d", len(after), len(placementsBefore))
+	}
+	for name, addr := range placementsBefore {
+		if after[name] != addr {
+			t.Fatalf("placement %q recovered as %q, want %q", name, after[name], addr)
+		}
+	}
+	// Routing works immediately, bit-identically — and this whatif already
+	// pins the bucket-reset semantics: the pre-restart bucket was dry, so a
+	// persisted bucket would answer 429 here.
+	got := whatifValues(t, gts2.URL, "acme-a", assign)
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("post-restart answer %v, want %v", got, want)
+	}
+
+	// Quota counts survived: acme is still at its cap...
+	if resp := createSession(t, gts2.URL, "acme-c", "acme"); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("create past the recovered cap: status %d, want 429", resp.StatusCode)
+	}
+	// ...and releasing a recovered session frees the right slot.
+	req, err := http.NewRequest(http.MethodDelete, gts2.URL+"/v1/sessions/acme-b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete acme-b: status %d", dresp.StatusCode)
+	}
+	if resp := createSession(t, gts2.URL, "acme-c", "acme"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create after freeing a slot: status %d, want 201", resp.StatusCode)
+	}
+
+	// Token buckets reset to exactly burst, no more: the second post-restart
+	// whatif spends the last fresh token, the third is refused again.
+	whatifValues(t, gts2.URL, "acme-a", assign)
+	resp, err = http.Post(gts2.URL+"/v1/sessions/acme-a/whatif", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third post-restart whatif: status %d, want 429 (bucket refills to burst, not beyond)", resp.StatusCode)
+	}
+}
+
+// TestStateStoreCrashSweep drives the placement journal through a step-
+// budgeted filesystem: for every fault budget k, apply a fixed op sequence,
+// crash (unsynced state vanishes), recover — and require the recovered
+// placements to equal exactly the state after the last record whose fsync
+// completed. No budget may surface interior corruption.
+func TestStateStoreCrashSweep(t *testing.T) {
+	type op struct {
+		rec stateRecord
+	}
+	ops := []op{
+		{stateRecord{Op: "place", Name: "s1", Backend: "a:1", Tenant: "t1"}},
+		{stateRecord{Op: "place", Name: "s2", Backend: "a:1", Tenant: "t2"}},
+		{stateRecord{Op: "place", Name: "s1", Backend: "b:2", Tenant: "t1"}}, // migration cutover
+		{stateRecord{Op: "unplace", Name: "s2"}},
+		{stateRecord{Op: "place", Name: "s3", Backend: "b:2"}}, // adopted, no tenant
+	}
+	// stateAfter folds the first n ops into the expected entry map.
+	stateAfter := func(n int) map[string]placementEntry {
+		m := map[string]placementEntry{}
+		for _, o := range ops[:n] {
+			switch o.rec.Op {
+			case "place":
+				m[o.rec.Name] = placementEntry{Name: o.rec.Name, Backend: o.rec.Backend, Tenant: o.rec.Tenant}
+			case "unplace":
+				delete(m, o.rec.Name)
+			}
+		}
+		return m
+	}
+
+	completedClean := false
+	for k := int64(1); k < 200 && !completedClean; k++ {
+		ffs := faultfs.New()
+		st, recovered, err := openStateStore(ffs, "gw/state.journal", discardLogger())
+		if err != nil || len(recovered) != 0 {
+			t.Fatalf("budget %d: clean open: %v (recovered %d)", k, err, len(recovered))
+		}
+		ffs.StopAfter(k)
+		durableOps := 0
+		for i, o := range ops {
+			st.record(o.rec)
+			if st.healthy() {
+				// record fsyncs before returning; a healthy store means op i
+				// is durably on disk.
+				durableOps = i + 1
+			}
+		}
+		completedClean = st.healthy()
+		st.close()
+		ffs.Crash()
+
+		st2, rec2, err := openStateStore(ffs, "gw/state.journal", discardLogger())
+		if err != nil {
+			t.Fatalf("budget %d: recovery refused: %v", k, err)
+		}
+		want := stateAfter(durableOps)
+		if len(rec2) != len(want) {
+			t.Fatalf("budget %d: recovered %d placements, want %d (durable ops %d)", k, len(rec2), len(want), durableOps)
+		}
+		for name, e := range want {
+			if rec2[name] != e {
+				t.Fatalf("budget %d: placement %q = %+v, want %+v", k, name, rec2[name], e)
+			}
+		}
+		st2.close()
+	}
+	if !completedClean {
+		t.Fatal("no fault budget let the full op sequence complete; sweep never converged")
+	}
+}
+
+// TestStateStoreTornTail proves a half-written final record (the expected
+// shape of a crash mid-append) is truncated at open with the prior records
+// intact, and the store keeps appending afterwards.
+func TestStateStoreTornTail(t *testing.T) {
+	ffs := faultfs.New()
+	path := "gw/state.journal"
+	st, _, err := openStateStore(ffs, path, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.record(stateRecord{Op: "place", Name: "s1", Backend: "a:1", Tenant: "t1"})
+	st.record(stateRecord{Op: "place", Name: "s2", Backend: "b:2"})
+	st.close()
+
+	// Tear the tail: append half a frame (header + partial payload).
+	frame := durable.AppendFrame(nil, []byte(`{"op":"place","name":"s3","backend":"c:3"}`))
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, recovered, err := openStateStore(ffs, path, discardLogger())
+	if err != nil {
+		t.Fatalf("torn tail must recover, got: %v", err)
+	}
+	if len(recovered) != 2 || recovered["s1"].Backend != "a:1" || recovered["s2"].Backend != "b:2" {
+		t.Fatalf("recovered %+v, want s1/s2 intact", recovered)
+	}
+	// The store still persists after the repair.
+	st2.record(stateRecord{Op: "place", Name: "s3", Backend: "c:3"})
+	if !st2.healthy() {
+		t.Fatal("store broken after torn-tail repair")
+	}
+	st2.close()
+
+	st3, rec3, err := openStateStore(ffs, path, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.close()
+	if len(rec3) != 3 || rec3["s3"].Backend != "c:3" {
+		t.Fatalf("after repair + append: recovered %+v, want 3 placements", rec3)
+	}
+}
+
+// TestStateStoreInteriorCorruptionRefused proves a flipped bit in a
+// non-final record refuses recovery with ErrCorrupt rather than silently
+// dropping placements — the operator decides, not the scanner.
+func TestStateStoreInteriorCorruptionRefused(t *testing.T) {
+	ffs := faultfs.New()
+	path := "gw/state.journal"
+	st, _, err := openStateStore(ffs, path, discardLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.record(stateRecord{Op: "place", Name: "s1", Backend: "a:1", Tenant: "t1"})
+	st.record(stateRecord{Op: "place", Name: "s2", Backend: "b:2", Tenant: "t2"})
+	st.record(stateRecord{Op: "place", Name: "s3", Backend: "c:3"})
+	st.close()
+
+	// Flip a payload bit inside the FIRST frame (offset 8 = past the
+	// u32 len + u32 CRC header): interior corruption, not a torn tail.
+	if err := ffs.FlipBit(path, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = openStateStore(ffs, path, discardLogger())
+	if err == nil {
+		t.Fatal("interior corruption recovered silently; must refuse")
+	}
+	if !errors.Is(err, durable.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestGatewayStateStickyBroken proves a persistence failure after open
+// degrades, not kills: the store goes broken, requests keep succeeding on
+// in-memory state, and the admin surface reports state_durable=false.
+func TestGatewayStateStickyBroken(t *testing.T) {
+	b1 := newPoolBackend(t)
+	ffs := faultfs.New()
+	g, gts := newStatefulGateway(t, ffs, Options{}, b1)
+
+	if resp := createSession(t, gts.URL, "alpha", ""); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	// Exhaust the fs: every further journal write fails.
+	ffs.StopAfter(0)
+	if resp := createSession(t, gts.URL, "beta", ""); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create with a broken journal must still succeed, got %d", resp.StatusCode)
+	}
+	if g.state.healthy() {
+		t.Fatal("state store still healthy after a failed write")
+	}
+	// Routing still works from memory.
+	assign := map[string]float64{"p1": 1, "m1": 1, "m3": 1, "f1": 1}
+	if vals := whatifValues(t, gts.URL, "beta", assign); len(vals) == 0 {
+		t.Fatal("no answer for the in-memory-only session")
+	}
+}

@@ -3,8 +3,9 @@ package gateway
 // The forwarding layer. Two shapes:
 //
 //   - proxyBuffered: request body already in memory (create, whose name
-//     the gateway had to read) or bodiless (info, delete, list-like).
-//     Plain request/response copy.
+//     the gateway had to read; the one-shot verbs) or bodiless (info,
+//     delete). Both sides fully buffered, which is what lets idempotent
+//     calls retry with backoff (retry.go) behind the circuit breaker.
 //
 //   - proxyStream: everything else, including the NDJSON streams. The
 //     inbound side is switched to full duplex (an HTTP/1 server otherwise
@@ -24,7 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
+	"time"
 )
 
 // hopHeaders never cross a proxy.
@@ -68,40 +69,34 @@ func (g *Gateway) admit(w http.ResponseWriter, b *backend) func() {
 	return b.release
 }
 
-// proxyBuffered forwards a request whose body (possibly nil) is already in
-// memory and copies the response back whole. Returns the upstream status
-// (0 when the backend was unreachable, with the 502 already written).
-func (g *Gateway) proxyBuffered(w http.ResponseWriter, r *http.Request, b *backend, body []byte) (int, error) {
+// proxyBuffered forwards a request whose body (possibly nil) is already
+// in memory and copies the fully buffered response back. It rides the
+// retrying round trip: idempotent calls may be attempted up to
+// Retry.MaxAttempts times on transport failure, and because nothing is
+// written to the client until a whole response is in hand, a retry can
+// never fire after client-visible bytes. Returns the upstream status (0
+// when every attempt failed, with the 502/503 already written).
+func (g *Gateway) proxyBuffered(w http.ResponseWriter, r *http.Request, b *backend, body []byte, idempotent bool) (int, error) {
 	release := g.admit(w, b)
 	if release == nil {
 		return 0, errSaturated
 	}
 	defer release()
-	var reader io.Reader
-	length := int64(0)
-	if body != nil {
-		reader = strings.NewReader(string(body))
-		length = int64(len(body))
-	}
-	out, err := g.outgoing(r, b, reader, length)
+	hdr := make(http.Header, len(r.Header))
+	copyHeaders(hdr, r.Header)
+	br, err := g.roundTrip(r.Context(), b, r.Method, b.base+r.URL.RequestURI(), hdr, body, idempotent)
 	if err != nil {
-		g.writeError(w, http.StatusInternalServerError, err)
-		return 0, err
-	}
-	resp, err := g.client.Do(out)
-	if err != nil {
-		g.suspect(b)
-		err = fmt.Errorf("gateway: backend %s: %w", b.addr, err)
+		var open *errBreakerOpen
+		if errors.As(err, &open) {
+			g.writeUnavailable(w, retrySeconds(open.retryAfter), err)
+			return 0, err
+		}
+		err = fmt.Errorf("gateway: %w", err)
 		g.writeError(w, http.StatusBadGateway, err)
 		return 0, err
 	}
-	defer resp.Body.Close()
-	copyHeaders(w.Header(), resp.Header)
-	w.WriteHeader(resp.StatusCode)
-	if _, err := io.Copy(w, resp.Body); err != nil {
-		g.opts.Logger.Printf("gateway: %s %s via %s: response copy: %v", r.Method, r.URL.Path, b.addr, err)
-	}
-	return resp.StatusCode, nil
+	br.write(w)
+	return br.status, nil
 }
 
 var errSaturated = errors.New("backend saturated")
@@ -116,6 +111,12 @@ func (g *Gateway) proxyStream(w http.ResponseWriter, r *http.Request, b *backend
 		return
 	}
 	defer release()
+	// Streams respect the breaker's verdict but never retry or time out:
+	// they are long-lived by design.
+	if ok, wait := b.breaker.allow(time.Now()); !ok {
+		g.writeUnavailable(w, retrySeconds(wait), (&errBreakerOpen{addr: b.addr, retryAfter: wait}))
+		return
+	}
 	rc := http.NewResponseController(w)
 	if stream {
 		// Respond while the request body is still streaming in (HTTP/2 is
@@ -135,6 +136,7 @@ func (g *Gateway) proxyStream(w http.ResponseWriter, r *http.Request, b *backend
 		g.writeError(w, http.StatusBadGateway, fmt.Errorf("gateway: backend %s: %w", b.addr, err))
 		return
 	}
+	b.breaker.onSuccess()
 	defer resp.Body.Close()
 	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
